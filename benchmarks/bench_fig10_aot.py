@@ -1,0 +1,36 @@
+"""Fig. 10: ahead-of-time ("macro") versus online compilation.
+
+Times the five Fig. 10 configurations — JIT-lambda at the lowest granularity,
+and the four macro combinations of {facts+rules, rules-only} × {± online
+re-sorting} — on the worst-ordered micro programs.  The paper-shaped speedup
+chart comes from ``python -m repro.bench --only fig10``.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.bench.configurations import fig10_configurations
+from repro.core.config import EngineConfig
+from benchmarks.conftest import run_benchmark_once
+
+MICRO = ["ackermann", "fibonacci", "primes"]
+CONFIGS = {label: config for label, config in fig10_configurations(use_indexes=True)}
+
+
+@pytest.mark.parametrize("name", MICRO)
+def test_fig10_baseline_unoptimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.WORST),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("label", sorted(CONFIGS), ids=lambda l: l.replace(" ", "_"))
+@pytest.mark.parametrize("name", MICRO)
+def test_fig10_configuration(benchmark, name, label):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, CONFIGS[label], Ordering.WORST),
+        rounds=1, iterations=1,
+    )

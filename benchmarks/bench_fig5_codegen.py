@@ -1,0 +1,56 @@
+"""Fig. 5: execution time of code generation per IROp granularity.
+
+Times one backend invocation per (backend, granularity, warmth, mode) cell
+over the CSPA program's sub-queries — the quantity Fig. 5 plots for the
+quotes target.  The Bytecode backend is included for the full-mode cells to
+show the cheaper "skip the front end" path.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import get_benchmark
+from repro.bench.fig5 import _plan_groups
+from repro.core.backends import BytecodeBackend, QuotesBackend
+from repro.core.config import EngineConfig
+from repro.engine.engine import ExecutionEngine
+
+
+@pytest.fixture(scope="module")
+def cspa_plans():
+    spec = get_benchmark("cspa_tiny")
+    engine = ExecutionEngine(spec.build(Ordering.WRITTEN), EngineConfig.interpreted())
+    return engine.storage, _plan_groups(engine.tree)
+
+
+GRANULARITIES = ["JoinProjectOp", "UnionOp", "RelationUnionOp", "ProgramOp"]
+
+
+@pytest.mark.parametrize("granularity", GRANULARITIES)
+@pytest.mark.parametrize("backend_name", ["quotes", "bytecode"])
+def test_fig5_codegen_full(benchmark, cspa_plans, granularity, backend_name):
+    storage, groups = cspa_plans
+    plans = groups[granularity]
+    backend = QuotesBackend() if backend_name == "quotes" else BytecodeBackend()
+
+    def compile_once():
+        return backend.compile_plans(plans, storage, label=granularity).compile_seconds
+
+    benchmark(compile_once)
+
+
+@pytest.mark.parametrize("granularity", GRANULARITIES)
+def test_fig5_codegen_snippet(benchmark, cspa_plans, granularity):
+    storage, groups = cspa_plans
+    plans = groups[granularity]
+    backend = QuotesBackend()
+    continuations = [lambda s: set() for _ in plans]
+
+    def compile_once():
+        artifact = backend.compile_plans(
+            plans, storage, mode="snippet", continuations=continuations,
+            label=granularity,
+        )
+        return artifact.compile_seconds
+
+    benchmark(compile_once)

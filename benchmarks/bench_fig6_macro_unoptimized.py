@@ -1,0 +1,45 @@
+"""Fig. 6: macrobenchmark speedup of JIT configurations over "unoptimized".
+
+Times every JIT configuration (plus the two interpreted references) on the
+*worst-ordered* macro programs.  Speedups are the ratio of the interpreted
+unoptimized time to each configuration's time; pytest-benchmark reports the
+raw times, ``python -m repro.bench --only fig6`` prints the ratios.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.bench.configurations import jit_configurations
+from repro.core.config import EngineConfig
+from benchmarks.conftest import run_benchmark_once
+
+MACRO = ["andersen", "inverse_functions", "cspa_tiny"]
+JIT_CONFIGS = {label: config for label, config in jit_configurations(use_indexes=True)}
+
+
+@pytest.mark.parametrize("name", MACRO)
+def test_fig6_baseline_unoptimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.WORST),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("name", MACRO)
+def test_fig6_hand_optimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.OPTIMIZED),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("label", sorted(JIT_CONFIGS), ids=lambda l: l.replace(" ", "_"))
+@pytest.mark.parametrize("name", MACRO)
+def test_fig6_jit_on_unoptimized(benchmark, name, label):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, JIT_CONFIGS[label], Ordering.WORST),
+        rounds=1, iterations=1,
+    )

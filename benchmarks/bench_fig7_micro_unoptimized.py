@@ -1,0 +1,43 @@
+"""Fig. 7: microbenchmark speedup of JIT configurations over "unoptimized".
+
+Same structure as Fig. 6 but over the short-running micro programs, which is
+where compilation overhead stops paying for itself (the paper's point).
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.bench.configurations import jit_configurations
+from repro.core.config import EngineConfig
+from benchmarks.conftest import run_benchmark_once
+
+MICRO = ["ackermann", "fibonacci", "primes"]
+JIT_CONFIGS = {label: config for label, config in jit_configurations(use_indexes=True)}
+
+
+@pytest.mark.parametrize("name", MICRO)
+def test_fig7_baseline_unoptimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.WORST),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("name", MICRO)
+def test_fig7_hand_optimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.OPTIMIZED),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("label", sorted(JIT_CONFIGS), ids=lambda l: l.replace(" ", "_"))
+@pytest.mark.parametrize("name", MICRO)
+def test_fig7_jit_on_unoptimized(benchmark, name, label):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, JIT_CONFIGS[label], Ordering.WORST),
+        rounds=1, iterations=1,
+    )

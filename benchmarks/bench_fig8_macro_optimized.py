@@ -1,0 +1,36 @@
+"""Fig. 8: macrobenchmark speedup (or slowdown) over "hand-optimized".
+
+Every configuration runs on the hand-optimized program formulation; the
+question is how much the JIT's overhead costs (or how much it still gains by
+re-optimizing per iteration) relative to the interpreted hand-optimized
+baseline.  CSDA is included here, as in the paper.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.bench.configurations import jit_configurations
+from repro.core.config import EngineConfig
+from benchmarks.conftest import run_benchmark_once
+
+MACRO = ["andersen", "inverse_functions", "cspa_tiny", "csda"]
+JIT_CONFIGS = {label: config for label, config in jit_configurations(use_indexes=True)}
+
+
+@pytest.mark.parametrize("name", MACRO)
+def test_fig8_baseline_hand_optimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.OPTIMIZED),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("label", sorted(JIT_CONFIGS), ids=lambda l: l.replace(" ", "_"))
+@pytest.mark.parametrize("name", MACRO)
+def test_fig8_jit_on_hand_optimized(benchmark, name, label):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, JIT_CONFIGS[label], Ordering.OPTIMIZED),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Fig. 9: microbenchmark speedup (or slowdown) over "hand-optimized".
+
+The worst case for adaptive optimization: already-good plans on programs too
+short to amortise any overhead.  Values below 1x (slowdowns) are expected for
+the heavier backends, mirroring the paper's ~0.1x Ackermann result.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.bench.configurations import jit_configurations
+from repro.core.config import EngineConfig
+from benchmarks.conftest import run_benchmark_once
+
+MICRO = ["ackermann", "fibonacci", "primes"]
+JIT_CONFIGS = {label: config for label, config in jit_configurations(use_indexes=True)}
+
+
+@pytest.mark.parametrize("name", MICRO)
+def test_fig9_baseline_hand_optimized_interpreted(benchmark, name):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, EngineConfig.interpreted(), Ordering.OPTIMIZED),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("label", sorted(JIT_CONFIGS), ids=lambda l: l.replace(" ", "_"))
+@pytest.mark.parametrize("name", MICRO)
+def test_fig9_jit_on_hand_optimized(benchmark, name, label):
+    benchmark.pedantic(
+        run_benchmark_once,
+        args=(name, JIT_CONFIGS[label], Ordering.OPTIMIZED),
+        rounds=1, iterations=1,
+    )

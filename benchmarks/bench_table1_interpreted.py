@@ -1,0 +1,49 @@
+"""Table I: average execution time of interpreted Carac queries.
+
+Each benchmark function times one cell of Table I — one workload under the
+pure interpreter, unindexed/indexed × unoptimized ("worst") / hand-optimized
+atom order.  The CSDA and CSPA workloads follow the paper's convention of
+running only with indexes; the heaviest cells run a single round so the whole
+module stays quick.  ``python -m repro.bench --only table1`` prints the
+paper-shaped table from the same measurements.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.core.config import EngineConfig
+from benchmarks.conftest import run_benchmark_once
+
+MICRO = ["ackermann", "fibonacci", "primes"]
+MACRO_BOTH_INDEX_MODES = ["andersen", "inverse_functions"]
+MACRO_INDEX_ONLY = ["csda", "cspa_tiny"]
+
+
+def _cell(benchmark, name, use_indexes, ordering, rounds=1):
+    config = EngineConfig.interpreted(use_indexes=use_indexes)
+    result = benchmark.pedantic(
+        run_benchmark_once, args=(name, config, ordering), rounds=rounds, iterations=1,
+    )
+    assert result > 0
+
+
+@pytest.mark.parametrize("name", MICRO + MACRO_BOTH_INDEX_MODES)
+@pytest.mark.parametrize("use_indexes", [False, True], ids=["unindexed", "indexed"])
+def test_table1_unoptimized(benchmark, name, use_indexes):
+    _cell(benchmark, name, use_indexes, Ordering.WORST)
+
+
+@pytest.mark.parametrize("name", MICRO + MACRO_BOTH_INDEX_MODES)
+@pytest.mark.parametrize("use_indexes", [False, True], ids=["unindexed", "indexed"])
+def test_table1_hand_optimized(benchmark, name, use_indexes):
+    _cell(benchmark, name, use_indexes, Ordering.OPTIMIZED)
+
+
+@pytest.mark.parametrize("name", MACRO_INDEX_ONLY)
+def test_table1_index_only_unoptimized(benchmark, name):
+    _cell(benchmark, name, True, Ordering.WORST)
+
+
+@pytest.mark.parametrize("name", MACRO_INDEX_ONLY)
+def test_table1_index_only_hand_optimized(benchmark, name):
+    _cell(benchmark, name, True, Ordering.OPTIMIZED)

@@ -1,0 +1,57 @@
+"""Table II: comparison with the state of the art.
+
+Times each engine column — the DLX-like baseline, the Soufflé-like engine in
+its three modes, and Carac's JIT — on the Table II workloads (Inverse
+Functions, CSDA, CSPA at the reduced default scale).  The simulated C++
+toolchain latency of the Soufflé-like compiler modes is set to a small value
+here so the module stays fast; ``python -m repro.bench --only table2`` uses
+the default latency and prints the full table.
+"""
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import get_benchmark
+from repro.baselines import DLXLikeEngine, SouffleLikeEngine
+from repro.core.config import CompilationGranularity, EngineConfig
+from repro.engine.engine import ExecutionEngine
+
+WORKLOADS = ["inverse_functions", "csda", "cspa_tiny"]
+TOOLCHAIN_SECONDS = 0.05
+
+
+def _program(name):
+    return get_benchmark(name).build(Ordering.WRITTEN)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_table2_dlx_like(benchmark, name):
+    def run():
+        return DLXLikeEngine().run(_program(name)).evaluation_seconds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("mode", ["interpreter", "compiler", "auto-tuned"])
+def test_table2_souffle_like(benchmark, name, mode):
+    def run():
+        engine = SouffleLikeEngine(mode=mode, toolchain_seconds=TOOLCHAIN_SECONDS)
+        return engine.run(_program(name)).reported_seconds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_table2_carac_jit(benchmark, name):
+    config = EngineConfig.jit(
+        "quotes", granularity=CompilationGranularity.JOIN, use_indexes=True
+    )
+
+    def run():
+        spec = get_benchmark(name)
+        engine = ExecutionEngine(spec.build(Ordering.WRITTEN), config)
+        engine.run()
+        return engine.profile.wall_seconds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

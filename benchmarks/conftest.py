@@ -1,0 +1,34 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper at a
+reduced, laptop-friendly scale.  The pytest-benchmark timings give the raw
+per-configuration numbers; the printable, paper-shaped tables come from
+``python -m repro.bench``.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import get_benchmark
+from repro.core.config import EngineConfig
+from repro.engine.engine import ExecutionEngine
+
+
+def run_benchmark_once(name: str, config: EngineConfig, ordering: Ordering) -> int:
+    """Build and evaluate one workload; returns the query-relation size."""
+    spec = get_benchmark(name)
+    engine = ExecutionEngine(spec.build(ordering), config)
+    results = engine.run()
+    return len(results[spec.query_relation])
+
+
+@pytest.fixture
+def evaluate():
+    return run_benchmark_once

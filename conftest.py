@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The repository uses a src-layout; when the package has not been installed
+(e.g. on a fresh offline checkout) this keeps ``pytest`` working.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

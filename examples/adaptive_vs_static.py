@@ -1,0 +1,66 @@
+"""Adaptive versus static optimization: why runtime information matters.
+
+The paper's §IV example: the best join order for a CSPA sub-query changes
+between iteration 1 (the delta relation is huge) and iteration 7 (the delta
+relation is empty), so any single static order is wrong part of the time.
+This example makes that concrete on the inverse-function analysis:
+
+* static "hand-optimized" order, interpreted,
+* ahead-of-time optimization only (facts + rules, no online adaptation),
+* the full adaptive JIT re-optimizing at every rule, every iteration.
+
+It prints the join orders the optimizer actually chose over time for the
+analysis' long 9-atom rule, showing that they change as the value-flow
+relation grows.
+
+Run with:  python examples/adaptive_vs_static.py
+"""
+
+from __future__ import annotations
+
+from repro.analyses import Ordering, build_inverse_functions_program
+from repro.core.config import AOTSortMode, EngineConfig
+from repro.engine import ExecutionEngine
+from repro.workloads import SListLibGenerator
+
+
+def evaluate(label: str, config: EngineConfig, ordering: Ordering) -> None:
+    dataset = SListLibGenerator(seed=7).generate(list_length=14, extra_pipelines=3)
+    program = build_inverse_functions_program(dataset, ordering=ordering)
+    engine = ExecutionEngine(program, config)
+    results = engine.run()
+    profile = engine.profile
+    print(f"{label:48s} wasted-work sites: {len(results['wastedWork']):3d}   "
+          f"time: {profile.wall_seconds * 1000:8.1f} ms   "
+          f"reorders: {profile.reorder_count(changed_only=True):3d}")
+    return profile
+
+
+def main() -> None:
+    print("Inverse-function analysis on SListLib-style facts")
+    print("-" * 72)
+    evaluate("interpreted, hand-optimized order",
+             EngineConfig.interpreted(), Ordering.OPTIMIZED)
+    evaluate("interpreted, unoptimized order",
+             EngineConfig.interpreted(), Ordering.WORST)
+    evaluate("ahead-of-time only (facts + rules)",
+             EngineConfig.aot(sort=AOTSortMode.FACTS_AND_RULES), Ordering.WORST)
+    profile = evaluate("adaptive JIT (irgen backend)",
+                       EngineConfig.jit("irgen"), Ordering.WORST)
+
+    print()
+    print("Join orders chosen for the 9-atom `wasted_work` rule over time:")
+    seen = []
+    for record in profile.reorders:
+        if record.rule_name.startswith("wasted_work") and record.decision.changed:
+            order = " -> ".join(record.decision.chosen_order)
+            if not seen or seen[-1] != order:
+                seen.append(order)
+    if not seen:
+        print("  (the greedy order never needed to change for this dataset)")
+    for i, order in enumerate(seen[:6], start=1):
+        print(f"  choice {i}: {order}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Program analysis: Graspan's context-sensitive pointer analysis (CSPA).
+
+This is the paper's running example (Fig. 1): the VaFlow / VAlias / MAlias
+rules over Assign and Dereference facts.  The example builds a synthetic
+httpd-like fact graph, runs the analysis in the deliberately bad
+("unoptimized") atom order with and without the adaptive JIT, and prints the
+per-iteration delta cardinalities that make static join ordering so hard —
+the reason the paper moves the optimization to runtime.
+
+Run with:  python examples/program_analysis_cspa.py
+"""
+
+from __future__ import annotations
+
+from repro.analyses import Ordering, build_cspa_program
+from repro.core.config import EngineConfig
+from repro.engine import ExecutionEngine
+from repro.workloads import HttpdLikeGenerator
+
+
+def run(config: EngineConfig, label: str) -> None:
+    dataset = HttpdLikeGenerator(seed=2024).cspa(tuples=600)
+    program = build_cspa_program(dataset, ordering=Ordering.WORST)
+    engine = ExecutionEngine(program, config)
+    results = engine.run()
+    profile = engine.profile
+
+    print(f"=== {label} ===")
+    print(f"input facts: {dataset.fact_count()}   "
+          f"VAlias: {len(results['VAlias'])}   VaFlow: {len(results['VaFlow'])}   "
+          f"MAlias: {len(results['MAlias'])}")
+    print(f"time: {profile.wall_seconds * 1000:.1f} ms   "
+          f"iterations: {profile.iteration_count()}   "
+          f"join reorders applied: {profile.reorder_count(changed_only=True)}")
+    print("delta cardinalities per iteration (VaFlow):")
+    series = [record.delta_cardinalities.get("VaFlow", 0) for record in profile.iterations]
+    print("  " + " -> ".join(str(v) for v in series[:12]) + (" ..." if len(series) > 12 else ""))
+    print()
+
+
+def main() -> None:
+    run(EngineConfig.interpreted(), "interpreted, as-written (bad) join order")
+    run(EngineConfig.jit("lambda"), "adaptive JIT, lambda backend")
+    run(EngineConfig.jit("quotes", asynchronous=True),
+        "adaptive JIT, quotes backend, asynchronous compilation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: declare a recursive Datalog program and run it four ways.
+
+Builds the classic graph-reachability query with the embedded DSL, evaluates
+it with the plain interpreter, the adaptive JIT (two backends) and the
+ahead-of-time optimizer, and shows that the results agree while the engine
+reports what each strategy did (iterations, reorders, compilations).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig, Program
+from repro.workloads import random_edges
+
+
+def build_reachability() -> Program:
+    """path(x, y) := edge+(x, y) over a small random graph."""
+    program = Program("reachability")
+    edge = program.relation("edge", 2)
+    path = program.relation("path", 2)
+    x, y, z = program.variables("x", "y", "z")
+
+    path(x, y) <= edge(x, y)
+    path(x, z) <= path(x, y) & edge(y, z)
+
+    edge.add_facts(random_edges(nodes=60, edges=180, seed=11))
+    return program
+
+
+def main() -> None:
+    configurations = [
+        ("interpreted", EngineConfig.interpreted()),
+        ("JIT / lambda backend", EngineConfig.jit("lambda")),
+        ("JIT / quotes backend (runtime codegen)", EngineConfig.jit("quotes")),
+        ("ahead-of-time + online reordering", EngineConfig.aot(online=True)),
+    ]
+
+    reference = None
+    for label, config in configurations:
+        program = build_reachability()
+        engine = program.engine(config)
+        results = engine.run()
+        paths = results["path"]
+        summary = engine.profile.summary()
+        if reference is None:
+            reference = paths
+        agreement = "matches interpreter" if paths == reference else "MISMATCH"
+        print(f"{label:40s} |path| = {len(paths):5d}  "
+              f"time = {summary['wall_seconds'] * 1000:7.1f} ms  "
+              f"iterations = {summary['iterations']:2d}  "
+              f"reorders = {summary['reorders']:3d}  "
+              f"compilations = {summary['compilations']:2d}  [{agreement}]")
+
+    print()
+    print("Every strategy computes the same fixpoint; they differ only in how")
+    print("join orders are chosen and whether sub-queries are compiled at runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: a Python reproduction of "Adaptive Recursive Query Optimization" (ICDE 2024).
+
+The package implements Carac — a Datalog engine whose join orders are
+re-optimized continuously at runtime via staged code generation — along with
+every substrate it needs (Datalog frontend, relational storage layer, IR,
+workloads, baseline engines) and the benchmark harness that regenerates the
+paper's tables and figures.
+
+Quickstart::
+
+    from repro import Program, EngineConfig
+
+    program = Program("reachability")
+    edge = program.relation("edge", 2)
+    path = program.relation("path", 2)
+    x, y, z = program.variables("x", "y", "z")
+    path(x, y) <= edge(x, y)
+    path(x, z) <= path(x, y) & edge(y, z)
+    edge.add_facts([(1, 2), (2, 3), (3, 4)])
+
+    print(program.solve("path", EngineConfig.jit(backend="lambda")))
+"""
+
+from repro.core.config import (
+    AOTSortMode,
+    CompilationGranularity,
+    EngineConfig,
+    ExecutionMode,
+)
+from repro.datalog.dsl import Program, RelationHandle
+from repro.datalog.literals import compare, let
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+from repro.engine.engine import ExecutionEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOTSortMode",
+    "CompilationGranularity",
+    "EngineConfig",
+    "ExecutionEngine",
+    "ExecutionMode",
+    "Program",
+    "RelationHandle",
+    "Variable",
+    "compare",
+    "let",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Benchmark query programs: the macro program analyses and micro programs.
+
+Each builder returns a :class:`~repro.datalog.program.DatalogProgram` with
+facts already loaded, in one of three atom orderings:
+
+* ``"written"`` — the order the paper's Fig. 1 (or the classic formulation)
+  uses; a plausible order an author might write.
+* ``"optimized"`` — the hand-optimized formulation: atoms ordered to keep
+  intermediate results small (what §VI-B calls "hand-optimized").
+* ``"worst"`` — the deliberately inefficient formulation simulating a user
+  with bad luck (what §VI-B calls "unoptimized").
+
+The engine never inspects which variant it is given, which is exactly the
+point of the experiments: the JIT has to recover good orders from runtime
+information alone.
+"""
+
+from repro.analyses.ordering import Ordering, pick_order
+from repro.analyses.cspa import build_cspa_program
+from repro.analyses.csda import build_csda_program
+from repro.analyses.andersen import build_andersen_program
+from repro.analyses.inverse_functions import build_inverse_functions_program
+from repro.analyses.micro import (
+    build_ackermann_program,
+    build_fibonacci_program,
+    build_primes_program,
+    build_same_generation_program,
+    build_transitive_closure_program,
+)
+from repro.analyses.registry import BenchmarkSpec, get_benchmark, list_benchmarks
+
+__all__ = [
+    "BenchmarkSpec",
+    "Ordering",
+    "build_ackermann_program",
+    "build_andersen_program",
+    "build_cspa_program",
+    "build_csda_program",
+    "build_fibonacci_program",
+    "build_inverse_functions_program",
+    "build_primes_program",
+    "build_same_generation_program",
+    "build_transitive_closure_program",
+    "get_benchmark",
+    "list_benchmarks",
+    "pick_order",
+]

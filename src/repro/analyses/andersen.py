@@ -1,0 +1,74 @@
+"""Andersen's points-to analysis (context- and flow-insensitive), Doop-style.
+
+Four statement forms over program variables and abstract heap objects::
+
+    y = &x      addressOf(y, x)
+    y = x       assign(y, x)
+    y = *x      load(y, x)
+    *y = x      store(y, x)
+
+and the classic inference rules with a heap-indirection relation so that the
+load/store rules are genuine 3-way joins (the shape the join-order
+optimization targets).
+"""
+
+from __future__ import annotations
+
+from repro.analyses.ordering import Ordering, pick_order
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Variable
+from repro.workloads.program_facts import SListLibDataset
+
+
+def build_andersen_program(dataset: SListLibDataset,
+                           ordering: "Ordering | str" = Ordering.WRITTEN,
+                           name: str = "andersen") -> DatalogProgram:
+    """Andersen's analysis over the SListLib-style fact base."""
+    program = DatalogProgram(name)
+    y, x, z, w = Variable("y"), Variable("x"), Variable("z"), Variable("w")
+
+    address_of = lambda a, b: Atom("addressOf", (a, b))  # noqa: E731
+    assign = lambda a, b: Atom("assign", (a, b))         # noqa: E731
+    load = lambda a, b: Atom("load", (a, b))             # noqa: E731
+    store = lambda a, b: Atom("store", (a, b))           # noqa: E731
+    points_to = lambda a, b: Atom("pointsTo", (a, b))    # noqa: E731
+    heap_points_to = lambda a, b: Atom("heapPointsTo", (a, b))  # noqa: E731
+
+    program.add_rule(points_to(y, x), [address_of(y, x)], name="pt_addressOf")
+    program.add_rule(
+        points_to(y, x),
+        pick_order(
+            ordering,
+            optimized=[assign(y, z), points_to(z, x)],
+            worst=[points_to(z, x), assign(y, z)],
+            written=[assign(y, z), points_to(z, x)],
+        ),
+        name="pt_assign",
+    )
+    # y = *x:  pt(y, o2) :- load(y, x), pt(x, o), heapPt(o, o2)
+    program.add_rule(
+        points_to(y, x),
+        pick_order(
+            ordering,
+            optimized=[load(y, z), points_to(z, w), heap_points_to(w, x)],
+            worst=[heap_points_to(w, x), points_to(z, w), load(y, z)],
+            written=[load(y, z), points_to(z, w), heap_points_to(w, x)],
+        ),
+        name="pt_load",
+    )
+    # *y = x:  heapPt(o, o2) :- store(y, x), pt(y, o), pt(x, o2)
+    program.add_rule(
+        heap_points_to(w, x),
+        pick_order(
+            ordering,
+            optimized=[store(y, z), points_to(y, w), points_to(z, x)],
+            worst=[points_to(y, w), points_to(z, x), store(y, z)],
+            written=[store(y, z), points_to(y, w), points_to(z, x)],
+        ),
+        name="hpt_store",
+    )
+
+    for relation, rows in dataset.andersen_facts().items():
+        program.add_facts(relation, rows)
+    return program

@@ -1,0 +1,56 @@
+"""Graspan's Context-Sensitive Dataflow Analysis (CSDA).
+
+A null-value propagation over the program's dataflow graph.  All rules are
+2-way joins, which is why the paper uses CSDA to show that the lightweight
+IRGenerator backend — whose only lever on a binary join is swapping the two
+sides — can beat the heavier code-generating backends when there is little
+room for specialization to pay off.
+"""
+
+from __future__ import annotations
+
+from repro.analyses.ordering import Ordering, pick_order
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Variable
+from repro.workloads.program_facts import CSDADataset
+
+
+def build_csda_program(dataset: CSDADataset,
+                       ordering: "Ordering | str" = Ordering.WRITTEN,
+                       name: str = "csda") -> DatalogProgram:
+    """Dataflow reachability plus null propagation over ``dataset``."""
+    program = DatalogProgram(name)
+    x, y, z, s = Variable("x"), Variable("y"), Variable("z"), Variable("s")
+
+    edge = lambda a, b: Atom("edge", (a, b))          # noqa: E731
+    flows = lambda a, b: Atom("flows", (a, b))        # noqa: E731
+    null_source = lambda a: Atom("nullSource", (a,))  # noqa: E731
+    null_flow = lambda a: Atom("nullFlow", (a,))      # noqa: E731
+
+    program.add_rule(flows(x, y), [edge(x, y)], name="flows_base")
+    program.add_rule(
+        flows(x, z),
+        pick_order(
+            ordering,
+            optimized=[flows(x, y), edge(y, z)],
+            worst=[edge(y, z), flows(x, y)],
+            written=[flows(x, y), edge(y, z)],
+        ),
+        name="flows_step",
+    )
+    program.add_rule(
+        null_flow(y),
+        pick_order(
+            ordering,
+            optimized=[null_source(s), flows(s, y)],
+            worst=[flows(s, y), null_source(s)],
+            written=[null_source(s), flows(s, y)],
+        ),
+        name="null_propagation",
+    )
+    program.add_rule(null_flow(s), [null_source(s)], name="null_base")
+
+    program.add_facts("edge", dataset.edge)
+    program.add_facts("nullSource", dataset.null_source)
+    return program

@@ -1,0 +1,195 @@
+"""The Inverse-Function ("wasted work") analysis (paper §VI-A).
+
+The analysis extends a value-flow/points-to style analysis with knowledge of
+function pairs that undo each other — ``invFuns(deserialize, serialize)``,
+``invFuns(from_json, to_json)`` — and flags call sites where a value is
+transformed by a function and then immediately transformed back before being
+used, i.e. a round trip that can be elided.
+
+The rules are deliberately join-heavy: the paper notes this analysis contains
+a 9-atom rule, which is reproduced here as ``wastedWork``.  Rules recurse
+through the ``vflow`` value-flow relation, so the cardinalities the optimizer
+sees keep shifting as the transitive closure grows.
+"""
+
+from __future__ import annotations
+
+from repro.analyses.ordering import Ordering, pick_order
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Variable
+from repro.workloads.program_facts import SListLibDataset
+
+
+def build_inverse_functions_program(dataset: SListLibDataset,
+                                    ordering: "Ordering | str" = Ordering.WRITTEN,
+                                    name: str = "inverse_functions") -> DatalogProgram:
+    """Inverse-function analysis over SListLib-style facts."""
+    program = DatalogProgram(name)
+    (value, other, source, sink, argument, argument2, result, result2,
+     function, inverse, site, site2, site3) = (
+        Variable(n) for n in (
+            "value", "other", "source", "sink", "argument", "argument2",
+            "result", "result2", "function", "inverse", "site", "site2", "site3",
+        )
+    )
+
+    assign = lambda a, b: Atom("assign", (a, b))                   # noqa: E731
+    vflow = lambda a, b: Atom("vflow", (a, b))                     # noqa: E731
+    call = lambda i, f, a, r: Atom("call", (i, f, a, r))           # noqa: E731
+    inv_funs = lambda f, g: Atom("invFuns", (f, g))                # noqa: E731
+    follows = lambda a, b: Atom("follows", (a, b))                 # noqa: E731
+    precedes = lambda a, b: Atom("precedes", (a, b))               # noqa: E731
+    used_at = lambda v, i: Atom("usedAt", (v, i))                  # noqa: E731
+    equivalent = lambda a, b: Atom("equivalentValue", (a, b))      # noqa: E731
+    round_trip = lambda a, b: Atom("roundTrip", (a, b))            # noqa: E731
+    wasted = lambda a, b: Atom("wastedWork", (a, b))               # noqa: E731
+
+    # Control-flow order: direct successors plus transitive closure.
+    program.add_rule(precedes(site, site2), [follows(site, site2)], name="precedes_base")
+    program.add_rule(
+        precedes(site, site3),
+        pick_order(
+            ordering,
+            optimized=[precedes(site, site2), follows(site2, site3)],
+            worst=[follows(site2, site3), precedes(site, site2)],
+            written=[precedes(site, site2), follows(site2, site3)],
+        ),
+        name="precedes_step",
+    )
+
+    # Value flow: direct assignments plus transitive closure.
+    program.add_rule(vflow(source, value), [assign(value, source)], name="vflow_assign")
+    program.add_rule(
+        vflow(source, sink),
+        pick_order(
+            ordering,
+            optimized=[vflow(source, value), vflow(value, sink)],
+            worst=[vflow(value, sink), vflow(source, value)],
+            written=[vflow(source, value), vflow(value, sink)],
+        ),
+        name="vflow_transitive",
+    )
+    # A call's result flows from its argument (functions propagate values).
+    program.add_rule(
+        vflow(argument, result),
+        [call(site, function, argument, result)],
+        name="vflow_call",
+    )
+
+    # Two values are equivalent when one is produced by applying f and the
+    # other by applying f's inverse to (a value flowing from) the first.
+    program.add_rule(
+        equivalent(result, result2),
+        pick_order(
+            ordering,
+            optimized=[
+                call(site, function, argument, result),
+                inv_funs(inverse, function),
+                call(site2, inverse, argument2, result2),
+                vflow(result, argument2),
+                precedes(site, site2),
+            ],
+            worst=[
+                vflow(result, argument2),
+                call(site2, inverse, argument2, result2),
+                call(site, function, argument, result),
+                precedes(site, site2),
+                inv_funs(inverse, function),
+            ],
+            written=[
+                call(site, function, argument, result),
+                call(site2, inverse, argument2, result2),
+                inv_funs(inverse, function),
+                vflow(result, argument2),
+                precedes(site, site2),
+            ],
+        ),
+        name="equivalent_value",
+    )
+
+    # A round trip: the inverse call's result is equivalent to the original
+    # call's argument (serialize then deserialize restores the value).
+    program.add_rule(
+        round_trip(site, site2),
+        pick_order(
+            ordering,
+            optimized=[
+                call(site, function, argument, result),
+                inv_funs(inverse, function),
+                call(site2, inverse, argument2, result2),
+                vflow(result, argument2),
+                vflow(argument, other),
+                equivalent(result, result2),
+            ],
+            worst=[
+                vflow(argument, other),
+                equivalent(result, result2),
+                call(site2, inverse, argument2, result2),
+                call(site, function, argument, result),
+                vflow(result, argument2),
+                inv_funs(inverse, function),
+            ],
+            written=[
+                call(site, function, argument, result),
+                call(site2, inverse, argument2, result2),
+                inv_funs(inverse, function),
+                vflow(result, argument2),
+                vflow(argument, other),
+                equivalent(result, result2),
+            ],
+        ),
+        name="round_trip",
+    )
+
+    # The original value flows (directly or transitively) both into the
+    # inverse call's argument and into its restored result — the witnesses
+    # that the second call really just undoes the first.
+
+    # The paper's long rule (9 atoms): the round trip is *wasted work* when the
+    # restored value is actually used later, the two call sites are ordered by
+    # control flow, and the original value was still live at the second site.
+    program.add_rule(
+        wasted(site, site3),
+        pick_order(
+            ordering,
+            optimized=[
+                round_trip(site, site2),
+                call(site, function, argument, result),
+                inv_funs(inverse, function),
+                call(site2, inverse, argument2, result2),
+                used_at(result2, site3),
+                precedes(site2, site3),
+                vflow(argument, argument2),
+                vflow(argument, result2),
+                precedes(site, site2),
+            ],
+            worst=[
+                vflow(argument, argument2),
+                vflow(argument, result2),
+                used_at(result2, site3),
+                call(site, function, argument, result),
+                call(site2, inverse, argument2, result2),
+                precedes(site, site2),
+                precedes(site2, site3),
+                inv_funs(inverse, function),
+                round_trip(site, site2),
+            ],
+            written=[
+                round_trip(site, site2),
+                call(site, function, argument, result),
+                call(site2, inverse, argument2, result2),
+                inv_funs(inverse, function),
+                used_at(result2, site3),
+                precedes(site, site2),
+                precedes(site2, site3),
+                vflow(argument, argument2),
+                vflow(argument, result2),
+            ],
+        ),
+        name="wasted_work",
+    )
+
+    for relation, rows in dataset.inverse_function_facts().items():
+        program.add_facts(relation, rows)
+    return program

@@ -1,0 +1,224 @@
+"""Microbenchmark programs: Ackermann, Fibonacci, Primes (+ two classics).
+
+The paper uses these short-running queries to locate the point at which
+runtime optimization stops paying for itself (§VI-A): the shorter the
+program, the less room there is to amortise reordering/compilation overhead.
+
+Bottom-up Datalog needs a bounded domain for the arithmetic programs, so all
+builders take a size parameter; growing it lengthens the run without changing
+the rule structure.
+"""
+
+from __future__ import annotations
+
+from repro.analyses.ordering import Ordering, pick_order
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Constant, Variable
+
+
+def _num_facts(program: DatalogProgram, limit: int, relation: str = "num") -> None:
+    program.add_facts(relation, [(i,) for i in range(limit + 1)])
+
+
+def build_fibonacci_program(limit: int = 24,
+                            ordering: "Ordering | str" = Ordering.WRITTEN,
+                            name: str = "fibonacci") -> DatalogProgram:
+    """Fibonacci numbers up to index ``limit`` via bottom-up recurrence."""
+    program = DatalogProgram(name)
+    n, n1, n2, a, b, s = (Variable(v) for v in ("n", "n1", "n2", "a", "b", "s"))
+    fib = lambda i, v: Atom("fib", (i, v))  # noqa: E731
+
+    program.add_fact("fib", (0, 0))
+    program.add_fact("fib", (1, 1))
+    body_optimized = [
+        fib(n, a),
+        Assignment(n1, n + 1),
+        fib(n1, b),
+        Assignment(n2, n + 2),
+        Comparison("<=", n2, Constant(limit)),
+        Assignment(s, a + b),
+    ]
+    body_worst = [
+        fib(n1, b),
+        fib(n, a),
+        Assignment(n2, n + 2),
+        Comparison("<=", n2, Constant(limit)),
+        Assignment(s, a + b),
+        Comparison("==", n1, n + 1),
+    ]
+    program.add_rule(
+        fib(n2, s),
+        pick_order(ordering, optimized=body_optimized, worst=body_worst),
+        name="fib_step",
+    )
+    return program
+
+
+def build_primes_program(limit: int = 200,
+                         ordering: "Ordering | str" = Ordering.WRITTEN,
+                         name: str = "primes") -> DatalogProgram:
+    """Primes up to ``limit`` via composite sieving and stratified negation."""
+    program = DatalogProgram(name)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    num = lambda v: Atom("num", (v,))              # noqa: E731
+    candidate = lambda v: Atom("candidate", (v,))  # noqa: E731
+    composite = lambda v: Atom("composite", (v,))  # noqa: E731
+    prime = lambda v: Atom("prime", (v,))          # noqa: E731
+
+    program.add_facts("num", [(i,) for i in range(2, limit + 1)])
+    program.add_rule(candidate(x), [num(x)], name="candidate")
+    body_optimized = [
+        num(y),
+        num(z),
+        Comparison("<=", y, z),
+        Assignment(x, y * z),
+        Comparison("<=", x, Constant(limit)),
+        num(x),
+    ]
+    # The "unoptimized" formulation scans the composite candidate relation
+    # first, so the product check degenerates into a filter over the full
+    # num × num × num cube unless the optimizer reorders the atoms.
+    body_worst = [
+        num(x),
+        num(z),
+        num(y),
+        Comparison("<=", y, z),
+        Assignment(x, y * z),
+        Comparison("<=", x, Constant(limit)),
+    ]
+    program.add_rule(
+        composite(x),
+        pick_order(ordering, optimized=body_optimized, worst=body_worst),
+        name="composite",
+    )
+    program.add_rule(
+        prime(x),
+        [candidate(x), Atom("composite", (x,), negated=True)],
+        name="prime",
+    )
+    return program
+
+
+def build_ackermann_program(max_m: int = 2, max_n: int = 14,
+                            ordering: "Ordering | str" = Ordering.WRITTEN,
+                            name: str = "ackermann") -> DatalogProgram:
+    """The Ackermann function tabulated bottom-up over a bounded domain.
+
+    ``ack(m, n, v)`` holds when A(m, n) = v.  The classic three-rule
+    definition is evaluated over ``num`` facts 0..max_n (and intermediate
+    values up to the largest representable result); keep ``max_m`` small —
+    the function's growth is the whole point of the benchmark.
+    """
+    if max_m > 3:
+        raise ValueError("max_m above 3 would require an enormous value domain")
+    program = DatalogProgram(name)
+    m, n, v, w, m1, n1, v1 = (Variable(s) for s in ("m", "n", "v", "w", "m1", "n1", "v1"))
+    ack = lambda a, b, c: Atom("ack", (a, b, c))  # noqa: E731
+    num = lambda a: Atom("num", (a,))             # noqa: E731
+
+    # The value domain has to cover every intermediate A(m, n) result.
+    domain = max_n + 3
+    if max_m >= 2:
+        domain = 2 * max_n + 5
+    if max_m >= 3:
+        domain = 2 ** (max_n + 3)
+    _num_facts(program, domain)
+
+    # A(0, n) = n + 1
+    program.add_rule(
+        ack(Constant(0), n, v),
+        [num(n), Comparison("<=", n, Constant(domain - 1)), Assignment(v, n + 1)],
+        name="ack_base",
+    )
+    # A(m, 0) = A(m - 1, 1)
+    body_optimized = [
+        num(m),
+        Comparison(">=", m, Constant(1)),
+        Comparison("<=", m, Constant(max_m)),
+        Assignment(m1, m - 1),
+        ack(m1, Constant(1), v),
+    ]
+    body_worst = [
+        ack(m1, Constant(1), v),
+        num(m),
+        Comparison(">=", m, Constant(1)),
+        Comparison("<=", m, Constant(max_m)),
+        Comparison("==", m1, m - 1),
+    ]
+    program.add_rule(
+        ack(m, Constant(0), v),
+        pick_order(ordering, optimized=body_optimized, worst=body_worst),
+        name="ack_zero",
+    )
+    # A(m, n) = A(m - 1, A(m, n - 1))
+    body_optimized = [
+        ack(m, n1, w),
+        Comparison("<=", m, Constant(max_m)),
+        Comparison(">=", m, Constant(1)),
+        Assignment(m1, m - 1),
+        ack(m1, w, v),
+        Assignment(n, n1 + 1),
+        num(n),
+        num(m),
+    ]
+    body_worst = [
+        num(m),
+        num(n),
+        Comparison(">=", m, Constant(1)),
+        Comparison("<=", m, Constant(max_m)),
+        Comparison(">=", n, Constant(1)),
+        Assignment(n1, n - 1),
+        ack(m, n1, w),
+        Assignment(m1, m - 1),
+        ack(m1, w, v),
+    ]
+    program.add_rule(
+        ack(m, n, v),
+        pick_order(ordering, optimized=body_optimized, worst=body_worst,
+                   written=body_worst),
+        name="ack_step",
+    )
+    return program
+
+
+def build_transitive_closure_program(edges, ordering: "Ordering | str" = Ordering.WRITTEN,
+                                     name: str = "tc") -> DatalogProgram:
+    """Plain transitive closure over an edge list (used by tests/examples)."""
+    program = DatalogProgram(name)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    edge = lambda a, b: Atom("edge", (a, b))  # noqa: E731
+    path = lambda a, b: Atom("path", (a, b))  # noqa: E731
+    program.add_rule(path(x, y), [edge(x, y)], name="tc_base")
+    program.add_rule(
+        path(x, z),
+        pick_order(
+            ordering,
+            optimized=[path(x, y), edge(y, z)],
+            worst=[edge(y, z), path(x, y)],
+        ),
+        name="tc_step",
+    )
+    program.add_facts("edge", edges)
+    return program
+
+
+def build_same_generation_program(parent_edges, ordering: "Ordering | str" = Ordering.WRITTEN,
+                                  name: str = "same_generation") -> DatalogProgram:
+    """The classic same-generation query over a parent relation."""
+    program = DatalogProgram(name)
+    x, y, px, py = (Variable(v) for v in ("x", "y", "px", "py"))
+    parent = lambda a, b: Atom("parent", (a, b))  # noqa: E731
+    sg = lambda a, b: Atom("sg", (a, b))          # noqa: E731
+    program.add_rule(sg(x, y), [parent(px, x), parent(px, y)], name="sg_base")
+    program.add_rule(
+        sg(x, y),
+        pick_order(
+            ordering,
+            optimized=[parent(px, x), sg(px, py), parent(py, y)],
+            worst=[parent(py, y), parent(px, x), sg(px, py)],
+        ),
+        name="sg_step",
+    )
+    program.add_facts("parent", parent_edges)
+    return program

@@ -1,0 +1,35 @@
+"""Atom-ordering variants shared by every benchmark builder."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Ordering(str, enum.Enum):
+    """Which formulation of a benchmark program to build."""
+
+    WRITTEN = "written"
+    OPTIMIZED = "optimized"
+    WORST = "worst"
+
+
+def pick_order(
+    ordering: "Ordering | str",
+    optimized: Sequence[T],
+    worst: Sequence[T],
+    written: Optional[Sequence[T]] = None,
+) -> List[T]:
+    """Pick one rule-body variant.
+
+    ``written`` defaults to the optimized order when a benchmark has no
+    separately documented as-written formulation.
+    """
+    mode = Ordering(ordering)
+    if mode == Ordering.OPTIMIZED:
+        return list(optimized)
+    if mode == Ordering.WORST:
+        return list(worst)
+    return list(written if written is not None else optimized)

@@ -1,0 +1,128 @@
+"""Benchmark registry: name -> (program builder, dataset, query relation).
+
+The benchmark harness and the examples refer to workloads by the names used
+in the paper's figures ("Andersen's Points-To", "Inverse Functions",
+"CSPA_20k", "CSDA", "Ackermann", "Fibonacci", "Primes"), each at a default,
+laptop-friendly scale plus optional alternative scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analyses.andersen import build_andersen_program
+from repro.analyses.cspa import build_cspa_program
+from repro.analyses.csda import build_csda_program
+from repro.analyses.inverse_functions import build_inverse_functions_program
+from repro.analyses.micro import (
+    build_ackermann_program,
+    build_fibonacci_program,
+    build_primes_program,
+)
+from repro.analyses.ordering import Ordering
+from repro.datalog.program import DatalogProgram
+from repro.workloads.datasets import get_dataset
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark workload: how to build it and what to query."""
+
+    name: str
+    kind: str                       # "macro" or "micro"
+    query_relation: str
+    builder: Callable[[str], DatalogProgram]
+    description: str = ""
+
+    def build(self, ordering: "Ordering | str" = Ordering.WRITTEN) -> DatalogProgram:
+        """Build a fresh program (facts included) in the requested ordering."""
+        return self.builder(Ordering(ordering).value)
+
+
+def _macro(name: str, query: str, description: str,
+           build: Callable[[str], DatalogProgram]) -> BenchmarkSpec:
+    return BenchmarkSpec(name, "macro", query, build, description)
+
+
+def _micro(name: str, query: str, description: str,
+           build: Callable[[str], DatalogProgram]) -> BenchmarkSpec:
+    return BenchmarkSpec(name, "micro", query, build, description)
+
+
+def _registry() -> Dict[str, BenchmarkSpec]:
+    specs: List[BenchmarkSpec] = [
+        _macro(
+            "andersen", "pointsTo",
+            "Andersen's points-to analysis on SListLib-style facts",
+            lambda ordering: build_andersen_program(get_dataset("slistlib"), ordering),
+        ),
+        _macro(
+            "inverse_functions", "wastedWork",
+            "Inverse-function (wasted work) analysis on SListLib-style facts",
+            lambda ordering: build_inverse_functions_program(get_dataset("slistlib"), ordering),
+        ),
+        _macro(
+            "cspa_tiny", "VAlias",
+            "Graspan CSPA on a ~400-tuple synthetic httpd-like graph",
+            lambda ordering: build_cspa_program(get_dataset("cspa_tiny"), ordering),
+        ),
+        _macro(
+            "cspa_20k", "VAlias",
+            "Graspan CSPA on a ~1200-tuple synthetic graph (scaled-down CSPA_20k)",
+            lambda ordering: build_cspa_program(get_dataset("cspa_small"), ordering),
+        ),
+        _macro(
+            "cspa_full", "VAlias",
+            "Graspan CSPA at the paper's 20k-tuple sample scale (slow)",
+            lambda ordering: build_cspa_program(get_dataset("cspa_20k"), ordering),
+        ),
+        _macro(
+            "csda", "nullFlow",
+            "Graspan CSDA (2-way joins only) on a synthetic dataflow DAG",
+            lambda ordering: build_csda_program(get_dataset("csda_small"), ordering),
+        ),
+        _micro(
+            "ackermann", "ack",
+            "Ackermann function tabulated over a bounded domain",
+            lambda ordering: build_ackermann_program(max_m=2, max_n=12, ordering=ordering),
+        ),
+        _micro(
+            "fibonacci", "fib",
+            "Fibonacci numbers up to index 24",
+            lambda ordering: build_fibonacci_program(limit=24, ordering=ordering),
+        ),
+        _micro(
+            "primes", "prime",
+            "Prime sieve up to 100 with stratified negation",
+            lambda ordering: build_primes_program(limit=100, ordering=ordering),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+_BENCHMARKS = _registry()
+
+#: The benchmark groups the paper's figures use.
+MACRO_BENCHMARKS = ("andersen", "inverse_functions", "cspa_20k")
+MACRO_BENCHMARKS_WITH_CSDA = ("andersen", "inverse_functions", "cspa_20k", "csda")
+MICRO_BENCHMARKS = ("ackermann", "fibonacci", "primes")
+TABLE1_BENCHMARKS = (
+    "ackermann", "fibonacci", "primes", "andersen", "inverse_functions", "csda", "cspa_20k",
+)
+TABLE2_BENCHMARKS = ("inverse_functions", "csda", "cspa_20k")
+
+
+def list_benchmarks(kind: Optional[str] = None) -> List[str]:
+    if kind is None:
+        return sorted(_BENCHMARKS)
+    return sorted(name for name, spec in _BENCHMARKS.items() if spec.kind == kind)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_BENCHMARKS)}"
+        ) from None

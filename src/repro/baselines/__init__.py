@@ -1,0 +1,25 @@
+"""Baseline engines the paper compares against (Table II).
+
+Neither Soufflé nor the anonymized commercial engine ("DLX") can be shipped
+with an offline Python reproduction, so this package provides stand-ins that
+preserve the properties the comparison exercises:
+
+* :class:`SouffleLikeEngine` — semi-naive evaluation with a *static* per-rule
+  join order; three modes mirroring Soufflé's interpreter, compiler (a large
+  ahead-of-time toolchain cost before a fast run) and auto-tuned compiler
+  (static orders chosen from an offline profiling run over the same data).
+* :class:`DLXLikeEngine` — a simpler commercial-style engine: naive
+  (non-semi-naive) evaluation with as-written join orders.
+
+DESIGN.md documents the substitution and its limits.
+"""
+
+from repro.baselines.souffle_like import SouffleLikeEngine, SouffleLikeResult
+from repro.baselines.dlx_like import DLXLikeEngine, DLXLikeResult
+
+__all__ = [
+    "DLXLikeEngine",
+    "DLXLikeResult",
+    "SouffleLikeEngine",
+    "SouffleLikeResult",
+]

@@ -1,0 +1,42 @@
+"""The benchmark harness: drivers that regenerate the paper's tables/figures.
+
+Each ``run_*`` function measures the configurations one table or figure
+compares, over the registered benchmark workloads at a configurable scale,
+and returns structured rows that the formatters render the way the paper
+reports them (absolute seconds for the tables, speedups for the figures).
+
+``python -m repro.bench`` runs everything at the default (quick) scale.
+"""
+
+from repro.bench.measurement import MeasurementResult, measure_program, speedup
+from repro.bench.configurations import (
+    fig10_configurations,
+    jit_configurations,
+    table1_configurations,
+)
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import run_table2
+from repro.bench.fig5 import run_fig5
+from repro.bench.fig67 import run_fig6, run_fig7
+from repro.bench.fig89 import run_fig8, run_fig9
+from repro.bench.fig10 import run_fig10
+from repro.bench.formatting import format_rows, print_rows
+
+__all__ = [
+    "MeasurementResult",
+    "fig10_configurations",
+    "format_rows",
+    "jit_configurations",
+    "measure_program",
+    "print_rows",
+    "run_fig10",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+    "run_table2",
+    "speedup",
+    "table1_configurations",
+]

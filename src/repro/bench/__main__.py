@@ -1,0 +1,78 @@
+"""Run the whole evaluation harness: ``python -m repro.bench [--quick|--full]``.
+
+Prints every table and figure of the paper's evaluation section, regenerated
+over the synthetic datasets at the selected scale, in the same structure the
+paper reports (absolute seconds for Tables I/II, speedups for the figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.fig10 import FIG10_COLUMNS, run_fig10
+from repro.bench.fig5 import FIG5_COLUMNS, run_fig5
+from repro.bench.fig67 import FIG67_COLUMNS, run_fig6, run_fig7
+from repro.bench.fig89 import FIG89_COLUMNS, run_fig8, run_fig9
+from repro.bench.formatting import format_rows
+from repro.bench.table1 import TABLE1_COLUMNS, run_table1
+from repro.bench.table2 import TABLE2_COLUMNS, run_table2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="measurement repetitions per cell (default 1)")
+    parser.add_argument("--skip-unindexed", action="store_true",
+                        help="skip the unindexed variants (much slower)")
+    parser.add_argument("--only", choices=[
+        "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    ], help="run a single experiment")
+    args = parser.parse_args(argv)
+
+    include_unindexed = not args.skip_unindexed
+    started = time.perf_counter()
+
+    def wanted(name: str) -> bool:
+        return args.only is None or args.only == name
+
+    if wanted("table1"):
+        print(format_rows(run_table1(repeat=args.repeat), TABLE1_COLUMNS,
+                          "Table I — interpreted execution time (s)"))
+        print()
+    if wanted("table2"):
+        print(format_rows(run_table2(), TABLE2_COLUMNS,
+                          "Table II — comparison with the state of the art (s)"))
+        print()
+    if wanted("fig5"):
+        print(format_rows(run_fig5(), FIG5_COLUMNS,
+                          "Fig. 5 — code generation time per granularity (s)"))
+        print()
+    if wanted("fig6"):
+        print(format_rows(run_fig6(repeat=args.repeat, include_unindexed=include_unindexed),
+                          FIG67_COLUMNS, "Fig. 6 — macrobenchmark speedup over unoptimized"))
+        print()
+    if wanted("fig7"):
+        print(format_rows(run_fig7(repeat=args.repeat, include_unindexed=include_unindexed),
+                          FIG67_COLUMNS, "Fig. 7 — microbenchmark speedup over unoptimized"))
+        print()
+    if wanted("fig8"):
+        print(format_rows(run_fig8(repeat=args.repeat, include_unindexed=include_unindexed),
+                          FIG89_COLUMNS, "Fig. 8 — macrobenchmark speedup over hand-optimized"))
+        print()
+    if wanted("fig9"):
+        print(format_rows(run_fig9(repeat=args.repeat, include_unindexed=include_unindexed),
+                          FIG89_COLUMNS, "Fig. 9 — microbenchmark speedup over hand-optimized"))
+        print()
+    if wanted("fig10"):
+        print(format_rows(run_fig10(repeat=args.repeat), FIG10_COLUMNS,
+                          "Fig. 10 — ahead-of-time vs online compilation (speedup)"))
+        print()
+
+    print(f"total harness time: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""The named configuration sets each figure compares."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.config import (
+    AOTSortMode,
+    CompilationGranularity,
+    EngineConfig,
+)
+
+
+def jit_configurations(use_indexes: bool,
+                       granularity: CompilationGranularity = CompilationGranularity.RULE
+                       ) -> List[Tuple[str, EngineConfig]]:
+    """The JIT bars of Figs. 6–9 (plus the hand-optimized reference is added
+    separately by the drivers, since it runs on a different program variant)."""
+    return [
+        (
+            "JIT IRGenerator",
+            EngineConfig.jit("irgen", granularity=granularity, use_indexes=use_indexes),
+        ),
+        (
+            "JIT Lambda Blocking",
+            EngineConfig.jit("lambda", granularity=granularity, use_indexes=use_indexes),
+        ),
+        (
+            "JIT Bytecode Async",
+            EngineConfig.jit("bytecode", asynchronous=True, granularity=granularity,
+                             use_indexes=use_indexes),
+        ),
+        (
+            "JIT Bytecode Blocking",
+            EngineConfig.jit("bytecode", granularity=granularity, use_indexes=use_indexes),
+        ),
+        (
+            "JIT Quotes Async",
+            EngineConfig.jit("quotes", asynchronous=True, granularity=granularity,
+                             use_indexes=use_indexes),
+        ),
+        (
+            "JIT Quotes Blocking",
+            EngineConfig.jit("quotes", granularity=granularity, use_indexes=use_indexes),
+        ),
+    ]
+
+
+def table1_configurations() -> Dict[str, EngineConfig]:
+    """The four interpreted columns of Table I."""
+    return {
+        "unindexed": EngineConfig.interpreted(use_indexes=False),
+        "indexed": EngineConfig.interpreted(use_indexes=True),
+    }
+
+
+def fig10_configurations(use_indexes: bool = True) -> List[Tuple[str, EngineConfig]]:
+    """The ahead-of-time / online configurations of Fig. 10."""
+    return [
+        (
+            "JIT-lambda",
+            EngineConfig.jit("lambda", granularity=CompilationGranularity.JOIN,
+                             use_indexes=use_indexes),
+        ),
+        (
+            "Macro Facts+rules (online)",
+            EngineConfig.aot(sort=AOTSortMode.FACTS_AND_RULES, online=True,
+                             use_indexes=use_indexes),
+        ),
+        (
+            "Macro Rules (online)",
+            EngineConfig.aot(sort=AOTSortMode.RULES_ONLY, online=True,
+                             use_indexes=use_indexes),
+        ),
+        (
+            "Macro Facts+rules",
+            EngineConfig.aot(sort=AOTSortMode.FACTS_AND_RULES, online=False,
+                             use_indexes=use_indexes),
+        ),
+        (
+            "Macro Rules",
+            EngineConfig.aot(sort=AOTSortMode.RULES_ONLY, online=False,
+                             use_indexes=use_indexes),
+        ),
+    ]

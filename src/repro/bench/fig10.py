@@ -1,0 +1,45 @@
+"""Fig. 10: ahead-of-time ("macro") versus online compilation.
+
+Five configurations over the microbenchmarks, all reported as speedup over
+the unoptimized interpreted baseline: the JIT-lambda configuration at the
+lowest granularity (no information before execution), and the four macro
+combinations of {facts+rules, rules-only} × {with, without} the online
+IRGenerator re-sorter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import MICRO_BENCHMARKS
+from repro.bench.configurations import fig10_configurations
+from repro.bench.measurement import measure_benchmark, speedup
+from repro.core.config import EngineConfig
+
+
+def run_fig10(benchmarks: Optional[Sequence[str]] = None, repeat: int = 1,
+              use_indexes: bool = True) -> List[Dict[str, object]]:
+    """Measure the Fig. 10 configurations; one row per benchmark."""
+    names = list(benchmarks) if benchmarks is not None else list(MICRO_BENCHMARKS)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        baseline = measure_benchmark(
+            name, EngineConfig.interpreted(use_indexes), Ordering.WORST, repeat=repeat
+        )
+        row: Dict[str, object] = {
+            "benchmark": name,
+            "baseline_seconds": baseline.seconds,
+        }
+        for label, config in fig10_configurations(use_indexes):
+            measured = measure_benchmark(name, config, Ordering.WORST, repeat=repeat)
+            row[label] = speedup(baseline.seconds, measured.seconds)
+        rows.append(row)
+    return rows
+
+
+FIG10_COLUMNS = (
+    "benchmark", "baseline_seconds", "JIT-lambda",
+    "Macro Facts+rules (online)", "Macro Rules (online)",
+    "Macro Facts+rules", "Macro Rules",
+)

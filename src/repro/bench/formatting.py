@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the benchmark drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_rows(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: str = "") -> str:
+    """Render dict-rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_format_value(row.get(c, "")) for c in columns]
+        rendered_rows.append(rendered)
+        for column, value in zip(columns, rendered):
+            widths[column] = max(widths[column], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for rendered in rendered_rows:
+        lines.append("  ".join(v.ljust(widths[c]) for c, v in zip(columns, rendered)))
+    return "\n".join(lines)
+
+
+def print_rows(rows: Sequence[Dict[str, object]],
+               columns: Optional[Sequence[str]] = None, title: str = "") -> None:
+    print(format_rows(rows, columns, title))

@@ -1,0 +1,95 @@
+"""Measurement primitives shared by every table/figure driver."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import BenchmarkSpec, get_benchmark
+from repro.core.config import EngineConfig
+from repro.datalog.program import DatalogProgram
+from repro.engine.engine import ExecutionEngine
+
+
+@dataclass
+class MeasurementResult:
+    """One measured evaluation of one benchmark under one configuration."""
+
+    benchmark: str
+    configuration: str
+    ordering: str
+    seconds: float
+    result_size: int
+    iterations: int
+    compilations: int
+    compile_seconds: float
+    runs: int = 1
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "configuration": self.configuration,
+            "ordering": self.ordering,
+            "seconds": self.seconds,
+            "result_size": self.result_size,
+            "iterations": self.iterations,
+            "compilations": self.compilations,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+def measure_program(program: DatalogProgram, config: EngineConfig,
+                    query_relation: str, benchmark: str = "",
+                    ordering: str = "", repeat: int = 1) -> MeasurementResult:
+    """Evaluate ``program`` ``repeat`` times; report the mean evaluation time.
+
+    Every repetition builds a fresh engine over a copy of the program so that
+    no derived state leaks between runs (the paper's JMH setup similarly
+    re-evaluates from scratch per measurement iteration).
+    """
+    times: List[float] = []
+    result_size = 0
+    iterations = 0
+    compilations = 0
+    compile_seconds = 0.0
+    for _ in range(max(1, repeat)):
+        engine = ExecutionEngine(program.copy(), config)
+        engine.run()
+        times.append(engine.profile.wall_seconds)
+        result_size = engine.storage.cardinality(query_relation)
+        iterations = engine.profile.iteration_count()
+        compilations = len(engine.profile.compile_events)
+        compile_seconds = engine.profile.total_compile_seconds()
+    return MeasurementResult(
+        benchmark=benchmark,
+        configuration=config.describe(),
+        ordering=ordering,
+        seconds=sum(times) / len(times),
+        result_size=result_size,
+        iterations=iterations,
+        compilations=compilations,
+        compile_seconds=compile_seconds,
+        runs=len(times),
+    )
+
+
+def measure_benchmark(name: str, config: EngineConfig,
+                      ordering: "Ordering | str" = Ordering.WRITTEN,
+                      repeat: int = 1) -> MeasurementResult:
+    """Build the named benchmark in the given ordering and measure it."""
+    spec: BenchmarkSpec = get_benchmark(name)
+    program = spec.build(ordering)
+    return measure_program(
+        program, config, spec.query_relation,
+        benchmark=name, ordering=Ordering(ordering).value, repeat=repeat,
+    )
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Speedup of ``seconds`` relative to ``baseline_seconds`` (>1 is faster)."""
+    if seconds <= 0:
+        return math.inf
+    return baseline_seconds / seconds

@@ -1,0 +1,51 @@
+"""Table I: average execution time (s) of interpreted Carac queries.
+
+Four columns per benchmark: unindexed/indexed × unoptimized ("worst"
+ordering) / hand-optimized ordering, all on the pure interpreter — the
+baselines every speedup figure normalises against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import TABLE1_BENCHMARKS, get_benchmark
+from repro.bench.configurations import table1_configurations
+from repro.bench.measurement import measure_benchmark
+
+
+#: Benchmarks the paper only runs with indexes (their unindexed runtime is
+#: prohibitive): CSDA and the CSPA sample.
+INDEX_ONLY = ("csda", "cspa_20k", "cspa_full")
+
+
+def run_table1(benchmarks: Optional[Sequence[str]] = None,
+               repeat: int = 1) -> List[Dict[str, object]]:
+    """Measure every Table I cell; returns one row per benchmark."""
+    rows: List[Dict[str, object]] = []
+    names = list(benchmarks) if benchmarks is not None else list(TABLE1_BENCHMARKS)
+    configurations = table1_configurations()
+    for name in names:
+        row: Dict[str, object] = {"benchmark": name}
+        for index_label, config in configurations.items():
+            if index_label == "unindexed" and name in INDEX_ONLY:
+                row["unindexed_unoptimized"] = float("nan")
+                row["unindexed_optimized"] = float("nan")
+                continue
+            worst = measure_benchmark(name, config, Ordering.WORST, repeat=repeat)
+            optimized = measure_benchmark(name, config, Ordering.OPTIMIZED, repeat=repeat)
+            row[f"{index_label}_unoptimized"] = worst.seconds
+            row[f"{index_label}_optimized"] = optimized.seconds
+            row.setdefault("result_size", worst.result_size)
+        rows.append(row)
+    return rows
+
+
+TABLE1_COLUMNS = (
+    "benchmark",
+    "unindexed_unoptimized",
+    "unindexed_optimized",
+    "indexed_unoptimized",
+    "indexed_optimized",
+)

@@ -1,0 +1,63 @@
+"""Table II: comparison with the state of the art.
+
+Columns: DLX-like, Soufflé-like interpreter / compiler / auto-tuned, and
+Carac JIT (quotes backend, blocking, σπ⋈-granularity "full" mode — the
+configuration §VI-D describes).  One row per long-running benchmark
+(Inverse Functions, CSDA, CSPA).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analyses.ordering import Ordering
+from repro.analyses.registry import TABLE2_BENCHMARKS, get_benchmark
+from repro.baselines.dlx_like import DLXLikeEngine
+from repro.baselines.souffle_like import SouffleLikeEngine
+from repro.bench.measurement import measure_program
+from repro.core.config import CompilationGranularity, EngineConfig
+
+
+def run_table2(benchmarks: Optional[Sequence[str]] = None,
+               ordering: "Ordering | str" = Ordering.WRITTEN,
+               toolchain_seconds: float = 2.0,
+               dlx_timeout_iterations: Optional[int] = None) -> List[Dict[str, object]]:
+    """Measure every Table II cell; returns one row per benchmark."""
+    rows: List[Dict[str, object]] = []
+    names = list(benchmarks) if benchmarks is not None else list(TABLE2_BENCHMARKS)
+    for name in names:
+        spec = get_benchmark(name)
+        row: Dict[str, object] = {"benchmark": name}
+
+        dlx = DLXLikeEngine(use_indexes=True, timeout_iterations=dlx_timeout_iterations)
+        dlx_result = dlx.run(spec.build(ordering))
+        row["dlx"] = dlx_result.reported_seconds if dlx_result.finished else float("inf")
+
+        for mode, label in (
+            ("interpreter", "souffle_interpreter"),
+            ("compiler", "souffle_compiler"),
+            ("auto-tuned", "souffle_auto_tuned"),
+        ):
+            engine = SouffleLikeEngine(mode=mode, toolchain_seconds=toolchain_seconds)
+            result = engine.run(spec.build(ordering))
+            row[label] = result.reported_seconds
+
+        carac_config = EngineConfig.jit(
+            "quotes",
+            asynchronous=False,
+            granularity=CompilationGranularity.JOIN,
+            use_indexes=True,
+        )
+        carac = measure_program(
+            spec.build(ordering), carac_config, spec.query_relation,
+            benchmark=name, ordering=Ordering(ordering).value,
+        )
+        row["carac_jit"] = carac.seconds
+        rows.append(row)
+    return rows
+
+
+TABLE2_COLUMNS = (
+    "benchmark", "dlx", "souffle_interpreter", "souffle_compiler",
+    "souffle_auto_tuned", "carac_jit",
+)

@@ -1,0 +1,33 @@
+"""Compilation targets (paper §V-C).
+
+Four backends turn an (already join-ordered) set of sub-query plans into an
+executable artifact, trading expressiveness, safety and compilation overhead
+against each other exactly as the paper describes:
+
+* :class:`QuotesBackend` — generate Python source and invoke the host
+  compiler (``compile`` on text).  Most expressive/safe, highest overhead,
+  supports "snippet" compilation with continuations back to the interpreter.
+* :class:`BytecodeBackend` — construct a Python ``ast`` and compile it
+  directly, skipping the textual front end.  Cheaper, not revertible.
+* :class:`LambdaBackend` — stitch precompiled closures; no compiler
+  invocation at all, but limited to the predefined combinators.
+* :class:`IRGeneratorBackend` — regenerate the IR (the reordered plans) and
+  hand it back to the interpreter; minimal overhead, minimal specialization.
+"""
+
+from repro.core.backends.base import Backend, CompiledArtifact, get_backend, available_backends
+from repro.core.backends.lambda_backend import LambdaBackend
+from repro.core.backends.quotes import QuotesBackend
+from repro.core.backends.bytecode import BytecodeBackend
+from repro.core.backends.irgen import IRGeneratorBackend
+
+__all__ = [
+    "Backend",
+    "BytecodeBackend",
+    "CompiledArtifact",
+    "IRGeneratorBackend",
+    "LambdaBackend",
+    "QuotesBackend",
+    "available_backends",
+    "get_backend",
+]

@@ -1,0 +1,99 @@
+"""Backend interface and compiled-artifact container."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.operators import JoinPlan
+from repro.relational.relation import Row
+from repro.relational.storage import StorageManager
+
+#: A compiled artifact is callable on the live storage and returns head rows.
+ArtifactFunction = Callable[[StorageManager], Set[Row]]
+
+
+@dataclass
+class CompiledArtifact:
+    """The result of one backend compilation.
+
+    ``function`` evaluates the compiled sub-queries against whatever the
+    storage contains *at call time* (generated code always re-fetches the
+    relation copies), so one artifact stays valid across iterations until the
+    freshness test decides its join order is stale.
+    """
+
+    function: ArtifactFunction
+    backend: str
+    plans: Tuple[JoinPlan, ...]
+    compile_seconds: float
+    mode: str = "full"
+    node_id: Optional[int] = None
+
+    def __call__(self, storage: StorageManager) -> Set[Row]:
+        return self.function(storage)
+
+
+class Backend(ABC):
+    """A compilation target: turns ordered plans into a callable artifact."""
+
+    #: Short name used in configuration and result tables.
+    name: str = "abstract"
+    #: Whether compiled code can defer control back to the interpreter
+    #: (snippet mode / de-optimization).  True for quotes, false for bytecode.
+    revertible: bool = False
+    #: Whether invoking this backend involves the host compiler at runtime.
+    invokes_compiler: bool = False
+
+    @abstractmethod
+    def compile_plans(
+        self,
+        plans: Sequence[JoinPlan],
+        storage: StorageManager,
+        use_indexes: bool = True,
+        mode: str = "full",
+        continuations: Optional[Sequence[ArtifactFunction]] = None,
+        label: str = "node",
+    ) -> CompiledArtifact:
+        """Compile ``plans`` (already join-ordered) into an artifact.
+
+        ``mode`` is ``"full"`` (compile the whole subtree) or ``"snippet"``
+        (compile only this node's own logic and splice ``continuations`` — one
+        callable per plan — back to the interpreter).  Backends that do not
+        support snippets fall back to full compilation.
+        """
+
+    def _index_view(self, storage: StorageManager, use_indexes: bool):
+        if not use_indexes:
+            return lambda relation, column: False
+        return lambda relation, column: column in storage.registered_indexes(relation)
+
+    @staticmethod
+    def _timed(fn: Callable[[], ArtifactFunction]) -> Tuple[ArtifactFunction, float]:
+        start = time.perf_counter()
+        artifact = fn()
+        return artifact, time.perf_counter() - start
+
+
+_REGISTRY: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a backend by configuration name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,67 @@
+"""The IRGenerator backend: regenerate the IR, keep interpreting.
+
+The lightest-weight target (paper §V-C4): "compilation" is nothing more than
+handing the reordered plans back to the interpreter, so the overhead of
+applying the optimization is essentially the cost of the reordering itself.
+The flip side is that no specialization happens — the generic sub-query
+evaluator still pays its interpretation overhead per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from repro.core.backends.base import (
+    ArtifactFunction,
+    Backend,
+    CompiledArtifact,
+    register_backend,
+)
+from repro.relational.operators import JoinPlan, SubqueryEvaluator
+from repro.relational.relation import Row
+from repro.relational.storage import StorageManager
+
+
+class IRGeneratorBackend(Backend):
+    """Reorder the IR on the fly and re-interpret it."""
+
+    name = "irgen"
+    revertible = True
+    invokes_compiler = False
+
+    def __init__(self, evaluator_style: str = "push") -> None:
+        self.evaluator_style = evaluator_style
+
+    def compile_plans(
+        self,
+        plans: Sequence[JoinPlan],
+        storage: StorageManager,
+        use_indexes: bool = True,
+        mode: str = "full",
+        continuations: Optional[Sequence[ArtifactFunction]] = None,
+        label: str = "node",
+    ) -> CompiledArtifact:
+        plan_tuple = tuple(plans)
+        style = self.evaluator_style
+
+        def build() -> ArtifactFunction:
+            def run(run_storage: StorageManager) -> Set[Row]:
+                evaluator = SubqueryEvaluator(run_storage, style)
+                out: Set[Row] = set()
+                for plan in plan_tuple:
+                    out |= evaluator.evaluate(plan)
+                return out
+
+            return run
+
+        function, seconds = self._timed(build)
+        return CompiledArtifact(
+            function=function,
+            backend=self.name,
+            plans=plan_tuple,
+            compile_seconds=seconds,
+            mode="full",
+        )
+
+
+register_backend(IRGeneratorBackend.name, IRGeneratorBackend)

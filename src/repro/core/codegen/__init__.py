@@ -1,0 +1,38 @@
+"""Code generation shared by the Quotes and Bytecode backends.
+
+The backends differ only in *how* they turn a lowered plan into executable
+code (source text + ``compile()`` versus a directly constructed ``ast``
+module), so the lowering itself — from a :class:`JoinPlan` to a list of
+specialization steps — lives here and is shared.
+"""
+
+from repro.core.codegen.steps import (
+    AssignStep,
+    ConditionStep,
+    EmitStep,
+    LoopStep,
+    LoweredPlan,
+    NegationStep,
+    lower_plan,
+)
+from repro.core.codegen.source import (
+    render_plan_function,
+    render_snippet_function,
+    render_union_module,
+)
+from repro.core.codegen.pyast import build_plan_function_ast, build_union_module_ast
+
+__all__ = [
+    "AssignStep",
+    "ConditionStep",
+    "EmitStep",
+    "LoopStep",
+    "LoweredPlan",
+    "NegationStep",
+    "build_plan_function_ast",
+    "build_union_module_ast",
+    "lower_plan",
+    "render_plan_function",
+    "render_snippet_function",
+    "render_union_module",
+]

@@ -1,0 +1,275 @@
+"""Rendering lowered plans directly to Python ``ast`` trees (the Bytecode backend).
+
+The analogue of Carac's direct JVM-bytecode generation: the backend skips the
+textual front end entirely and hands a constructed syntax tree straight to
+``compile()``.  It is cheaper to invoke than the Quotes backend (no source
+rendering, no parsing) but the artifact is harder to inspect and nothing
+checks that the construction is well-formed until it runs — the same
+expressiveness-versus-safety trade-off §V-C2 describes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable
+from repro.core.codegen.steps import (
+    AssignStep,
+    ConditionStep,
+    EmitStep,
+    LoopStep,
+    LoweredPlan,
+    NegationStep,
+    Step,
+)
+
+_BIN_OP_NODES = {
+    "+": ast.Add(),
+    "-": ast.Sub(),
+    "*": ast.Mult(),
+    "//": ast.FloorDiv(),
+    "/": ast.Div(),
+    "%": ast.Mod(),
+}
+
+_COMPARE_NODES = {
+    "<": ast.Lt(),
+    "<=": ast.LtE(),
+    ">": ast.Gt(),
+    ">=": ast.GtE(),
+    "==": ast.Eq(),
+    "!=": ast.NotEq(),
+}
+
+
+def _name(identifier: str, ctx: ast.expr_context | None = None) -> ast.Name:
+    return ast.Name(id=identifier, ctx=ctx or ast.Load())
+
+
+def term_to_ast(term: Term, locals_map: Dict[Variable, str]) -> ast.expr:
+    """Build the ``ast`` expression for a term over the plan's local names."""
+    if isinstance(term, Constant):
+        return ast.Constant(value=term.value)
+    if isinstance(term, Variable):
+        local = locals_map.get(term)
+        if local is None:
+            raise KeyError(f"variable {term.name!r} is not bound at this point")
+        return _name(local)
+    if isinstance(term, BinaryExpression):
+        left = term_to_ast(term.left, locals_map)
+        right = term_to_ast(term.right, locals_map)
+        if term.op in ("min", "max"):
+            return ast.Call(func=_name(term.op), args=[left, right], keywords=[])
+        return ast.BinOp(left=left, op=_BIN_OP_NODES[term.op], right=right)
+    if isinstance(term, Aggregate):  # pragma: no cover - aggregates are interpreted
+        raise TypeError("aggregate terms cannot be compiled")
+    raise TypeError(f"cannot render term {term!r}")  # pragma: no cover
+
+
+def _subscript(container: str, index: int) -> ast.Subscript:
+    return ast.Subscript(
+        value=_name(container), slice=ast.Constant(value=index), ctx=ast.Load()
+    )
+
+
+def _tuple_expr(elements: Sequence[ast.expr]) -> ast.Tuple:
+    return ast.Tuple(elts=list(elements), ctx=ast.Load())
+
+
+def _relation_fetch(relation_local: str, relation_name: str, kind_value: str) -> ast.Assign:
+    call = ast.Call(
+        func=ast.Attribute(value=_name("storage"), attr="relation", ctx=ast.Load()),
+        args=[
+            ast.Constant(value=relation_name),
+            ast.Call(func=_name("DatabaseKind"), args=[ast.Constant(value=kind_value)],
+                     keywords=[]),
+        ],
+        keywords=[],
+    )
+    return ast.Assign(targets=[_name(relation_local, ast.Store())], value=call)
+
+
+def _build_steps(steps: Sequence[Step], index: int,
+                 locals_map: Dict[Variable, str]) -> List[ast.stmt]:
+    if index == len(steps):
+        return []
+    step = steps[index]
+    rest = lambda: _build_steps(steps, index + 1, locals_map)  # noqa: E731
+
+    if isinstance(step, LoopStep):
+        inner: List[ast.stmt] = []
+        conditions: List[ast.expr] = []
+        for column, term in step.checks:
+            conditions.append(
+                ast.Compare(
+                    left=_subscript(step.tuple_local, column),
+                    ops=[ast.Eq()],
+                    comparators=[term_to_ast(term, locals_map)],
+                )
+            )
+        for earlier, later in step.intra_checks:
+            conditions.append(
+                ast.Compare(
+                    left=_subscript(step.tuple_local, earlier),
+                    ops=[ast.Eq()],
+                    comparators=[_subscript(step.tuple_local, later)],
+                )
+            )
+        binding_statements: List[ast.stmt] = [
+            ast.Assign(
+                targets=[_name(local_name, ast.Store())],
+                value=_subscript(step.tuple_local, column),
+            )
+            for local_name, column in step.bindings
+        ]
+        body_after_checks = binding_statements + rest()
+        if not body_after_checks:
+            body_after_checks = [ast.Pass()]
+        if conditions:
+            test = conditions[0] if len(conditions) == 1 else ast.BoolOp(
+                op=ast.And(), values=conditions
+            )
+            inner = [ast.If(test=test, body=body_after_checks, orelse=[])]
+        else:
+            inner = body_after_checks
+        if step.lookup_column is not None and step.lookup_term is not None:
+            iterable: ast.expr = ast.Call(
+                func=ast.Attribute(value=_name(step.relation_local), attr="lookup",
+                                   ctx=ast.Load()),
+                args=[ast.Constant(value=step.lookup_column),
+                      term_to_ast(step.lookup_term, locals_map)],
+                keywords=[],
+            )
+        else:
+            iterable = ast.Call(
+                func=ast.Attribute(value=_name(step.relation_local), attr="rows",
+                                   ctx=ast.Load()),
+                args=[],
+                keywords=[],
+            )
+        return [
+            ast.For(
+                target=_name(step.tuple_local, ast.Store()),
+                iter=iterable,
+                body=inner,
+                orelse=[],
+            )
+        ]
+
+    if isinstance(step, NegationStep):
+        probe = _tuple_expr([term_to_ast(term, locals_map) for term in step.terms])
+        test = ast.Compare(
+            left=probe, ops=[ast.NotIn()], comparators=[_name(step.relation_local)]
+        )
+        body = rest() or [ast.Pass()]
+        return [ast.If(test=test, body=body, orelse=[])]
+
+    if isinstance(step, ConditionStep):
+        comparison = step.comparison
+        test = ast.Compare(
+            left=term_to_ast(comparison.left, locals_map),
+            ops=[_COMPARE_NODES[comparison.op]],
+            comparators=[term_to_ast(comparison.right, locals_map)],
+        )
+        body = rest() or [ast.Pass()]
+        return [ast.If(test=test, body=body, orelse=[])]
+
+    if isinstance(step, AssignStep):
+        expression = term_to_ast(step.expression, locals_map)
+        if step.check_only:
+            test = ast.Compare(
+                left=_name(step.target_local), ops=[ast.Eq()], comparators=[expression]
+            )
+            body = rest() or [ast.Pass()]
+            return [ast.If(test=test, body=body, orelse=[])]
+        assign = ast.Assign(targets=[_name(step.target_local, ast.Store())],
+                            value=expression)
+        return [assign] + rest()
+
+    if isinstance(step, EmitStep):
+        head = _tuple_expr([term_to_ast(term, locals_map) for term in step.head_terms])
+        add_call = ast.Expr(
+            value=ast.Call(
+                func=ast.Attribute(value=_name("out"), attr="add", ctx=ast.Load()),
+                args=[head],
+                keywords=[],
+            )
+        )
+        return [add_call] + rest()
+
+    raise TypeError(f"unknown step {step!r}")  # pragma: no cover
+
+
+def build_plan_function_ast(lowered: LoweredPlan, function_name: str) -> ast.FunctionDef:
+    """Build the ``FunctionDef`` node evaluating one lowered plan."""
+    body: List[ast.stmt] = [
+        ast.Assign(
+            targets=[_name("out", ast.Store())],
+            value=ast.Call(func=_name("set"), args=[], keywords=[]),
+        )
+    ]
+    for relation_local, relation_name, kind in lowered.relation_locals:
+        body.append(_relation_fetch(relation_local, relation_name, kind.value))
+    body.extend(_build_steps(lowered.steps, 0, lowered.locals_map))
+    body.append(ast.Return(value=_name("out")))
+    return ast.FunctionDef(
+        name=function_name,
+        args=ast.arguments(
+            posonlyargs=[],
+            args=[ast.arg(arg="storage")],
+            kwonlyargs=[],
+            kw_defaults=[],
+            defaults=[],
+        ),
+        body=body,
+        decorator_list=[],
+    )
+
+
+def build_union_module_ast(
+    lowered_plans: Sequence[LoweredPlan],
+    module_name: str = "generated_union",
+) -> Tuple[ast.Module, str]:
+    """Build an ``ast.Module`` with one function per plan and a union driver."""
+    functions: List[ast.stmt] = []
+    function_names: List[str] = []
+    for i, lowered in enumerate(lowered_plans):
+        function_name = f"{module_name}_subquery_{i}"
+        function_names.append(function_name)
+        functions.append(build_plan_function_ast(lowered, function_name))
+
+    driver_name = f"{module_name}_driver"
+    driver_body: List[ast.stmt] = [
+        ast.Assign(
+            targets=[_name("out", ast.Store())],
+            value=ast.Call(func=_name("set"), args=[], keywords=[]),
+        )
+    ]
+    for function_name in function_names:
+        driver_body.append(
+            ast.AugAssign(
+                target=_name("out", ast.Store()),
+                op=ast.BitOr(),
+                value=ast.Call(func=_name(function_name), args=[_name("storage")],
+                               keywords=[]),
+            )
+        )
+    driver_body.append(ast.Return(value=_name("out")))
+    functions.append(
+        ast.FunctionDef(
+            name=driver_name,
+            args=ast.arguments(
+                posonlyargs=[],
+                args=[ast.arg(arg="storage")],
+                kwonlyargs=[],
+                kw_defaults=[],
+                defaults=[],
+            ),
+            body=driver_body,
+            decorator_list=[],
+        )
+    )
+    module = ast.Module(body=functions, type_ignores=[])
+    ast.fix_missing_locations(module)
+    return module, driver_name

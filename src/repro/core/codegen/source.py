@@ -1,0 +1,164 @@
+"""Rendering lowered plans to Python source text (the Quotes backend).
+
+The analogue of Carac's Scala quotes: the generated artifact is a plain,
+readable function definition that the host compiler (here CPython's
+``compile``) parses, checks and turns into executable code at runtime.  This
+is the most expensive backend to invoke (it pays the full parse + compile
+pipeline) but the generated code is fully inspectable and — by construction —
+only ever calls the public relational-layer API, which is the reproduction's
+equivalent of the type-safety argument the paper makes for quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable
+from repro.core.codegen.steps import (
+    AssignStep,
+    ConditionStep,
+    EmitStep,
+    LoopStep,
+    LoweredPlan,
+    NegationStep,
+)
+
+_INDENT = "    "
+
+
+def term_to_source(term: Term, locals_map: Dict[Variable, str]) -> str:
+    """Render a term as a Python expression over the plan's local variables."""
+    if isinstance(term, Constant):
+        return repr(term.value)
+    if isinstance(term, Variable):
+        local = locals_map.get(term)
+        if local is None:
+            raise KeyError(f"variable {term.name!r} is not bound at this point")
+        return local
+    if isinstance(term, BinaryExpression):
+        left = term_to_source(term.left, locals_map)
+        right = term_to_source(term.right, locals_map)
+        if term.op in ("min", "max"):
+            return f"{term.op}({left}, {right})"
+        return f"({left} {term.op} {right})"
+    if isinstance(term, Aggregate):  # pragma: no cover - aggregates are interpreted
+        raise TypeError("aggregate terms cannot be compiled")
+    raise TypeError(f"cannot render term {term!r}")  # pragma: no cover
+
+
+def _tuple_source(expressions: Sequence[str]) -> str:
+    if len(expressions) == 1:
+        return f"({expressions[0]},)"
+    return "(" + ", ".join(expressions) + ")"
+
+
+def render_plan_function(lowered: LoweredPlan, function_name: str) -> str:
+    """Render one lowered plan as a standalone ``def {name}(storage)`` function."""
+    lines: List[str] = [f"def {function_name}(storage):"]
+    lines.append(f"{_INDENT}out = set()")
+    for relation_local, relation_name, kind in lowered.relation_locals:
+        lines.append(
+            f"{_INDENT}{relation_local} = storage.relation({relation_name!r}, "
+            f"DatabaseKind({kind.value!r}))"
+        )
+
+    locals_map = lowered.locals_map
+    depth = 1
+
+    def emit(line: str) -> None:
+        lines.append(f"{_INDENT * depth}{line}")
+
+    for step in lowered.steps:
+        if isinstance(step, LoopStep):
+            if step.lookup_column is not None and step.lookup_term is not None:
+                probe = term_to_source(step.lookup_term, locals_map)
+                emit(
+                    f"for {step.tuple_local} in {step.relation_local}.lookup("
+                    f"{step.lookup_column}, {probe}):"
+                )
+            else:
+                emit(f"for {step.tuple_local} in {step.relation_local}.rows():")
+            depth += 1
+            conditions: List[str] = []
+            for column, term in step.checks:
+                conditions.append(
+                    f"{step.tuple_local}[{column}] == {term_to_source(term, locals_map)}"
+                )
+            for earlier, later in step.intra_checks:
+                conditions.append(
+                    f"{step.tuple_local}[{earlier}] == {step.tuple_local}[{later}]"
+                )
+            if conditions:
+                emit(f"if {' and '.join(conditions)}:")
+                depth += 1
+            for local_name, column in step.bindings:
+                emit(f"{local_name} = {step.tuple_local}[{column}]")
+        elif isinstance(step, NegationStep):
+            values = [term_to_source(term, locals_map) for term in step.terms]
+            emit(f"if {_tuple_source(values)} not in {step.relation_local}:")
+            depth += 1
+        elif isinstance(step, ConditionStep):
+            comparison = step.comparison
+            left = term_to_source(comparison.left, locals_map)
+            right = term_to_source(comparison.right, locals_map)
+            emit(f"if {left} {comparison.op} {right}:")
+            depth += 1
+        elif isinstance(step, AssignStep):
+            expression = term_to_source(step.expression, locals_map)
+            if step.check_only:
+                emit(f"if {step.target_local} == {expression}:")
+                depth += 1
+            else:
+                emit(f"{step.target_local} = {expression}")
+        elif isinstance(step, EmitStep):
+            head = [term_to_source(term, locals_map) for term in step.head_terms]
+            emit(f"out.add({_tuple_source(head)})")
+        else:  # pragma: no cover
+            raise TypeError(f"unknown step {step!r}")
+
+    lines.append(f"{_INDENT}return out")
+    return "\n".join(lines) + "\n"
+
+
+def render_union_module(
+    lowered_plans: Sequence[LoweredPlan],
+    module_name: str = "generated_union",
+) -> Tuple[str, str]:
+    """Render several plans plus a union driver; returns (source, driver name).
+
+    The driver function evaluates every sub-query and unions the results —
+    the "full" compilation of a UnionOp / RelationUnionOp subtree.
+    """
+    parts: List[str] = []
+    function_names: List[str] = []
+    for i, lowered in enumerate(lowered_plans):
+        function_name = f"{module_name}_subquery_{i}"
+        function_names.append(function_name)
+        parts.append(render_plan_function(lowered, function_name))
+    driver_name = f"{module_name}_driver"
+    driver_lines = [f"def {driver_name}(storage):", f"{_INDENT}out = set()"]
+    for function_name in function_names:
+        driver_lines.append(f"{_INDENT}out |= {function_name}(storage)")
+    driver_lines.append(f"{_INDENT}return out")
+    parts.append("\n".join(driver_lines) + "\n")
+    return "\n".join(parts), driver_name
+
+
+def render_snippet_function(
+    function_name: str,
+    continuation_count: int,
+) -> str:
+    """Render a "snippet" compilation: the node's own body only.
+
+    Snippet mode compiles just the union/driver logic and defers each child
+    sub-query back to the interpreter through continuations spliced in as
+    arguments (paper §V-B3).  The generated function receives the storage and
+    a sequence of continuation callables.
+    """
+    lines = [f"def {function_name}(storage, continuations):"]
+    lines.append(f"{_INDENT}out = set()")
+    lines.append(f"{_INDENT}assert len(continuations) == {continuation_count}")
+    lines.append(f"{_INDENT}for continuation in continuations:")
+    lines.append(f"{_INDENT * 2}out |= continuation(storage)")
+    lines.append(f"{_INDENT}return out")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,201 @@
+"""Lowering a JoinPlan into specialization steps.
+
+The generic sub-query evaluator (:mod:`repro.relational.operators`) pays for
+its generality with per-literal dispatch, binding dictionaries and dynamic
+probe construction.  Code generation removes exactly those costs: each plan
+is lowered into a linear sequence of *steps* — loops over one relation copy,
+equality checks, negation membership tests, assignments — with logic
+variables pinned to Python local names.  The Quotes backend renders these
+steps to source text, the Bytecode backend to an ``ast`` tree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.terms import BinaryExpression, Constant, Term, Variable
+from repro.relational.operators import JoinPlan
+from repro.relational.storage import DatabaseKind
+
+#: An index availability callback: (relation, column) -> bool.
+IndexProbe = "Callable[[str, int], bool]"
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^0-9a-zA-Z_]", "_", name)
+
+
+@dataclass
+class LoopStep:
+    """Iterate over (a probe of) one relation copy, binding local variables."""
+
+    relation: str
+    kind: DatabaseKind
+    relation_local: str
+    tuple_local: str
+    #: Column used for an index probe, with the term providing the probe value.
+    lookup_column: Optional[int] = None
+    lookup_term: Optional[Term] = None
+    #: (position, term) pairs that must match the tuple (constants / bound vars).
+    checks: List[Tuple[int, Term]] = field(default_factory=list)
+    #: (earlier position, later position) pairs for repeated variables.
+    intra_checks: List[Tuple[int, int]] = field(default_factory=list)
+    #: (local name, position) pairs binding new variables.
+    bindings: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class NegationStep:
+    """Anti-join membership test against the Derived copy of a relation."""
+
+    relation: str
+    relation_local: str
+    terms: Tuple[Term, ...] = ()
+
+
+@dataclass
+class ConditionStep:
+    """A comparison filter over already-bound variables."""
+
+    comparison: Comparison
+
+
+@dataclass
+class AssignStep:
+    """Bind a new local (or check equality when the target is already bound)."""
+
+    target_local: str
+    expression: Term
+    check_only: bool = False
+
+
+@dataclass
+class EmitStep:
+    """Project the head tuple and add it to the output set."""
+
+    head_terms: Tuple[Term, ...] = ()
+
+
+Step = Union[LoopStep, NegationStep, ConditionStep, AssignStep, EmitStep]
+
+
+@dataclass
+class LoweredPlan:
+    """The result of lowering: steps plus the variable -> local-name mapping."""
+
+    plan: JoinPlan
+    steps: List[Step]
+    locals_map: Dict[Variable, str]
+    relation_locals: List[Tuple[str, str, DatabaseKind]]
+
+    def loop_count(self) -> int:
+        return sum(1 for step in self.steps if isinstance(step, LoopStep))
+
+
+def lower_plan(
+    plan: JoinPlan,
+    index_view=None,
+    use_indexes: bool = True,
+) -> LoweredPlan:
+    """Lower ``plan`` into steps.
+
+    ``index_view(relation, column)`` says whether an index exists; when a
+    bound column is indexed (and ``use_indexes``), the loop step probes that
+    index instead of scanning.
+    """
+    locals_map: Dict[Variable, str] = {}
+    steps: List[Step] = []
+    relation_locals: List[Tuple[str, str, DatabaseKind]] = []
+
+    def local_for(variable: Variable) -> str:
+        existing = locals_map.get(variable)
+        if existing is not None:
+            return existing
+        name = f"v_{_sanitize(variable.name)}_{len(locals_map)}"
+        locals_map[variable] = name
+        return name
+
+    for position_in_plan, source in enumerate(plan.sources):
+        literal = source.literal
+        if isinstance(literal, Atom) and not literal.negated:
+            kind = source.kind or DatabaseKind.DERIVED
+            relation_local = f"rel_{position_in_plan}"
+            relation_locals.append((relation_local, literal.relation, kind))
+            tuple_local = f"t_{position_in_plan}"
+
+            checks: List[Tuple[int, Term]] = []
+            intra: List[Tuple[int, int]] = []
+            first_position: Dict[Variable, int] = {}
+            new_variables: List[Tuple[Variable, int]] = []
+            for column, term in enumerate(literal.terms):
+                if isinstance(term, Constant):
+                    checks.append((column, term))
+                elif isinstance(term, Variable):
+                    if term in locals_map:
+                        checks.append((column, term))
+                    elif term in first_position:
+                        intra.append((first_position[term], column))
+                    else:
+                        first_position[term] = column
+                        new_variables.append((term, column))
+                else:  # pragma: no cover - body atoms hold only vars/constants
+                    raise TypeError(f"unexpected term {term!r} in body atom")
+
+            lookup_column: Optional[int] = None
+            lookup_term: Optional[Term] = None
+            if use_indexes and checks:
+                for column, term in checks:
+                    indexed = index_view(literal.relation, column) if index_view else False
+                    if indexed:
+                        lookup_column, lookup_term = column, term
+                        break
+            if lookup_column is not None:
+                checks = [(c, t) for c, t in checks if c != lookup_column]
+
+            bindings: List[Tuple[str, int]] = []
+            for variable, column in new_variables:
+                bindings.append((local_for(variable), column))
+
+            steps.append(
+                LoopStep(
+                    relation=literal.relation,
+                    kind=kind,
+                    relation_local=relation_local,
+                    tuple_local=tuple_local,
+                    lookup_column=lookup_column,
+                    lookup_term=lookup_term,
+                    checks=checks,
+                    intra_checks=intra,
+                    bindings=bindings,
+                )
+            )
+        elif isinstance(literal, Atom) and literal.negated:
+            relation_local = f"neg_{position_in_plan}"
+            relation_locals.append((relation_local, literal.relation, DatabaseKind.DERIVED))
+            steps.append(
+                NegationStep(
+                    relation=literal.relation,
+                    relation_local=relation_local,
+                    terms=literal.terms,
+                )
+            )
+        elif isinstance(literal, Comparison):
+            steps.append(ConditionStep(literal))
+        elif isinstance(literal, Assignment):
+            if literal.target in locals_map:
+                steps.append(
+                    AssignStep(locals_map[literal.target], literal.expression, check_only=True)
+                )
+            else:
+                steps.append(
+                    AssignStep(local_for(literal.target), literal.expression, check_only=False)
+                )
+        else:  # pragma: no cover
+            raise TypeError(f"unsupported literal {literal!r}")
+
+    steps.append(EmitStep(plan.head_terms))
+    return LoweredPlan(plan=plan, steps=steps, locals_map=locals_map,
+                       relation_locals=relation_locals)

@@ -1,0 +1,134 @@
+"""Execution configuration: mode, backend, granularity, staging options.
+
+One :class:`EngineConfig` value describes every evaluation strategy the paper
+compares, from the fully interpreted baselines of Table I through the JIT
+configurations of Figs. 6–9 to the ahead-of-time ("macro") configurations of
+Fig. 10.  Helper constructors build the named configurations used throughout
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.relational.statistics import SelectivityModel
+
+
+class ExecutionMode(str, enum.Enum):
+    """Top-level evaluation strategy."""
+
+    #: Interpret the as-written plans; no reordering, no code generation.
+    INTERPRETED = "interpreted"
+    #: Just-in-time: reorder (and optionally compile) during execution.
+    JIT = "jit"
+    #: Ahead-of-time ("macro"): reorder plans before execution begins,
+    #: optionally also enabling the online IRGenerator re-sorter.
+    AOT = "aot"
+    #: Naive evaluation (no delta relations); used by baselines and tests.
+    NAIVE = "naive"
+
+
+class CompilationGranularity(str, enum.Enum):
+    """At which IROp node the JIT applies optimization + code generation.
+
+    Higher granularity → fewer compilations over stale-er statistics; lower
+    granularity → fresher delta cardinalities but more frequent compilation
+    (paper §V-B2).
+    """
+
+    RELATION = "relation"   # the pink UnionOp*: once per relation per iteration
+    RULE = "rule"           # the yellow UnionOp: once per rule per iteration
+    JOIN = "join"           # the blue σπ⋈: before every n-way join
+
+
+class AOTSortMode(str, enum.Enum):
+    """What information the ahead-of-time optimizer may use (Fig. 10)."""
+
+    NONE = "none"
+    RULES_ONLY = "rules"          # selectivity heuristics only, no cardinalities
+    FACTS_AND_RULES = "facts"     # initial EDB cardinalities + selectivity
+
+
+@dataclass
+class EngineConfig:
+    """Every knob of one program evaluation."""
+
+    mode: ExecutionMode = ExecutionMode.INTERPRETED
+    backend: str = "irgen"
+    granularity: CompilationGranularity = CompilationGranularity.RULE
+    async_compilation: bool = False
+    compile_mode: str = "full"                 # "full" or "snippet"
+    use_indexes: bool = True
+    evaluator_style: str = "push"              # "push" or "pull"
+    freshness_threshold: float = 0.2
+    optimize_seed: bool = True
+    max_iterations: int = 1_000_000
+    selectivity: SelectivityModel = field(default_factory=SelectivityModel)
+    aot_sort: AOTSortMode = AOTSortMode.NONE
+    aot_online: bool = False
+    collect_profile: bool = True
+    label: str = ""
+
+    def describe(self) -> str:
+        """A short configuration name for result tables."""
+        if self.label:
+            return self.label
+        if self.mode == ExecutionMode.INTERPRETED:
+            return "interpreted" + ("+idx" if self.use_indexes else "")
+        if self.mode == ExecutionMode.NAIVE:
+            return "naive"
+        if self.mode == ExecutionMode.AOT:
+            online = "+online" if self.aot_online else ""
+            return f"macro-{self.aot_sort.value}{online}"
+        sync = "async" if self.async_compilation else "blocking"
+        return f"jit-{self.backend}-{sync}-{self.granularity.value}"
+
+    # -- named configurations used by the benchmark harness --------------------
+
+    @staticmethod
+    def interpreted(use_indexes: bool = True) -> "EngineConfig":
+        """The "unoptimized"/"hand-optimized" interpreted baseline of Table I."""
+        return EngineConfig(mode=ExecutionMode.INTERPRETED, use_indexes=use_indexes)
+
+    @staticmethod
+    def naive(use_indexes: bool = True) -> "EngineConfig":
+        return EngineConfig(mode=ExecutionMode.NAIVE, use_indexes=use_indexes)
+
+    @staticmethod
+    def jit(
+        backend: str = "lambda",
+        asynchronous: bool = False,
+        granularity: CompilationGranularity = CompilationGranularity.RULE,
+        use_indexes: bool = True,
+        compile_mode: str = "full",
+    ) -> "EngineConfig":
+        """A JIT configuration (the "JIT <backend> <blocking|async>" bars)."""
+        return EngineConfig(
+            mode=ExecutionMode.JIT,
+            backend=backend,
+            async_compilation=asynchronous,
+            granularity=granularity,
+            use_indexes=use_indexes,
+            compile_mode=compile_mode,
+        )
+
+    @staticmethod
+    def aot(
+        sort: AOTSortMode = AOTSortMode.FACTS_AND_RULES,
+        online: bool = False,
+        use_indexes: bool = True,
+    ) -> "EngineConfig":
+        """An ahead-of-time ("macro") configuration of Fig. 10."""
+        return EngineConfig(
+            mode=ExecutionMode.AOT,
+            aot_sort=sort,
+            aot_online=online,
+            use_indexes=use_indexes,
+            backend="irgen",
+        )
+
+    def with_(self, **changes) -> "EngineConfig":
+        """A modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **changes)

@@ -1,0 +1,347 @@
+"""The IROp executor: interpreter, JIT driver and safe-point logic.
+
+This is where the paper's Adaptive Metaprogramming loop actually happens.
+The executor walks the IROp tree produced by the plan builder.  In
+interpreted mode it simply evaluates each σπ⋈ leaf with the generic
+sub-query evaluator in the as-written order.  In JIT mode, whenever execution
+reaches a node at the configured compilation granularity, it:
+
+1. re-runs the join-order optimizer over that node's sub-queries using the
+   live cardinalities of the Derived and Delta databases,
+2. asks the compilation manager for an artifact — compiling synchronously,
+   or asynchronously while the interpreter keeps making progress on the
+   freshly reordered (but interpreted) plans,
+3. applies the freshness test before re-generating code for a node that
+   already has an artifact.
+
+Because all state lives in the relational storage layer, every node boundary
+is a safe point: execution can switch between interpretation and any
+compiled artifact between any two IROps (paper §V-B3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.backends.base import ArtifactFunction, get_backend
+from repro.core.compilation import CompilationManager
+from repro.core.config import (
+    AOTSortMode,
+    CompilationGranularity,
+    EngineConfig,
+    ExecutionMode,
+)
+from repro.core.freshness import FreshnessTest
+from repro.core.join_order import (
+    JoinOrderOptimizer,
+    storage_cardinality_view,
+    storage_index_view,
+)
+from repro.core.profile import RuntimeProfile
+from repro.datalog.terms import Aggregate, evaluate_aggregate
+from repro.ir.ops import (
+    AggregateOp,
+    DoWhileOp,
+    InsertOp,
+    IROp,
+    JoinProjectOp,
+    ProgramOp,
+    RelationUnionOp,
+    ScanOp,
+    SequenceOp,
+    StratumOp,
+    SwapClearOp,
+    UnionOp,
+)
+from repro.relational.operators import JoinPlan, SubqueryEvaluator
+from repro.relational.relation import Row
+from repro.relational.statistics import StatisticsCollector, take_snapshot
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+class IRExecutor:
+    """Executes an IROp tree under one :class:`EngineConfig`."""
+
+    def __init__(self, storage: StorageManager, config: EngineConfig,
+                 profile: Optional[RuntimeProfile] = None) -> None:
+        self.storage = storage
+        self.config = config
+        self.profile = profile if profile is not None else RuntimeProfile()
+        self.evaluator = SubqueryEvaluator(storage, config.evaluator_style)
+        self.stats = StatisticsCollector()
+        self.freshness = FreshnessTest(config.freshness_threshold, self.stats)
+
+        self._jit_reordering = config.mode == ExecutionMode.JIT or (
+            config.mode == ExecutionMode.AOT and config.aot_online
+        )
+        self.optimizer: Optional[JoinOrderOptimizer] = None
+        if self._jit_reordering or config.mode == ExecutionMode.AOT:
+            self.optimizer = JoinOrderOptimizer(config.selectivity)
+
+        self.compilation: Optional[CompilationManager] = None
+        if config.mode == ExecutionMode.JIT:
+            backend = get_backend(config.backend)
+            self.compilation = CompilationManager(backend, config.async_compilation)
+
+        self._current_iteration = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, program: ProgramOp) -> RuntimeProfile:
+        """Run the whole program to fixpoint; returns the runtime profile."""
+        started = time.perf_counter()
+        try:
+            for stratum in program.strata:
+                self._execute_stratum(stratum)
+        finally:
+            if self.compilation is not None:
+                self.profile.compile_events = list(self.compilation.events)
+                self.compilation.shutdown()
+        self.profile.wall_seconds = time.perf_counter() - started
+        for name in self.storage.relation_names():
+            self.profile.result_sizes[name] = self.storage.cardinality(name)
+        return self.profile
+
+    # -- stratum / loop ----------------------------------------------------------
+
+    def _execute_stratum(self, stratum: StratumOp) -> None:
+        self._current_iteration = 0
+        for insert in stratum.seed.children:
+            assert isinstance(insert, InsertOp)
+            rows = self._rows_for(insert.source, stage="seed")
+            self.storage.seed_delta(insert.relation, rows)
+
+        loop = stratum.loop
+        if loop is None:
+            return
+
+        iteration = 0
+        max_iterations = min(loop.max_iterations, self.config.max_iterations)
+        while True:
+            iteration += 1
+            self._current_iteration = iteration
+            iteration_start = time.perf_counter()
+            snapshot = self.stats.record(self.storage, iteration)
+            promoted = 0
+            for child in loop.body.children:
+                if isinstance(child, SwapClearOp):
+                    promoted = self.storage.swap_and_clear(child.relations)
+                elif isinstance(child, InsertOp):
+                    rows = self._rows_for(child.source, stage="loop")
+                    self.storage.insert_new_many(child.relation, rows)
+                else:  # pragma: no cover - defensive: builders only emit the above
+                    self._rows_for(child, stage="loop")
+            self.profile.record_iteration(
+                stratum.index, iteration, promoted, snapshot,
+                time.perf_counter() - iteration_start,
+            )
+            if promoted == 0 or iteration >= max_iterations:
+                break
+
+    # -- node dispatch ------------------------------------------------------------
+
+    def _rows_for(self, node: IROp, stage: str) -> Set[Row]:
+        if isinstance(node, ScanOp):
+            return set(self.storage.relation(node.relation, node.source).rows())
+        if isinstance(node, JoinProjectOp):
+            if self._granularity_matches(CompilationGranularity.JOIN, stage):
+                return self._adaptive_rows(node, [node], stage)
+            return self._interpret_plan(self._maybe_reorder_seed(node, stage))
+        if isinstance(node, AggregateOp):
+            return self._aggregate_rows(node, stage)
+        if isinstance(node, UnionOp):
+            if self._granularity_matches(CompilationGranularity.RULE, stage):
+                join_children = [c for c in node.children if isinstance(c, JoinProjectOp)]
+                if len(join_children) == len(node.children):
+                    return self._adaptive_rows(node, join_children, stage)
+            return self._union_children(node, stage)
+        if isinstance(node, RelationUnionOp):
+            if self._granularity_matches(CompilationGranularity.RELATION, stage):
+                join_children = self._collect_join_leaves(node)
+                if join_children is not None:
+                    return self._adaptive_rows(node, join_children, stage)
+            return self._union_children(node, stage)
+        if isinstance(node, SequenceOp):  # pragma: no cover - not produced under inserts
+            result: Set[Row] = set()
+            for child in node.children:
+                result |= self._rows_for(child, stage)
+            return result
+        raise TypeError(f"cannot produce rows for {node!r}")
+
+    def _union_children(self, node: IROp, stage: str) -> Set[Row]:
+        result: Set[Row] = set()
+        for child in node.children:
+            result |= self._rows_for(child, stage)
+        return result
+
+    def _collect_join_leaves(self, node: IROp) -> Optional[List[JoinProjectOp]]:
+        """All σπ⋈ leaves below ``node``; None if any leaf is not compilable."""
+        leaves: List[JoinProjectOp] = []
+        stack: List[IROp] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, JoinProjectOp):
+                leaves.append(current)
+            elif isinstance(current, (UnionOp, RelationUnionOp, SequenceOp)):
+                stack.extend(current.children)
+            else:
+                return None
+        leaves.reverse()
+        return leaves
+
+    # -- adaptive path --------------------------------------------------------------
+
+    def _granularity_matches(self, granularity: CompilationGranularity, stage: str) -> bool:
+        if not self._jit_reordering:
+            return False
+        if stage == "seed":
+            # Seeding is always optimized (when enabled) at the σπ⋈ level via
+            # _maybe_reorder_seed; code generation only starts inside the loop.
+            return False
+        return self.config.granularity == granularity
+
+    def _maybe_reorder_seed(self, node: JoinProjectOp, stage: str) -> JoinPlan:
+        plan = node.plan
+        if (
+            stage == "seed"
+            and self.optimizer is not None
+            and self.config.optimize_seed
+            and self.config.mode in (ExecutionMode.JIT, ExecutionMode.AOT)
+        ):
+            optimized, decision = self.optimizer.optimize_plan(
+                plan,
+                storage_cardinality_view(self.storage),
+                storage_index_view(self.storage),
+            )
+            self.profile.record_reorder(node.node_id, plan.rule_name, "seed", decision)
+            return optimized
+        return plan
+
+    def _interpret_plan(self, plan: JoinPlan) -> Set[Row]:
+        self.profile.record_interpreted()
+        return self.evaluator.evaluate(plan)
+
+    def _interpret_plans(self, plans: Sequence[JoinPlan]) -> Set[Row]:
+        result: Set[Row] = set()
+        for plan in plans:
+            result |= self._interpret_plan(plan)
+        return result
+
+    def _reorder_plans(self, nodes: Sequence[JoinProjectOp], stage: str) -> List[JoinPlan]:
+        assert self.optimizer is not None
+        cardinalities = storage_cardinality_view(self.storage)
+        indexes = storage_index_view(self.storage)
+        ordered: List[JoinPlan] = []
+        for node in nodes:
+            optimized, decision = self.optimizer.optimize_plan(
+                node.plan, cardinalities, indexes
+            )
+            self.profile.record_reorder(node.node_id, node.plan.rule_name, stage, decision)
+            ordered.append(optimized)
+        return ordered
+
+    def _adaptive_rows(self, node: IROp, join_nodes: Sequence[JoinProjectOp],
+                       stage: str) -> Set[Row]:
+        """The JIT safe-point logic for one node at the configured granularity."""
+        if self.optimizer is None:
+            return self._interpret_plans([n.plan for n in join_nodes])
+
+        if self.compilation is None:
+            # Pure IR regeneration (AOT+online or reorder-only execution).
+            return self._interpret_plans(self._reorder_plans(join_nodes, "jit"))
+
+        # The freshness test gates re-optimization: while the artifact's
+        # compile-time cardinality snapshot is still representative, neither
+        # the reordering algorithm nor the compiler runs again (paper §V-B2).
+        current_snapshot = take_snapshot(self.storage, self._current_iteration)
+        artifact = self.compilation.current_artifact(node.node_id)
+        if artifact is not None:
+            compiled_at = self.compilation.artifact_snapshot(node.node_id)
+            if self.freshness.is_fresh(compiled_at, current_snapshot):
+                self.profile.record_compiled()
+                return artifact(self.storage)
+
+        ordered_plans = self._reorder_plans(join_nodes, "jit")
+
+        if self.compilation.is_compiling(node.node_id):
+            # Asynchronous compilation still running: keep interpreting.
+            return self._interpret_plans(ordered_plans)
+
+        continuations: Optional[List[ArtifactFunction]] = None
+        if self.config.compile_mode == "snippet":
+            style = self.config.evaluator_style
+            continuations = [
+                _make_continuation(plan, style) for plan in ordered_plans
+            ]
+
+        label = getattr(node, "relation", None) or getattr(node, "rule_name", None) or node.kind
+        if self.config.async_compilation:
+            self.compilation.compile_async(
+                node.node_id, ordered_plans, self.storage, current_snapshot,
+                use_indexes=self.config.use_indexes, mode=self.config.compile_mode,
+                continuations=continuations, label=str(label),
+            )
+            return self._interpret_plans(ordered_plans)
+
+        artifact = self.compilation.compile_now(
+            node.node_id, ordered_plans, self.storage, current_snapshot,
+            use_indexes=self.config.use_indexes, mode=self.config.compile_mode,
+            continuations=continuations, label=str(label),
+        )
+        self.profile.record_compiled()
+        return artifact(self.storage)
+
+    # -- aggregation ------------------------------------------------------------------
+
+    def _aggregate_rows(self, node: AggregateOp, stage: str) -> Set[Row]:
+        plan = node.plan
+        if (
+            stage == "seed"
+            and self.optimizer is not None
+            and self.config.optimize_seed
+            and self.config.mode in (ExecutionMode.JIT, ExecutionMode.AOT)
+        ):
+            plan, decision = self.optimizer.optimize_plan(
+                plan,
+                storage_cardinality_view(self.storage),
+                storage_index_view(self.storage),
+            )
+            self.profile.record_reorder(node.node_id, plan.rule_name, "seed", decision)
+
+        head_terms = node.rule.head.terms
+        aggregate_positions: Dict[int, Aggregate] = {
+            i: term for i, term in enumerate(head_terms) if isinstance(term, Aggregate)
+        }
+        groups: Dict[Tuple, Dict[int, List]] = {}
+        for bindings in self.evaluator.bindings(plan):
+            key = tuple(
+                term.substitute(bindings)
+                for i, term in enumerate(head_terms)
+                if i not in aggregate_positions
+            )
+            bucket = groups.setdefault(key, {i: [] for i in aggregate_positions})
+            for i, aggregate in aggregate_positions.items():
+                bucket[i].append(aggregate.target.substitute(bindings))
+
+        self.profile.record_interpreted()
+        out: Set[Row] = set()
+        for key, collected in groups.items():
+            key_iterator = iter(key)
+            row: List = []
+            for i, term in enumerate(head_terms):
+                if i in aggregate_positions:
+                    row.append(evaluate_aggregate(aggregate_positions[i].func, collected[i]))
+                else:
+                    row.append(next(key_iterator))
+            out.add(tuple(row))
+        return out
+
+
+def _make_continuation(plan: JoinPlan, style: str) -> ArtifactFunction:
+    """A continuation that evaluates one plan through the interpreter."""
+
+    def continuation(storage: StorageManager) -> Set[Row]:
+        return SubqueryEvaluator(storage, style).evaluate(plan)
+
+    return continuation

@@ -1,0 +1,35 @@
+"""The freshness test (paper §V-B2).
+
+Re-generating code has a cost, so before recompiling a higher-overhead target
+Carac checks whether the relation cardinalities have changed *relative to
+each other* by more than a tunable threshold since the plan currently in use
+was compiled.  If not, the existing artifact keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.relational.statistics import CardinalitySnapshot, StatisticsCollector
+
+
+@dataclass
+class FreshnessTest:
+    """Threshold test over relative cardinality change."""
+
+    threshold: float = 0.2
+    collector: Optional[StatisticsCollector] = None
+
+    def is_stale(self, compiled_at: Optional[CardinalitySnapshot],
+                 current: CardinalitySnapshot) -> bool:
+        """True when the artifact compiled at ``compiled_at`` should be regenerated."""
+        if compiled_at is None:
+            return True
+        collector = self.collector or StatisticsCollector()
+        change = collector.relative_change(compiled_at, current)
+        return change > self.threshold
+
+    def is_fresh(self, compiled_at: Optional[CardinalitySnapshot],
+                 current: CardinalitySnapshot) -> bool:
+        return not self.is_stale(compiled_at, current)

@@ -1,0 +1,112 @@
+"""Runtime profiling: what the engine did while evaluating a program.
+
+The profile is both a debugging aid and the raw material of the evaluation
+harness: per-stratum iteration counts, per-iteration delta cardinalities,
+reorder decisions, compilation events and where each sub-query execution was
+served from (interpreter vs compiled artifact).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.join_order import OrderingDecision
+from repro.relational.statistics import CardinalitySnapshot
+
+
+@dataclass
+class IterationRecord:
+    """One semi-naive iteration of one stratum."""
+
+    stratum: int
+    iteration: int
+    promoted: int
+    delta_cardinalities: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+@dataclass
+class ReorderRecord:
+    """One join-order decision taken at runtime (or ahead of time)."""
+
+    node_id: int
+    rule_name: str
+    stage: str                      # "seed", "jit", "aot"
+    decision: OrderingDecision
+
+
+@dataclass
+class ExecutionSource:
+    """Counts of how sub-query executions were served."""
+
+    interpreted: int = 0
+    compiled: int = 0
+
+    def total(self) -> int:
+        return self.interpreted + self.compiled
+
+
+@dataclass
+class RuntimeProfile:
+    """Everything observed during one program evaluation."""
+
+    iterations: List[IterationRecord] = field(default_factory=list)
+    reorders: List[ReorderRecord] = field(default_factory=list)
+    sources: ExecutionSource = field(default_factory=ExecutionSource)
+    compile_events: List[object] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    result_sizes: Dict[str, int] = field(default_factory=dict)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_iteration(self, stratum: int, iteration: int, promoted: int,
+                         snapshot: Optional[CardinalitySnapshot],
+                         seconds: float) -> None:
+        self.iterations.append(
+            IterationRecord(
+                stratum=stratum,
+                iteration=iteration,
+                promoted=promoted,
+                delta_cardinalities=dict(snapshot.delta) if snapshot else {},
+                seconds=seconds,
+            )
+        )
+
+    def record_reorder(self, node_id: int, rule_name: str, stage: str,
+                       decision: OrderingDecision) -> None:
+        self.reorders.append(ReorderRecord(node_id, rule_name, stage, decision))
+
+    def record_interpreted(self) -> None:
+        self.sources.interpreted += 1
+
+    def record_compiled(self) -> None:
+        self.sources.compiled += 1
+
+    # -- summaries -------------------------------------------------------------
+
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    def reorder_count(self, changed_only: bool = False) -> int:
+        if not changed_only:
+            return len(self.reorders)
+        return sum(1 for record in self.reorders if record.decision.changed)
+
+    def total_compile_seconds(self) -> float:
+        return sum(getattr(event, "seconds", 0.0) for event in self.compile_events)
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dictionary used by the benchmark harness and examples."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "iterations": self.iteration_count(),
+            "reorders": self.reorder_count(),
+            "reorders_changed": self.reorder_count(changed_only=True),
+            "compilations": len(self.compile_events),
+            "compile_seconds": self.total_compile_seconds(),
+            "subqueries_interpreted": self.sources.interpreted,
+            "subqueries_compiled": self.sources.compiled,
+            "result_sizes": dict(self.result_sizes),
+        }

@@ -1,0 +1,62 @@
+"""Datalog frontend: terms, atoms, rules, the embedded DSL, parsing and static analysis.
+
+This package is the substrate the Carac reproduction builds on: it models the
+abstract syntax of Datalog programs (extended with stratified negation,
+aggregation and arithmetic built-ins), provides both an embedded DSL and a
+textual parser for constructing programs, and implements the static analyses
+every Datalog engine needs before evaluation can start: rule-safety checking,
+the predicate dependency (precedence) graph, stratification, and simple
+source-level rewrites such as alias elimination.
+"""
+
+from repro.datalog.terms import (
+    Aggregate,
+    BinaryExpression,
+    Constant,
+    Expression,
+    Term,
+    Variable,
+)
+from repro.datalog.literals import Atom, Assignment, Comparison, Literal
+from repro.datalog.rules import Fact, Rule
+from repro.datalog.program import DatalogProgram, RelationDeclaration
+from repro.datalog.dsl import Program, RelationHandle
+from repro.datalog.parser import ParseError, parse_program
+from repro.datalog.safety import SafetyError, check_rule_safety, check_program_safety
+from repro.datalog.stratification import (
+    StratificationError,
+    Stratifier,
+    precedence_graph,
+    stratify,
+)
+from repro.datalog.rewrite import eliminate_aliases, reorder_rule_body
+
+__all__ = [
+    "Aggregate",
+    "Assignment",
+    "Atom",
+    "BinaryExpression",
+    "Comparison",
+    "Constant",
+    "DatalogProgram",
+    "Expression",
+    "Fact",
+    "Literal",
+    "ParseError",
+    "Program",
+    "RelationDeclaration",
+    "RelationHandle",
+    "Rule",
+    "SafetyError",
+    "StratificationError",
+    "Stratifier",
+    "Term",
+    "Variable",
+    "check_program_safety",
+    "check_rule_safety",
+    "eliminate_aliases",
+    "parse_program",
+    "precedence_graph",
+    "reorder_rule_body",
+    "stratify",
+]

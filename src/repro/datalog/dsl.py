@@ -1,0 +1,185 @@
+"""The embedded Datalog DSL: Carac's user-facing API, in Python.
+
+The paper's running example (Fig. 1a) declares relations and variables on a
+``Program`` object and writes rules with ``:-``.  The Python equivalent::
+
+    from repro import Program
+
+    program = Program("cspa")
+    VaFlow, VAlias, MAlias, Assign, Derefr = program.relations(
+        "VaFlow", "VAlias", "MAlias", "Assign", "Derefr", arity=2
+    )
+    v0, v1, v2, v3 = program.variables("v0", "v1", "v2", "v3")
+
+    VaFlow(v1, v2) <= MAlias(v3, v2) & Assign(v1, v3)
+    VaFlow(v1, v2) <= VaFlow(v3, v2) & VaFlow(v1, v3)
+    ...
+    Assign.add_fact(1, 2)
+    result = program.solve("VaFlow")
+
+``head <= body`` registers the rule with the program immediately (rules are
+values too, mirroring Carac's first-class constraints: ``program.rule(head,
+[a, b, c])`` is the explicit form).  ``&`` chains body literals, ``~atom``
+negates, and :func:`repro.datalog.literals.let` / arithmetic on variables
+provide the built-ins used by the microbenchmark programs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.literals import (
+    Assignment,
+    Atom,
+    Comparison,
+    Conjunction,
+    Literal,
+    PendingRule,
+)
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Fact, Rule
+from repro.datalog.terms import Variable
+
+
+class DSLAtom(Atom):
+    """An atom created through the DSL; ``<=`` registers the rule immediately."""
+
+    _program: "Program"
+
+    def __init__(self, program: "Program", relation: str, terms: Tuple[Any, ...],
+                 negated: bool = False) -> None:
+        super().__init__(relation, terms, negated)
+        object.__setattr__(self, "_program", program)
+
+    def negate(self) -> "DSLAtom":
+        return DSLAtom(self._program, self.relation, self.terms, not self.negated)
+
+    def __le__(self, body: Any) -> Rule:  # type: ignore[override]
+        conjunction = Conjunction.coerce(body)
+        return self._program.rule(self, list(conjunction.literals))
+
+
+class RelationHandle:
+    """A named relation bound to a :class:`Program`.
+
+    Calling the handle with terms produces an atom; ``add_fact`` inserts a
+    ground tuple into the program's extensional data for this relation.
+    """
+
+    def __init__(self, program: "Program", name: str, arity: Optional[int] = None) -> None:
+        self._program = program
+        self.name = name
+        self.arity = arity
+
+    def __call__(self, *terms: Any) -> DSLAtom:
+        if self.arity is None:
+            self.arity = len(terms)
+            self._program.datalog.declare_relation(self.name, self.arity)
+        elif len(terms) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r} has arity {self.arity}, got {len(terms)} terms"
+            )
+        return DSLAtom(self._program, self.name, tuple(terms))
+
+    def add_fact(self, *values: Any) -> Fact:
+        """Add a single ground fact to this relation."""
+        if self.arity is None:
+            self.arity = len(values)
+        return self._program.datalog.add_fact(self.name, values)
+
+    def add_facts(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-add ground facts; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.add_fact(*row)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RelationHandle({self.name!r}, arity={self.arity})"
+
+
+class Program:
+    """User-facing Datalog program builder (and, lazily, runner).
+
+    The class intentionally mixes declaration and execution convenience:
+    ``solve()`` instantiates an execution engine from :mod:`repro.engine`
+    with the supplied (or default) configuration, evaluates the program to
+    fixpoint, and returns the requested relation.  All heavy lifting lives in
+    the engine; this object only holds the AST.
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.datalog = DatalogProgram(name)
+        self._relation_handles: Dict[str, RelationHandle] = {}
+        self._variable_counter = 0
+
+    # -- declaration ----------------------------------------------------------
+
+    def relation(self, name: str, arity: Optional[int] = None) -> RelationHandle:
+        """Declare (or fetch) a relation handle by name."""
+        handle = self._relation_handles.get(name)
+        if handle is None:
+            handle = RelationHandle(self, name, arity)
+            if arity is not None:
+                self.datalog.declare_relation(name, arity)
+            self._relation_handles[name] = handle
+        elif arity is not None and handle.arity is None:
+            handle.arity = arity
+            self.datalog.declare_relation(name, arity)
+        return handle
+
+    def relations(self, *names: str, arity: Optional[int] = None) -> List[RelationHandle]:
+        """Declare several relations at once (all with the same arity)."""
+        return [self.relation(name, arity) for name in names]
+
+    def variable(self, name: Optional[str] = None) -> Variable:
+        """Create a fresh logic variable."""
+        if name is None:
+            self._variable_counter += 1
+            name = f"_v{self._variable_counter}"
+        return Variable(name)
+
+    def variables(self, *names: str) -> List[Variable]:
+        return [self.variable(name) for name in names]
+
+    def rule(self, head: Atom, body: Sequence[Literal], name: str = "") -> Rule:
+        """Register a rule explicitly (the ``<=`` operator calls this)."""
+        plain_head = Atom(head.relation, head.terms)
+        plain_body: List[Literal] = []
+        for literal in body:
+            if isinstance(literal, DSLAtom):
+                plain_body.append(Atom(literal.relation, literal.terms, literal.negated))
+            else:
+                plain_body.append(literal)
+        return self.datalog.add_rule(plain_head, plain_body, name)
+
+    def fact(self, relation: str, *values: Any) -> Fact:
+        """Add a ground fact by relation name."""
+        return self.datalog.add_fact(relation, values)
+
+    # -- execution (lazy import of the engine to avoid layering cycles) -------
+
+    def solve(self, relation: Optional[str] = None, config: Any = None) -> Any:
+        """Evaluate the program to fixpoint.
+
+        Returns the set of tuples of ``relation`` if given, otherwise a dict
+        of every IDB relation to its tuples.  ``config`` is an optional
+        :class:`repro.engine.EngineConfig`.
+        """
+        from repro.engine import EngineConfig, ExecutionEngine
+
+        engine = ExecutionEngine(self.datalog, config or EngineConfig())
+        result = engine.run()
+        if relation is None:
+            return result
+        return result.get(relation, set())
+
+    def engine(self, config: Any = None) -> Any:
+        """Build (but do not run) an execution engine for this program."""
+        from repro.engine import EngineConfig, ExecutionEngine
+
+        return ExecutionEngine(self.datalog, config or EngineConfig())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Program({self.datalog!r})"

@@ -1,0 +1,233 @@
+"""Literals: the elements of a rule body (and rule heads, which are atoms).
+
+Three kinds of literal exist:
+
+* :class:`Atom` — a (possibly negated) reference to a relation with a list of
+  argument terms.  Positive atoms generate joins, negated atoms generate
+  anti-joins against a lower stratum.
+* :class:`Comparison` — a built-in filter such as ``X < Y + 1``.
+* :class:`Assignment` — a built-in binding such as ``Z := X + Y`` that extends
+  the current variable bindings with a computed value.
+
+The planner treats comparisons and assignments as zero-cardinality atoms that
+must be placed after the atoms binding their input variables; the join-order
+optimizer therefore never has to special-case them beyond a dependency check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Mapping, Sequence, Tuple, Union
+
+from repro.datalog.terms import (
+    Aggregate,
+    BinaryExpression,
+    Constant,
+    Term,
+    Variable,
+    as_term,
+)
+
+
+class Literal:
+    """Base class of all rule-body literals."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+    def is_relational(self) -> bool:
+        """True for atoms (positive or negated), False for built-ins."""
+        return False
+
+
+@dataclass(frozen=True)
+class Atom(Literal):
+    """A relational atom ``R(t1, ..., tk)``, optionally negated.
+
+    ``relation`` is the relation *name*; resolution of names to storage
+    happens later, in the relational layer, so the AST stays independent of
+    any particular engine instance.
+    """
+
+    relation: str
+    terms: Tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in self.terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def is_relational(self) -> bool:
+        return True
+
+    def variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for term in self.terms:
+            result = result | term.variables()
+        return result
+
+    def constant_positions(self) -> Tuple[int, ...]:
+        """Positions of the atom's arguments that are constants."""
+        return tuple(
+            i for i, term in enumerate(self.terms) if isinstance(term, Constant)
+        )
+
+    def variable_positions(self) -> dict[Variable, list[int]]:
+        """Map each variable to the (possibly repeated) positions it occupies."""
+        positions: dict[Variable, list[int]] = {}
+        for i, term in enumerate(self.terms):
+            if isinstance(term, Variable):
+                positions.setdefault(term, []).append(i)
+        return positions
+
+    def negate(self) -> "Atom":
+        """Return the same atom with the negation flag flipped."""
+        return Atom(self.relation, self.terms, negated=not self.negated)
+
+    def __invert__(self) -> "Atom":
+        return self.negate()
+
+    def __and__(self, other: Union["Atom", "Comparison", "Assignment", "Conjunction"]) -> "Conjunction":
+        return Conjunction((self,)) & other
+
+    def __le__(self, body: Any) -> "PendingRule":
+        """DSL sugar: ``head(...) <= body`` builds a rule (resolved by the DSL)."""
+        return PendingRule(self, Conjunction.coerce(body))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        prefix = "!" if self.negated else ""
+        args = ", ".join(repr(t) for t in self.terms)
+        return f"{prefix}{self.relation}({args})"
+
+
+_COMPARISON_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Literal):
+    """A built-in comparison filter, e.g. ``X < Y``.
+
+    Both sides are expressions; all their variables must be bound by earlier
+    literals in the chosen evaluation order (rule safety guarantees at least
+    one such order exists).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPERATORS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+        object.__setattr__(self, "left", as_term(self.left))
+        object.__setattr__(self, "right", as_term(self.right))
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, bindings: Mapping[Variable, Any]) -> bool:
+        """Evaluate the comparison under complete bindings."""
+        func = _COMPARISON_OPERATORS[self.op]
+        return bool(func(self.left.substitute(bindings), self.right.substitute(bindings)))
+
+    def __and__(self, other: Any) -> "Conjunction":
+        return Conjunction((self,)) & other
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Assignment(Literal):
+    """A built-in binding literal ``target := expression``.
+
+    The expression's variables must be bound before the assignment executes;
+    the target variable becomes bound afterwards.  Re-binding an already bound
+    variable degenerates to an equality filter.
+    """
+
+    target: Variable
+    expression: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expression", as_term(self.expression))
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset((self.target,)) | self.expression.variables()
+
+    def input_variables(self) -> FrozenSet[Variable]:
+        """Variables that must be bound before this assignment can run."""
+        return self.expression.variables()
+
+    def evaluate(self, bindings: Mapping[Variable, Any]) -> Any:
+        return self.expression.substitute(bindings)
+
+    def __and__(self, other: Any) -> "Conjunction":
+        return Conjunction((self,)) & other
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.target!r} := {self.expression!r}"
+
+
+def let(target: Variable, expression: Any) -> Assignment:
+    """Convenience constructor for an :class:`Assignment` literal."""
+    return Assignment(target, as_term(expression))
+
+
+def compare(op: str, left: Any, right: Any) -> Comparison:
+    """Convenience constructor for a :class:`Comparison` literal."""
+    return Comparison(op, as_term(left), as_term(right))
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """An ordered conjunction of body literals, built by the DSL's ``&``."""
+
+    literals: Tuple[Literal, ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def coerce(value: Any) -> "Conjunction":
+        if isinstance(value, Conjunction):
+            return value
+        if isinstance(value, Literal):
+            return Conjunction((value,))
+        if isinstance(value, (tuple, list)):
+            literals: list[Literal] = []
+            for item in value:
+                literals.extend(Conjunction.coerce(item).literals)
+            return Conjunction(tuple(literals))
+        raise TypeError(f"cannot use {value!r} as a rule body")
+
+    def __and__(self, other: Any) -> "Conjunction":
+        return Conjunction(self.literals + Conjunction.coerce(other).literals)
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+
+@dataclass(frozen=True)
+class PendingRule:
+    """The result of ``head <= body`` in the DSL, awaiting registration.
+
+    The DSL's :class:`~repro.datalog.dsl.Program` registers pending rules as
+    soon as they are produced; keeping them as a value also allows writing
+    rules in plain data structures and registering them explicitly.
+    """
+
+    head: Atom
+    body: Conjunction

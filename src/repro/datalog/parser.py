@@ -1,0 +1,306 @@
+"""A textual Datalog parser.
+
+The grammar is a small superset of classic Datalog, close to what the
+benchmark programs in the paper use (Soufflé-style surface syntax without the
+type system):
+
+.. code-block:: none
+
+    % line comment                      // also a comment
+    .decl edge(2)                       (optional arity declaration)
+    edge(1, 2).                         ground fact
+    path(X, Y) :- edge(X, Y).           rule
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+    prime(X)   :- number(X), !composite(X).         stratified negation
+    fib(N2, S) :- fib(N, A), fib(N1, B),
+                  N1 = N + 1, N2 = N + 2, S = A + B, N2 <= 25.
+    total(K, sum(V)) :- sales(K, V).                aggregation
+
+Tokens starting with an upper-case letter or ``_`` are variables; numbers and
+quoted strings are constants; lower-case bare identifiers in argument
+position are string constants (as in Prolog/Datalog tradition).
+``Var = expression`` binds (assignment); ``==``, ``!=``, ``<``, ``<=``, ``>``
+and ``>=`` are comparisons.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import (
+    Aggregate,
+    BinaryExpression,
+    Constant,
+    Term,
+    Variable,
+)
+
+_AGGREGATE_NAMES = {"count", "sum", "min", "max", "mean"}
+
+
+class ParseError(ValueError):
+    """Raised on any syntax error, with line/column information."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("COMMENT", r"(%|//)[^\n]*"),
+    ("DECL", r"\.decl\b"),
+    ("NUMBER", r"\d+(\.\d+)?"),
+    ("STRING", r"\"[^\"]*\"|'[^']*'"),
+    ("IMPLIES", r":-"),
+    ("ASSIGN", r":="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("EQ", r"=="),
+    ("NE", r"!="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("EQUALS", r"="),
+    ("NOT", r"!|~"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("PERCENT", r"%"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(f"unexpected character {text[position]!r}", line, column)
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = position - line_start + 1
+        position = match.end()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = position
+            continue
+        if kind in ("WS", "COMMENT"):
+            continue
+        yield _Token(kind, value, line, column)
+    yield _Token("EOF", "", line, position - line_start + 1)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, program_name: str) -> None:
+        self.tokens: List[_Token] = list(_tokenize(text))
+        self.position = 0
+        self.program = DatalogProgram(program_name)
+
+    # -- token utilities -------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, got {token.kind} ({token.value!r})",
+                             token.line, token.column)
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> DatalogProgram:
+        while self._peek().kind != "EOF":
+            if self._peek().kind == "DECL":
+                self._parse_declaration()
+            else:
+                self._parse_clause()
+        return self.program
+
+    def _parse_declaration(self) -> None:
+        self._expect("DECL")
+        name = self._expect("IDENT").value
+        self._expect("LPAREN")
+        arity_token = self._expect("NUMBER")
+        self._expect("RPAREN")
+        self.program.declare_relation(name, int(arity_token.value))
+
+    def _parse_clause(self) -> None:
+        head = self._parse_atom(allow_aggregates=True)
+        token = self._peek()
+        if token.kind == "DOT":
+            self._advance()
+            values = []
+            for term in head.terms:
+                if isinstance(term, Constant):
+                    values.append(term.value)
+                elif not term.variables():
+                    # Constant arithmetic such as ``edge(0 - 1, 2).``
+                    values.append(term.substitute({}))
+                else:
+                    raise ParseError(
+                        f"fact {head.relation!r} must be ground", token.line, token.column
+                    )
+            self.program.add_fact(head.relation, values)
+            return
+        if token.kind == "IMPLIES":
+            self._advance()
+            body = self._parse_body()
+            self._expect("DOT")
+            self.program.add_rule(head, body)
+            return
+        raise self._error("expected '.' or ':-' after atom")
+
+    def _parse_body(self) -> List[Literal]:
+        literals = [self._parse_literal()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            literals.append(self._parse_literal())
+        return literals
+
+    def _parse_literal(self) -> Literal:
+        token = self._peek()
+        if token.kind == "NOT":
+            self._advance()
+            atom = self._parse_atom()
+            return atom.negate()
+        if token.kind == "IDENT" and self.tokens[self.position + 1].kind == "LPAREN":
+            # Could still be a comparison whose left side is an aggregate-like
+            # call; plain Datalog does not allow that, so treat as an atom.
+            saved = self.position
+            atom = self._parse_atom()
+            if self._peek().kind in ("LE", "GE", "EQ", "NE", "LT", "GT", "EQUALS", "ASSIGN"):
+                # e.g. f(X) = Y is not supported; rewind and parse as expression.
+                self.position = saved
+            else:
+                return atom
+        return self._parse_builtin()
+
+    def _parse_builtin(self) -> Literal:
+        left = self._parse_expression()
+        token = self._peek()
+        operators = {
+            "LE": "<=", "GE": ">=", "EQ": "==", "NE": "!=", "LT": "<", "GT": ">",
+        }
+        if token.kind in operators:
+            self._advance()
+            right = self._parse_expression()
+            return Comparison(operators[token.kind], left, right)
+        if token.kind in ("EQUALS", "ASSIGN"):
+            self._advance()
+            right = self._parse_expression()
+            if isinstance(left, Variable):
+                return Assignment(left, right)
+            return Comparison("==", left, right)
+        raise self._error("expected a comparison or assignment operator")
+
+    def _parse_atom(self, allow_aggregates: bool = False) -> Atom:
+        name = self._expect("IDENT").value
+        self._expect("LPAREN")
+        terms: List[Term] = []
+        if self._peek().kind != "RPAREN":
+            terms.append(self._parse_argument(allow_aggregates))
+            while self._peek().kind == "COMMA":
+                self._advance()
+                terms.append(self._parse_argument(allow_aggregates))
+        self._expect("RPAREN")
+        return Atom(name, tuple(terms))
+
+    def _parse_argument(self, allow_aggregates: bool) -> Term:
+        token = self._peek()
+        if (
+            allow_aggregates
+            and token.kind == "IDENT"
+            and token.value in _AGGREGATE_NAMES
+            and self.tokens[self.position + 1].kind == "LPAREN"
+        ):
+            self._advance()
+            self._expect("LPAREN")
+            inner = self._expect("IDENT")
+            self._expect("RPAREN")
+            return Aggregate(token.value, Variable(inner.value))
+        return self._parse_expression()
+
+    # Expressions: term (+|-) term (*|/|%) ... with usual precedence.
+    def _parse_expression(self) -> Term:
+        left = self._parse_multiplicative()
+        while self._peek().kind in ("PLUS", "MINUS"):
+            op = "+" if self._advance().kind == "PLUS" else "-"
+            right = self._parse_multiplicative()
+            left = BinaryExpression(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Term:
+        left = self._parse_primary()
+        while self._peek().kind in ("STAR", "SLASH", "PERCENT"):
+            kind = self._advance().kind
+            op = {"STAR": "*", "SLASH": "//", "PERCENT": "%"}[kind]
+            right = self._parse_primary()
+            left = BinaryExpression(op, left, right)
+        return left
+
+    def _parse_primary(self) -> Term:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value: Any = float(token.value) if "." in token.value else int(token.value)
+            return Constant(value)
+        if token.kind == "STRING":
+            self._advance()
+            return Constant(token.value[1:-1])
+        if token.kind == "IDENT":
+            self._advance()
+            if token.value[0].isupper() or token.value[0] == "_":
+                return Variable(token.value)
+            return Constant(token.value)
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_expression()
+            self._expect("RPAREN")
+            return inner
+        if token.kind == "MINUS":
+            self._advance()
+            inner = self._parse_primary()
+            return BinaryExpression("-", Constant(0), inner)
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+
+def parse_program(text: str, name: str = "parsed") -> DatalogProgram:
+    """Parse Datalog source ``text`` into a :class:`DatalogProgram`."""
+    return _Parser(text, name).parse()

@@ -1,0 +1,186 @@
+"""The program container: declarations, facts and rules, engine-independent.
+
+:class:`DatalogProgram` is the pure-AST representation of a Datalog program.
+It knows nothing about storage or evaluation; the execution engine
+(:mod:`repro.engine`) consumes it.  The user-facing embedded DSL in
+:mod:`repro.datalog.dsl` is a thin convenience layer that populates one of
+these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.literals import Atom, Literal
+from repro.datalog.rules import Fact, Rule
+from repro.datalog.terms import Constant, Variable
+
+
+@dataclass
+class RelationDeclaration:
+    """Schema metadata for a single relation.
+
+    ``arity`` is fixed at first use.  ``is_edb`` is derived: a relation is
+    extensional if it has facts and no rules, intensional if it has at least
+    one rule.  Relations that have both facts and rules are treated as IDB
+    relations whose facts seed the derived database (this mirrors Carac,
+    where facts may be added to any relation at runtime).
+    """
+
+    name: str
+    arity: int
+    fact_count: int = 0
+    rule_count: int = 0
+
+    @property
+    def is_edb(self) -> bool:
+        return self.rule_count == 0
+
+    @property
+    def is_idb(self) -> bool:
+        return self.rule_count > 0
+
+
+class DatalogProgram:
+    """A set of relation declarations, facts and rules.
+
+    The program preserves rule definition order and, within each rule, the
+    as-written atom order.  Both are inputs to the evaluation experiments:
+    the paper compares "hand-optimized" and "unoptimized" atom orders of the
+    same logical program.
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.relations: Dict[str, RelationDeclaration] = {}
+        self.facts: List[Fact] = []
+        self.rules: List[Rule] = []
+        self._rule_counter = 0
+
+    # -- declaration ----------------------------------------------------------
+
+    def declare_relation(self, name: str, arity: int) -> RelationDeclaration:
+        """Declare (or fetch) a relation, validating arity consistency."""
+        existing = self.relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise ValueError(
+                    f"relation {name!r} redeclared with arity {arity}, "
+                    f"previously {existing.arity}"
+                )
+            return existing
+        declaration = RelationDeclaration(name=name, arity=arity)
+        self.relations[name] = declaration
+        return declaration
+
+    def add_fact(self, relation: str, values: Sequence[Any]) -> Fact:
+        """Add a ground fact, declaring the relation on first use."""
+        fact = Fact(relation, tuple(values))
+        declaration = self.declare_relation(relation, fact.arity)
+        declaration.fact_count += 1
+        self.facts.append(fact)
+        return fact
+
+    def add_facts(self, relation: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-add facts; returns the number added."""
+        count = 0
+        for row in rows:
+            self.add_fact(relation, row)
+            count += 1
+        return count
+
+    def add_rule(self, head: Atom, body: Sequence[Literal], name: str = "") -> Rule:
+        """Add a rule, declaring the head and body relations on first use."""
+        self._rule_counter += 1
+        rule_name = name or f"{head.relation}#{self._rule_counter}"
+        rule = Rule(head, tuple(body), rule_name)
+        head_decl = self.declare_relation(head.relation, head.arity)
+        head_decl.rule_count += 1
+        for atom in rule.body_atoms():
+            self.declare_relation(atom.relation, atom.arity)
+        self.rules.append(rule)
+        return rule
+
+    # -- queries over the program ---------------------------------------------
+
+    def edb_relations(self) -> List[str]:
+        """Names of extensional relations (facts only, no rules)."""
+        return [name for name, decl in self.relations.items() if decl.is_edb]
+
+    def idb_relations(self) -> List[str]:
+        """Names of intensional relations (defined by at least one rule)."""
+        return [name for name, decl in self.relations.items() if decl.is_idb]
+
+    def rules_for(self, relation: str) -> List[Rule]:
+        """All rules whose head is ``relation``, in definition order."""
+        return [rule for rule in self.rules if rule.head_relation == relation]
+
+    def facts_for(self, relation: str) -> List[Fact]:
+        return [fact for fact in self.facts if fact.relation == relation]
+
+    def arity_of(self, relation: str) -> int:
+        try:
+            return self.relations[relation].arity
+        except KeyError:
+            raise KeyError(f"unknown relation {relation!r}") from None
+
+    def relation_names(self) -> List[str]:
+        return list(self.relations)
+
+    # -- transformation -------------------------------------------------------
+
+    def copy(self) -> "DatalogProgram":
+        """Deep-enough copy: rules/facts are immutable, so share them."""
+        clone = DatalogProgram(self.name)
+        for name, decl in self.relations.items():
+            clone.relations[name] = RelationDeclaration(
+                name=decl.name,
+                arity=decl.arity,
+                fact_count=decl.fact_count,
+                rule_count=decl.rule_count,
+            )
+        clone.facts = list(self.facts)
+        clone.rules = list(self.rules)
+        clone._rule_counter = self._rule_counter
+        return clone
+
+    def with_rules(self, rules: Sequence[Rule]) -> "DatalogProgram":
+        """Return a copy of this program with ``rules`` replacing the rule set.
+
+        Fact declarations are preserved; rule counts are recomputed.  Used by
+        source-level rewrites (alias elimination, body reordering).
+        """
+        clone = DatalogProgram(self.name)
+        clone.facts = list(self.facts)
+        for fact in clone.facts:
+            decl = clone.declare_relation(fact.relation, fact.arity)
+            decl.fact_count += 1
+        for rule in rules:
+            clone.add_rule(rule.head, rule.body, rule.name)
+        return clone
+
+    def validate_arities(self) -> None:
+        """Check that every atom use matches its declared arity."""
+        for rule in self.rules:
+            atoms = (rule.head,) + rule.body_atoms()
+            for atom in atoms:
+                declared = self.relations.get(atom.relation)
+                if declared is not None and declared.arity != atom.arity:
+                    raise ValueError(
+                        f"atom {atom!r} in rule {rule.name!r} has arity "
+                        f"{atom.arity}, relation declared with {declared.arity}"
+                    )
+        for fact in self.facts:
+            declared = self.relations.get(fact.relation)
+            if declared is not None and declared.arity != fact.arity:
+                raise ValueError(
+                    f"fact {fact!r} has arity {fact.arity}, relation declared "
+                    f"with {declared.arity}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DatalogProgram({self.name!r}, relations={len(self.relations)}, "
+            f"facts={len(self.facts)}, rules={len(self.rules)})"
+        )

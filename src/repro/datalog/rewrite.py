@@ -1,0 +1,125 @@
+"""Static, source-level rewrites applied before planning.
+
+The paper mentions one such rewrite explicitly (§V-A): alias elimination —
+rules of the form ``A(x, y) :- B(x, y)`` where ``A`` has no other definition
+simply rename ``B`` and would otherwise force an extra materialisation.  We
+also provide a deterministic body-reordering helper used to build the
+"unoptimized" (worst-case) and "hand-optimized" variants of the benchmark
+programs, mirroring the two formulations evaluated in §VI-B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+
+def _is_alias_rule(rule: Rule, program: DatalogProgram) -> bool:
+    """True when ``rule`` is ``A(v1..vk) :- B(v1..vk)`` and A has only this rule."""
+    if len(rule.body) != 1:
+        return False
+    body = rule.body[0]
+    if not isinstance(body, Atom) or body.negated:
+        return False
+    head = rule.head
+    if head.relation == body.relation:
+        return False
+    if len(program.rules_for(head.relation)) != 1:
+        return False
+    if head.arity != body.arity:
+        return False
+    head_vars = [t for t in head.terms]
+    body_vars = [t for t in body.terms]
+    if head_vars != body_vars:
+        return False
+    return all(isinstance(t, Variable) for t in head_vars) and len(set(head_vars)) == len(head_vars)
+
+
+def eliminate_aliases(program: DatalogProgram) -> DatalogProgram:
+    """Remove pure alias rules by renaming the alias to its target everywhere.
+
+    Returns a new program; the input is left untouched.  Facts asserted on the
+    alias relation are re-targeted as well, so the rewrite is semantics
+    preserving for every downstream consumer of the alias name *except* that
+    queries must use the canonical relation name afterwards (the mapping is
+    recorded on the returned program as ``alias_map``).
+    """
+    alias_map: Dict[str, str] = {}
+    for rule in program.rules:
+        if _is_alias_rule(rule, program):
+            alias_map[rule.head_relation] = rule.body[0].relation  # type: ignore[union-attr]
+
+    # Resolve chains alias -> alias -> target.
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in alias_map and name not in seen:
+            seen.add(name)
+            name = alias_map[name]
+        return name
+
+    if not alias_map:
+        clone = program.copy()
+        clone.alias_map = {}  # type: ignore[attr-defined]
+        return clone
+
+    def rewrite_atom(atom: Atom) -> Atom:
+        return Atom(resolve(atom.relation), atom.terms, atom.negated)
+
+    new_rules: List[Rule] = []
+    for rule in program.rules:
+        if _is_alias_rule(rule, program):
+            continue
+        new_body: List[Literal] = []
+        for literal in rule.body:
+            if isinstance(literal, Atom):
+                new_body.append(rewrite_atom(literal))
+            else:
+                new_body.append(literal)
+        new_rules.append(Rule(rewrite_atom(rule.head), tuple(new_body), rule.name))
+
+    rewritten = DatalogProgram(program.name)
+    for fact in program.facts:
+        rewritten.add_fact(resolve(fact.relation), fact.values)
+    for rule in new_rules:
+        rewritten.add_rule(rule.head, rule.body, rule.name)
+    rewritten.alias_map = {a: resolve(a) for a in alias_map}  # type: ignore[attr-defined]
+    return rewritten
+
+
+def reorder_rule_body(rule: Rule, order: Sequence[int]) -> Rule:
+    """Reorder the relational atoms of ``rule`` according to ``order``.
+
+    ``order`` is a permutation over the positive+negated atoms of the body;
+    built-in literals keep their relative position *after* the atoms that bind
+    their variables (they are appended at the end, where the planner will
+    hoist them as early as legal).  Used to construct the hand-optimized and
+    worst-case program variants.
+    """
+    atoms = [l for l in rule.body if isinstance(l, Atom)]
+    builtins = [l for l in rule.body if not isinstance(l, Atom)]
+    if sorted(order) != list(range(len(atoms))):
+        raise ValueError(
+            f"order {order!r} is not a permutation of 0..{len(atoms) - 1}"
+        )
+    new_body: List[Literal] = [atoms[i] for i in order]
+    new_body.extend(builtins)
+    return rule.with_body(new_body)
+
+
+def reverse_rule_bodies(program: DatalogProgram) -> DatalogProgram:
+    """Reverse the atom order of every rule (a deterministic 'bad luck' order).
+
+    The paper evaluates an "unoptimized" formulation chosen to be inefficient;
+    reversing a hand-optimized body is the canonical way to obtain one
+    deterministically.
+    """
+    new_rules = []
+    for rule in program.rules:
+        atoms = [l for l in rule.body if isinstance(l, Atom)]
+        order = list(reversed(range(len(atoms))))
+        new_rules.append(reorder_rule_body(rule, order))
+    return program.with_rules(new_rules)

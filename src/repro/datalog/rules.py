@@ -1,0 +1,103 @@
+"""Rules and facts: the statements of a Datalog program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal
+from repro.datalog.terms import Aggregate, Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact ``R(c1, ..., ck)`` stored in the extensional database."""
+
+    relation: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def as_atom(self) -> Atom:
+        return Atom(self.relation, tuple(Constant(v) for v in self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        args = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({args})."
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head :- body``.
+
+    The body keeps the *as-written* literal order: the whole point of the
+    reproduced optimization is that this order is semantically irrelevant but
+    performance-critical, so the frontend must not silently canonicalise it.
+    """
+
+    head: Atom
+    body: Tuple[Literal, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise ValueError("rule heads cannot be negated")
+
+    # -- structural accessors -------------------------------------------------
+
+    @property
+    def head_relation(self) -> str:
+        return self.head.relation
+
+    def body_atoms(self) -> Tuple[Atom, ...]:
+        """All relational atoms (positive and negated) in the body."""
+        return tuple(l for l in self.body if isinstance(l, Atom))
+
+    def positive_atoms(self) -> Tuple[Atom, ...]:
+        return tuple(l for l in self.body if isinstance(l, Atom) and not l.negated)
+
+    def negated_atoms(self) -> Tuple[Atom, ...]:
+        return tuple(l for l in self.body if isinstance(l, Atom) and l.negated)
+
+    def builtins(self) -> Tuple[Literal, ...]:
+        return tuple(l for l in self.body if isinstance(l, (Comparison, Assignment)))
+
+    def body_relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.body_atoms())
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        return self.head.variables()
+
+    def body_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for literal in self.body:
+            result = result | literal.variables()
+        return result
+
+    def has_aggregation(self) -> bool:
+        return any(isinstance(t, Aggregate) for t in self.head.terms)
+
+    def aggregate_terms(self) -> Tuple[Tuple[int, Aggregate], ...]:
+        """Positions and aggregate terms appearing in the head."""
+        return tuple(
+            (i, t) for i, t in enumerate(self.head.terms) if isinstance(t, Aggregate)
+        )
+
+    def is_recursive_with(self, relations: Iterable[str]) -> bool:
+        """True if any positive body atom refers to one of ``relations``."""
+        targets = set(relations)
+        return any(a.relation in targets for a in self.positive_atoms())
+
+    def with_body(self, body: Sequence[Literal], name: str | None = None) -> "Rule":
+        """Return a copy of this rule with a different (reordered) body."""
+        return Rule(self.head, tuple(body), name if name is not None else self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(repr(l) for l in self.body)
+        return f"{self.head!r} :- {body}."

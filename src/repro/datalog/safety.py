@@ -1,0 +1,105 @@
+"""Rule-safety checking.
+
+A rule is *safe* when every variable appearing in its head, in a negated
+atom, or in a comparison is bound by a positive relational atom or by an
+assignment whose inputs are (transitively) bound.  Unsafe rules would produce
+infinite relations under bottom-up evaluation, so the engine rejects them
+before planning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Aggregate, Variable
+
+
+class SafetyError(ValueError):
+    """Raised when a rule (or program) fails the safety check."""
+
+
+def _bound_variables(body: Iterable[Literal]) -> Set[Variable]:
+    """Compute the set of variables bound by positive atoms and assignments.
+
+    Assignments are applied to a fixpoint because an assignment's output can
+    feed another assignment's input regardless of their textual order (the
+    planner will order them correctly later).
+    """
+    bound: Set[Variable] = set()
+    for literal in body:
+        if isinstance(literal, Atom) and not literal.negated:
+            bound |= literal.variables()
+
+    assignments = [l for l in body if isinstance(l, Assignment)]
+    changed = True
+    while changed:
+        changed = False
+        for assignment in assignments:
+            if assignment.target in bound:
+                continue
+            if assignment.input_variables() <= bound:
+                bound.add(assignment.target)
+                changed = True
+    return bound
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`SafetyError` if ``rule`` is unsafe."""
+    bound = _bound_variables(rule.body)
+
+    head_variables: Set[Variable] = set()
+    for term in rule.head.terms:
+        if isinstance(term, Aggregate):
+            head_variables |= term.variables()
+        else:
+            head_variables |= term.variables()
+    unbound_head = head_variables - bound
+    if unbound_head:
+        names = ", ".join(sorted(v.name for v in unbound_head))
+        raise SafetyError(
+            f"rule {rule.name or rule!r}: head variable(s) {names} not bound by "
+            "a positive body atom or assignment"
+        )
+
+    for literal in rule.body:
+        if isinstance(literal, Atom) and literal.negated:
+            unbound = literal.variables() - bound
+            if unbound:
+                names = ", ".join(sorted(v.name for v in unbound))
+                raise SafetyError(
+                    f"rule {rule.name or rule!r}: negated atom {literal!r} uses "
+                    f"unbound variable(s) {names}"
+                )
+        elif isinstance(literal, Comparison):
+            unbound = literal.variables() - bound
+            if unbound:
+                names = ", ".join(sorted(v.name for v in unbound))
+                raise SafetyError(
+                    f"rule {rule.name or rule!r}: comparison {literal!r} uses "
+                    f"unbound variable(s) {names}"
+                )
+        elif isinstance(literal, Assignment):
+            unbound = literal.input_variables() - bound
+            if unbound:
+                names = ", ".join(sorted(v.name for v in unbound))
+                raise SafetyError(
+                    f"rule {rule.name or rule!r}: assignment {literal!r} reads "
+                    f"unbound variable(s) {names}"
+                )
+
+    if not rule.positive_atoms() and rule.head_variables():
+        raise SafetyError(
+            f"rule {rule.name or rule!r}: a rule with head variables needs at "
+            "least one positive body atom"
+        )
+
+
+def check_program_safety(program: DatalogProgram) -> List[Rule]:
+    """Check every rule in ``program``; returns the list of checked rules."""
+    program.validate_arities()
+    for rule in program.rules:
+        check_rule_safety(rule)
+    return list(program.rules)

@@ -1,0 +1,220 @@
+"""Precedence graph and stratification.
+
+Bottom-up evaluation with negation or aggregation requires the program to be
+*stratified*: the predicate dependency graph must contain no cycle through a
+negated edge (or through an aggregation, which behaves like negation for this
+purpose).  The stratifier also produces the evaluation order used by the plan
+builder: strata are evaluated lowest-first, and within a stratum all mutually
+recursive predicates reach fixpoint together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Rule
+
+
+class StratificationError(ValueError):
+    """Raised when a program cannot be stratified (negative/aggregate cycle)."""
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """An edge ``source -> target`` meaning ``target``'s rules read ``source``."""
+
+    source: str
+    target: str
+    negative: bool = False
+
+
+@dataclass
+class PrecedenceGraph:
+    """The predicate dependency graph of a program."""
+
+    nodes: Set[str] = field(default_factory=set)
+    edges: List[DependencyEdge] = field(default_factory=list)
+
+    def successors(self, node: str) -> List[Tuple[str, bool]]:
+        return [(e.target, e.negative) for e in self.edges if e.source == node]
+
+    def predecessors(self, node: str) -> List[Tuple[str, bool]]:
+        return [(e.source, e.negative) for e in self.edges if e.target == node]
+
+    def adjacency(self) -> Dict[str, List[Tuple[str, bool]]]:
+        adj: Dict[str, List[Tuple[str, bool]]] = {n: [] for n in self.nodes}
+        for edge in self.edges:
+            adj[edge.source].append((edge.target, edge.negative))
+        return adj
+
+
+def precedence_graph(program: DatalogProgram) -> PrecedenceGraph:
+    """Build the precedence graph: body relation -> head relation edges."""
+    graph = PrecedenceGraph()
+    graph.nodes.update(program.relation_names())
+    seen: Set[Tuple[str, str, bool]] = set()
+    for rule in program.rules:
+        head = rule.head_relation
+        negative_through_aggregation = rule.has_aggregation()
+        for atom in rule.body_atoms():
+            negative = atom.negated or negative_through_aggregation
+            key = (atom.relation, head, negative)
+            if key in seen:
+                continue
+            seen.add(key)
+            graph.edges.append(DependencyEdge(atom.relation, head, negative))
+    return graph
+
+
+@dataclass
+class Stratum:
+    """One stratum: a set of mutually-dependent IDB relations and their rules."""
+
+    index: int
+    relations: Tuple[str, ...]
+    rules: Tuple[Rule, ...]
+
+    def recursive_relations(self) -> FrozenSet[str]:
+        """Relations in this stratum that appear in a body of a stratum rule."""
+        in_bodies: Set[str] = set()
+        for rule in self.rules:
+            for atom in rule.positive_atoms():
+                if atom.relation in self.relations:
+                    in_bodies.add(atom.relation)
+        return frozenset(in_bodies)
+
+    def is_recursive(self) -> bool:
+        return bool(self.recursive_relations())
+
+
+def _strongly_connected_components(
+    nodes: Sequence[str], adjacency: Dict[str, List[Tuple[str, bool]]]
+) -> List[List[str]]:
+    """Tarjan's algorithm, iterative to cope with deep dependency chains."""
+    index_counter = 0
+    indices: Dict[str, int] = {}
+    lowlinks: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+
+    for root in nodes:
+        if root in indices:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                indices[node] = index_counter
+                lowlinks[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = adjacency.get(node, [])
+            while child_index < len(successors):
+                successor, _negative = successors[child_index]
+                child_index += 1
+                if successor not in indices:
+                    work[-1] = (node, child_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+class Stratifier:
+    """Computes a stratification of a Datalog program.
+
+    The algorithm condenses the precedence graph into strongly connected
+    components, rejects components containing a negative (or aggregate) edge,
+    and then topologically sorts components into strata.  EDB-only components
+    are dropped (they need no evaluation).
+    """
+
+    def __init__(self, program: DatalogProgram) -> None:
+        self.program = program
+        self.graph = precedence_graph(program)
+
+    def stratify(self) -> List[Stratum]:
+        adjacency = self.graph.adjacency()
+        nodes = sorted(self.graph.nodes)
+        components = _strongly_connected_components(nodes, adjacency)
+
+        component_of: Dict[str, int] = {}
+        for i, component in enumerate(components):
+            for node in component:
+                component_of[node] = i
+
+        # Reject negative edges inside a component (unstratifiable programs).
+        for edge in self.graph.edges:
+            if edge.negative and component_of[edge.source] == component_of[edge.target]:
+                raise StratificationError(
+                    f"negation/aggregation cycle through {edge.source!r} -> "
+                    f"{edge.target!r}; the program is not stratifiable"
+                )
+
+        # Topological order of the component DAG (Kahn).
+        dependencies: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
+        for edge in self.graph.edges:
+            source_component = component_of[edge.source]
+            target_component = component_of[edge.target]
+            if source_component != target_component:
+                dependencies[target_component].add(source_component)
+
+        remaining = set(range(len(components)))
+        ordered: List[int] = []
+        while remaining:
+            ready = sorted(
+                c for c in remaining if not (dependencies[c] & remaining)
+            )
+            if not ready:
+                raise StratificationError("cycle detected in component DAG")
+            ordered.extend(ready)
+            remaining -= set(ready)
+
+        idb = set(self.program.idb_relations())
+        strata: List[Stratum] = []
+        for component_index in ordered:
+            component_relations = [
+                r for r in components[component_index] if r in idb
+            ]
+            if not component_relations:
+                continue
+            rules = tuple(
+                rule
+                for rule in self.program.rules
+                if rule.head_relation in component_relations
+            )
+            strata.append(
+                Stratum(
+                    index=len(strata),
+                    relations=tuple(sorted(component_relations)),
+                    rules=rules,
+                )
+            )
+        return strata
+
+
+def stratify(program: DatalogProgram) -> List[Stratum]:
+    """Convenience wrapper over :class:`Stratifier`."""
+    return Stratifier(program).stratify()

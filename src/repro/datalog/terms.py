@@ -1,0 +1,194 @@
+"""Terms: the leaves of the Datalog abstract syntax tree.
+
+A term is either a :class:`Variable`, a :class:`Constant`, an arithmetic
+:class:`Expression` over terms, or (in rule heads only) an :class:`Aggregate`
+over a variable.  Terms are immutable and hashable so they can be used as
+dictionary keys by the planner and the evaluator.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Mapping, Union
+
+
+class Term:
+    """Base class for all Datalog terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet["Variable"]:
+        """Return the set of variables occurring in this term."""
+        raise NotImplementedError
+
+    def substitute(self, bindings: Mapping["Variable", Any]) -> Any:
+        """Evaluate this term under ``bindings`` (variable -> Python value)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Variable(Term):
+    """A logic variable, identified by name.
+
+    Two variables with the same name are the same variable within a rule.
+    """
+
+    name: str
+
+    def variables(self) -> FrozenSet["Variable"]:
+        return frozenset((self,))
+
+    def substitute(self, bindings: Mapping["Variable", Any]) -> Any:
+        if self not in bindings:
+            raise KeyError(f"unbound variable {self.name!r}")
+        return bindings[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+    # Arithmetic sugar so the DSL can write ``n + 1`` inside rule bodies.
+    def __add__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("+", self, _as_term(other))
+
+    def __radd__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("+", _as_term(other), self)
+
+    def __sub__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("-", self, _as_term(other))
+
+    def __rsub__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("-", _as_term(other), self)
+
+    def __mul__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("*", self, _as_term(other))
+
+    def __rmul__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("*", _as_term(other), self)
+
+    def __floordiv__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("//", self, _as_term(other))
+
+    def __mod__(self, other: Any) -> "BinaryExpression":
+        return BinaryExpression("%", self, _as_term(other))
+
+
+@dataclass(frozen=True)
+class Constant(Term):
+    """A ground constant (int, string, float, bool or tuple of those)."""
+
+    value: Any
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def substitute(self, bindings: Mapping[Variable, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return repr(self.value)
+
+
+_BINARY_OPERATORS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "//": operator.floordiv,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "min": min,
+    "max": max,
+}
+
+
+@dataclass(frozen=True)
+class BinaryExpression(Term):
+    """An arithmetic expression combining two terms with an operator.
+
+    Expressions appear inside :class:`~repro.datalog.literals.Assignment` and
+    :class:`~repro.datalog.literals.Comparison` literals, and (after parsing)
+    directly in rule heads, e.g. ``fib(N + 1, A + B)``.
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_OPERATORS:
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, bindings: Mapping[Variable, Any]) -> Any:
+        func = _BINARY_OPERATORS[self.op]
+        return func(self.left.substitute(bindings), self.right.substitute(bindings))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+#: Alias used in type hints: any term that evaluates to a value.
+Expression = Union[Variable, Constant, BinaryExpression]
+
+_AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "mean")
+
+
+@dataclass(frozen=True)
+class Aggregate(Term):
+    """An aggregate term, allowed only in rule heads.
+
+    ``Aggregate("count", x)`` corresponds to ``count(x)`` in textual syntax.
+    The remaining head variables form the group-by key.  Aggregation is
+    evaluated after the fixpoint of the stratum containing the rule body, so
+    aggregate rules may not be recursive through the aggregated predicate
+    (enforced by stratification).
+    """
+
+    func: str
+    target: Variable
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGGREGATE_FUNCTIONS:
+            raise ValueError(
+                f"unsupported aggregate {self.func!r}; expected one of {_AGGREGATE_FUNCTIONS}"
+            )
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.target.variables()
+
+    def substitute(self, bindings: Mapping[Variable, Any]) -> Any:
+        # The aggregate itself is computed by the evaluator over groups; at the
+        # tuple level we simply project the target variable.
+        return self.target.substitute(bindings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.func}({self.target!r})"
+
+
+def _as_term(value: Any) -> Term:
+    """Coerce a Python value or term into a :class:`Term`."""
+    if isinstance(value, Term):
+        return value
+    return Constant(value)
+
+
+def as_term(value: Any) -> Term:
+    """Public coercion helper: wrap plain Python values as :class:`Constant`."""
+    return _as_term(value)
+
+
+def evaluate_aggregate(func: str, values: list[Any]) -> Any:
+    """Evaluate aggregate ``func`` over ``values`` (used by the evaluator)."""
+    if func == "count":
+        return len(values)
+    if func == "sum":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    if func == "mean":
+        return sum(values) / len(values)
+    raise ValueError(f"unsupported aggregate {func!r}")

@@ -1,0 +1,89 @@
+"""The execution engine façade."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set
+
+from repro.core.aot import apply_aot_optimization
+from repro.core.config import AOTSortMode, EngineConfig, ExecutionMode
+from repro.core.executor import IRExecutor
+from repro.core.join_order import JoinOrderOptimizer
+from repro.core.profile import RuntimeProfile
+from repro.datalog.program import DatalogProgram
+from repro.ir.builder import build_naive_ir, build_program_ir
+from repro.ir.printer import explain
+from repro.relational.relation import Row
+from repro.relational.storage import StorageManager
+from repro.engine.indexing import select_indexes
+
+
+class ExecutionEngine:
+    """Evaluates one Datalog program under one configuration.
+
+    The engine is single-shot: construct, :meth:`run`, read results.  This
+    mirrors how the paper benchmarks Carac (each measurement is a fresh
+    evaluation over freshly loaded facts) and keeps the storage lifecycle
+    unambiguous.
+    """
+
+    def __init__(self, program: DatalogProgram, config: Optional[EngineConfig] = None) -> None:
+        self.program = program
+        self.config = config or EngineConfig()
+        self.profile = RuntimeProfile()
+
+        setup_start = time.perf_counter()
+        self.storage = StorageManager(program)
+        if self.config.use_indexes:
+            for relation, column in sorted(select_indexes(program)):
+                self.storage.register_index(relation, column)
+
+        if self.config.mode == ExecutionMode.NAIVE:
+            self.tree = build_naive_ir(program)
+        else:
+            self.tree = build_program_ir(program)
+
+        if self.config.mode == ExecutionMode.AOT and self.config.aot_sort != AOTSortMode.NONE:
+            apply_aot_optimization(
+                self.tree,
+                JoinOrderOptimizer(self.config.selectivity),
+                self.storage,
+                self.config.aot_sort,
+                use_indexes=self.config.use_indexes,
+                profile=self.profile,
+            )
+        self.setup_seconds = time.perf_counter() - setup_start
+        self._ran = False
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self) -> Dict[str, Set[Row]]:
+        """Evaluate to fixpoint; returns every IDB relation's tuples."""
+        if self._ran:
+            raise RuntimeError(
+                "this engine has already run; build a new ExecutionEngine to re-evaluate"
+            )
+        executor = IRExecutor(self.storage, self.config, self.profile)
+        executor.execute(self.tree)
+        self._ran = True
+        return {
+            relation: self.storage.tuples(relation)
+            for relation in self.program.idb_relations()
+        }
+
+    def relation(self, name: str) -> Set[Row]:
+        """Tuples of one relation (IDB or EDB) after :meth:`run`."""
+        return self.storage.tuples(name)
+
+    def execution_seconds(self) -> float:
+        """Wall-clock time of the :meth:`run` call (excludes engine setup)."""
+        return self.profile.wall_seconds
+
+    def explain(self) -> str:
+        """The current IROp tree, including any plans rewritten by AOT/JIT."""
+        return explain(self.tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExecutionEngine({self.program.name!r}, config={self.config.describe()!r})"
+        )

@@ -1,0 +1,43 @@
+"""Automatic index selection from the rule schema (paper §IV).
+
+As each rule is defined, Carac knows which columns participate in joins
+(shared variables) or filters (constants), and builds one index per such
+column so the index can be maintained incrementally before execution begins.
+This module computes that set of (relation, column) pairs from a program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Constant, Variable
+
+
+def select_indexes(program: DatalogProgram) -> Set[Tuple[str, int]]:
+    """The (relation, column) pairs that should carry a hash index.
+
+    A column is indexed when, in any rule body, it holds a constant (filter
+    predicate) or a variable that also occurs in *another* body atom of the
+    same rule (join predicate).  Negated atoms participate too: their
+    membership probes benefit from bound columns the same way.
+    """
+    indexes: Set[Tuple[str, int]] = set()
+    for rule in program.rules:
+        atoms = list(rule.body_atoms())
+        occurrences: Dict[Variable, int] = {}
+        for atom in atoms:
+            for variable in atom.variables():
+                occurrences[variable] = occurrences.get(variable, 0) + 1
+        for atom in atoms:
+            for column, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    indexes.add((atom.relation, column))
+                elif isinstance(term, Variable):
+                    appears_elsewhere = any(
+                        term in other.variables() for other in atoms if other is not atom
+                    )
+                    if appears_elsewhere:
+                        indexes.add((atom.relation, column))
+    return indexes

@@ -1,0 +1,59 @@
+"""The IROp intermediate representation (paper §V-B, Fig. 4).
+
+Carac partially evaluates the input Datalog program (a Futamura projection of
+the semi-naive evaluator onto the program) into an imperative tree of IROps:
+relational-algebra leaves (σπ⋈), unions at two granularities (per rule and
+per relation), control flow (DoWhile) and relation-management operations
+(Insert, Scan, SwapClear).  The tree is the *logical* plan; every backend in
+:mod:`repro.core.backends` consumes it — the interpreter walks it, the code
+generators specialize it away.
+"""
+
+from repro.ir.ops import (
+    AggregateOp,
+    DoWhileOp,
+    InsertOp,
+    IROp,
+    JoinProjectOp,
+    ProgramOp,
+    RelationUnionOp,
+    ScanOp,
+    SequenceOp,
+    StratumOp,
+    SwapClearOp,
+    UnionOp,
+    walk,
+)
+from repro.ir.planning import (
+    build_join_plan,
+    delta_subqueries,
+    legalize_literal_order,
+    seed_plan,
+)
+from repro.ir.builder import PlanBuilder, build_program_ir, build_naive_ir
+from repro.ir.printer import explain, format_tree
+
+__all__ = [
+    "AggregateOp",
+    "DoWhileOp",
+    "InsertOp",
+    "IROp",
+    "JoinProjectOp",
+    "PlanBuilder",
+    "ProgramOp",
+    "RelationUnionOp",
+    "ScanOp",
+    "SequenceOp",
+    "StratumOp",
+    "SwapClearOp",
+    "UnionOp",
+    "build_join_plan",
+    "build_naive_ir",
+    "build_program_ir",
+    "delta_subqueries",
+    "explain",
+    "format_tree",
+    "legalize_literal_order",
+    "seed_plan",
+    "walk",
+]

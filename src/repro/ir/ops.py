@@ -1,0 +1,284 @@
+"""IROp node definitions.
+
+The node set mirrors Fig. 4 of the paper:
+
+* :class:`ProgramOp` — the whole program: one child per stratum.
+* :class:`StratumOp` — seed (naive first pass) + DoWhile loop for one stratum.
+* :class:`DoWhileOp` — repeat the body while the last SwapClear promoted facts.
+* :class:`SequenceOp` — ordered execution of children.
+* :class:`RelationUnionOp` — the pink ``UnionOp*``: union over all rules of one
+  relation; the insert target is that relation.
+* :class:`UnionOp` — the yellow ``UnionOp``: union over the delta-choice
+  sub-queries of one rule.
+* :class:`JoinProjectOp` — the blue σπ⋈ leaf: one ordered conjunctive
+  sub-query (a :class:`repro.relational.operators.JoinPlan`).
+* :class:`AggregateOp` — evaluation of one aggregate rule (grouping happens
+  after the body fixpoint; aggregation is stratified like negation).
+* :class:`InsertOp`, :class:`ScanOp`, :class:`SwapClearOp` — relation
+  management.
+
+Every node carries a ``kind`` string used by the compilation-granularity
+machinery and the Fig. 5 code-generation benchmark, and exposes ``children``
+for generic traversal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.rules import Rule
+from repro.relational.operators import JoinPlan
+from repro.relational.storage import DatabaseKind
+
+_node_ids = itertools.count(1)
+
+
+class IROp:
+    """Base class for all IR operations."""
+
+    kind: str = "IROp"
+
+    def __init__(self) -> None:
+        self.node_id: int = next(_node_ids)
+
+    @property
+    def children(self) -> Tuple["IROp", ...]:
+        return ()
+
+    def label(self) -> str:
+        """Short human-readable label for the printer."""
+        return self.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}#{self.node_id}"
+
+
+class JoinProjectOp(IROp):
+    """The σπ⋈ leaf: evaluate one conjunctive sub-query with a fixed order."""
+
+    kind = "JoinProjectOp"
+
+    def __init__(self, plan: JoinPlan) -> None:
+        super().__init__()
+        self.plan = plan
+
+    def label(self) -> str:
+        return f"σπ⋈ {self.plan.describe()}"
+
+
+class AggregateOp(IROp):
+    """Evaluate one aggregate rule: body bindings, group-by, aggregate, project."""
+
+    kind = "AggregateOp"
+
+    def __init__(self, rule: Rule, plan: JoinPlan) -> None:
+        super().__init__()
+        self.rule = rule
+        self.plan = plan
+
+    def label(self) -> str:
+        return f"γ {self.rule.head!r}"
+
+
+class ScanOp(IROp):
+    """Read every tuple of one relation copy (used to copy/union relations)."""
+
+    kind = "ScanOp"
+
+    def __init__(self, relation: str, source: DatabaseKind = DatabaseKind.DERIVED) -> None:
+        super().__init__()
+        self.relation = relation
+        self.source = source
+
+    def label(self) -> str:
+        return f"Scan {self.relation}[{self.source.value}]"
+
+
+class UnionOp(IROp):
+    """Union of the delta-choice sub-queries of a single rule definition."""
+
+    kind = "UnionOp"
+
+    def __init__(self, rule_name: str, subqueries: Sequence[IROp]) -> None:
+        super().__init__()
+        self.rule_name = rule_name
+        self._subqueries: Tuple[IROp, ...] = tuple(subqueries)
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        return self._subqueries
+
+    def replace_children(self, subqueries: Sequence[IROp]) -> None:
+        self._subqueries = tuple(subqueries)
+
+    def label(self) -> str:
+        return f"Union[{self.rule_name}] ({len(self._subqueries)} subqueries)"
+
+
+class RelationUnionOp(IROp):
+    """Union over every rule defining one relation (the paper's ``UnionOp*``)."""
+
+    kind = "RelationUnionOp"
+
+    def __init__(self, relation: str, rule_unions: Sequence[IROp]) -> None:
+        super().__init__()
+        self.relation = relation
+        self._rule_unions: Tuple[IROp, ...] = tuple(rule_unions)
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        return self._rule_unions
+
+    def replace_children(self, rule_unions: Sequence[IROp]) -> None:
+        self._rule_unions = tuple(rule_unions)
+
+    def label(self) -> str:
+        return f"Union*[{self.relation}] ({len(self._rule_unions)} rules)"
+
+
+class InsertOp(IROp):
+    """Insert the rows produced by ``source`` into ``relation`` of ``target``.
+
+    ``target`` distinguishes the seeding pass (write Derived + Delta-Known)
+    from the loop pass (write Delta-New, deduplicated against Derived).
+    """
+
+    kind = "InsertOp"
+
+    SEED = "seed"
+    NEW = "new"
+
+    def __init__(self, relation: str, source: IROp, target: str = NEW) -> None:
+        super().__init__()
+        if target not in (self.SEED, self.NEW):
+            raise ValueError(f"unknown insert target {target!r}")
+        self.relation = relation
+        self.source = source
+        self.target = target
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        return (self.source,)
+
+    def label(self) -> str:
+        return f"Insert→{self.relation}[{self.target}]"
+
+
+class SwapClearOp(IROp):
+    """Promote Delta-New to Derived, rotate it into Delta-Known, clear."""
+
+    kind = "SwapClearOp"
+
+    def __init__(self, relations: Sequence[str]) -> None:
+        super().__init__()
+        self.relations = tuple(relations)
+
+    def label(self) -> str:
+        return f"SwapClear({', '.join(self.relations)})"
+
+
+class SequenceOp(IROp):
+    """Execute children left to right."""
+
+    kind = "SequenceOp"
+
+    def __init__(self, children: Sequence[IROp]) -> None:
+        super().__init__()
+        self._children: Tuple[IROp, ...] = tuple(children)
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        return self._children
+
+    def replace_children(self, children: Sequence[IROp]) -> None:
+        self._children = tuple(children)
+
+
+class DoWhileOp(IROp):
+    """Repeat ``body`` while the iteration discovers new facts.
+
+    The body's final :class:`SwapClearOp` returns the number of facts promoted
+    into Derived; the loop terminates when that number reaches zero, which is
+    exactly the semi-naive termination condition (an iteration that discovers
+    nothing new).
+    """
+
+    kind = "DoWhileOp"
+
+    def __init__(self, body: SequenceOp, relations: Sequence[str],
+                 max_iterations: int = 1_000_000) -> None:
+        super().__init__()
+        self.body = body
+        self.relations = tuple(relations)
+        self.max_iterations = max_iterations
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        return (self.body,)
+
+    def label(self) -> str:
+        return f"DoWhile({', '.join(self.relations)})"
+
+
+class StratumOp(IROp):
+    """One stratum: seeding pass followed by the semi-naive loop."""
+
+    kind = "StratumOp"
+
+    def __init__(self, index: int, relations: Sequence[str],
+                 seed: SequenceOp, loop: Optional[DoWhileOp]) -> None:
+        super().__init__()
+        self.index = index
+        self.relations = tuple(relations)
+        self.seed = seed
+        self.loop = loop
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        if self.loop is None:
+            return (self.seed,)
+        return (self.seed, self.loop)
+
+    def label(self) -> str:
+        recursive = "recursive" if self.loop is not None else "non-recursive"
+        return f"Stratum {self.index} ({', '.join(self.relations)}) [{recursive}]"
+
+
+class ProgramOp(IROp):
+    """The root: strata executed lowest-first."""
+
+    kind = "ProgramOp"
+
+    def __init__(self, strata: Sequence[StratumOp], name: str = "program") -> None:
+        super().__init__()
+        self.name = name
+        self._strata: Tuple[StratumOp, ...] = tuple(strata)
+
+    @property
+    def children(self) -> Tuple[IROp, ...]:
+        return self._strata
+
+    @property
+    def strata(self) -> Tuple[StratumOp, ...]:
+        return self._strata
+
+    def label(self) -> str:
+        return f"Program[{self.name}] ({len(self._strata)} strata)"
+
+
+def walk(node: IROp) -> Iterator[IROp]:
+    """Pre-order traversal of an IR tree."""
+    yield node
+    for child in node.children:
+        yield from walk(child)
+
+
+def count_nodes(node: IROp) -> int:
+    return sum(1 for _ in walk(node))
+
+
+def find_nodes(node: IROp, kind: type) -> List[IROp]:
+    """All descendants (including ``node``) that are instances of ``kind``."""
+    return [n for n in walk(node) if isinstance(n, kind)]

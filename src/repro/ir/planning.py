@@ -1,0 +1,167 @@
+"""Sub-query (JoinPlan) construction helpers shared by the builder and the JIT.
+
+Two responsibilities live here:
+
+* Turning one rule into its semi-naive delta-choice sub-queries (one per
+  occurrence of a same-stratum relation in the body) or into its single
+  seeding sub-query (all atoms read Derived).
+* Making an arbitrary positive-atom order *legal* by interleaving the
+  built-in literals (comparisons, assignments) and negated atoms at the
+  earliest position where their variables are bound.  The join-order
+  optimizer permutes only the positive atoms and re-runs this legalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.relational.operators import AtomSource, JoinPlan
+from repro.relational.storage import DatabaseKind
+
+
+def legalize_literal_order(
+    positive_sources: Sequence[AtomSource],
+    other_literals: Sequence[Literal],
+) -> Tuple[AtomSource, ...]:
+    """Interleave non-positive literals into a positive-atom order.
+
+    ``positive_sources`` fixes the join order of the positive atoms.  Each
+    negated atom, comparison or assignment from ``other_literals`` is placed
+    immediately after the earliest prefix of positive atoms (plus previously
+    placed assignments) that binds all the variables it needs.  Raises
+    ``ValueError`` if no legal placement exists (the rule would be unsafe,
+    which the safety checker normally rejects first).
+    """
+    pending: List[Literal] = list(other_literals)
+    placed: List[AtomSource] = []
+    bound: Set[Variable] = set()
+
+    def try_place_pending() -> None:
+        progress = True
+        while progress and pending:
+            progress = False
+            for literal in list(pending):
+                if isinstance(literal, Assignment):
+                    needed = literal.input_variables()
+                else:
+                    needed = literal.variables()
+                if needed <= bound:
+                    placed.append(AtomSource(literal, None))
+                    if isinstance(literal, Assignment):
+                        bound.add(literal.target)
+                    pending.remove(literal)
+                    progress = True
+
+    try_place_pending()
+    for source in positive_sources:
+        placed.append(source)
+        bound.update(source.literal.variables())
+        try_place_pending()
+
+    if pending:
+        names = ", ".join(repr(l) for l in pending)
+        raise ValueError(
+            f"cannot place literals {names}: their variables are never bound "
+            "by the positive atoms of the rule"
+        )
+    return tuple(placed)
+
+
+def build_join_plan(
+    rule: Rule,
+    delta_index: Optional[int] = None,
+    atom_order: Optional[Sequence[int]] = None,
+) -> JoinPlan:
+    """Build the JoinPlan for one delta choice of ``rule``.
+
+    ``delta_index`` selects which positive atom (by position among the
+    positive atoms) reads the Delta-Known database; None means every atom
+    reads Derived (the seeding / naive plan).  ``atom_order`` optionally
+    permutes the positive atoms; by default the as-written order is kept —
+    preserving the author's order is the whole point of the "unoptimized"
+    versus "hand-optimized" comparison.
+    """
+    positive = list(rule.positive_atoms())
+    others: List[Literal] = [
+        literal
+        for literal in rule.body
+        if not (isinstance(literal, Atom) and not literal.negated)
+    ]
+
+    if delta_index is not None and not (0 <= delta_index < len(positive)):
+        raise ValueError(
+            f"delta index {delta_index} out of range for rule {rule.name!r} "
+            f"with {len(positive)} positive atoms"
+        )
+
+    sources: List[AtomSource] = []
+    for position, atom in enumerate(positive):
+        kind = (
+            DatabaseKind.DELTA_KNOWN
+            if delta_index is not None and position == delta_index
+            else DatabaseKind.DERIVED
+        )
+        sources.append(AtomSource(atom, kind))
+
+    if atom_order is not None:
+        if sorted(atom_order) != list(range(len(sources))):
+            raise ValueError(f"{atom_order!r} is not a permutation of the positive atoms")
+        sources = [sources[i] for i in atom_order]
+
+    ordered = legalize_literal_order(sources, others)
+    return JoinPlan(
+        head_relation=rule.head_relation,
+        head_terms=rule.head.terms,
+        sources=ordered,
+        rule_name=rule.name,
+    )
+
+
+def seed_plan(rule: Rule) -> JoinPlan:
+    """The naive (all-Derived) plan used in the stratum's seeding pass."""
+    return build_join_plan(rule, delta_index=None)
+
+
+def delta_subqueries(rule: Rule, stratum_relations: Iterable[str]) -> List[JoinPlan]:
+    """The semi-naive sub-queries of ``rule`` within its stratum.
+
+    One plan per occurrence of a same-stratum relation among the positive
+    atoms, with that occurrence reading Delta-Known and everything else
+    reading Derived.  A rule with no same-stratum atom is not recursive and
+    contributes no delta sub-query (its results are complete after seeding).
+    """
+    stratum = set(stratum_relations)
+    plans: List[JoinPlan] = []
+    for position, atom in enumerate(rule.positive_atoms()):
+        if atom.relation in stratum:
+            plans.append(build_join_plan(rule, delta_index=position))
+    return plans
+
+
+def positive_atom_permutation(plan: JoinPlan, order: Sequence[int]) -> JoinPlan:
+    """Reorder the positive atoms of an existing plan and re-legalize.
+
+    ``order`` permutes the positive-atom sources of ``plan``; delta markings
+    travel with their atoms.  Built-ins and negated atoms are re-interleaved.
+    """
+    positive = [
+        s for s in plan.sources
+        if isinstance(s.literal, Atom) and not s.literal.negated
+    ]
+    others = [
+        s.literal for s in plan.sources
+        if not (isinstance(s.literal, Atom) and not s.literal.negated)
+    ]
+    if sorted(order) != list(range(len(positive))):
+        raise ValueError(f"{order!r} is not a permutation of the plan's positive atoms")
+    permuted = [positive[i] for i in order]
+    ordered = legalize_literal_order(permuted, others)
+    return JoinPlan(
+        head_relation=plan.head_relation,
+        head_terms=plan.head_terms,
+        sources=ordered,
+        rule_name=plan.rule_name,
+    )

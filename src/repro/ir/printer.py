@@ -1,0 +1,34 @@
+"""Plan explanation: pretty-printing IROp trees.
+
+``explain(tree)`` is the user-facing way to see which join order a program is
+currently using — the runtime optimizer rewrites plans in place, so printing
+the same tree before and after execution shows what the JIT did.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.ops import IROp
+
+
+def format_tree(node: IROp, prefix: str = "", is_root: bool = True,
+                is_last: bool = True) -> List[str]:
+    """Format ``node`` and its descendants as indented tree lines."""
+    lines: List[str] = []
+    if is_root:
+        lines.append(node.label())
+        child_prefix = ""
+    else:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + node.label())
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    children = node.children
+    for i, child in enumerate(children):
+        lines.extend(format_tree(child, child_prefix, False, i == len(children) - 1))
+    return lines
+
+
+def explain(node: IROp) -> str:
+    """Return the IR tree of ``node`` as a printable string."""
+    return "\n".join(format_tree(node))

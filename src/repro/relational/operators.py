@@ -1,0 +1,318 @@
+"""Physical evaluation of conjunctive sub-queries (σπ⋈ over one atom order).
+
+A *sub-query* is one member of the union generated for a rule by semi-naive
+evaluation: an ordered sequence of body literals, each relational atom tagged
+with the database copy it reads (Derived or Delta-Known), plus the head
+projection.  This module provides two interchangeable implementations of the
+same physical plan — a pull-based (iterator/generator) evaluator and a
+push-based (callback) evaluator — mirroring the two engine styles Carac has
+been integrated with (§V-D).  Both perform left-deep index-nested-loop joins
+with binding propagation; which is exactly the plan shape the join-order
+optimizer reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal
+from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable
+from repro.relational.relation import Relation, Row
+from repro.relational.storage import DatabaseKind, StorageManager
+
+Bindings = Dict[Variable, Any]
+
+
+@dataclass(frozen=True)
+class AtomSource:
+    """Pairs one body literal with the database copy it reads.
+
+    ``kind`` is None for built-in literals (comparisons / assignments), which
+    read no relation at all; negated atoms always read the Derived database of
+    a lower stratum, which is complete by the time they run.
+    """
+
+    literal: Literal
+    kind: Optional[DatabaseKind] = None
+
+    def is_delta(self) -> bool:
+        return self.kind == DatabaseKind.DELTA_KNOWN
+
+
+@dataclass
+class JoinPlan:
+    """An ordered physical plan for one sub-query.
+
+    The order of ``sources`` *is* the join order; re-optimizing a sub-query
+    means producing a new JoinPlan with the same literals in a different
+    order (see :mod:`repro.core.join_order`).
+    """
+
+    head_relation: str
+    head_terms: Tuple[Term, ...]
+    sources: Tuple[AtomSource, ...]
+    rule_name: str = ""
+
+    def literals(self) -> Tuple[Literal, ...]:
+        return tuple(source.literal for source in self.sources)
+
+    def positive_atom_sources(self) -> Tuple[AtomSource, ...]:
+        return tuple(
+            s for s in self.sources
+            if isinstance(s.literal, Atom) and not s.literal.negated
+        )
+
+    def delta_relation(self) -> Optional[str]:
+        """The relation read from the delta database, if any."""
+        for source in self.sources:
+            if source.is_delta() and isinstance(source.literal, Atom):
+                return source.literal.relation
+        return None
+
+    def reorder(self, permutation: Sequence[int]) -> "JoinPlan":
+        """Return the same plan with sources permuted."""
+        if sorted(permutation) != list(range(len(self.sources))):
+            raise ValueError(f"{permutation!r} is not a permutation of the plan sources")
+        return JoinPlan(
+            head_relation=self.head_relation,
+            head_terms=self.head_terms,
+            sources=tuple(self.sources[i] for i in permutation),
+            rule_name=self.rule_name,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description (used by explain/printer)."""
+        parts = []
+        for source in self.sources:
+            literal = source.literal
+            if isinstance(literal, Atom):
+                marker = "δ" if source.is_delta() else "*"
+                prefix = "!" if literal.negated else ""
+                parts.append(f"{prefix}{literal.relation}{marker}")
+            else:
+                parts.append(repr(literal))
+        return f"{self.head_relation} ⟵ " + " ⋈ ".join(parts)
+
+
+def match_atom(atom: Atom, row: Row, bindings: Bindings) -> Optional[Bindings]:
+    """Try to unify ``row`` with ``atom`` under ``bindings``.
+
+    Returns the extended bindings on success, None on mismatch.  Handles
+    constants and repeated variables within the atom.
+    """
+    new_bindings: Optional[Bindings] = None
+    for position, term in enumerate(atom.terms):
+        value = row[position]
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        elif isinstance(term, Variable):
+            bound = bindings.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                if new_bindings is not None and term in new_bindings:
+                    if new_bindings[term] != value:
+                        return None
+                    continue
+                if new_bindings is None:
+                    new_bindings = dict(bindings)
+                new_bindings[term] = value
+            elif bound != value:
+                return None
+        else:  # pragma: no cover - expressions cannot appear in body atoms
+            raise TypeError(f"unexpected term {term!r} in body atom")
+    return new_bindings if new_bindings is not None else dict(bindings)
+
+
+class _Unbound:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()
+
+
+def bound_constraints(atom: Atom, bindings: Bindings) -> Dict[int, Any]:
+    """Column constraints derivable from constants and already-bound variables."""
+    constraints: Dict[int, Any] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constraints[position] = term.value
+        elif isinstance(term, Variable) and term in bindings:
+            constraints[position] = bindings[term]
+    return constraints
+
+
+def project_head(head_terms: Sequence[Term], bindings: Bindings) -> Row:
+    """Compute the head tuple for one complete set of bindings."""
+    values: List[Any] = []
+    for term in head_terms:
+        values.append(term.substitute(bindings))
+    return tuple(values)
+
+
+class PullSubqueryEvaluator:
+    """Generator-based (pull) evaluation of a :class:`JoinPlan`."""
+
+    def __init__(self, storage: StorageManager) -> None:
+        self.storage = storage
+
+    def bindings(self, plan: JoinPlan) -> Iterator[Bindings]:
+        """Yield every complete binding produced by the plan."""
+        yield from self._recurse(plan, 0, {})
+
+    def _recurse(self, plan: JoinPlan, position: int, bindings: Bindings) -> Iterator[Bindings]:
+        if position == len(plan.sources):
+            yield bindings
+            return
+        source = plan.sources[position]
+        literal = source.literal
+        if isinstance(literal, Atom):
+            if literal.negated:
+                yield from self._negated(plan, position, literal, bindings)
+                return
+            relation = self.storage.relation(literal.relation, source.kind or DatabaseKind.DERIVED)
+            constraints = bound_constraints(literal, bindings)
+            for row in relation.probe(constraints):
+                extended = match_atom(literal, row, bindings)
+                if extended is not None:
+                    yield from self._recurse(plan, position + 1, extended)
+            return
+        if isinstance(literal, Comparison):
+            if literal.evaluate(bindings):
+                yield from self._recurse(plan, position + 1, bindings)
+            return
+        if isinstance(literal, Assignment):
+            value = literal.evaluate(bindings)
+            existing = bindings.get(literal.target, _UNBOUND)
+            if existing is _UNBOUND:
+                extended = dict(bindings)
+                extended[literal.target] = value
+                yield from self._recurse(plan, position + 1, extended)
+            elif existing == value:
+                yield from self._recurse(plan, position + 1, bindings)
+            return
+        raise TypeError(f"unsupported literal {literal!r}")  # pragma: no cover
+
+    def _negated(self, plan: JoinPlan, position: int, literal: Atom,
+                 bindings: Bindings) -> Iterator[Bindings]:
+        relation = self.storage.relation(literal.relation, DatabaseKind.DERIVED)
+        probe_row: List[Any] = []
+        for term in literal.terms:
+            if isinstance(term, Constant):
+                probe_row.append(term.value)
+            elif isinstance(term, Variable):
+                if term not in bindings:
+                    raise ValueError(
+                        f"negated atom {literal!r} reached with unbound variable "
+                        f"{term.name!r}; the planner must order it after its binders"
+                    )
+                probe_row.append(bindings[term])
+            else:  # pragma: no cover
+                raise TypeError(f"unexpected term {term!r} in negated atom")
+        if tuple(probe_row) not in relation:
+            yield from self._recurse(plan, position + 1, bindings)
+
+    def evaluate(self, plan: JoinPlan) -> Set[Row]:
+        """Evaluate the plan and project the head (no aggregation here)."""
+        results: Set[Row] = set()
+        for bindings in self.bindings(plan):
+            results.add(project_head(plan.head_terms, bindings))
+        return results
+
+
+class PushSubqueryEvaluator:
+    """Callback-based (push) evaluation of a :class:`JoinPlan`.
+
+    Produces exactly the same results as the pull evaluator; the difference
+    is purely the control-flow style: tuples are pushed into a consumer
+    callback as soon as they are produced, which is how Carac's default
+    push-based storage engine works.
+    """
+
+    def __init__(self, storage: StorageManager) -> None:
+        self.storage = storage
+
+    def evaluate_into(self, plan: JoinPlan, consumer: Callable[[Row], None]) -> int:
+        """Push every head tuple into ``consumer``; returns the tuple count."""
+        count = 0
+
+        def emit(bindings: Bindings) -> None:
+            nonlocal count
+            consumer(project_head(plan.head_terms, bindings))
+            count += 1
+
+        self._push(plan, 0, {}, emit)
+        return count
+
+    def _push(self, plan: JoinPlan, position: int, bindings: Bindings,
+              emit: Callable[[Bindings], None]) -> None:
+        if position == len(plan.sources):
+            emit(bindings)
+            return
+        source = plan.sources[position]
+        literal = source.literal
+        if isinstance(literal, Atom):
+            if literal.negated:
+                relation = self.storage.relation(literal.relation, DatabaseKind.DERIVED)
+                probe = tuple(
+                    term.value if isinstance(term, Constant) else bindings[term]
+                    for term in literal.terms
+                )
+                if probe not in relation:
+                    self._push(plan, position + 1, bindings, emit)
+                return
+            relation = self.storage.relation(literal.relation, source.kind or DatabaseKind.DERIVED)
+            constraints = bound_constraints(literal, bindings)
+            for row in relation.probe(constraints):
+                extended = match_atom(literal, row, bindings)
+                if extended is not None:
+                    self._push(plan, position + 1, extended, emit)
+            return
+        if isinstance(literal, Comparison):
+            if literal.evaluate(bindings):
+                self._push(plan, position + 1, bindings, emit)
+            return
+        if isinstance(literal, Assignment):
+            value = literal.evaluate(bindings)
+            existing = bindings.get(literal.target, _UNBOUND)
+            if existing is _UNBOUND:
+                extended = dict(bindings)
+                extended[literal.target] = value
+                self._push(plan, position + 1, extended, emit)
+            elif existing == value:
+                self._push(plan, position + 1, bindings, emit)
+            return
+        raise TypeError(f"unsupported literal {literal!r}")  # pragma: no cover
+
+    def evaluate(self, plan: JoinPlan) -> Set[Row]:
+        results: Set[Row] = set()
+        self.evaluate_into(plan, results.add)
+        return results
+
+
+class SubqueryEvaluator:
+    """Facade over the push/pull evaluators, selected by ``style``."""
+
+    def __init__(self, storage: StorageManager, style: str = "push") -> None:
+        if style not in ("push", "pull"):
+            raise ValueError(f"unknown evaluator style {style!r}")
+        self.style = style
+        self._push = PushSubqueryEvaluator(storage)
+        self._pull = PullSubqueryEvaluator(storage)
+
+    def evaluate(self, plan: JoinPlan) -> Set[Row]:
+        if self.style == "push":
+            return self._push.evaluate(plan)
+        return self._pull.evaluate(plan)
+
+    def bindings(self, plan: JoinPlan) -> Iterator[Bindings]:
+        """Complete bindings (always pull-style; used for aggregation)."""
+        return self._pull.bindings(plan)
+
+
+def evaluate_subquery(storage: StorageManager, plan: JoinPlan, style: str = "push") -> Set[Row]:
+    """One-shot convenience wrapper used by tests and the interpreter."""
+    return SubqueryEvaluator(storage, style).evaluate(plan)

@@ -1,0 +1,200 @@
+"""In-memory relations and per-column hash indexes.
+
+A :class:`Relation` stores a set of fixed-arity tuples.  Indexes are built
+per column (the paper's policy is "one index per filter or join predicate",
+§IV) and maintained incrementally on insert so that they can be created
+before execution starts and stay valid across semi-naive iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Row = Tuple[Any, ...]
+
+
+class HashIndex:
+    """A hash index over one column of a relation.
+
+    Maps each distinct value in the indexed column to the list of rows having
+    that value.  Lists (not sets) keep memory overhead low; duplicates cannot
+    occur because the owning relation already de-duplicates rows.
+    """
+
+    __slots__ = ("column", "_buckets")
+
+    def __init__(self, column: int) -> None:
+        self.column = column
+        self._buckets: Dict[Any, List[Row]] = {}
+
+    def insert(self, row: Row) -> None:
+        self._buckets.setdefault(row[self.column], []).append(row)
+
+    def lookup(self, value: Any) -> Sequence[Row]:
+        """Rows whose indexed column equals ``value`` (possibly empty)."""
+        return self._buckets.get(value, ())
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashIndex(column={self.column}, values={len(self._buckets)})"
+
+
+class Relation:
+    """A named, fixed-arity set of tuples with optional per-column indexes."""
+
+    __slots__ = ("name", "arity", "_rows", "_indexes")
+
+    def __init__(self, name: str, arity: int) -> None:
+        self.name = name
+        self.arity = arity
+        self._rows: Set[Row] = set()
+        self._indexes: Dict[int, HashIndex] = {}
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> bool:
+        """Insert a row; returns True if it was new."""
+        row_tuple = tuple(row)
+        if len(row_tuple) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r} has arity {self.arity}, got row {row_tuple!r}"
+            )
+        if row_tuple in self._rows:
+            return False
+        self._rows.add(row_tuple)
+        for index in self._indexes.values():
+            index.insert(row_tuple)
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; returns the number of new rows."""
+        inserted = 0
+        for row in rows:
+            if self.insert(row):
+                inserted += 1
+        return inserted
+
+    def clear(self) -> None:
+        """Remove all rows (indexes are kept but emptied)."""
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- indexes ---------------------------------------------------------------
+
+    def build_index(self, column: int) -> HashIndex:
+        """Create (or fetch) the index on ``column`` and populate it."""
+        if column < 0 or column >= self.arity:
+            raise ValueError(
+                f"cannot index column {column} of {self.name!r} (arity {self.arity})"
+            )
+        existing = self._indexes.get(column)
+        if existing is not None:
+            return existing
+        index = HashIndex(column)
+        for row in self._rows:
+            index.insert(row)
+        self._indexes[column] = index
+        return index
+
+    def drop_indexes(self) -> None:
+        self._indexes.clear()
+
+    def has_index(self, column: int) -> bool:
+        return column in self._indexes
+
+    def indexed_columns(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._indexes))
+
+    # -- access ----------------------------------------------------------------
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def rows(self) -> Set[Row]:
+        """The underlying row set (do not mutate)."""
+        return self._rows
+
+    def scan(self) -> Iterator[Row]:
+        """Full scan."""
+        return iter(self._rows)
+
+    def lookup(self, column: int, value: Any) -> Iterable[Row]:
+        """Rows with ``row[column] == value``, via index when available."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return index.lookup(value)
+        return (row for row in self._rows if row[column] == value)
+
+    def probe(self, constraints: Dict[int, Any]) -> Iterable[Row]:
+        """Rows satisfying all ``column == value`` constraints.
+
+        Picks the indexed constraint with the fewest matching rows as the
+        access path, then filters the remaining constraints; falls back to a
+        scan-and-filter when no constrained column is indexed.
+        """
+        if not constraints:
+            return iter(self._rows)
+        best_column: Optional[int] = None
+        best_count: Optional[int] = None
+        for column in constraints:
+            index = self._indexes.get(column)
+            if index is None:
+                continue
+            count = len(index.lookup(constraints[column]))
+            if best_count is None or count < best_count:
+                best_count = count
+                best_column = column
+        if best_column is None:
+            return (
+                row
+                for row in self._rows
+                if all(row[c] == v for c, v in constraints.items())
+            )
+        candidates = self._indexes[best_column].lookup(constraints[best_column])
+        remaining = {c: v for c, v in constraints.items() if c != best_column}
+        if not remaining:
+            return iter(candidates)
+        return (
+            row
+            for row in candidates
+            if all(row[c] == v for c, v in remaining.items())
+        )
+
+    # -- set operations used by the storage manager ----------------------------
+
+    def absorb(self, other: "Relation") -> int:
+        """Insert every row of ``other``; returns the number of new rows."""
+        return self.insert_many(other.rows())
+
+    def difference_into(self, other: "Relation", target: "Relation") -> int:
+        """Write ``self - other`` into ``target``; returns the number written."""
+        count = 0
+        for row in self._rows:
+            if row not in other and target.insert(row):
+                count += 1
+        return count
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        clone = Relation(name or self.name, self.arity)
+        clone._rows = set(self._rows)
+        for column in self._indexes:
+            clone.build_index(column)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Relation({self.name!r}, arity={self.arity}, rows={len(self._rows)})"

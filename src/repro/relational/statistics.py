@@ -1,0 +1,147 @@
+"""Runtime statistics: cardinality snapshots and the selectivity model.
+
+The join-order optimization (paper §IV) consumes three inputs: live relation
+cardinalities, index availability and a *constant reduction factor* per join
+or filter condition (Carac deliberately keeps the model lightweight — no
+histograms — to keep re-optimization cheap).  This module provides those
+inputs plus the per-iteration cardinality history used by the freshness test
+and by the profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+@dataclass(frozen=True)
+class CardinalitySnapshot:
+    """Cardinalities of every relation copy at one instant."""
+
+    iteration: int
+    derived: Mapping[str, int]
+    delta: Mapping[str, int]
+
+    def of(self, relation: str, kind: DatabaseKind) -> int:
+        if kind == DatabaseKind.DELTA_KNOWN:
+            return self.delta.get(relation, 0)
+        return self.derived.get(relation, 0)
+
+    def total_derived(self) -> int:
+        return sum(self.derived.values())
+
+    def total_delta(self) -> int:
+        return sum(self.delta.values())
+
+
+def take_snapshot(storage: StorageManager, iteration: int = 0) -> CardinalitySnapshot:
+    """Capture the current cardinalities from ``storage``."""
+    return CardinalitySnapshot(
+        iteration=iteration,
+        derived=dict(storage.cardinalities(DatabaseKind.DERIVED)),
+        delta=dict(storage.cardinalities(DatabaseKind.DELTA_KNOWN)),
+    )
+
+
+@dataclass
+class SelectivityModel:
+    """Carac's deliberately simple selectivity model.
+
+    Each additional bound condition (a shared variable with already-joined
+    atoms, or a constant) multiplies the estimated output cardinality by
+    ``reduction_factor``, assuming statistical independence.  Index access on
+    a bound column further scales the *cost* (not the cardinality) by
+    ``index_benefit``, reflecting that an index probe avoids a scan.
+    """
+
+    reduction_factor: float = 0.1
+    index_benefit: float = 0.05
+    cartesian_penalty: float = 10.0
+
+    def output_cardinality(self, input_cardinality: int, bound_conditions: int) -> float:
+        """Estimated rows surviving ``bound_conditions`` equality conditions."""
+        estimate = float(input_cardinality)
+        for _ in range(bound_conditions):
+            estimate *= self.reduction_factor
+        return max(estimate, 0.0)
+
+    def access_cost(self, input_cardinality: int, bound_conditions: int,
+                    indexed: bool) -> float:
+        """Estimated cost of scanning/probing one atom given current bindings."""
+        if bound_conditions == 0:
+            return float(input_cardinality) * self.cartesian_penalty
+        cost = float(input_cardinality)
+        if indexed:
+            cost *= self.index_benefit
+        return cost
+
+    def join_cost(self, left_cardinality: float, right_cardinality: int,
+                  bound_conditions: int, indexed: bool) -> float:
+        """Cost of joining the current intermediate result with one more atom.
+
+        The left cardinality is *not* clamped: an empty intermediate result
+        (e.g. an empty delta relation placed first) legitimately makes the
+        rest of the join free, which is exactly the short-circuit the paper's
+        iteration-7 example relies on.
+        """
+        per_row = self.access_cost(right_cardinality, bound_conditions, indexed)
+        return max(left_cardinality, 0.0) * per_row
+
+
+@dataclass
+class StatisticsCollector:
+    """Per-iteration cardinality history for one program execution.
+
+    ``record`` is called by the engine at every safe point of interest (at
+    minimum once per DoWhile iteration).  The JIT's freshness test and the
+    profiler read from here rather than touching storage directly so that
+    asynchronous compilation threads see a consistent snapshot.
+    """
+
+    history: List[CardinalitySnapshot] = field(default_factory=list)
+
+    def record(self, storage: StorageManager, iteration: int) -> CardinalitySnapshot:
+        snapshot = take_snapshot(storage, iteration)
+        self.history.append(snapshot)
+        return snapshot
+
+    def latest(self) -> Optional[CardinalitySnapshot]:
+        return self.history[-1] if self.history else None
+
+    def iterations(self) -> int:
+        return len(self.history)
+
+    def series(self, relation: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> List[int]:
+        """The cardinality of ``relation`` over time (one entry per snapshot)."""
+        return [snapshot.of(relation, kind) for snapshot in self.history]
+
+    def relative_change(self, earlier: CardinalitySnapshot,
+                        later: CardinalitySnapshot) -> float:
+        """Maximum relative cardinality change between two snapshots.
+
+        This is the quantity the freshness test (paper §V-B2) thresholds: if
+        no relation's cardinality moved by more than the threshold relative to
+        the others, re-generating code is not worth the overhead.
+
+        Derived relations are compared against their own previous size; delta
+        relations are compared against the size of the corresponding derived
+        relation, because a delta that is tiny *relative to what has already
+        been derived* no longer changes which join order wins even though it
+        fluctuates wildly in absolute terms every iteration.
+        """
+        relations = set(earlier.derived) | set(later.derived)
+        worst = 0.0
+        for relation in relations:
+            derived_before = earlier.of(relation, DatabaseKind.DERIVED)
+            derived_after = later.of(relation, DatabaseKind.DERIVED)
+            worst = max(
+                worst, abs(derived_after - derived_before) / max(derived_before, 1)
+            )
+            delta_before = earlier.of(relation, DatabaseKind.DELTA_KNOWN)
+            delta_after = later.of(relation, DatabaseKind.DELTA_KNOWN)
+            worst = max(
+                worst, abs(delta_after - delta_before) / max(derived_after, 1)
+            )
+        return worst

@@ -1,0 +1,222 @@
+"""The storage manager: Derived, Delta-Known and Delta-New databases.
+
+Carac splits the database of each IDB relation three ways (§V-B1, §V-D):
+
+* **Derived** — every fact discovered so far (plus the EDB facts).
+* **Delta-Known** — read-only: facts discovered in the *previous* iteration.
+* **Delta-New** — write-only: facts discovered in the *current* iteration.
+
+At the end of each semi-naive iteration ``swap_and_clear`` promotes the new
+facts into Derived, makes Delta-New the next iteration's Delta-Known and
+clears the relation that will collect the next round of discoveries.  The
+read/write split is what makes every IROp boundary a safe point for the JIT
+and what allows asynchronous compilation to proceed while interpretation
+continues.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.program import DatalogProgram
+from repro.relational.relation import Relation, Row
+
+
+class DatabaseKind(str, enum.Enum):
+    """Which copy of a relation an operator reads."""
+
+    DERIVED = "derived"
+    DELTA_KNOWN = "delta"
+    DELTA_NEW = "new"
+
+
+class StorageManager:
+    """Owns every relation instance used during one program evaluation."""
+
+    def __init__(self, program: Optional[DatalogProgram] = None) -> None:
+        self._arities: Dict[str, int] = {}
+        self._derived: Dict[str, Relation] = {}
+        self._delta_known: Dict[str, Relation] = {}
+        self._delta_new: Dict[str, Relation] = {}
+        self._indexed_columns: Dict[str, Set[int]] = {}
+        if program is not None:
+            self.load_program(program)
+
+    # -- setup -----------------------------------------------------------------
+
+    def declare(self, name: str, arity: int) -> None:
+        """Declare a relation; idempotent, rejects arity mismatches."""
+        existing = self._arities.get(name)
+        if existing is not None:
+            if existing != arity:
+                raise ValueError(
+                    f"relation {name!r} declared with arity {arity}, previously {existing}"
+                )
+            return
+        self._arities[name] = arity
+        self._derived[name] = Relation(name, arity)
+        self._delta_known[name] = Relation(f"{name}Δ", arity)
+        self._delta_new[name] = Relation(f"{name}Δ'", arity)
+        self._indexed_columns[name] = set()
+
+    def load_program(self, program: DatalogProgram) -> None:
+        """Declare every relation of ``program`` and load its EDB facts."""
+        for name, declaration in program.relations.items():
+            self.declare(name, declaration.arity)
+        for fact in program.facts:
+            self.insert_derived(fact.relation, fact.values)
+
+    def register_index(self, relation: str, column: int) -> None:
+        """Request an index on ``relation[column]`` on all copies of the relation.
+
+        The engine calls this as soon as the rule schema is known (ahead of
+        execution when possible), matching the paper's "build one index per
+        filter or join predicate" policy.
+        """
+        self._require(relation)
+        self._indexed_columns[relation].add(column)
+        self._derived[relation].build_index(column)
+        self._delta_known[relation].build_index(column)
+        self._delta_new[relation].build_index(column)
+
+    def registered_indexes(self, relation: str) -> Tuple[int, ...]:
+        return tuple(sorted(self._indexed_columns.get(relation, ())))
+
+    def drop_all_indexes(self) -> None:
+        for name in self._arities:
+            self._indexed_columns[name].clear()
+            self._derived[name].drop_indexes()
+            self._delta_known[name].drop_indexes()
+            self._delta_new[name].drop_indexes()
+
+    # -- access ----------------------------------------------------------------
+
+    def _require(self, name: str) -> None:
+        if name not in self._arities:
+            raise KeyError(f"unknown relation {name!r}")
+
+    def relation_names(self) -> List[str]:
+        return list(self._arities)
+
+    def arity_of(self, name: str) -> int:
+        self._require(name)
+        return self._arities[name]
+
+    def relation(self, name: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> Relation:
+        """Fetch the requested copy of a relation."""
+        self._require(name)
+        if kind == DatabaseKind.DERIVED:
+            return self._derived[name]
+        if kind == DatabaseKind.DELTA_KNOWN:
+            return self._delta_known[name]
+        if kind == DatabaseKind.DELTA_NEW:
+            return self._delta_new[name]
+        raise ValueError(f"unknown database kind {kind!r}")
+
+    def derived(self, name: str) -> Relation:
+        return self.relation(name, DatabaseKind.DERIVED)
+
+    def delta(self, name: str) -> Relation:
+        return self.relation(name, DatabaseKind.DELTA_KNOWN)
+
+    def new(self, name: str) -> Relation:
+        return self.relation(name, DatabaseKind.DELTA_NEW)
+
+    def cardinality(self, name: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> int:
+        return len(self.relation(name, kind))
+
+    def cardinalities(self, kind: DatabaseKind = DatabaseKind.DERIVED) -> Dict[str, int]:
+        return {name: self.cardinality(name, kind) for name in self._arities}
+
+    def tuples(self, name: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> Set[Row]:
+        return set(self.relation(name, kind).rows())
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert_derived(self, name: str, row: Sequence[Any]) -> bool:
+        """Insert directly into the Derived database (used for EDB facts)."""
+        self._require(name)
+        return self._derived[name].insert(row)
+
+    def insert_new(self, name: str, row: Sequence[Any]) -> bool:
+        """Insert into Delta-New if the fact is not already derived.
+
+        Returns True when the fact is genuinely new; this is the single point
+        where "did we discover anything this iteration" is decided.
+        """
+        self._require(name)
+        if tuple(row) in self._derived[name]:
+            return False
+        return self._delta_new[name].insert(row)
+
+    def insert_new_many(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            if self.insert_new(name, row):
+                count += 1
+        return count
+
+    def seed_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Initialise Delta-Known and Derived with the first-iteration facts."""
+        self._require(name)
+        count = 0
+        for row in rows:
+            if self._derived[name].insert(row):
+                self._delta_known[name].insert(row)
+                count += 1
+        return count
+
+    # -- iteration management (SwapClearOp / DiffOp semantics) ------------------
+
+    def new_fact_count(self, names: Iterable[str]) -> int:
+        """Total number of facts written to Delta-New for ``names``."""
+        return sum(len(self._delta_new[name]) for name in names)
+
+    def swap_and_clear(self, names: Iterable[str]) -> int:
+        """Promote Delta-New into Derived, rotate it to Delta-Known, clear.
+
+        Returns the number of facts promoted.  Matches the SwapClearOp of the
+        paper's IROp program (Fig. 4): executed once per DoWhile iteration.
+        """
+        promoted = 0
+        for name in names:
+            self._require(name)
+            new_relation = self._delta_new[name]
+            promoted += self._derived[name].absorb(new_relation)
+            # Rotate: new becomes known; old known becomes the next new buffer.
+            self._delta_known[name], self._delta_new[name] = (
+                self._delta_new[name],
+                self._delta_known[name],
+            )
+            self._delta_new[name].clear()
+        return promoted
+
+    def clear_deltas(self, names: Iterable[str]) -> None:
+        for name in names:
+            self._require(name)
+            self._delta_known[name].clear()
+            self._delta_new[name].clear()
+
+    def reset_idb(self, names: Iterable[str]) -> None:
+        """Forget all derived facts of ``names`` (used between benchmark runs)."""
+        for name in names:
+            self._require(name)
+            self._derived[name].clear()
+            self._delta_known[name].clear()
+            self._delta_new[name].clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Cardinality snapshot of every database, for profiling/debugging."""
+        return {
+            name: {
+                DatabaseKind.DERIVED.value: len(self._derived[name]),
+                DatabaseKind.DELTA_KNOWN.value: len(self._delta_known[name]),
+                DatabaseKind.DELTA_NEW.value: len(self._delta_new[name]),
+            }
+            for name in self._arities
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        total = sum(len(r) for r in self._derived.values())
+        return f"StorageManager(relations={len(self._arities)}, derived_rows={total})"

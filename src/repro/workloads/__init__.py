@@ -1,0 +1,42 @@
+"""Workload data generators.
+
+The paper evaluates Carac on facts extracted from real artifacts (the Apache
+``httpd`` source analysed by Graspan, and a small Scala linked-list library
+analysed through TASTy Query).  Neither extraction pipeline is available
+offline, so this package synthesises fact bases with the same schemas and the
+same structural properties that matter to the optimization — skewed degree
+distributions, growing derived relations, shrinking deltas — at configurable
+scales.  DESIGN.md documents the substitution.
+"""
+
+from repro.workloads.graphs import (
+    chain_edges,
+    dag_edges,
+    random_edges,
+    scale_free_edges,
+    tree_edges,
+)
+from repro.workloads.program_facts import (
+    CSDADataset,
+    CSPADataset,
+    HttpdLikeGenerator,
+    SListLibGenerator,
+    SListLibDataset,
+)
+from repro.workloads.datasets import DatasetSpec, get_dataset, list_datasets
+
+__all__ = [
+    "CSDADataset",
+    "CSPADataset",
+    "DatasetSpec",
+    "HttpdLikeGenerator",
+    "SListLibDataset",
+    "SListLibGenerator",
+    "chain_edges",
+    "dag_edges",
+    "get_dataset",
+    "list_datasets",
+    "random_edges",
+    "scale_free_edges",
+    "tree_edges",
+]

@@ -1,0 +1,98 @@
+"""The dataset registry: named, seeded, scaled dataset specifications.
+
+Benchmarks refer to datasets by name ("cspa_20k", "slistlib", ...) so that
+every figure/table driver uses exactly the same inputs.  Scales default to
+laptop-friendly sizes; the paper-scale variants are registered too but only
+used when explicitly requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.workloads.program_facts import (
+    CSDADataset,
+    CSPADataset,
+    HttpdLikeGenerator,
+    SListLibDataset,
+    SListLibGenerator,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset: its builder and a human-readable description."""
+
+    name: str
+    description: str
+    builder: Callable[[], object]
+
+    def build(self) -> object:
+        return self.builder()
+
+
+def _registry() -> Dict[str, DatasetSpec]:
+    httpd = HttpdLikeGenerator(seed=2024)
+    slist = SListLibGenerator(seed=7)
+    specs = [
+        DatasetSpec(
+            "cspa_tiny",
+            "CSPA facts, ~120 tuples (unit tests / unoptimized-unindexed runs)",
+            lambda: httpd.cspa(tuples=120),
+        ),
+        DatasetSpec(
+            "cspa_small",
+            "CSPA facts, ~150 tuples (default macro-benchmark scale)",
+            lambda: httpd.cspa(tuples=150),
+        ),
+        DatasetSpec(
+            "cspa_20k",
+            "CSPA facts, ~20000 tuples (the paper's CSPA_20k sample, full scale)",
+            lambda: httpd.cspa(tuples=20_000),
+        ),
+        DatasetSpec(
+            "csda_small",
+            "CSDA dataflow DAG, ~2000 tuples",
+            lambda: httpd.csda(tuples=2_000),
+        ),
+        DatasetSpec(
+            "csda_medium",
+            "CSDA dataflow DAG, ~8000 tuples",
+            lambda: httpd.csda(tuples=8_000),
+        ),
+        DatasetSpec(
+            "slistlib",
+            "SListLib program facts (Andersen + inverse-function analyses)",
+            lambda: slist.generate(list_length=20, extra_pipelines=4),
+        ),
+        DatasetSpec(
+            "slistlib_large",
+            "SListLib program facts, scaled up pipelines",
+            lambda: slist.generate(list_length=40, extra_pipelines=12),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+_DATASETS = _registry()
+
+
+def list_datasets() -> List[str]:
+    return sorted(_DATASETS)
+
+
+def get_dataset(name: str) -> object:
+    """Build the named dataset (a fresh object every call)."""
+    try:
+        spec = _DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}") from None
+    return spec.build()
+
+
+def get_spec(name: str) -> DatasetSpec:
+    try:
+        return _DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}") from None

@@ -1,0 +1,217 @@
+"""Synthetic program-analysis fact bases.
+
+Three generators stand in for the paper's proprietary inputs:
+
+* :class:`HttpdLikeGenerator` — Assign/Dereference fact graphs with the
+  Graspan CSPA schema and the skewed structure of pointer-heavy C code
+  (a small set of heavily-assigned "hub" variables), plus dataflow edges with
+  null sources for CSDA.
+* :class:`SListLibGenerator` — the fact base a TASTy extractor would emit for
+  the paper's ~200-line Scala linked-list library ("SListLib"): variables,
+  assignments, loads/stores, address-of facts for heap allocations, and call
+  facts for the serialize/deserialize round trip the inverse-function
+  analysis is designed to spot.
+
+Every generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.graphs import dag_edges, scale_free_edges
+
+Row = Tuple
+
+
+@dataclass
+class CSPADataset:
+    """EDB facts for the Graspan context-sensitive pointer analysis."""
+
+    assign: List[Tuple[int, int]] = field(default_factory=list)
+    dereference: List[Tuple[int, int]] = field(default_factory=list)
+
+    def fact_count(self) -> int:
+        return len(self.assign) + len(self.dereference)
+
+    def as_dict(self) -> Dict[str, List[Row]]:
+        return {"Assign": list(self.assign), "Derefr": list(self.dereference)}
+
+
+@dataclass
+class CSDADataset:
+    """EDB facts for the Graspan context-sensitive dataflow analysis."""
+
+    edge: List[Tuple[int, int]] = field(default_factory=list)
+    null_source: List[Tuple[int]] = field(default_factory=list)
+
+    def fact_count(self) -> int:
+        return len(self.edge) + len(self.null_source)
+
+    def as_dict(self) -> Dict[str, List[Row]]:
+        return {"edge": list(self.edge), "nullSource": list(self.null_source)}
+
+
+class HttpdLikeGenerator:
+    """Synthesises CSPA / CSDA fact graphs shaped like the httpd extraction.
+
+    The important structural property for join-order experiments is the skew:
+    a small population of variables (global structures, frequently-passed
+    pointers) participates in a large share of assignments, so the
+    ``VaFlow ⋈ VaFlow`` Cartesian-style orders explode while orders that keep
+    a selective join key stay small — the iteration-1 versus iteration-7
+    contrast of §IV.
+    """
+
+    def __init__(self, seed: int = 2024) -> None:
+        self.seed = seed
+
+    def cspa(self, tuples: int = 2_000, variables: int = 0) -> CSPADataset:
+        """Approximately ``tuples`` EDB facts split between Assign and Derefr."""
+        if tuples < 10:
+            raise ValueError("a CSPA dataset needs at least 10 tuples")
+        variable_count = variables or max(40, tuples)
+        assign_count = int(tuples * 0.7)
+        dereference_count = tuples - assign_count
+        assign = scale_free_edges(variable_count, assign_count, seed=self.seed)
+        rng = random.Random(self.seed + 1)
+        dereference = []
+        seen = set()
+        while len(dereference) < dereference_count:
+            pointer = rng.randrange(variable_count)
+            target = rng.randrange(variable_count)
+            if pointer != target and (pointer, target) not in seen:
+                seen.add((pointer, target))
+                dereference.append((pointer, target))
+        return CSPADataset(assign=assign, dereference=dereference)
+
+    def csda(self, tuples: int = 4_000, nodes: int = 0,
+             null_fraction: float = 0.02) -> CSDADataset:
+        """A dataflow DAG with a small set of null-producing sources."""
+        node_count = nodes or max(100, tuples // 3)
+        edge_count = max(1, tuples - int(node_count * null_fraction))
+        edges = dag_edges(node_count, edge_count, seed=self.seed)
+        rng = random.Random(self.seed + 2)
+        null_count = max(1, int(node_count * null_fraction))
+        null_sources = sorted(rng.sample(range(node_count), null_count))
+        return CSDADataset(edge=edges, null_source=[(v,) for v in null_sources])
+
+
+@dataclass
+class SListLibDataset:
+    """EDB facts for Andersen's analysis and the inverse-function analysis."""
+
+    address_of: List[Tuple[str, str]] = field(default_factory=list)
+    assign: List[Tuple[str, str]] = field(default_factory=list)
+    load: List[Tuple[str, str]] = field(default_factory=list)
+    store: List[Tuple[str, str]] = field(default_factory=list)
+    call: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    follows: List[Tuple[str, str]] = field(default_factory=list)
+    used_at: List[Tuple[str, str]] = field(default_factory=list)
+    inverse_functions: List[Tuple[str, str]] = field(default_factory=list)
+
+    def fact_count(self) -> int:
+        return (
+            len(self.address_of) + len(self.assign) + len(self.load)
+            + len(self.store) + len(self.call) + len(self.follows)
+            + len(self.used_at) + len(self.inverse_functions)
+        )
+
+    def andersen_facts(self) -> Dict[str, List[Row]]:
+        return {
+            "addressOf": list(self.address_of),
+            "assign": list(self.assign),
+            "load": list(self.load),
+            "store": list(self.store),
+        }
+
+    def inverse_function_facts(self) -> Dict[str, List[Row]]:
+        facts = self.andersen_facts()
+        facts.update(
+            {
+                "call": list(self.call),
+                "follows": list(self.follows),
+                "usedAt": list(self.used_at),
+                "invFuns": list(self.inverse_functions),
+            }
+        )
+        return facts
+
+
+class SListLibGenerator:
+    """Models the facts of the paper's SListLib micro-program.
+
+    The generated "program" builds a linked list of ``list_length`` nodes,
+    operates on it, serializes it, does unrelated work, then deserializes it
+    and reads the result — i.e. the wasted round trip the analysis must find.
+    ``extra_pipelines`` appends additional, independent pipelines so the fact
+    base (and the analysis runtime) can be scaled up without changing its
+    character.
+    """
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = seed
+
+    def generate(self, list_length: int = 20, extra_pipelines: int = 4) -> SListLibDataset:
+        rng = random.Random(self.seed)
+        dataset = SListLibDataset()
+        dataset.inverse_functions.append(("deserialize", "serialize"))
+        dataset.inverse_functions.append(("from_json", "to_json"))
+
+        instruction_counter = 0
+
+        def next_instruction() -> str:
+            nonlocal instruction_counter
+            instruction_counter += 1
+            return f"i{instruction_counter}"
+
+        def emit_pipeline(pipeline: int) -> None:
+            prefix = f"p{pipeline}"
+            head = f"{prefix}_head"
+            dataset.address_of.append((head, f"{prefix}_node0"))
+            previous = head
+            for index in range(list_length):
+                node = f"{prefix}_node{index}"
+                value = f"{prefix}_val{index}"
+                dataset.address_of.append((value, f"{prefix}_obj{index}"))
+                dataset.store.append((node, value))
+                if index:
+                    dataset.assign.append((node, previous))
+                    dataset.load.append((f"{prefix}_read{index}", previous))
+                previous = node
+
+            # serialize(list) -> blob ; ... ; deserialize(blob2) -> list2
+            serialize_site = next_instruction()
+            blob = f"{prefix}_blob"
+            dataset.call.append((serialize_site, "serialize", head, blob))
+            middle = next_instruction()
+            blob2 = f"{prefix}_blob2"
+            dataset.assign.append((blob2, blob))
+            dataset.follows.append((serialize_site, middle))
+            deserialize_site = next_instruction()
+            restored = f"{prefix}_restored"
+            dataset.call.append((deserialize_site, "deserialize", blob2, restored))
+            dataset.follows.append((middle, deserialize_site))
+            use_site = next_instruction()
+            dataset.used_at.append((restored, use_site))
+            dataset.follows.append((deserialize_site, use_site))
+
+            # A few unrelated helper calls and flows to add realistic noise.
+            for noise in range(max(2, list_length // 4)):
+                site = next_instruction()
+                source = f"{prefix}_val{rng.randrange(list_length)}"
+                result = f"{prefix}_tmp{noise}"
+                dataset.call.append((site, f"helper{noise % 3}", source, result))
+                dataset.assign.append((result, source))
+                dataset.used_at.append((result, site))
+
+        for pipeline in range(1 + extra_pipelines):
+            emit_pipeline(pipeline)
+
+        # Chain instruction order across pipelines so `follows` is connected.
+        for i in range(1, instruction_counter):
+            dataset.follows.append((f"i{i}", f"i{i + 1}"))
+        dataset.follows = sorted(set(dataset.follows))
+        return dataset

@@ -1,0 +1,175 @@
+"""Tests for the macro analyses and micro programs (correctness + orderings)."""
+
+import pytest
+
+from repro.analyses import (
+    Ordering,
+    build_ackermann_program,
+    build_andersen_program,
+    build_cspa_program,
+    build_csda_program,
+    build_fibonacci_program,
+    build_inverse_functions_program,
+    build_primes_program,
+    build_same_generation_program,
+    build_transitive_closure_program,
+)
+from repro.analyses.registry import get_benchmark, list_benchmarks
+from repro.core.config import EngineConfig
+from repro.engine.engine import ExecutionEngine
+from repro.workloads.program_facts import (
+    CSDADataset,
+    CSPADataset,
+    HttpdLikeGenerator,
+    SListLibGenerator,
+)
+
+
+def solve(program, relation, config=None):
+    return ExecutionEngine(program, config or EngineConfig.interpreted()).run()[relation]
+
+
+class TestMicroPrograms:
+    def test_fibonacci_values(self):
+        result = solve(build_fibonacci_program(limit=10), "fib")
+        values = dict(result)
+        assert values[10] == 55
+        assert values[7] == 13
+        assert len(values) == 11
+
+    def test_fibonacci_orderings_agree(self):
+        reference = solve(build_fibonacci_program(limit=12, ordering=Ordering.OPTIMIZED), "fib")
+        worst = solve(build_fibonacci_program(limit=12, ordering=Ordering.WORST), "fib")
+        assert reference == worst
+
+    def test_primes_values(self):
+        result = solve(build_primes_program(limit=30), "prime")
+        assert {v for (v,) in result} == {2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+
+    def test_primes_orderings_agree(self):
+        reference = solve(build_primes_program(limit=40, ordering=Ordering.OPTIMIZED), "prime")
+        worst = solve(build_primes_program(limit=40, ordering=Ordering.WORST), "prime")
+        assert reference == worst
+
+    def test_ackermann_known_values(self):
+        result = solve(build_ackermann_program(max_m=2, max_n=5), "ack")
+        table = {(m, n): v for (m, n, v) in result}
+        assert table[(0, 3)] == 4          # A(0, n) = n + 1
+        assert table[(1, 3)] == 5          # A(1, n) = n + 2
+        assert table[(2, 3)] == 9          # A(2, n) = 2n + 3
+        assert table[(2, 5)] == 13
+
+    def test_ackermann_orderings_agree(self):
+        optimized = solve(build_ackermann_program(max_m=2, max_n=6, ordering=Ordering.OPTIMIZED), "ack")
+        worst = solve(build_ackermann_program(max_m=2, max_n=6, ordering=Ordering.WORST), "ack")
+        assert {(m, n, v) for m, n, v in optimized if n <= 6} == \
+            {(m, n, v) for m, n, v in worst if n <= 6}
+
+    def test_ackermann_domain_guard(self):
+        with pytest.raises(ValueError):
+            build_ackermann_program(max_m=4)
+
+    def test_transitive_closure(self):
+        program = build_transitive_closure_program([(1, 2), (2, 3)])
+        assert solve(program, "path") == {(1, 2), (2, 3), (1, 3)}
+
+    def test_same_generation(self):
+        parent = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "e")]
+        result = solve(build_same_generation_program(parent), "sg")
+        assert ("b", "c") in result
+        assert ("d", "e") in result
+        assert ("b", "e") not in result
+
+
+class TestMacroAnalyses:
+    def cspa_dataset(self):
+        return HttpdLikeGenerator(seed=5).cspa(tuples=60)
+
+    def test_cspa_orderings_agree(self):
+        dataset = self.cspa_dataset()
+        results = {}
+        for ordering in Ordering:
+            program = build_cspa_program(dataset, ordering)
+            results[ordering] = solve(program, "VAlias")
+        assert results[Ordering.WRITTEN] == results[Ordering.OPTIMIZED] == results[Ordering.WORST]
+        assert results[Ordering.WRITTEN]
+
+    def test_cspa_contains_reflexive_aliases(self):
+        dataset = CSPADataset(assign=[(1, 2)], dereference=[])
+        result = solve(build_cspa_program(dataset), "VaFlow")
+        assert (1, 1) in result and (2, 2) in result and (1, 2) in result
+
+    def test_csda_null_propagation(self):
+        dataset = CSDADataset(edge=[(1, 2), (2, 3), (4, 5)], null_source=[(1,)])
+        results = ExecutionEngine(build_csda_program(dataset), EngineConfig.interpreted()).run()
+        assert results["nullFlow"] == {(1,), (2,), (3,)}
+
+    def test_csda_orderings_agree(self):
+        dataset = HttpdLikeGenerator(seed=6).csda(tuples=300)
+        reference = solve(build_csda_program(dataset, Ordering.OPTIMIZED), "nullFlow")
+        worst = solve(build_csda_program(dataset, Ordering.WORST), "nullFlow")
+        assert reference == worst
+
+    def test_andersen_points_to_basics(self):
+        dataset = SListLibGenerator(seed=3).generate(list_length=5, extra_pipelines=0)
+        results = ExecutionEngine(
+            build_andersen_program(dataset), EngineConfig.interpreted()
+        ).run()
+        points_to = results["pointsTo"]
+        # Every addressOf fact is a points-to fact directly.
+        for variable, obj in dataset.address_of:
+            assert (variable, obj) in points_to
+
+    def test_andersen_orderings_agree(self):
+        dataset = SListLibGenerator(seed=3).generate(list_length=6, extra_pipelines=1)
+        reference = solve(build_andersen_program(dataset, Ordering.OPTIMIZED), "pointsTo")
+        worst = solve(build_andersen_program(dataset, Ordering.WORST), "pointsTo")
+        assert reference == worst
+
+    def test_inverse_functions_finds_planted_round_trip(self):
+        dataset = SListLibGenerator(seed=7).generate(list_length=8, extra_pipelines=1)
+        results = ExecutionEngine(
+            build_inverse_functions_program(dataset), EngineConfig.interpreted()
+        ).run()
+        assert results["wastedWork"], "the planted serialize/deserialize round trip must be found"
+        assert results["roundTrip"]
+
+    def test_inverse_functions_orderings_agree(self):
+        dataset = SListLibGenerator(seed=7).generate(list_length=6, extra_pipelines=0)
+        reference = solve(
+            build_inverse_functions_program(dataset, Ordering.OPTIMIZED), "wastedWork"
+        )
+        worst = solve(build_inverse_functions_program(dataset, Ordering.WORST), "wastedWork")
+        assert reference == worst
+
+    def test_inverse_functions_has_nine_atom_rule(self):
+        dataset = SListLibGenerator().generate(list_length=4, extra_pipelines=0)
+        program = build_inverse_functions_program(dataset)
+        wasted = [rule for rule in program.rules if rule.head_relation == "wastedWork"][0]
+        assert len(wasted.positive_atoms()) == 9
+
+
+class TestRegistry:
+    def test_list_by_kind(self):
+        assert "cspa_20k" in list_benchmarks("macro")
+        assert "fibonacci" in list_benchmarks("micro")
+        assert set(list_benchmarks("micro")) <= set(list_benchmarks())
+
+    def test_get_benchmark_builds_program(self):
+        spec = get_benchmark("fibonacci")
+        program = spec.build(Ordering.OPTIMIZED)
+        assert program.rules
+        assert spec.query_relation == "fib"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_every_registered_benchmark_builds(self):
+        for name in list_benchmarks():
+            if name == "cspa_full":
+                continue  # paper-scale dataset; building it is slow
+            spec = get_benchmark(name)
+            program = spec.build()
+            assert program.rules, name
+            assert spec.query_relation in program.relations, name

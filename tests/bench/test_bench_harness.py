@@ -1,0 +1,129 @@
+"""Tests for the benchmark harness (measurement, drivers, formatting).
+
+The drivers are exercised at tiny scales — the goal is to verify plumbing
+(every expected column is produced, speedups are finite and positive), not to
+reproduce the paper's numbers, which `python -m repro.bench` does at full
+default scale.
+"""
+
+import math
+
+import pytest
+
+from repro.analyses.ordering import Ordering
+from repro.bench.configurations import (
+    fig10_configurations,
+    jit_configurations,
+    table1_configurations,
+)
+from repro.bench.fig10 import run_fig10
+from repro.bench.fig5 import run_fig5
+from repro.bench.fig67 import run_fig7
+from repro.bench.fig89 import run_fig9
+from repro.bench.formatting import format_rows
+from repro.bench.measurement import measure_benchmark, measure_program, speedup
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import run_table2
+from repro.core.config import EngineConfig
+from repro.datalog.parser import parse_program
+
+
+class TestMeasurement:
+    def test_measure_program_reports_result_size(self):
+        program = parse_program(
+            "edge(1, 2). edge(2, 3). path(X, Y) :- edge(X, Y)."
+            " path(X, Z) :- path(X, Y), edge(Y, Z)."
+        )
+        result = measure_program(program, EngineConfig.interpreted(), "path",
+                                 benchmark="tc", ordering="written")
+        assert result.result_size == 3
+        assert result.seconds > 0
+        assert result.benchmark == "tc"
+        assert result.as_row()["configuration"] == "interpreted+idx"
+
+    def test_measure_benchmark_by_name(self):
+        result = measure_benchmark("fibonacci", EngineConfig.interpreted(), Ordering.OPTIMIZED)
+        assert result.result_size == 25
+        assert result.iterations > 0
+
+    def test_repeat_averages(self):
+        result = measure_benchmark("fibonacci", EngineConfig.interpreted(), repeat=2)
+        assert result.runs == 2
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert math.isinf(speedup(1.0, 0.0))
+
+
+class TestConfigurationSets:
+    def test_jit_configuration_labels(self):
+        labels = [label for label, _ in jit_configurations(use_indexes=True)]
+        assert "JIT Quotes Async" in labels and "JIT IRGenerator" in labels
+        assert len(labels) == 6
+
+    def test_table1_configurations(self):
+        configs = table1_configurations()
+        assert set(configs) == {"indexed", "unindexed"}
+        assert configs["unindexed"].use_indexes is False
+
+    def test_fig10_configurations(self):
+        labels = [label for label, _ in fig10_configurations()]
+        assert labels[0] == "JIT-lambda"
+        assert any("Macro Rules" in label for label in labels)
+
+
+class TestDrivers:
+    def test_table1_row_structure(self):
+        rows = run_table1(benchmarks=["fibonacci"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert {"unindexed_unoptimized", "indexed_optimized"} <= set(row)
+        assert row["indexed_optimized"] > 0
+
+    def test_table2_row_structure(self):
+        rows = run_table2(benchmarks=["andersen"], toolchain_seconds=0.01)
+        row = rows[0]
+        for column in ("dlx", "souffle_interpreter", "souffle_compiler",
+                       "souffle_auto_tuned", "carac_jit"):
+            assert row[column] > 0
+
+    def test_fig5_rows(self):
+        rows = run_fig5(benchmark="cspa_tiny", warm_compilations=2, backends=("quotes",))
+        assert rows
+        for row in rows:
+            assert row["cold_seconds"] > 0
+            assert row["warm_seconds"] > 0
+        granularities = {row["granularity"] for row in rows}
+        assert "JoinProjectOp" in granularities
+
+    def test_fig7_speedups_positive(self):
+        rows = run_fig7(benchmarks=["fibonacci"], include_unindexed=False)
+        row = rows[0]
+        assert row["Hand-Optimized"] > 0
+        assert all(
+            row[label] > 0 for label, _ in jit_configurations(use_indexes=True)
+        )
+
+    def test_fig9_speedups_positive(self):
+        rows = run_fig9(benchmarks=["fibonacci"], include_unindexed=False)
+        row = rows[0]
+        assert all(row[label] > 0 for label, _ in jit_configurations(use_indexes=True))
+
+    def test_fig10_rows(self):
+        rows = run_fig10(benchmarks=["fibonacci"])
+        row = rows[0]
+        assert "Macro Facts+rules" in row
+        assert row["JIT-lambda"] > 0
+
+
+class TestFormatting:
+    def test_format_rows_alignment_and_title(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": 7.0}]
+        text = format_rows(rows, ("a", "b"), title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([], title="x")

@@ -1,0 +1,171 @@
+"""Unit tests for the four compilation backends."""
+
+import pytest
+
+from repro.core.backends import (
+    BytecodeBackend,
+    IRGeneratorBackend,
+    LambdaBackend,
+    QuotesBackend,
+    available_backends,
+    get_backend,
+)
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.ir.planning import build_join_plan
+from repro.relational.storage import StorageManager
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+ALL_BACKENDS = ["quotes", "bytecode", "lambda", "irgen"]
+
+
+def graph_storage() -> StorageManager:
+    storage = StorageManager()
+    storage.declare("edge", 2)
+    storage.declare("path", 2)
+    storage.declare("blocked", 1)
+    storage.insert_derived("edge", (1, 2))
+    storage.insert_derived("edge", (2, 3))
+    storage.insert_derived("edge", (3, 4))
+    storage.seed_delta("path", [(1, 2), (2, 3), (3, 4)])
+    storage.insert_derived("blocked", (4,))
+    return storage
+
+
+def tc_plan(delta=True):
+    rule = Rule(Atom("path", (x, z)), (Atom("path", (x, y)), Atom("edge", (y, z))), "tc")
+    return build_join_plan(rule, delta_index=0 if delta else None)
+
+
+def builtin_plan():
+    rule = Rule(
+        Atom("p", (x, z)),
+        (
+            Atom("edge", (x, y)),
+            Atom("blocked", (y,), negated=True),
+            Comparison("<", x, Constant(4)),
+            Assignment(z, y * 10),
+        ),
+    )
+    return build_join_plan(rule)
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+
+    def test_get_backend_by_name(self):
+        assert get_backend("quotes").name == "quotes"
+        assert get_backend("lambda").name == "lambda"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("llvm")
+
+
+class TestCompilationCorrectness:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_simple_join(self, name):
+        storage = graph_storage()
+        backend = get_backend(name)
+        artifact = backend.compile_plans([tc_plan()], storage)
+        assert artifact(storage) == {(1, 3), (2, 4)}
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_matches_reference_evaluator(self, name):
+        from repro.relational.operators import evaluate_subquery
+
+        storage = graph_storage()
+        for plan in (tc_plan(True), tc_plan(False), builtin_plan()):
+            reference = evaluate_subquery(storage, plan)
+            artifact = get_backend(name).compile_plans([plan], storage)
+            assert artifact(storage) == reference
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_union_of_plans(self, name):
+        from repro.relational.operators import evaluate_subquery
+
+        storage = graph_storage()
+        plans = [tc_plan(True), builtin_plan()]
+        reference = set()
+        for plan in plans:
+            reference |= evaluate_subquery(storage, plan)
+        artifact = get_backend(name).compile_plans(plans, storage)
+        assert artifact(storage) == reference
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_artifact_sees_storage_changes(self, name):
+        """Artifacts must re-read relations at call time (safe-point property)."""
+        storage = graph_storage()
+        artifact = get_backend(name).compile_plans([tc_plan(delta=False)], storage)
+        before = artifact(storage)
+        storage.insert_derived("path", (4, 5))
+        storage.insert_derived("edge", (5, 6))
+        after = artifact(storage)
+        assert before < after
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_indexes_do_not_change_results(self, name):
+        storage = graph_storage()
+        unindexed = get_backend(name).compile_plans([tc_plan()], storage, use_indexes=False)
+        result_without = unindexed(storage)
+        storage.register_index("edge", 0)
+        storage.register_index("path", 1)
+        indexed = get_backend(name).compile_plans([tc_plan()], storage, use_indexes=True)
+        assert indexed(storage) == result_without
+
+
+class TestBackendProperties:
+    def test_compile_seconds_recorded(self):
+        storage = graph_storage()
+        artifact = QuotesBackend().compile_plans([tc_plan()], storage)
+        assert artifact.compile_seconds > 0
+        assert artifact.backend == "quotes"
+
+    def test_quotes_snippet_mode_uses_continuations(self):
+        storage = graph_storage()
+        continuations = [lambda s: {(9, 9)}]
+        artifact = QuotesBackend().compile_plans(
+            [tc_plan()], storage, mode="snippet", continuations=continuations
+        )
+        assert artifact(storage) == {(9, 9)}
+        assert artifact.mode == "snippet"
+
+    def test_lambda_snippet_mode(self):
+        storage = graph_storage()
+        artifact = LambdaBackend().compile_plans(
+            [tc_plan()], storage, mode="snippet", continuations=[lambda s: {(7,)}]
+        )
+        assert artifact(storage) == {(7,)}
+
+    def test_bytecode_has_no_snippet_mode(self):
+        storage = graph_storage()
+        artifact = BytecodeBackend().compile_plans(
+            [tc_plan()], storage, mode="snippet", continuations=[lambda s: {(7,)}]
+        )
+        # Falls back to full compilation: evaluates the plan, not the continuation.
+        assert artifact.mode == "full"
+        assert (1, 3) in artifact(storage)
+
+    def test_quotes_generated_source_is_attached(self):
+        storage = graph_storage()
+        backend = QuotesBackend()
+        artifact = backend.compile_plans([tc_plan()], storage)
+        assert "def " in artifact.function.generated_source
+
+    def test_generate_source_without_compiling(self):
+        storage = graph_storage()
+        source = QuotesBackend().generate_source([tc_plan()], storage)
+        assert "storage.relation('path'" in source
+
+    def test_revertibility_flags(self):
+        assert QuotesBackend.revertible and LambdaBackend.revertible
+        assert IRGeneratorBackend.revertible
+        assert not BytecodeBackend.revertible
+
+    def test_compiler_invocation_flags(self):
+        assert QuotesBackend.invokes_compiler and BytecodeBackend.invokes_compiler
+        assert not LambdaBackend.invokes_compiler
+        assert not IRGeneratorBackend.invokes_compiler

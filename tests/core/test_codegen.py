@@ -1,0 +1,176 @@
+"""Unit tests for plan lowering and the two code-generation renderers."""
+
+import ast
+
+import pytest
+
+from repro.core.codegen.pyast import build_plan_function_ast, build_union_module_ast
+from repro.core.codegen.source import (
+    render_plan_function,
+    render_snippet_function,
+    render_union_module,
+    term_to_source,
+)
+from repro.core.codegen.steps import (
+    AssignStep,
+    ConditionStep,
+    EmitStep,
+    LoopStep,
+    NegationStep,
+    lower_plan,
+)
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.ir.planning import build_join_plan
+from repro.relational.storage import DatabaseKind, StorageManager
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def graph_storage() -> StorageManager:
+    storage = StorageManager()
+    storage.declare("edge", 2)
+    storage.declare("path", 2)
+    storage.declare("blocked", 1)
+    storage.insert_derived("edge", (1, 2))
+    storage.insert_derived("edge", (2, 3))
+    storage.seed_delta("path", [(1, 2), (2, 3)])
+    storage.insert_derived("blocked", (3,))
+    return storage
+
+
+def tc_plan(delta=True):
+    rule = Rule(Atom("path", (x, z)), (Atom("path", (x, y)), Atom("edge", (y, z))), "tc")
+    return build_join_plan(rule, delta_index=0 if delta else None)
+
+
+class TestLowering:
+    def test_loop_steps_and_emit(self):
+        lowered = lower_plan(tc_plan())
+        loops = [s for s in lowered.steps if isinstance(s, LoopStep)]
+        assert len(loops) == 2
+        assert isinstance(lowered.steps[-1], EmitStep)
+        assert loops[0].kind == DatabaseKind.DELTA_KNOWN
+
+    def test_join_check_on_second_atom(self):
+        lowered = lower_plan(tc_plan())
+        second = [s for s in lowered.steps if isinstance(s, LoopStep)][1]
+        assert second.checks, "the shared variable y must appear as a check"
+
+    def test_index_probe_chosen_when_available(self):
+        lowered = lower_plan(tc_plan(), index_view=lambda r, c: r == "edge" and c == 0)
+        second = [s for s in lowered.steps if isinstance(s, LoopStep)][1]
+        assert second.lookup_column == 0
+        assert second.checks == []
+
+    def test_no_probe_when_indexes_disabled(self):
+        lowered = lower_plan(
+            tc_plan(), index_view=lambda r, c: True, use_indexes=False
+        )
+        assert all(s.lookup_column is None for s in lowered.steps if isinstance(s, LoopStep))
+
+    def test_constant_becomes_check(self):
+        rule = Rule(Atom("p", (y,)), (Atom("edge", (Constant(1), y)),))
+        lowered = lower_plan(build_join_plan(rule))
+        loop = lowered.steps[0]
+        assert loop.checks and loop.checks[0][0] == 0
+
+    def test_repeated_variable_becomes_intra_check(self):
+        rule = Rule(Atom("p", (x,)), (Atom("edge", (x, x)),))
+        lowered = lower_plan(build_join_plan(rule))
+        assert lowered.steps[0].intra_checks == [(0, 1)]
+
+    def test_negation_comparison_assignment_steps(self):
+        rule = Rule(
+            Atom("p", (x, z)),
+            (
+                Atom("edge", (x, y)),
+                Atom("blocked", (y,), negated=True),
+                Comparison("<", x, Constant(5)),
+                Assignment(z, y + 10),
+            ),
+        )
+        lowered = lower_plan(build_join_plan(rule))
+        kinds = [type(s).__name__ for s in lowered.steps]
+        assert kinds == ["LoopStep", "NegationStep", "ConditionStep", "AssignStep", "EmitStep"]
+
+
+class TestSourceRenderer:
+    def test_generated_source_compiles_and_runs(self):
+        storage = graph_storage()
+        lowered = lower_plan(tc_plan())
+        source = render_plan_function(lowered, "subquery")
+        namespace = {"DatabaseKind": DatabaseKind}
+        exec(compile(source, "<test>", "exec"), namespace)
+        assert namespace["subquery"](storage) == {(1, 3)}
+
+    def test_union_module_runs_all_subqueries(self):
+        storage = graph_storage()
+        plans = [tc_plan(delta=True), tc_plan(delta=False)]
+        lowered = [lower_plan(p) for p in plans]
+        source, driver = render_union_module(lowered, "m")
+        namespace = {"DatabaseKind": DatabaseKind}
+        exec(compile(source, "<test>", "exec"), namespace)
+        assert namespace[driver](storage) == {(1, 3)}
+
+    def test_snippet_function_calls_continuations(self):
+        source = render_snippet_function("snippet", 2)
+        namespace = {}
+        exec(compile(source, "<test>", "exec"), namespace)
+        result = namespace["snippet"](None, [lambda s: {(1,)}, lambda s: {(2,)}])
+        assert result == {(1,), (2,)}
+
+    def test_term_to_source_rejects_unbound_variable(self):
+        with pytest.raises(KeyError):
+            term_to_source(Variable("nope"), {})
+
+    def test_generated_source_mentions_relations(self):
+        lowered = lower_plan(tc_plan())
+        source = render_plan_function(lowered, "f")
+        assert "'path'" in source and "'edge'" in source
+
+
+class TestAstRenderer:
+    def test_ast_function_compiles_and_runs(self):
+        storage = graph_storage()
+        lowered = lower_plan(tc_plan())
+        function_def = build_plan_function_ast(lowered, "subquery")
+        module = ast.Module(body=[function_def], type_ignores=[])
+        ast.fix_missing_locations(module)
+        namespace = {"DatabaseKind": DatabaseKind}
+        exec(compile(module, "<test>", "exec"), namespace)
+        assert namespace["subquery"](storage) == {(1, 3)}
+
+    def test_union_module_ast_matches_source_renderer(self):
+        storage = graph_storage()
+        plans = [tc_plan(delta=True), tc_plan(delta=False)]
+        lowered = [lower_plan(p) for p in plans]
+        module, driver = build_union_module_ast(lowered, "m")
+        namespace = {"DatabaseKind": DatabaseKind}
+        exec(compile(module, "<test>", "exec"), namespace)
+        ast_result = namespace[driver](storage)
+
+        source, source_driver = render_union_module(
+            [lower_plan(p) for p in plans], "m2"
+        )
+        namespace2 = {"DatabaseKind": DatabaseKind}
+        exec(compile(source, "<test>", "exec"), namespace2)
+        assert ast_result == namespace2[source_driver](storage)
+
+    def test_ast_handles_builtins(self):
+        storage = graph_storage()
+        rule = Rule(
+            Atom("p", (x, z)),
+            (
+                Atom("edge", (x, y)),
+                Atom("blocked", (y,), negated=True),
+                Comparison("<", x, Constant(5)),
+                Assignment(z, y + 10),
+            ),
+        )
+        lowered = lower_plan(build_join_plan(rule))
+        module, driver = build_union_module_ast([lowered], "b")
+        namespace = {"DatabaseKind": DatabaseKind}
+        exec(compile(module, "<test>", "exec"), namespace)
+        assert namespace[driver](storage) == {(1, 12)}

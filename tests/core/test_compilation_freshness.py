@@ -1,0 +1,119 @@
+"""Unit tests for the compilation manager and the freshness test."""
+
+import time
+
+import pytest
+
+from repro.core.backends import LambdaBackend, QuotesBackend
+from repro.core.compilation import CompilationManager
+from repro.core.freshness import FreshnessTest
+from repro.datalog.literals import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.ir.planning import build_join_plan
+from repro.relational.statistics import CardinalitySnapshot, take_snapshot
+from repro.relational.storage import StorageManager
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def graph_storage() -> StorageManager:
+    storage = StorageManager()
+    storage.declare("edge", 2)
+    storage.declare("path", 2)
+    storage.insert_derived("edge", (1, 2))
+    storage.insert_derived("edge", (2, 3))
+    storage.seed_delta("path", [(1, 2), (2, 3)])
+    return storage
+
+
+def tc_plan():
+    rule = Rule(Atom("path", (x, z)), (Atom("path", (x, y)), Atom("edge", (y, z))), "tc")
+    return build_join_plan(rule, delta_index=0)
+
+
+class TestSynchronousCompilation:
+    def test_compile_now_caches_artifact(self):
+        storage = graph_storage()
+        manager = CompilationManager(LambdaBackend(), asynchronous=False)
+        snapshot = take_snapshot(storage)
+        artifact = manager.compile_now(1, [tc_plan()], storage, snapshot)
+        assert manager.current_artifact(1) is artifact
+        assert manager.artifact_snapshot(1) is snapshot
+        assert manager.compile_count() == 1
+        assert manager.total_compile_seconds() >= 0
+
+    def test_invalidate_clears_cache(self):
+        storage = graph_storage()
+        manager = CompilationManager(LambdaBackend(), asynchronous=False)
+        manager.compile_now(1, [tc_plan()], storage, take_snapshot(storage))
+        manager.invalidate(1)
+        assert manager.current_artifact(1) is None
+
+    def test_events_record_backend_and_mode(self):
+        storage = graph_storage()
+        manager = CompilationManager(QuotesBackend(), asynchronous=False)
+        manager.compile_now(7, [tc_plan()], storage, take_snapshot(storage))
+        event = manager.events[0]
+        assert event.backend == "quotes"
+        assert event.node_id == 7
+        assert not event.asynchronous
+
+
+class TestAsynchronousCompilation:
+    def test_async_compile_becomes_available(self):
+        storage = graph_storage()
+        with CompilationManager(LambdaBackend(), asynchronous=True) as manager:
+            manager.compile_async(1, [tc_plan()], storage, take_snapshot(storage))
+            deadline = time.time() + 5.0
+            artifact = None
+            while artifact is None and time.time() < deadline:
+                artifact = manager.current_artifact(1)
+                time.sleep(0.01)
+            assert artifact is not None
+            assert artifact(storage) == {(1, 3)}
+            assert manager.events and manager.events[0].asynchronous
+
+    def test_duplicate_async_requests_are_coalesced(self):
+        storage = graph_storage()
+        with CompilationManager(QuotesBackend(), asynchronous=True) as manager:
+            snapshot = take_snapshot(storage)
+            manager.compile_async(1, [tc_plan()], storage, snapshot)
+            manager.compile_async(1, [tc_plan()], storage, snapshot)
+            deadline = time.time() + 5.0
+            while manager.current_artifact(1) is None and time.time() < deadline:
+                time.sleep(0.01)
+            assert manager.compile_count() == 1
+
+    def test_async_manager_without_executor_degrades_to_blocking(self):
+        storage = graph_storage()
+        manager = CompilationManager(LambdaBackend(), asynchronous=False)
+        manager.compile_async(2, [tc_plan()], storage, take_snapshot(storage))
+        assert manager.current_artifact(2) is not None
+
+
+class TestFreshness:
+    def snapshot(self, cards):
+        return CardinalitySnapshot(0, dict(cards), {})
+
+    def test_missing_compile_snapshot_is_stale(self):
+        test = FreshnessTest(threshold=0.5)
+        assert test.is_stale(None, self.snapshot({"a": 10}))
+
+    def test_small_change_is_fresh(self):
+        test = FreshnessTest(threshold=0.5)
+        old = self.snapshot({"a": 100})
+        new = self.snapshot({"a": 120})
+        assert test.is_fresh(old, new)
+
+    def test_large_change_is_stale(self):
+        test = FreshnessTest(threshold=0.5)
+        old = self.snapshot({"a": 100})
+        new = self.snapshot({"a": 500})
+        assert test.is_stale(old, new)
+
+    def test_threshold_is_respected(self):
+        old = self.snapshot({"a": 100})
+        new = self.snapshot({"a": 140})
+        assert FreshnessTest(threshold=0.5).is_fresh(old, new)
+        assert FreshnessTest(threshold=0.1).is_stale(old, new)

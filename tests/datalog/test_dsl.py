@@ -1,0 +1,119 @@
+"""Unit tests for the embedded DSL."""
+
+import pytest
+
+from repro import Program
+from repro.datalog.literals import Assignment, Comparison
+from repro.datalog.terms import Variable
+
+
+class TestProgramDeclaration:
+    def test_relation_reuse_returns_same_handle(self):
+        program = Program()
+        first = program.relation("edge", 2)
+        second = program.relation("edge")
+        assert first is second
+
+    def test_relations_bulk_declaration(self):
+        program = Program()
+        a, b = program.relations("a", "b", arity=1)
+        assert a.name == "a" and b.name == "b"
+
+    def test_variable_generation(self):
+        program = Program()
+        named = program.variable("x")
+        assert named == Variable("x")
+        fresh1, fresh2 = program.variable(), program.variable()
+        assert fresh1 != fresh2
+
+    def test_arity_inferred_on_first_call(self):
+        program = Program()
+        edge = program.relation("edge")
+        edge(1, 2)
+        assert edge.arity == 2
+        with pytest.raises(ValueError):
+            edge(1, 2, 3)
+
+
+class TestRuleRegistration:
+    def test_le_operator_registers_rule(self):
+        program = Program()
+        edge, path = program.relations("edge", "path", arity=2)
+        x, y, z = program.variables("x", "y", "z")
+        path(x, y) <= edge(x, y)
+        path(x, z) <= path(x, y) & edge(y, z)
+        assert len(program.datalog.rules) == 2
+        assert program.datalog.rules[1].positive_atoms()[0].relation == "path"
+
+    def test_negated_atom_in_body(self):
+        program = Program()
+        node, blocked, ok = (
+            program.relation("node", 1),
+            program.relation("blocked", 1),
+            program.relation("ok", 1),
+        )
+        x = program.variable("x")
+        ok(x) <= node(x) & ~blocked(x)
+        rule = program.datalog.rules[0]
+        assert rule.negated_atoms()[0].relation == "blocked"
+
+    def test_builtins_in_body(self):
+        program = Program()
+        num, double = program.relation("num", 1), program.relation("double", 2)
+        x, y = program.variables("x", "y")
+        double(x, y) <= num(x) & Assignment(y, x * 2) & Comparison("<", x, 10)
+        rule = program.datalog.rules[0]
+        assert len(rule.builtins()) == 2
+
+    def test_explicit_rule_registration(self):
+        program = Program()
+        edge, path = program.relations("edge", "path", arity=2)
+        x, y = program.variables("x", "y")
+        rule = program.rule(path(x, y), [edge(x, y)], name="base")
+        assert rule.name == "base"
+
+
+class TestFactsAndSolve:
+    def test_add_fact_and_add_facts(self):
+        program = Program()
+        edge = program.relation("edge", 2)
+        edge.add_fact(1, 2)
+        count = edge.add_facts([(2, 3), (3, 4)])
+        assert count == 2
+        assert len(program.datalog.facts) == 3
+
+    def test_fact_by_name(self):
+        program = Program()
+        program.relation("edge", 2)
+        program.fact("edge", 5, 6)
+        assert program.datalog.facts[0].values == (5, 6)
+
+    def test_solve_returns_requested_relation(self):
+        program = Program()
+        edge, path = program.relations("edge", "path", arity=2)
+        x, y, z = program.variables("x", "y", "z")
+        path(x, y) <= edge(x, y)
+        path(x, z) <= path(x, y) & edge(y, z)
+        edge.add_facts([(1, 2), (2, 3)])
+        result = program.solve("path")
+        assert result == {(1, 2), (2, 3), (1, 3)}
+
+    def test_solve_returns_all_idb_without_argument(self):
+        program = Program()
+        edge, path = program.relations("edge", "path", arity=2)
+        x, y = program.variables("x", "y")
+        path(x, y) <= edge(x, y)
+        edge.add_fact(1, 2)
+        result = program.solve()
+        assert set(result.keys()) == {"path"}
+
+    def test_engine_accessor_builds_unrun_engine(self):
+        program = Program()
+        edge, path = program.relations("edge", "path", arity=2)
+        x, y = program.variables("x", "y")
+        path(x, y) <= edge(x, y)
+        edge.add_fact(1, 2)
+        engine = program.engine()
+        assert engine.relation("path") == set()
+        engine.run()
+        assert engine.relation("path") == {(1, 2)}

@@ -1,0 +1,110 @@
+"""Unit tests for atoms, comparisons, assignments and conjunction building."""
+
+import pytest
+
+from repro.datalog.literals import (
+    Assignment,
+    Atom,
+    Comparison,
+    Conjunction,
+    compare,
+    let,
+)
+from repro.datalog.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAtom:
+    def test_terms_are_coerced_to_terms(self):
+        atom = Atom("edge", (1, x))
+        assert atom.terms[0] == Constant(1)
+        assert atom.terms[1] is x
+
+    def test_arity(self):
+        assert Atom("r", (x, y, z)).arity == 3
+
+    def test_variables(self):
+        assert Atom("r", (x, 1, y)).variables() == frozenset({x, y})
+
+    def test_constant_positions(self):
+        assert Atom("r", (x, 1, "a")).constant_positions() == (1, 2)
+
+    def test_variable_positions_with_repeats(self):
+        positions = Atom("r", (x, y, x)).variable_positions()
+        assert positions[x] == [0, 2]
+        assert positions[y] == [1]
+
+    def test_negation_via_invert(self):
+        atom = Atom("r", (x,))
+        negated = ~atom
+        assert negated.negated
+        assert (~negated).negated is False
+
+    def test_is_relational(self):
+        assert Atom("r", (x,)).is_relational()
+
+    def test_and_builds_conjunction(self):
+        conjunction = Atom("a", (x,)) & Atom("b", (y,))
+        assert isinstance(conjunction, Conjunction)
+        assert len(conjunction) == 2
+
+
+class TestComparison:
+    def test_evaluate_all_operators(self):
+        bindings = {x: 3, y: 5}
+        assert Comparison("<", x, y).evaluate(bindings)
+        assert Comparison("<=", x, Constant(3)).evaluate(bindings)
+        assert Comparison(">", y, x).evaluate(bindings)
+        assert Comparison(">=", y, y).evaluate(bindings)
+        assert Comparison("==", x, Constant(3)).evaluate(bindings)
+        assert Comparison("!=", x, y).evaluate(bindings)
+
+    def test_expression_sides(self):
+        comparison = Comparison("==", x + 1, y)
+        assert comparison.evaluate({x: 4, y: 5})
+        assert not comparison.evaluate({x: 4, y: 6})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("~=", x, y)
+
+    def test_compare_helper(self):
+        assert compare("<", x, 10).evaluate({x: 3})
+
+    def test_not_relational(self):
+        assert not Comparison("<", x, y).is_relational()
+
+
+class TestAssignment:
+    def test_evaluate(self):
+        assignment = Assignment(z, x + y)
+        assert assignment.evaluate({x: 2, y: 3}) == 5
+
+    def test_input_variables_exclude_target(self):
+        assignment = Assignment(z, x + y)
+        assert assignment.input_variables() == frozenset({x, y})
+        assert z in assignment.variables()
+
+    def test_let_helper_wraps_constants(self):
+        assignment = let(z, 5)
+        assert assignment.evaluate({}) == 5
+
+
+class TestConjunction:
+    def test_coerce_single_literal(self):
+        conjunction = Conjunction.coerce(Atom("a", (x,)))
+        assert len(conjunction) == 1
+
+    def test_coerce_list(self):
+        conjunction = Conjunction.coerce([Atom("a", (x,)), compare("<", x, 3)])
+        assert len(conjunction) == 2
+
+    def test_chained_and_preserves_order(self):
+        conjunction = Atom("a", (x,)) & Atom("b", (y,)) & compare("<", x, y)
+        names = [getattr(l, "relation", "builtin") for l in conjunction]
+        assert names == ["a", "b", "builtin"]
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            Conjunction.coerce(42)

@@ -1,0 +1,93 @@
+"""Unit tests for source-level rewrites (alias elimination, body reordering)."""
+
+import pytest
+
+from repro.datalog.literals import Atom, Comparison
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rewrite import eliminate_aliases, reorder_rule_body, reverse_rule_bodies
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAliasElimination:
+    def build_program_with_alias(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("link", (x, y)), [Atom("edge", (x, y))])          # alias
+        program.add_rule(Atom("path", (x, y)), [Atom("link", (x, y))])          # uses alias
+        program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("link", (y, z))])
+        return program
+
+    def test_alias_removed_and_uses_rewritten(self):
+        rewritten = eliminate_aliases(self.build_program_with_alias())
+        assert "link" not in {rule.head_relation for rule in rewritten.rules}
+        used = {atom.relation for rule in rewritten.rules for atom in rule.body_atoms()}
+        assert "link" not in used
+        assert rewritten.alias_map == {"link": "edge"}
+
+    def test_non_alias_rules_untouched(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
+        program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
+        rewritten = eliminate_aliases(program)
+        assert len(rewritten.rules) == 2
+        assert rewritten.alias_map == {}
+
+    def test_relation_with_two_rules_is_not_an_alias(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_fact("extra", (3, 4))
+        program.add_rule(Atom("link", (x, y)), [Atom("edge", (x, y))])
+        program.add_rule(Atom("link", (x, y)), [Atom("extra", (x, y))])
+        rewritten = eliminate_aliases(program)
+        assert len(rewritten.rules_for("link")) == 2
+
+    def test_permuted_variables_not_an_alias(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("reverse", (y, x)), [Atom("edge", (x, y))])
+        rewritten = eliminate_aliases(program)
+        assert len(rewritten.rules_for("reverse")) == 1
+
+    def test_alias_semantics_preserved_under_evaluation(self):
+        from repro import EngineConfig, ExecutionEngine
+
+        program = self.build_program_with_alias()
+        original = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()["path"]
+        rewritten = eliminate_aliases(program)
+        result = ExecutionEngine(rewritten, EngineConfig.interpreted()).run()["path"]
+        assert result == original
+
+
+class TestBodyReordering:
+    def test_reorder_rule_body(self):
+        rule = Rule(
+            Atom("p", (x, z)),
+            (Atom("a", (x, y)), Atom("b", (y, z)), Comparison("!=", x, z)),
+        )
+        reordered = reorder_rule_body(rule, [1, 0])
+        atoms = [l.relation for l in reordered.body_atoms()]
+        assert atoms == ["b", "a"]
+        assert len(reordered.builtins()) == 1
+
+    def test_invalid_permutation_rejected(self):
+        rule = Rule(Atom("p", (x,)), (Atom("a", (x,)), Atom("b", (x,))))
+        with pytest.raises(ValueError):
+            reorder_rule_body(rule, [0, 0])
+
+    def test_reverse_rule_bodies_preserves_results(self):
+        from repro import EngineConfig, ExecutionEngine
+
+        program = DatalogProgram()
+        program.add_facts("edge", [(1, 2), (2, 3), (3, 4)])
+        program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
+        program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
+        reversed_program = reverse_rule_bodies(program)
+        original = ExecutionEngine(program, EngineConfig.interpreted()).run()["path"]
+        mirrored = ExecutionEngine(reversed_program, EngineConfig.interpreted()).run()["path"]
+        assert original == mirrored
+        step_rule = reversed_program.rules_for("path")[1]
+        assert [a.relation for a in step_rule.body_atoms()] == ["edge", "path"]

@@ -1,0 +1,125 @@
+"""Unit tests for rules, facts and the program container."""
+
+import pytest
+
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Fact, Rule
+from repro.datalog.terms import Aggregate, Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestFact:
+    def test_arity_and_values(self):
+        fact = Fact("edge", (1, 2))
+        assert fact.arity == 2
+        assert fact.values == (1, 2)
+
+    def test_as_atom_is_ground(self):
+        atom = Fact("edge", (1, 2)).as_atom()
+        assert atom.terms == (Constant(1), Constant(2))
+
+
+class TestRule:
+    def make_rule(self):
+        head = Atom("path", (x, z))
+        body = (Atom("path", (x, y)), Atom("edge", (y, z)), Comparison("!=", x, z))
+        return Rule(head, body, "tc")
+
+    def test_body_classification(self):
+        rule = self.make_rule()
+        assert len(rule.body_atoms()) == 2
+        assert len(rule.positive_atoms()) == 2
+        assert rule.negated_atoms() == ()
+        assert len(rule.builtins()) == 1
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (x,), negated=True), (Atom("q", (x,)),))
+
+    def test_head_and_body_variables(self):
+        rule = self.make_rule()
+        assert rule.head_variables() == frozenset({x, z})
+        assert rule.body_variables() == frozenset({x, y, z})
+
+    def test_is_recursive_with(self):
+        rule = self.make_rule()
+        assert rule.is_recursive_with(["path"])
+        assert not rule.is_recursive_with(["other"])
+
+    def test_with_body_reorders(self):
+        rule = self.make_rule()
+        reordered = rule.with_body(tuple(reversed(rule.body)))
+        assert reordered.body[0] == rule.body[-1]
+        assert reordered.head == rule.head
+
+    def test_aggregation_detection(self):
+        aggregate_rule = Rule(
+            Atom("total", (x, Aggregate("sum", y))), (Atom("sales", (x, y)),)
+        )
+        assert aggregate_rule.has_aggregation()
+        assert aggregate_rule.aggregate_terms()[0][0] == 1
+        assert not self.make_rule().has_aggregation()
+
+
+class TestDatalogProgram:
+    def build(self):
+        program = DatalogProgram("tc")
+        program.add_fact("edge", (1, 2))
+        program.add_fact("edge", (2, 3))
+        program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
+        program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
+        return program
+
+    def test_relation_classification(self):
+        program = self.build()
+        assert program.edb_relations() == ["edge"]
+        assert program.idb_relations() == ["path"]
+
+    def test_rules_for(self):
+        program = self.build()
+        assert len(program.rules_for("path")) == 2
+        assert program.rules_for("edge") == []
+
+    def test_facts_for_and_arity(self):
+        program = self.build()
+        assert len(program.facts_for("edge")) == 2
+        assert program.arity_of("edge") == 2
+        with pytest.raises(KeyError):
+            program.arity_of("unknown")
+
+    def test_arity_mismatch_rejected(self):
+        program = self.build()
+        with pytest.raises(ValueError):
+            program.add_fact("edge", (1, 2, 3))
+
+    def test_validate_arities_catches_bad_atom(self):
+        program = self.build()
+        program.rules.append(Rule(Atom("path", (x,)), (Atom("edge", (x, y)),)))
+        with pytest.raises(ValueError):
+            program.validate_arities()
+
+    def test_copy_is_independent(self):
+        program = self.build()
+        clone = program.copy()
+        clone.add_fact("edge", (3, 4))
+        assert len(program.facts) == 2
+        assert len(clone.facts) == 3
+
+    def test_with_rules_preserves_facts(self):
+        program = self.build()
+        single = program.with_rules(program.rules[:1])
+        assert len(single.rules) == 1
+        assert len(single.facts) == 2
+
+    def test_rule_names_unique_by_default(self):
+        program = self.build()
+        names = [rule.name for rule in program.rules]
+        assert len(names) == len(set(names))
+
+    def test_bulk_add_facts(self):
+        program = DatalogProgram()
+        count = program.add_facts("r", [(1,), (2,), (3,)])
+        assert count == 3
+        assert program.relations["r"].fact_count == 3

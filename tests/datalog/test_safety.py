@@ -1,0 +1,84 @@
+"""Unit tests for rule-safety checking."""
+
+import pytest
+
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Rule
+from repro.datalog.safety import SafetyError, check_program_safety, check_rule_safety
+from repro.datalog.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestRuleSafety:
+    def test_safe_rule_passes(self):
+        rule = Rule(Atom("p", (x, y)), (Atom("q", (x, y)),))
+        check_rule_safety(rule)
+
+    def test_unbound_head_variable(self):
+        rule = Rule(Atom("p", (x, z)), (Atom("q", (x, y)),))
+        with pytest.raises(SafetyError):
+            check_rule_safety(rule)
+
+    def test_head_variable_bound_by_assignment(self):
+        rule = Rule(Atom("p", (x, z)), (Atom("q", (x, y)), Assignment(z, y + 1)))
+        check_rule_safety(rule)
+
+    def test_chained_assignments_bind_transitively(self):
+        rule = Rule(
+            Atom("p", (z,)),
+            (Atom("q", (x,)), Assignment(z, y + 1), Assignment(y, x + 1)),
+        )
+        check_rule_safety(rule)
+
+    def test_negated_atom_with_unbound_variable(self):
+        rule = Rule(Atom("p", (x,)), (Atom("q", (x,)), Atom("r", (y,), negated=True)))
+        with pytest.raises(SafetyError):
+            check_rule_safety(rule)
+
+    def test_negated_atom_with_bound_variables_ok(self):
+        rule = Rule(Atom("p", (x,)), (Atom("q", (x,)), Atom("r", (x,), negated=True)))
+        check_rule_safety(rule)
+
+    def test_comparison_with_unbound_variable(self):
+        rule = Rule(Atom("p", (x,)), (Atom("q", (x,)), Comparison("<", y, Constant(3))))
+        with pytest.raises(SafetyError):
+            check_rule_safety(rule)
+
+    def test_assignment_reading_unbound_variable(self):
+        rule = Rule(Atom("p", (x, z)), (Atom("q", (x,)), Assignment(z, y + 1)))
+        with pytest.raises(SafetyError):
+            check_rule_safety(rule)
+
+    def test_rule_with_only_negative_atoms_rejected(self):
+        rule = Rule(Atom("p", (x,)), (Atom("q", (x,), negated=True),))
+        with pytest.raises(SafetyError):
+            check_rule_safety(rule)
+
+    def test_ground_rule_without_positive_atoms_allowed(self):
+        rule = Rule(Atom("p", (Constant(1),)), (Comparison("<", Constant(1), Constant(2)),))
+        check_rule_safety(rule)
+
+
+class TestProgramSafety:
+    def test_program_with_safe_rules(self):
+        program = DatalogProgram()
+        program.add_rule(Atom("p", (x, y)), [Atom("q", (x, y))])
+        program.add_fact("q", (1, 2))
+        assert len(check_program_safety(program)) == 1
+
+    def test_program_with_unsafe_rule(self):
+        program = DatalogProgram()
+        program.add_rule(Atom("p", (x, z)), [Atom("q", (x, y))])
+        with pytest.raises(SafetyError):
+            check_program_safety(program)
+
+    def test_program_safety_also_validates_arities(self):
+        program = DatalogProgram()
+        program.add_rule(Atom("p", (x, y)), [Atom("q", (x, y))])
+        program.add_fact("q", (1, 2))
+        # Sneak in an arity-violating rule behind the declaration API's back.
+        program.rules.append(Rule(Atom("p", (x,)), (Atom("q", (x, y)),)))
+        with pytest.raises(ValueError):
+            check_program_safety(program)

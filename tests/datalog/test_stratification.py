@@ -1,0 +1,123 @@
+"""Unit tests for the precedence graph and stratification."""
+
+import pytest
+
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.stratification import (
+    StratificationError,
+    Stratifier,
+    precedence_graph,
+    stratify,
+)
+from repro.datalog.terms import Aggregate, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def transitive_closure_program() -> DatalogProgram:
+    program = DatalogProgram("tc")
+    program.add_fact("edge", (1, 2))
+    program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
+    program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
+    return program
+
+
+class TestPrecedenceGraph:
+    def test_edges_point_from_body_to_head(self):
+        graph = precedence_graph(transitive_closure_program())
+        pairs = {(e.source, e.target) for e in graph.edges}
+        assert ("edge", "path") in pairs
+        assert ("path", "path") in pairs
+
+    def test_negative_edges_marked(self):
+        program = DatalogProgram()
+        program.add_fact("node", (1,))
+        program.add_rule(Atom("bad", (x,)), [Atom("node", (x,)), Atom("good", (x,), negated=True)])
+        program.add_rule(Atom("good", (x,)), [Atom("node", (x,))])
+        graph = precedence_graph(program)
+        negatives = [(e.source, e.target) for e in graph.edges if e.negative]
+        assert negatives == [("good", "bad")]
+
+    def test_aggregation_counts_as_negative(self):
+        program = DatalogProgram()
+        program.add_fact("sales", (1, 5))
+        program.add_rule(Atom("total", (x, Aggregate("sum", y))), [Atom("sales", (x, y))])
+        graph = precedence_graph(program)
+        assert any(e.negative for e in graph.edges)
+
+    def test_successors_and_predecessors(self):
+        graph = precedence_graph(transitive_closure_program())
+        assert ("path", False) in graph.successors("edge")
+        assert ("edge", False) in graph.predecessors("path")
+
+
+class TestStratification:
+    def test_single_recursive_stratum(self):
+        strata = stratify(transitive_closure_program())
+        assert len(strata) == 1
+        assert strata[0].relations == ("path",)
+        assert strata[0].is_recursive()
+
+    def test_negation_forces_two_strata(self):
+        program = DatalogProgram()
+        program.add_fact("node", (1,))
+        program.add_rule(Atom("reached", (x,)), [Atom("node", (x,))])
+        program.add_rule(
+            Atom("unreached", (x,)),
+            [Atom("node", (x,)), Atom("reached", (x,), negated=True)],
+        )
+        strata = stratify(program)
+        assert [s.relations for s in strata] == [("reached",), ("unreached",)]
+
+    def test_unstratifiable_program_rejected(self):
+        program = DatalogProgram()
+        program.add_fact("node", (1,))
+        program.add_rule(Atom("p", (x,)), [Atom("node", (x,)), Atom("q", (x,), negated=True)])
+        program.add_rule(Atom("q", (x,)), [Atom("node", (x,)), Atom("p", (x,), negated=True)])
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_mutual_recursion_same_stratum(self):
+        program = DatalogProgram()
+        program.add_fact("base", (1, 2))
+        program.add_rule(Atom("even_path", (x, y)), [Atom("base", (x, y))])
+        program.add_rule(
+            Atom("odd_path", (x, z)), [Atom("even_path", (x, y)), Atom("base", (y, z))]
+        )
+        program.add_rule(
+            Atom("even_path", (x, z)), [Atom("odd_path", (x, y)), Atom("base", (y, z))]
+        )
+        strata = stratify(program)
+        assert len(strata) == 1
+        assert set(strata[0].relations) == {"even_path", "odd_path"}
+
+    def test_strata_are_topologically_ordered(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
+        program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
+        program.add_rule(
+            Atom("unreachable", (x, y)),
+            [Atom("edge", (x, x)), Atom("edge", (y, y)), Atom("path", (x, y), negated=True)],
+        )
+        strata = stratify(program)
+        order = {relation: s.index for s in strata for relation in s.relations}
+        assert order["path"] < order["unreachable"]
+
+    def test_non_recursive_stratum_reports_no_recursion(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("copy", (x, y)), [Atom("edge", (x, y))])
+        strata = stratify(program)
+        assert len(strata) == 1
+        assert not strata[0].is_recursive()
+
+    def test_cspa_is_single_stratum(self):
+        from repro.analyses.cspa import build_cspa_program
+        from repro.workloads.program_facts import CSPADataset
+
+        dataset = CSPADataset(assign=[(1, 2)], dereference=[(2, 3)])
+        strata = stratify(build_cspa_program(dataset))
+        assert len(strata) == 1
+        assert set(strata[0].relations) == {"VaFlow", "VAlias", "MAlias"}

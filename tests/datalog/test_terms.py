@@ -1,0 +1,112 @@
+"""Unit tests for Datalog terms (variables, constants, expressions, aggregates)."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Aggregate,
+    BinaryExpression,
+    Constant,
+    Variable,
+    as_term,
+    evaluate_aggregate,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_variables_returns_self(self):
+        assert Variable("x").variables() == frozenset({Variable("x")})
+
+    def test_substitute_bound(self):
+        assert Variable("x").substitute({Variable("x"): 7}) == 7
+
+    def test_substitute_unbound_raises(self):
+        with pytest.raises(KeyError):
+            Variable("x").substitute({})
+
+    def test_arithmetic_sugar_builds_expressions(self):
+        x = Variable("x")
+        expression = x + 1
+        assert isinstance(expression, BinaryExpression)
+        assert expression.substitute({x: 4}) == 5
+
+    def test_reverse_arithmetic(self):
+        x = Variable("x")
+        assert (10 - x).substitute({x: 4}) == 6
+        assert (3 * x).substitute({x: 4}) == 12
+
+    def test_mod_and_floordiv(self):
+        x = Variable("x")
+        assert (x % 3).substitute({x: 10}) == 1
+        assert (x // 3).substitute({x: 10}) == 3
+
+
+class TestConstant:
+    def test_no_variables(self):
+        assert Constant(3).variables() == frozenset()
+
+    def test_substitute_returns_value(self):
+        assert Constant("a").substitute({}) == "a"
+
+    def test_equality(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+
+
+class TestBinaryExpression:
+    def test_nested_expression(self):
+        x, y = Variable("x"), Variable("y")
+        expression = BinaryExpression("+", BinaryExpression("*", x, Constant(2)), y)
+        assert expression.substitute({x: 3, y: 4}) == 10
+
+    def test_variables_collects_both_sides(self):
+        x, y = Variable("x"), Variable("y")
+        expression = BinaryExpression("-", x, y)
+        assert expression.variables() == frozenset({x, y})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryExpression("**", Constant(2), Constant(3))
+
+    def test_min_max_operators(self):
+        x = Variable("x")
+        assert BinaryExpression("min", x, Constant(5)).substitute({x: 9}) == 5
+        assert BinaryExpression("max", x, Constant(5)).substitute({x: 9}) == 9
+
+
+class TestAggregate:
+    def test_valid_functions(self):
+        for func in ("count", "sum", "min", "max", "mean"):
+            assert Aggregate(func, Variable("x")).func == func
+
+    def test_invalid_function_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate("median", Variable("x"))
+
+    def test_evaluate_aggregate(self):
+        values = [3, 1, 2]
+        assert evaluate_aggregate("count", values) == 3
+        assert evaluate_aggregate("sum", values) == 6
+        assert evaluate_aggregate("min", values) == 1
+        assert evaluate_aggregate("max", values) == 3
+        assert evaluate_aggregate("mean", values) == 2
+
+    def test_evaluate_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            evaluate_aggregate("median", [1])
+
+
+class TestAsTerm:
+    def test_wraps_python_values(self):
+        assert as_term(5) == Constant(5)
+        assert as_term("a") == Constant("a")
+
+    def test_passes_terms_through(self):
+        x = Variable("x")
+        assert as_term(x) is x

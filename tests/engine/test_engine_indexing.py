@@ -1,0 +1,92 @@
+"""Unit tests for the engine façade and automatic index selection."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.datalog.literals import Atom
+from repro.datalog.parser import parse_program
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Constant, Variable
+from repro.engine.engine import ExecutionEngine
+from repro.engine.indexing import select_indexes
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestIndexSelection:
+    def test_join_columns_are_indexed(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(
+            Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))]
+        )
+        indexes = select_indexes(program)
+        assert ("path", 1) in indexes   # y in path(x, y)
+        assert ("edge", 0) in indexes   # y in edge(y, z)
+
+    def test_constant_columns_are_indexed(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("from_one", (y,)), [Atom("edge", (Constant(1), y))])
+        assert ("edge", 0) in select_indexes(program)
+
+    def test_unjoined_columns_are_not_indexed(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("copy", (x, y)), [Atom("edge", (x, y))])
+        assert select_indexes(program) == set()
+
+    def test_negated_atoms_participate(self):
+        program = DatalogProgram()
+        program.add_fact("node", (1,))
+        program.add_fact("blocked", (1,))
+        program.add_rule(
+            Atom("free", (x,)), [Atom("node", (x,)), Atom("blocked", (x,), negated=True)]
+        )
+        indexes = select_indexes(program)
+        assert ("blocked", 0) in indexes and ("node", 0) in indexes
+
+    def test_cspa_index_set_covers_join_keys(self):
+        from repro.analyses.cspa import build_cspa_program
+        from repro.workloads.program_facts import CSPADataset
+
+        program = build_cspa_program(CSPADataset(assign=[(1, 2)], dereference=[(2, 3)]))
+        indexes = select_indexes(program)
+        assert ("Assign", 1) in indexes
+        assert any(relation == "VaFlow" for relation, _ in indexes)
+
+
+class TestExecutionEngine:
+    SOURCE = """
+    edge(1, 2). edge(2, 3).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+    """
+
+    def test_run_returns_idb_relations_only(self):
+        engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
+        results = engine.run()
+        assert set(results) == {"path"}
+
+    def test_relation_accessor_reads_edb_too(self):
+        engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
+        engine.run()
+        assert engine.relation("edge") == {(1, 2), (2, 3)}
+
+    def test_indexes_registered_when_enabled(self):
+        engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
+        assert engine.storage.registered_indexes("edge") != ()
+        disabled = ExecutionEngine(
+            parse_program(self.SOURCE), EngineConfig.interpreted(use_indexes=False)
+        )
+        assert disabled.storage.registered_indexes("edge") == ()
+
+    def test_execution_seconds_populated(self):
+        engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
+        engine.run()
+        assert engine.execution_seconds() > 0
+        assert engine.setup_seconds >= 0
+
+    def test_default_config_is_interpreted(self):
+        engine = ExecutionEngine(parse_program(self.SOURCE))
+        assert engine.config.mode.value == "interpreted"

@@ -1,0 +1,27 @@
+"""Integration tests: every example script runs end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should print something useful"

@@ -1,0 +1,137 @@
+"""Unit tests for the IROp tree builders (semi-naive and naive)."""
+
+import pytest
+
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Aggregate, Variable
+from repro.ir.builder import PlanBuilder, build_naive_ir, build_program_ir
+from repro.ir.ops import (
+    AggregateOp,
+    DoWhileOp,
+    InsertOp,
+    JoinProjectOp,
+    ProgramOp,
+    RelationUnionOp,
+    SwapClearOp,
+    UnionOp,
+    count_nodes,
+    find_nodes,
+    walk,
+)
+from repro.ir.printer import explain
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def tc_program() -> DatalogProgram:
+    program = DatalogProgram("tc")
+    program.add_facts("edge", [(1, 2), (2, 3)])
+    program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
+    program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
+    return program
+
+
+class TestSemiNaiveBuilder:
+    def test_root_is_program_op_with_one_stratum(self):
+        tree = build_program_ir(tc_program())
+        assert isinstance(tree, ProgramOp)
+        assert len(tree.strata) == 1
+
+    def test_stratum_has_seed_and_loop(self):
+        tree = build_program_ir(tc_program())
+        stratum = tree.strata[0]
+        assert stratum.loop is not None
+        assert isinstance(stratum.loop, DoWhileOp)
+        seed_inserts = [c for c in stratum.seed.children if isinstance(c, InsertOp)]
+        assert all(i.target == InsertOp.SEED for i in seed_inserts)
+
+    def test_loop_body_ends_with_swap_clear(self):
+        tree = build_program_ir(tc_program())
+        body = tree.strata[0].loop.body.children
+        assert isinstance(body[-1], SwapClearOp)
+        assert body[-1].relations == ("path",)
+
+    def test_loop_contains_only_recursive_subqueries(self):
+        tree = build_program_ir(tc_program())
+        loop = tree.strata[0].loop
+        join_ops = find_nodes(loop, JoinProjectOp)
+        # Only the recursive rule contributes a delta sub-query.
+        assert len(join_ops) == 1
+        assert join_ops[0].plan.delta_relation() == "path"
+
+    def test_seed_contains_every_rule(self):
+        tree = build_program_ir(tc_program())
+        seed_joins = find_nodes(tree.strata[0].seed, JoinProjectOp)
+        assert len(seed_joins) == 2
+
+    def test_non_recursive_program_has_no_loop(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_rule(Atom("copy", (x, y)), [Atom("edge", (x, y))])
+        tree = build_program_ir(program)
+        assert tree.strata[0].loop is None
+
+    def test_aggregate_rule_becomes_aggregate_op_in_seed_only(self):
+        program = DatalogProgram()
+        program.add_facts("sales", [(1, 10), (1, 20), (2, 5)])
+        program.add_rule(
+            Atom("total", (x, Aggregate("sum", y))), [Atom("sales", (x, y))]
+        )
+        tree = build_program_ir(program)
+        assert len(find_nodes(tree, AggregateOp)) == 1
+        assert tree.strata[0].loop is None
+
+    def test_union_structure_matches_rule_count(self):
+        from repro.analyses.cspa import build_cspa_program
+        from repro.workloads.program_facts import CSPADataset
+
+        dataset = CSPADataset(assign=[(1, 2), (2, 3)], dereference=[(1, 3)])
+        tree = build_program_ir(build_cspa_program(dataset))
+        stratum = tree.strata[0]
+        relation_unions = [
+            child.source for child in stratum.loop.body.children
+            if isinstance(child, InsertOp)
+        ]
+        assert all(isinstance(u, RelationUnionOp) for u in relation_unions)
+        # VaFlow has two recursive rules (via MAlias and transitive).
+        vaflow_union = next(u for u in relation_unions if u.relation == "VaFlow")
+        assert len(vaflow_union.children) >= 2
+
+    def test_unsafe_program_rejected_at_build_time(self):
+        program = DatalogProgram()
+        program.add_fact("q", (1,))
+        program.add_rule(Atom("p", (x, y)), [Atom("q", (x,))])
+        with pytest.raises(Exception):
+            build_program_ir(program)
+
+    def test_explain_renders_tree(self):
+        tree = build_program_ir(tc_program())
+        text = explain(tree)
+        assert "Program[tc]" in text
+        assert "DoWhile" in text
+        assert "σπ⋈" in text
+
+
+class TestNaiveBuilder:
+    def test_naive_tree_has_no_delta_sources(self):
+        tree = build_naive_ir(tc_program())
+        from repro.relational.storage import DatabaseKind
+
+        for join in find_nodes(tree, JoinProjectOp):
+            assert all(
+                source.kind != DatabaseKind.DELTA_KNOWN
+                for source in join.plan.sources
+            )
+
+    def test_naive_and_semi_naive_count_nodes(self):
+        semi = build_program_ir(tc_program())
+        naive = build_naive_ir(tc_program())
+        assert count_nodes(semi) > 0
+        assert count_nodes(naive) > 0
+
+    def test_walk_visits_all_nodes(self):
+        tree = build_program_ir(tc_program())
+        visited = list(walk(tree))
+        assert visited[0] is tree
+        assert any(isinstance(node, SwapClearOp) for node in visited)

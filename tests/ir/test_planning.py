@@ -1,0 +1,136 @@
+"""Unit tests for sub-query planning (delta choices, legalization)."""
+
+import pytest
+
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.ir.planning import (
+    build_join_plan,
+    delta_subqueries,
+    legalize_literal_order,
+    positive_atom_permutation,
+    seed_plan,
+)
+from repro.relational.operators import AtomSource
+from repro.relational.storage import DatabaseKind
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def tc_rule() -> Rule:
+    return Rule(Atom("path", (x, z)), (Atom("path", (x, y)), Atom("edge", (y, z))), "tc")
+
+
+class TestBuildJoinPlan:
+    def test_seed_plan_reads_derived_everywhere(self):
+        plan = seed_plan(tc_rule())
+        kinds = [s.kind for s in plan.sources]
+        assert all(k == DatabaseKind.DERIVED for k in kinds)
+
+    def test_delta_index_marks_one_atom(self):
+        plan = build_join_plan(tc_rule(), delta_index=0)
+        assert plan.sources[0].kind == DatabaseKind.DELTA_KNOWN
+        assert plan.sources[1].kind == DatabaseKind.DERIVED
+
+    def test_delta_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_join_plan(tc_rule(), delta_index=5)
+
+    def test_atom_order_permutation(self):
+        plan = build_join_plan(tc_rule(), atom_order=[1, 0])
+        assert plan.sources[0].literal.relation == "edge"
+
+    def test_invalid_atom_order(self):
+        with pytest.raises(ValueError):
+            build_join_plan(tc_rule(), atom_order=[0, 0])
+
+    def test_builtins_placed_after_binding_atoms(self):
+        rule = Rule(
+            Atom("p", (x, z)),
+            (Comparison("<", y, Constant(9)), Atom("a", (x, y)), Assignment(z, y + 1)),
+        )
+        plan = build_join_plan(rule)
+        kinds = [type(s.literal).__name__ for s in plan.sources]
+        assert kinds == ["Atom", "Comparison", "Assignment"]
+
+    def test_negated_atom_placed_after_binders(self):
+        rule = Rule(
+            Atom("p", (x,)),
+            (Atom("blocked", (x,), negated=True), Atom("node", (x,))),
+        )
+        plan = build_join_plan(rule)
+        assert isinstance(plan.sources[0].literal, Atom)
+        assert not plan.sources[0].literal.negated
+        assert plan.sources[1].literal.negated
+
+
+class TestDeltaSubqueries:
+    def test_one_subquery_per_recursive_occurrence(self):
+        rule = Rule(
+            Atom("path", (x, z)),
+            (Atom("path", (x, y)), Atom("path", (y, z))),
+        )
+        plans = delta_subqueries(rule, ["path"])
+        assert len(plans) == 2
+        assert plans[0].sources[0].kind == DatabaseKind.DELTA_KNOWN
+        assert plans[1].sources[1].kind == DatabaseKind.DELTA_KNOWN
+
+    def test_non_recursive_rule_has_no_delta_subqueries(self):
+        rule = Rule(Atom("path", (x, y)), (Atom("edge", (x, y)),))
+        assert delta_subqueries(rule, ["path"]) == []
+
+    def test_cspa_valias_rule_has_three_subqueries(self):
+        v0, v1, v2, v3 = (Variable(f"v{i}") for i in range(4))
+        rule = Rule(
+            Atom("VAlias", (v1, v2)),
+            (
+                Atom("VaFlow", (v0, v2)),
+                Atom("VaFlow", (v3, v1)),
+                Atom("MAlias", (v3, v0)),
+            ),
+        )
+        plans = delta_subqueries(rule, ["VaFlow", "VAlias", "MAlias"])
+        assert len(plans) == 3
+
+
+class TestLegalization:
+    def test_unplaceable_literal_raises(self):
+        with pytest.raises(ValueError):
+            legalize_literal_order(
+                [AtomSource(Atom("a", (x,)), DatabaseKind.DERIVED)],
+                [Comparison("<", y, Constant(1))],
+            )
+
+    def test_assignment_chain_ordering(self):
+        sources = [AtomSource(Atom("a", (x,)), DatabaseKind.DERIVED)]
+        others = [Assignment(z, y + 1), Assignment(y, x + 1)]
+        ordered = legalize_literal_order(sources, others)
+        names = [
+            s.literal.target.name if isinstance(s.literal, Assignment) else "atom"
+            for s in ordered
+        ]
+        assert names == ["atom", "y", "z"]
+
+    def test_ground_builtin_can_lead(self):
+        sources = [AtomSource(Atom("a", (x,)), DatabaseKind.DERIVED)]
+        others = [Comparison("<", Constant(1), Constant(2))]
+        ordered = legalize_literal_order(sources, others)
+        assert isinstance(ordered[0].literal, Comparison)
+
+
+class TestPermutation:
+    def test_positive_atom_permutation_preserves_delta_marking(self):
+        plan = build_join_plan(tc_rule(), delta_index=0)
+        permuted = positive_atom_permutation(plan, [1, 0])
+        relations = [s.literal.relation for s in permuted.sources]
+        assert relations == ["edge", "path"]
+        delta_kinds = {
+            s.literal.relation: s.kind for s in permuted.sources
+        }
+        assert delta_kinds["path"] == DatabaseKind.DELTA_KNOWN
+
+    def test_permutation_validation(self):
+        plan = build_join_plan(tc_rule())
+        with pytest.raises(ValueError):
+            positive_atom_permutation(plan, [0, 0])

@@ -1,0 +1,80 @@
+"""Property-based tests for the relational layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.relation import Relation
+from repro.relational.storage import DatabaseKind, StorageManager
+
+rows2 = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20)),
+    max_size=60,
+)
+
+
+class TestRelationProperties:
+    @given(rows=rows2)
+    def test_relation_behaves_like_a_set(self, rows):
+        relation = Relation("r", 2)
+        relation.insert_many(rows)
+        assert relation.rows() == set(rows)
+        assert len(relation) == len(set(rows))
+
+    @given(rows=rows2, column=st.integers(min_value=0, max_value=1))
+    def test_index_lookup_equals_scan_filter(self, rows, column):
+        relation = Relation("r", 2)
+        relation.insert_many(rows)
+        indexed = Relation("r_idx", 2)
+        indexed.build_index(column)
+        indexed.insert_many(rows)
+        values = {row[column] for row in rows} | {999}
+        for value in values:
+            scan = {row for row in relation.rows() if row[column] == value}
+            probe = set(indexed.lookup(column, value))
+            assert probe == scan
+
+    @given(rows=rows2, probe_first=st.integers(min_value=0, max_value=20),
+           probe_second=st.integers(min_value=0, max_value=20))
+    def test_probe_with_two_constraints(self, rows, probe_first, probe_second):
+        relation = Relation("r", 2)
+        relation.build_index(0)
+        relation.insert_many(rows)
+        expected = {r for r in rows if r[0] == probe_first and r[1] == probe_second}
+        assert set(relation.probe({0: probe_first, 1: probe_second})) == expected
+
+    @given(rows=rows2)
+    def test_insert_many_is_idempotent(self, rows):
+        relation = Relation("r", 2)
+        relation.insert_many(rows)
+        inserted_again = relation.insert_many(rows)
+        assert inserted_again == 0
+
+
+class TestStorageProperties:
+    @given(seed=rows2, extra=rows2)
+    @settings(max_examples=40)
+    def test_swap_and_clear_invariants(self, seed, extra):
+        """After any sequence of seed + insert + swap, the three databases obey:
+        derived ⊇ delta-known, delta-new is empty after a swap, and nothing is
+        ever lost."""
+        storage = StorageManager()
+        storage.declare("r", 2)
+        storage.seed_delta("r", seed)
+        storage.insert_new_many("r", extra)
+        new_rows = storage.tuples("r", DatabaseKind.DELTA_NEW)
+        promoted = storage.swap_and_clear(["r"])
+        derived = storage.tuples("r", DatabaseKind.DERIVED)
+        known = storage.tuples("r", DatabaseKind.DELTA_KNOWN)
+        assert known == new_rows
+        assert derived == set(seed) | new_rows
+        assert promoted == len(new_rows)
+        assert storage.cardinality("r", DatabaseKind.DELTA_NEW) == 0
+
+    @given(rows=rows2)
+    @settings(max_examples=40)
+    def test_insert_new_never_duplicates_derived(self, rows):
+        storage = StorageManager()
+        storage.declare("r", 2)
+        storage.seed_delta("r", rows)
+        inserted = storage.insert_new_many("r", rows)
+        assert inserted == 0

@@ -1,0 +1,201 @@
+"""Unit tests for the push/pull sub-query evaluators."""
+
+import pytest
+
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.terms import Constant, Variable
+from repro.relational.operators import (
+    AtomSource,
+    JoinPlan,
+    PullSubqueryEvaluator,
+    PushSubqueryEvaluator,
+    SubqueryEvaluator,
+    bound_constraints,
+    evaluate_subquery,
+    match_atom,
+    project_head,
+)
+from repro.relational.storage import DatabaseKind, StorageManager
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def storage_with_graph() -> StorageManager:
+    storage = StorageManager()
+    storage.declare("edge", 2)
+    storage.declare("path", 2)
+    storage.declare("blocked", 1)
+    for edge in [(1, 2), (2, 3), (3, 4)]:
+        storage.insert_derived("edge", edge)
+    storage.seed_delta("path", [(1, 2), (2, 3), (3, 4)])
+    storage.insert_derived("blocked", (4,))
+    return storage
+
+
+def simple_plan(delta: bool = False) -> JoinPlan:
+    """path(x, z) :- path(x, y), edge(y, z)."""
+    kind = DatabaseKind.DELTA_KNOWN if delta else DatabaseKind.DERIVED
+    return JoinPlan(
+        head_relation="path",
+        head_terms=(x, z),
+        sources=(
+            AtomSource(Atom("path", (x, y)), kind),
+            AtomSource(Atom("edge", (y, z)), DatabaseKind.DERIVED),
+        ),
+        rule_name="tc_step",
+    )
+
+
+class TestHelpers:
+    def test_match_atom_binds_new_variables(self):
+        bindings = match_atom(Atom("edge", (x, y)), (1, 2), {})
+        assert bindings == {x: 1, y: 2}
+
+    def test_match_atom_respects_existing_bindings(self):
+        assert match_atom(Atom("edge", (x, y)), (1, 2), {x: 1}) == {x: 1, y: 2}
+        assert match_atom(Atom("edge", (x, y)), (1, 2), {x: 9}) is None
+
+    def test_match_atom_constant_mismatch(self):
+        assert match_atom(Atom("edge", (Constant(5), y)), (1, 2), {}) is None
+
+    def test_match_atom_repeated_variable(self):
+        assert match_atom(Atom("loop", (x, x)), (1, 1), {}) == {x: 1}
+        assert match_atom(Atom("loop", (x, x)), (1, 2), {}) is None
+
+    def test_bound_constraints(self):
+        atom = Atom("r", (x, Constant(7), y))
+        assert bound_constraints(atom, {x: 3}) == {0: 3, 1: 7}
+
+    def test_project_head_with_expression(self):
+        assert project_head((x, x + 1), {x: 4}) == (4, 5)
+
+
+class TestJoinPlan:
+    def test_describe_marks_delta(self):
+        plan = simple_plan(delta=True)
+        assert "pathδ" in plan.describe()
+        assert "edge*" in plan.describe()
+
+    def test_delta_relation(self):
+        assert simple_plan(delta=True).delta_relation() == "path"
+        assert simple_plan(delta=False).delta_relation() is None
+
+    def test_reorder(self):
+        plan = simple_plan()
+        reordered = plan.reorder([1, 0])
+        assert reordered.sources[0].literal.relation == "edge"
+        with pytest.raises(ValueError):
+            plan.reorder([0, 0])
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("style", ["push", "pull"])
+    def test_two_way_join(self, style):
+        storage = storage_with_graph()
+        result = evaluate_subquery(storage, simple_plan(), style)
+        assert result == {(1, 3), (2, 4)}
+
+    @pytest.mark.parametrize("style", ["push", "pull"])
+    def test_delta_source_restricts_input(self, style):
+        storage = storage_with_graph()
+        storage.swap_and_clear(["path"])  # delta becomes empty
+        assert evaluate_subquery(storage, simple_plan(delta=True), style) == set()
+        assert evaluate_subquery(storage, simple_plan(delta=False), style) == {(1, 3), (2, 4)}
+
+    @pytest.mark.parametrize("style", ["push", "pull"])
+    def test_negation_filters(self, style):
+        storage = storage_with_graph()
+        plan = JoinPlan(
+            head_relation="ok",
+            head_terms=(y,),
+            sources=(
+                AtomSource(Atom("edge", (x, y)), DatabaseKind.DERIVED),
+                AtomSource(Atom("blocked", (y,), negated=True), None),
+            ),
+        )
+        assert evaluate_subquery(storage, plan, style) == {(2,), (3,)}
+
+    @pytest.mark.parametrize("style", ["push", "pull"])
+    def test_comparison_and_assignment(self, style):
+        storage = storage_with_graph()
+        plan = JoinPlan(
+            head_relation="succ",
+            head_terms=(x, z),
+            sources=(
+                AtomSource(Atom("edge", (x, y)), DatabaseKind.DERIVED),
+                AtomSource(Comparison("<", x, Constant(3)), None),
+                AtomSource(Assignment(z, y * 10), None),
+            ),
+        )
+        assert evaluate_subquery(storage, plan, style) == {(1, 20), (2, 30)}
+
+    @pytest.mark.parametrize("style", ["push", "pull"])
+    def test_assignment_to_bound_variable_acts_as_filter(self, style):
+        storage = storage_with_graph()
+        plan = JoinPlan(
+            head_relation="self_loop_next",
+            head_terms=(x,),
+            sources=(
+                AtomSource(Atom("edge", (x, y)), DatabaseKind.DERIVED),
+                AtomSource(Assignment(y, x + 1), None),
+            ),
+        )
+        # Every edge in the chain graph satisfies y == x + 1.
+        assert evaluate_subquery(storage, plan, style) == {(1,), (2,), (3,)}
+
+    @pytest.mark.parametrize("style", ["push", "pull"])
+    def test_constants_in_atoms(self, style):
+        storage = storage_with_graph()
+        plan = JoinPlan(
+            head_relation="from_two",
+            head_terms=(y,),
+            sources=(AtomSource(Atom("edge", (Constant(2), y)), DatabaseKind.DERIVED),),
+        )
+        assert evaluate_subquery(storage, plan, style) == {(3,)}
+
+    def test_push_and_pull_agree_on_three_way_join(self):
+        storage = storage_with_graph()
+        plan = JoinPlan(
+            head_relation="two_hop",
+            head_terms=(x, z),
+            sources=(
+                AtomSource(Atom("edge", (x, y)), DatabaseKind.DERIVED),
+                AtomSource(Atom("edge", (y, z)), DatabaseKind.DERIVED),
+                AtomSource(Atom("path", (x, z)), DatabaseKind.DERIVED),
+            ),
+        )
+        push = PushSubqueryEvaluator(storage).evaluate(plan)
+        pull = PullSubqueryEvaluator(storage).evaluate(plan)
+        assert push == pull
+
+    def test_negation_with_unbound_variable_raises(self):
+        storage = storage_with_graph()
+        plan = JoinPlan(
+            head_relation="bad",
+            head_terms=(x,),
+            sources=(
+                AtomSource(Atom("blocked", (y,), negated=True), None),
+                AtomSource(Atom("edge", (x, y)), DatabaseKind.DERIVED),
+            ),
+        )
+        with pytest.raises((ValueError, KeyError)):
+            PullSubqueryEvaluator(storage).evaluate(plan)
+
+    def test_unknown_style_rejected(self):
+        storage = storage_with_graph()
+        with pytest.raises(ValueError):
+            SubqueryEvaluator(storage, "vectorized")
+
+    def test_push_consumer_counts(self):
+        storage = storage_with_graph()
+        rows = []
+        count = PushSubqueryEvaluator(storage).evaluate_into(simple_plan(), rows.append)
+        assert count == len(rows) == 2
+
+    def test_indexes_do_not_change_results(self):
+        storage = storage_with_graph()
+        without = evaluate_subquery(storage, simple_plan())
+        storage.register_index("edge", 0)
+        storage.register_index("path", 1)
+        with_indexes = evaluate_subquery(storage, simple_plan())
+        assert without == with_indexes

@@ -1,0 +1,131 @@
+"""Unit tests for relations and hash indexes."""
+
+import pytest
+
+from repro.relational.relation import HashIndex, Relation
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex(0)
+        index.insert((1, "a"))
+        index.insert((1, "b"))
+        index.insert((2, "c"))
+        assert sorted(index.lookup(1)) == [(1, "a"), (1, "b")]
+        assert list(index.lookup(3)) == []
+
+    def test_len_and_distinct(self):
+        index = HashIndex(1)
+        index.insert((1, "a"))
+        index.insert((2, "a"))
+        index.insert((3, "b"))
+        assert len(index) == 3
+        assert index.distinct_values() == 2
+
+    def test_clear(self):
+        index = HashIndex(0)
+        index.insert((1,))
+        index.clear()
+        assert list(index.lookup(1)) == []
+
+
+class TestRelation:
+    def test_insert_deduplicates(self):
+        relation = Relation("edge", 2)
+        assert relation.insert((1, 2)) is True
+        assert relation.insert((1, 2)) is False
+        assert len(relation) == 1
+
+    def test_insert_wrong_arity_rejected(self):
+        relation = Relation("edge", 2)
+        with pytest.raises(ValueError):
+            relation.insert((1, 2, 3))
+
+    def test_insert_many_counts_new_rows(self):
+        relation = Relation("edge", 2)
+        assert relation.insert_many([(1, 2), (1, 2), (2, 3)]) == 2
+
+    def test_contains_and_iter(self):
+        relation = Relation("edge", 2)
+        relation.insert((1, 2))
+        assert (1, 2) in relation
+        assert [4, 5] not in relation
+        assert list(relation) == [(1, 2)]
+
+    def test_index_is_maintained_on_insert(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0)
+        relation.insert((1, 2))
+        relation.insert((1, 3))
+        assert sorted(relation.lookup(0, 1)) == [(1, 2), (1, 3)]
+
+    def test_index_built_over_existing_rows(self):
+        relation = Relation("edge", 2)
+        relation.insert((1, 2))
+        relation.build_index(1)
+        assert list(relation.lookup(1, 2)) == [(1, 2)]
+
+    def test_build_index_out_of_range(self):
+        relation = Relation("edge", 2)
+        with pytest.raises(ValueError):
+            relation.build_index(2)
+
+    def test_lookup_without_index_scans(self):
+        relation = Relation("edge", 2)
+        relation.insert((1, 2))
+        relation.insert((3, 2))
+        assert sorted(relation.lookup(1, 2)) == [(1, 2), (3, 2)]
+
+    def test_probe_multiple_constraints(self):
+        relation = Relation("r", 3)
+        relation.build_index(0)
+        relation.insert_many([(1, 2, 3), (1, 5, 3), (2, 2, 3)])
+        assert sorted(relation.probe({0: 1, 1: 2})) == [(1, 2, 3)]
+
+    def test_probe_prefers_most_selective_index(self):
+        relation = Relation("r", 2)
+        relation.build_index(0)
+        relation.build_index(1)
+        relation.insert_many([(1, 9), (1, 8), (2, 9)])
+        assert sorted(relation.probe({0: 1, 1: 9})) == [(1, 9)]
+
+    def test_probe_empty_constraints_scans_all(self):
+        relation = Relation("r", 1)
+        relation.insert_many([(1,), (2,)])
+        assert sorted(relation.probe({})) == [(1,), (2,)]
+
+    def test_clear_keeps_indexes_but_empties_them(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0)
+        relation.insert((1, 2))
+        relation.clear()
+        assert len(relation) == 0
+        assert relation.has_index(0)
+        assert list(relation.lookup(0, 1)) == []
+
+    def test_absorb_and_difference(self):
+        left = Relation("a", 1)
+        right = Relation("b", 1)
+        left.insert_many([(1,), (2,)])
+        right.insert_many([(2,), (3,)])
+        target = Relation("diff", 1)
+        assert left.difference_into(right, target) == 1
+        assert (1,) in target
+        assert left.absorb(right) == 1
+        assert len(left) == 3
+
+    def test_copy_preserves_rows_and_indexes(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0)
+        relation.insert((1, 2))
+        clone = relation.copy("edge2")
+        clone.insert((3, 4))
+        assert len(relation) == 1
+        assert clone.has_index(0)
+        assert clone.indexed_columns() == (0,)
+
+    def test_drop_indexes(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0)
+        relation.drop_indexes()
+        assert relation.indexed_columns() == ()

@@ -1,0 +1,87 @@
+"""Unit tests for cardinality statistics and the selectivity model."""
+
+import pytest
+
+from repro.relational.statistics import (
+    CardinalitySnapshot,
+    SelectivityModel,
+    StatisticsCollector,
+    take_snapshot,
+)
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+def make_storage() -> StorageManager:
+    storage = StorageManager()
+    storage.declare("a", 1)
+    storage.declare("b", 1)
+    storage.insert_derived("a", (1,))
+    storage.insert_derived("a", (2,))
+    storage.seed_delta("b", [(1,)])
+    return storage
+
+
+class TestSnapshot:
+    def test_take_snapshot_counts(self):
+        snapshot = take_snapshot(make_storage(), iteration=3)
+        assert snapshot.iteration == 3
+        assert snapshot.of("a", DatabaseKind.DERIVED) == 2
+        assert snapshot.of("b", DatabaseKind.DELTA_KNOWN) == 1
+        assert snapshot.total_derived() == 3
+        assert snapshot.total_delta() == 1
+
+    def test_missing_relation_counts_zero(self):
+        snapshot = CardinalitySnapshot(0, {"a": 1}, {})
+        assert snapshot.of("unknown", DatabaseKind.DERIVED) == 0
+
+
+class TestSelectivityModel:
+    def test_output_cardinality_reduction(self):
+        model = SelectivityModel(reduction_factor=0.1)
+        assert model.output_cardinality(1000, 0) == 1000
+        assert model.output_cardinality(1000, 1) == pytest.approx(100)
+        assert model.output_cardinality(1000, 2) == pytest.approx(10)
+
+    def test_access_cost_penalises_cartesian(self):
+        model = SelectivityModel(cartesian_penalty=10.0)
+        assert model.access_cost(100, 0, indexed=False) == 1000
+        assert model.access_cost(100, 1, indexed=False) == 100
+
+    def test_access_cost_rewards_index(self):
+        model = SelectivityModel(index_benefit=0.05)
+        assert model.access_cost(100, 1, indexed=True) == pytest.approx(5)
+
+    def test_join_cost_scales_with_intermediate(self):
+        model = SelectivityModel()
+        small = model.join_cost(10, 100, 1, indexed=False)
+        large = model.join_cost(1000, 100, 1, indexed=False)
+        assert large > small
+
+
+class TestStatisticsCollector:
+    def test_record_and_series(self):
+        storage = make_storage()
+        collector = StatisticsCollector()
+        collector.record(storage, 1)
+        storage.insert_derived("a", (3,))
+        collector.record(storage, 2)
+        assert collector.iterations() == 2
+        assert collector.series("a") == [2, 3]
+        assert collector.latest().iteration == 2
+
+    def test_latest_on_empty_collector(self):
+        assert StatisticsCollector().latest() is None
+
+    def test_relative_change(self):
+        collector = StatisticsCollector()
+        before = CardinalitySnapshot(1, {"a": 100, "b": 10}, {"a": 5, "b": 1})
+        unchanged = CardinalitySnapshot(2, {"a": 100, "b": 10}, {"a": 5, "b": 1})
+        doubled = CardinalitySnapshot(2, {"a": 200, "b": 10}, {"a": 5, "b": 1})
+        assert collector.relative_change(before, unchanged) == 0.0
+        assert collector.relative_change(before, doubled) == pytest.approx(1.0)
+
+    def test_relative_change_handles_zero_baseline(self):
+        collector = StatisticsCollector()
+        before = CardinalitySnapshot(1, {"a": 0}, {"a": 0})
+        after = CardinalitySnapshot(2, {"a": 3}, {"a": 3})
+        assert collector.relative_change(before, after) == pytest.approx(3.0)

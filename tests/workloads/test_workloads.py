@@ -1,0 +1,114 @@
+"""Unit tests for graph generators, fact generators and the dataset registry."""
+
+import pytest
+
+from repro.workloads.datasets import get_dataset, get_spec, list_datasets
+from repro.workloads.graphs import (
+    chain_edges,
+    dag_edges,
+    random_edges,
+    scale_free_edges,
+    tree_edges,
+)
+from repro.workloads.program_facts import (
+    CSDADataset,
+    CSPADataset,
+    HttpdLikeGenerator,
+    SListLibGenerator,
+)
+
+
+class TestGraphGenerators:
+    def test_chain(self):
+        edges = chain_edges(3)
+        assert edges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_tree_edge_count(self):
+        edges = tree_edges(depth=3, fanout=2)
+        assert len(edges) == 2 + 4 + 8
+
+    def test_random_edges_deterministic_and_distinct(self):
+        first = random_edges(20, 50, seed=1)
+        second = random_edges(20, 50, seed=1)
+        different = random_edges(20, 50, seed=2)
+        assert first == second
+        assert first != different
+        assert len(first) == len(set(first)) == 50
+        assert all(a != b for a, b in first)
+
+    def test_random_edges_capped_at_complete_graph(self):
+        edges = random_edges(3, 100, seed=0)
+        assert len(edges) == 6
+
+    def test_dag_edges_are_acyclic_by_construction(self):
+        edges = dag_edges(30, 100, seed=3)
+        assert all(a < b for a, b in edges)
+
+    def test_scale_free_has_hubs(self):
+        edges = scale_free_edges(200, 600, seed=4, hub_fraction=0.05)
+        indegree = {}
+        for _, target in edges:
+            indegree[target] = indegree.get(target, 0) + 1
+        top = max(indegree.values())
+        average = sum(indegree.values()) / len(indegree)
+        assert top > 5 * average
+
+
+class TestProgramFactGenerators:
+    def test_cspa_dataset_size_and_determinism(self):
+        generator = HttpdLikeGenerator(seed=2024)
+        first = generator.cspa(tuples=200)
+        second = HttpdLikeGenerator(seed=2024).cspa(tuples=200)
+        assert first.fact_count() == pytest.approx(200, abs=5)
+        assert first.as_dict() == second.as_dict()
+
+    def test_cspa_rejects_tiny_request(self):
+        with pytest.raises(ValueError):
+            HttpdLikeGenerator().cspa(tuples=5)
+
+    def test_csda_dataset(self):
+        dataset = HttpdLikeGenerator(seed=1).csda(tuples=500)
+        assert isinstance(dataset, CSDADataset)
+        assert dataset.fact_count() > 400
+        assert all(a < b for a, b in dataset.edge)
+        assert len(dataset.null_source) >= 1
+
+    def test_slistlib_contains_round_trip(self):
+        dataset = SListLibGenerator(seed=7).generate(list_length=10, extra_pipelines=1)
+        functions_called = {f for (_, f, _, _) in dataset.call}
+        assert {"serialize", "deserialize"} <= functions_called
+        assert ("deserialize", "serialize") in dataset.inverse_functions
+        assert dataset.used_at, "the restored value must be used somewhere"
+
+    def test_slistlib_scales_with_pipelines(self):
+        small = SListLibGenerator(seed=7).generate(list_length=10, extra_pipelines=1)
+        large = SListLibGenerator(seed=7).generate(list_length=10, extra_pipelines=6)
+        assert large.fact_count() > small.fact_count()
+
+    def test_slistlib_fact_dicts_have_expected_relations(self):
+        dataset = SListLibGenerator().generate()
+        assert set(dataset.andersen_facts()) == {"addressOf", "assign", "load", "store"}
+        assert "invFuns" in dataset.inverse_function_facts()
+
+
+class TestDatasetRegistry:
+    def test_list_and_get(self):
+        names = list_datasets()
+        assert "cspa_tiny" in names and "slistlib" in names
+        dataset = get_dataset("cspa_tiny")
+        assert isinstance(dataset, CSPADataset)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataset("nope")
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+    def test_spec_description(self):
+        assert "CSPA" in get_spec("cspa_tiny").description
+
+    def test_datasets_are_rebuilt_fresh(self):
+        first = get_dataset("slistlib")
+        second = get_dataset("slistlib")
+        assert first is not second
+        assert first.fact_count() == second.fact_count()
