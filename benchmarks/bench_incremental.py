@@ -1,0 +1,75 @@
+"""Incremental sessions: update latency vs. full recompute.
+
+Not a paper figure — this benchmarks the service-shaped evaluation layer:
+an :class:`~repro.incremental.IncrementalSession` absorbing mutation batches
+against rebuilding an :class:`~repro.engine.engine.ExecutionEngine` per
+change.  ``test_single_batch_speedup_at_10k_edges`` also enforces the
+subsystem's headline guarantee: on a reachability workload of ≥ 10k edges a
+single incremental batch must beat a full recompute by at least 5×.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_incremental.py
+"""
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.bench.incremental import run_incremental
+from repro.core.config import EngineConfig
+from repro.incremental import IncrementalSession
+from repro.workloads.graphs import random_edges
+
+NODES_10K = 12_000
+EDGES_10K = 10_000
+
+
+@pytest.fixture(scope="module")
+def tc_10k_session():
+    edges = random_edges(NODES_10K, EDGES_10K, seed=2024)
+    session = IncrementalSession(build_transitive_closure_program(edges), EngineConfig.interpreted())
+    session.refresh()
+    return session, edges
+
+
+def test_insert_batch_latency(benchmark, tc_10k_session):
+    session, _ = tc_10k_session
+    fresh = iter([(NODES_10K + i, i % NODES_10K) for i in range(10_000)])
+
+    def one_batch():
+        session.insert_facts("edge", [next(fresh) for _ in range(10)])
+
+    benchmark.pedantic(one_batch, rounds=3, iterations=1)
+
+
+def test_retract_batch_latency(benchmark, tc_10k_session):
+    session, edges = tc_10k_session
+    victims = iter(edges)
+
+    def one_batch():
+        session.retract_facts("edge", [next(victims) for _ in range(10)])
+
+    benchmark.pedantic(one_batch, rounds=3, iterations=1)
+
+
+def test_full_recompute_baseline(benchmark):
+    edges = random_edges(NODES_10K, EDGES_10K, seed=2024)
+
+    def recompute():
+        from repro.engine.engine import ExecutionEngine
+        return ExecutionEngine(
+            build_transitive_closure_program(edges), EngineConfig.interpreted()
+        ).run()
+
+    benchmark.pedantic(recompute, rounds=1, iterations=1)
+
+
+def test_single_batch_speedup_at_10k_edges():
+    """Acceptance: ≥ 5× faster than full recompute on ≥ 10k edges."""
+    rows = run_incremental(
+        scales=[("tc_10k", NODES_10K, EDGES_10K)], batches=3, batch_size=10
+    )
+    row = rows[0]
+    assert row["edges"] >= 10_000
+    assert row["speedup"] >= 5.0, (
+        f"incremental mixed batch only {row['speedup']:.1f}x faster than "
+        f"recompute ({row['mixed_batch_s']:.4f}s vs {row['full_recompute_s']:.4f}s)"
+    )

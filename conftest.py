@@ -2,11 +2,39 @@
 
 The repository uses a src-layout; when the package has not been installed
 (e.g. on a fresh offline checkout) this keeps ``pytest`` working.
+
+Also registers the ``slow`` marker: heavyweight tests (paper-scale
+benchmarks, pathological configurations) are skipped by default so the
+tier-1 suite stays fast; run them with ``pytest --runslow``.
 """
 
 import pathlib
 import sys
 
+import pytest
+
 _SRC = pathlib.Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked slow (paper-scale workloads)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: heavyweight test, skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

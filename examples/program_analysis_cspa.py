@@ -7,10 +7,16 @@ httpd-like fact graph, runs the analysis in the deliberately bad
 per-iteration delta cardinalities that make static join ordering so hard —
 the reason the paper moves the optimization to runtime.
 
-Run with:  python examples/program_analysis_cspa.py
+Run with:  python examples/program_analysis_cspa.py [--tuples N]
+
+The default scale is small enough that even the deliberately bad interpreted
+run finishes in a couple of seconds; pass ``--tuples 600`` to see the
+pathological blow-up the paper opens with (minutes, not seconds).
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.analyses import Ordering, build_cspa_program
 from repro.core.config import EngineConfig
@@ -18,8 +24,8 @@ from repro.engine import ExecutionEngine
 from repro.workloads import HttpdLikeGenerator
 
 
-def run(config: EngineConfig, label: str) -> None:
-    dataset = HttpdLikeGenerator(seed=2024).cspa(tuples=600)
+def run(config: EngineConfig, label: str, tuples: int) -> None:
+    dataset = HttpdLikeGenerator(seed=2024).cspa(tuples=tuples)
     program = build_cspa_program(dataset, ordering=Ordering.WORST)
     engine = ExecutionEngine(program, config)
     results = engine.run()
@@ -39,10 +45,14 @@ def run(config: EngineConfig, label: str) -> None:
 
 
 def main() -> None:
-    run(EngineConfig.interpreted(), "interpreted, as-written (bad) join order")
-    run(EngineConfig.jit("lambda"), "adaptive JIT, lambda backend")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=120,
+                        help="size of the synthetic CSPA fact graph (default 120)")
+    args = parser.parse_args()
+    run(EngineConfig.interpreted(), "interpreted, as-written (bad) join order", args.tuples)
+    run(EngineConfig.jit("lambda"), "adaptive JIT, lambda backend", args.tuples)
     run(EngineConfig.jit("quotes", asynchronous=True),
-        "adaptive JIT, quotes backend, asynchronous compilation")
+        "adaptive JIT, quotes backend, asynchronous compilation", args.tuples)
 
 
 if __name__ == "__main__":

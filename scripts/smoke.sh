@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Fast CI smoke: the quick test subset plus one micro-benchmark sanity run.
+#
+# Usage: scripts/smoke.sh [--full]
+#   default  ~1 minute: unit + integration tests (slow-marked tests skipped)
+#            and the incremental-update acceptance benchmark at reduced scale
+#   --full   also runs the slow-marked tests and the pytest-benchmark suite
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== incremental acceptance benchmark (10k-edge graph) =="
+python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
+
+echo
+echo "== micro-benchmark sanity (fibonacci, one JIT configuration) =="
+python - <<'PY'
+from repro.analyses.registry import get_benchmark
+from repro.core.config import EngineConfig
+from repro.engine.engine import ExecutionEngine
+
+spec = get_benchmark("fibonacci")
+engine = ExecutionEngine(spec.build(), EngineConfig.jit("lambda"))
+results = engine.run()
+size = len(results[spec.query_relation])
+assert size > 0, "fibonacci benchmark produced no tuples"
+print(f"fibonacci: {size} tuples in {engine.execution_seconds()*1000:.1f} ms "
+      f"({engine.profile.sources.compiled} compiled sub-query executions)")
+PY
+
+if [[ "${1:-}" == "--full" ]]; then
+  echo
+  echo "== slow tests =="
+  python -m pytest -q --runslow tests
+  echo
+  echo "== pytest-benchmark suite =="
+  # Explicit file list: bench_*.py does not match pytest's default
+  # python_files pattern, so a bare `pytest benchmarks` collects nothing
+  # (and its exit code 5 would abort this script).
+  python -m pytest -q benchmarks/bench_*.py
+fi
+
+echo
+echo "smoke OK"

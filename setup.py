@@ -1,10 +1,46 @@
-"""Setuptools shim.
+"""Packaging for the Carac reproduction (src-layout, offline-friendly).
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments that lack the ``wheel`` package (``pip install -e .
---no-build-isolation --no-use-pep517``).
+The package metadata lives here (no ``pyproject.toml``) so that editable
+installs keep working in offline environments that lack the ``wheel``
+package (``pip install -e . --no-build-isolation --no-use-pep517``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-carac",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Compiling Structured Queries with Adaptive "
+        "Metaprogramming' (ICDE 2024): an adaptive Datalog engine with "
+        "JIT/AOT join ordering and an incremental evaluation subsystem"
+    ),
+    long_description=(
+        "A pure-Python Datalog engine reproducing the paper's adaptive "
+        "metaprogramming evaluation study: interpreted, JIT (four code "
+        "generation backends) and ahead-of-time configurations over the "
+        "paper's macro/micro benchmark programs, plus a long-lived "
+        "incremental session API with delta ingestion, DRed retraction and "
+        "generation-based result caching."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.bench.__main__:main",
+        ],
+    },
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
+)

@@ -16,6 +16,7 @@ from repro.bench.fig5 import FIG5_COLUMNS, run_fig5
 from repro.bench.fig67 import FIG67_COLUMNS, run_fig6, run_fig7
 from repro.bench.fig89 import FIG89_COLUMNS, run_fig8, run_fig9
 from repro.bench.formatting import format_rows
+from repro.bench.incremental import INCREMENTAL_COLUMNS, run_incremental
 from repro.bench.table1 import TABLE1_COLUMNS, run_table1
 from repro.bench.table2 import TABLE2_COLUMNS, run_table2
 
@@ -28,6 +29,7 @@ def main(argv=None) -> int:
                         help="skip the unindexed variants (much slower)")
     parser.add_argument("--only", choices=[
         "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "incremental",
     ], help="run a single experiment")
     args = parser.parse_args(argv)
 
@@ -68,6 +70,14 @@ def main(argv=None) -> int:
     if wanted("fig10"):
         print(format_rows(run_fig10(repeat=args.repeat), FIG10_COLUMNS,
                           "Fig. 10 — ahead-of-time vs online compilation (speedup)"))
+        print()
+    if wanted("incremental"):
+        # --repeat scales the number of measured batches per phase (5 each
+        # at the default repeat of 1), mirroring its per-cell meaning in the
+        # other experiments.
+        print(format_rows(run_incremental(batches=5 * args.repeat),
+                          INCREMENTAL_COLUMNS,
+                          "Incremental sessions — update latency vs full recompute"))
         print()
 
     print(f"total harness time: {time.perf_counter() - started:.1f}s")

@@ -181,5 +181,17 @@ class Program:
 
         return ExecutionEngine(self.datalog, config or EngineConfig())
 
+    def session(self, config: Any = None) -> Any:
+        """Build a long-lived :class:`repro.incremental.IncrementalSession`.
+
+        The session snapshots the program as currently declared; facts added
+        through the DSL afterwards do not reach it — use the session's
+        ``insert_facts`` / ``retract_facts`` instead.
+        """
+        from repro.engine import EngineConfig
+        from repro.incremental import IncrementalSession
+
+        return IncrementalSession(self.datalog, config or EngineConfig())
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Program({self.datalog!r})"

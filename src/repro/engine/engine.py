@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.aot import apply_aot_optimization
 from repro.core.config import AOTSortMode, EngineConfig, ExecutionMode
@@ -12,10 +12,60 @@ from repro.core.join_order import JoinOrderOptimizer
 from repro.core.profile import RuntimeProfile
 from repro.datalog.program import DatalogProgram
 from repro.ir.builder import build_naive_ir, build_program_ir
+from repro.ir.ops import ProgramOp
 from repro.ir.printer import explain
 from repro.relational.relation import Row
 from repro.relational.storage import StorageManager
 from repro.engine.indexing import select_indexes
+
+
+def prepare_evaluation(
+    program: DatalogProgram,
+    config: EngineConfig,
+    profile: Optional[RuntimeProfile] = None,
+) -> Tuple[StorageManager, ProgramOp]:
+    """Build the storage and IR tree for one evaluation of ``program``.
+
+    Shared between the single-shot :class:`ExecutionEngine` and the
+    long-lived :class:`repro.incremental.IncrementalSession`: declares every
+    relation, loads the EDB facts, registers the schema-selected indexes,
+    lowers the program to IR and (in AOT mode) applies the ahead-of-time
+    join-order optimization to the tree in place.
+    """
+    storage = StorageManager(program)
+    if config.use_indexes:
+        for relation, column in sorted(select_indexes(program)):
+            storage.register_index(relation, column)
+
+    if config.mode == ExecutionMode.NAIVE:
+        tree = build_naive_ir(program)
+    else:
+        tree = build_program_ir(program)
+
+    apply_aot_if_configured(tree, config, storage, profile)
+    return storage, tree
+
+
+def apply_aot_if_configured(
+    tree: ProgramOp,
+    config: EngineConfig,
+    storage: StorageManager,
+    profile: Optional[RuntimeProfile] = None,
+) -> None:
+    """Run the ahead-of-time join-order optimization when the config asks.
+
+    Shared by :func:`prepare_evaluation` and the incremental session (which
+    also optimizes its update tree once at construction).
+    """
+    if config.mode == ExecutionMode.AOT and config.aot_sort != AOTSortMode.NONE:
+        apply_aot_optimization(
+            tree,
+            JoinOrderOptimizer(config.selectivity),
+            storage,
+            config.aot_sort,
+            use_indexes=config.use_indexes,
+            profile=profile,
+        )
 
 
 class ExecutionEngine:
@@ -33,25 +83,7 @@ class ExecutionEngine:
         self.profile = RuntimeProfile()
 
         setup_start = time.perf_counter()
-        self.storage = StorageManager(program)
-        if self.config.use_indexes:
-            for relation, column in sorted(select_indexes(program)):
-                self.storage.register_index(relation, column)
-
-        if self.config.mode == ExecutionMode.NAIVE:
-            self.tree = build_naive_ir(program)
-        else:
-            self.tree = build_program_ir(program)
-
-        if self.config.mode == ExecutionMode.AOT and self.config.aot_sort != AOTSortMode.NONE:
-            apply_aot_optimization(
-                self.tree,
-                JoinOrderOptimizer(self.config.selectivity),
-                self.storage,
-                self.config.aot_sort,
-                use_indexes=self.config.use_indexes,
-                profile=self.profile,
-            )
+        self.storage, self.tree = prepare_evaluation(program, self.config, self.profile)
         self.setup_seconds = time.perf_counter() - setup_start
         self._ran = False
 

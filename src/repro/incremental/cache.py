@@ -1,0 +1,123 @@
+"""The session result cache: fingerprint-keyed, generation-invalidated.
+
+A cache entry memoizes the tuple set of one relation as of one *validity
+snapshot*: for every relation the queried relation transitively depends on,
+a token pairing the storage layer's generation counter with the session's
+per-relation mutation digest.  A mutation bumps the counter and advances the
+digest of each relation it touches, so entries are invalidated exactly
+per-relation — inserting into ``edge`` invalidates ``path`` (which depends
+on it) but not an unrelated relation's cached result.
+
+Keys embed the program's fingerprint (rules *and* initial facts) and the
+configuration description, so one cache instance may be shared freely:
+sessions share an entry exactly when the queried relation's whole dependency
+cone has identical mutation history (true replicas, or sessions that only
+diverged in unrelated relations); any divergence inside the cone changes a
+token and the lookup rejects the entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.relational.relation import Row
+
+CacheKey = Tuple[str, str, str]  # (program fingerprint, config key, relation)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    generations: Dict[str, object]   # opaque per-relation validity tokens
+    rows: FrozenSet[Row]
+
+
+class ResultCache:
+    """Query-result memoization for incremental sessions.
+
+    ``max_entries`` bounds memory: insertion past the bound evicts the oldest
+    entry (FIFO — entries are tiny compared to the result sets they point to,
+    and the workloads' query mix is stable enough that recency tracking is
+    not worth the bookkeeping).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: Dict[CacheKey, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self,
+        key: CacheKey,
+        current_generations: Mapping[str, object],
+    ) -> Optional[FrozenSet[Row]]:
+        """The cached rows, or None on miss / stale generations.
+
+        A stale entry (any dependency's generation moved) is dropped and
+        counted as an invalidation plus a miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if any(
+            current_generations.get(name) != generation
+            for name, generation in entry.generations.items()
+        ):
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry.rows
+
+    def store(
+        self,
+        key: CacheKey,
+        generations: Mapping[str, object],
+        rows: FrozenSet[Row],
+    ) -> None:
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = _Entry(dict(generations), rows)
+
+    def invalidate_relation(self, relation: str) -> int:
+        """Explicitly drop every entry whose *queried* relation is ``relation``.
+
+        Generation checking already handles dependency-based invalidation;
+        this hook exists for callers that mutate storage behind the session's
+        back and want to be explicit about it.  Returns the number dropped.
+        """
+        stale = [key for key in self._entries if key[2] == relation]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResultCache(entries={len(self._entries)}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses})"
+        )

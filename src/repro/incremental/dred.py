@@ -1,0 +1,197 @@
+"""Delete-and-rederive (DRed) for positive Datalog programs.
+
+Retraction is the hard half of incremental maintenance: a derived fact must
+disappear only when its *last* derivation does, and naive deletion cannot see
+alternative derivations.  DRed (Gupta, Mumick & Subrahmanian, SIGMOD '93)
+splits the problem:
+
+1. **Over-delete** — compute the entire derivation cone of the retracted
+   rows: any fact derivable *through* a deleted fact is provisionally
+   deleted, to a fixpoint.  This over-approximates (a fact with an
+   independent derivation lands in the cone too) but is cheap and sound.
+2. **Re-derive** — a provisionally deleted fact survives if it is still an
+   asserted base row, or some rule re-derives it from the post-deletion
+   database.  Survivors are seeded back as deltas and ordinary semi-naive
+   insertion propagation restores everything downstream of them.
+
+Both phases reuse the existing sub-query machinery: over-deletion evaluates
+the same per-position delta plans as incremental insertion
+(:func:`repro.ir.planning.update_subqueries`), with Delta-Known temporarily
+holding the *deleted* frontier instead of the new one, so join ordering and
+index usage behave exactly as in forward evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.program import DatalogProgram
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.ir.planning import seed_plan, update_subqueries
+from repro.relational.operators import Bindings, JoinPlan, SubqueryEvaluator
+from repro.relational.relation import Row
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+@dataclass
+class DeletionCone:
+    """The over-deletion result: per relation, the provisionally deleted rows."""
+
+    deleted: Dict[str, Set[Row]] = field(default_factory=dict)
+    rounds: int = 0
+
+    def rows(self, relation: str) -> Set[Row]:
+        return self.deleted.get(relation, set())
+
+    def total(self) -> int:
+        return sum(len(rows) for rows in self.deleted.values())
+
+    def relations(self) -> List[str]:
+        return [name for name, rows in self.deleted.items() if rows]
+
+
+DeltaPlans = Dict[str, List[Tuple[str, JoinPlan]]]
+SeedPlans = List[Tuple[Rule, JoinPlan]]
+
+
+def update_plans_by_delta(program: DatalogProgram) -> DeltaPlans:
+    """Map each relation to the (head, plan) pairs whose delta choice reads it.
+
+    Plans depend only on the (immutable) program, so long-lived sessions
+    compute this once and pass it into every :func:`over_delete` call.
+    """
+    by_delta: DeltaPlans = {}
+    for rule in program.rules:
+        for plan in update_subqueries(rule):
+            delta_relation = plan.delta_relation()
+            if delta_relation is not None:
+                by_delta.setdefault(delta_relation, []).append(
+                    (rule.head_relation, plan)
+                )
+    return by_delta
+
+
+def rule_seed_plans(program: DatalogProgram) -> SeedPlans:
+    """The all-Derived seed plan of every rule (precomputable, immutable)."""
+    return [(rule, seed_plan(rule)) for rule in program.rules]
+
+
+def over_delete(
+    program: DatalogProgram,
+    storage: StorageManager,
+    retracted: Dict[str, Set[Row]],
+    evaluator: SubqueryEvaluator,
+    plans_by_delta: Optional[DeltaPlans] = None,
+) -> DeletionCone:
+    """Phase 1: the derivation cone of ``retracted``, without touching Derived.
+
+    Runs the per-position delta plans with Delta-Known holding the deleted
+    frontier.  The Derived database stays intact throughout (the plans' other
+    atoms read it), which is precisely DRed's over-approximation: facts that
+    also have derivations avoiding the deleted rows still join the cone and
+    are rescued by re-derivation.  Deltas are scrubbed on exit.
+    """
+    if plans_by_delta is None:
+        plans_by_delta = update_plans_by_delta(program)
+    cone = DeletionCone()
+    frontier: Dict[str, Set[Row]] = {}
+    for name, rows in retracted.items():
+        present = {row for row in rows if row in storage.derived(name)}
+        if present:
+            cone.deleted.setdefault(name, set()).update(present)
+            frontier[name] = set(present)
+
+    all_names = storage.relation_names()
+    storage.clear_deltas(all_names)
+    try:
+        while frontier:
+            cone.rounds += 1
+            for name, rows in frontier.items():
+                delta = storage.relation(name, DatabaseKind.DELTA_KNOWN)
+                for row in rows:
+                    delta.insert(row)
+
+            next_frontier: Dict[str, Set[Row]] = {}
+            for name in frontier:
+                for head, plan in plans_by_delta.get(name, ()):
+                    derived_head = storage.derived(head)
+                    already = cone.deleted.setdefault(head, set())
+                    for row in evaluator.evaluate(plan):
+                        if row in derived_head and row not in already:
+                            already.add(row)
+                            next_frontier.setdefault(head, set()).add(row)
+
+            for name in frontier:
+                storage.relation(name, DatabaseKind.DELTA_KNOWN).clear()
+            frontier = next_frontier
+    finally:
+        storage.clear_deltas(all_names)
+    return cone
+
+
+def rederivation_seeds(
+    program: DatalogProgram,
+    storage: StorageManager,
+    cone: DeletionCone,
+    evaluator: SubqueryEvaluator,
+    seed_plans: Optional[SeedPlans] = None,
+) -> Dict[str, Set[Row]]:
+    """Phase 2 seeds: over-deleted rows that survive against the pruned database.
+
+    Must be called *after* the cone has been physically removed from Derived.
+    A row survives when it is still an asserted base row, or any rule for its
+    relation re-derives it from the remaining facts.  Rows that only become
+    derivable again once a survivor is restored are *not* found here — the
+    caller propagates the seeds semi-naively, which re-derives those
+    cascades.
+
+    The derivability check is *targeted*: each deleted row pre-binds the
+    rule's head variables, so the body join degenerates into indexed probes
+    around that one fact and exits on the first witness — the cone is usually
+    tiny relative to the database, and evaluating whole rule bodies here
+    would cost as much as a naive iteration.  Rules whose head terms are
+    expressions (not invertible from a row) fall back to one full body
+    evaluation intersected with the cone.
+    """
+    survivors: Dict[str, Set[Row]] = {}
+    for name, rows in cone.deleted.items():
+        base_survivors = {row for row in rows if storage.is_base_row(name, row)}
+        if base_survivors:
+            survivors.setdefault(name, set()).update(base_survivors)
+
+    if seed_plans is None:
+        seed_plans = rule_seed_plans(program)
+    for rule, plan in seed_plans:
+        head = rule.head_relation
+        deleted_here = cone.deleted.get(head)
+        if not deleted_here:
+            continue
+        found = survivors.setdefault(head, set())
+        pending = deleted_here - found
+        if not pending:
+            continue
+        if all(isinstance(t, (Variable, Constant)) for t in rule.head.terms):
+            for row in pending:
+                bindings = _head_bindings(rule, row)
+                if bindings is not None and evaluator.satisfiable(plan, bindings):
+                    found.add(row)
+        else:
+            found.update(evaluator.evaluate(plan) & pending)
+    return survivors
+
+
+def _head_bindings(rule: Rule, row: Row) -> Optional[Bindings]:
+    """Bindings that pin the rule's head to ``row``; None when incompatible."""
+    bindings: Bindings = {}
+    for term, value in zip(rule.head.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        elif isinstance(term, Variable):
+            if bindings.setdefault(term, value) != value:
+                return None
+        else:  # pragma: no cover - caller checks head invertibility first
+            raise TypeError(f"cannot invert head term {term!r}")
+    return bindings

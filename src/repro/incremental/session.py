@@ -1,0 +1,445 @@
+"""The long-lived incremental evaluation session.
+
+:class:`IncrementalSession` converts the engine from single-shot to
+service-shaped: one session owns its storage across arbitrarily many
+fixpoints, accepts batched fact mutations, repairs the fixpoint
+incrementally, and memoizes query results until a mutation actually touches
+a dependency.  The IR tree, the schema-selected indexes and (in AOT mode)
+the ahead-of-time join-order decisions are all built once at session start
+and reused by every update.
+
+Update strategies
+-----------------
+
+* **Insertions** seed Delta-Known with the genuinely new rows and run the
+  update IR (:func:`repro.ir.builder.build_update_ir`) — a single semi-naive
+  loop whose delta choice ranges over every positive atom, so a change to any
+  relation propagates through recursive and non-recursive rules alike.
+* **Retractions** run delete-and-rederive (:mod:`repro.incremental.dred`):
+  over-delete the derivation cone, physically remove it (hash indexes are
+  maintained row-by-row), re-seed the survivors, and propagate.
+* Programs with negation or aggregation are maintained by transparent
+  **full recomputation** over the session's base facts — same API, same
+  results, no incremental speedup.  ``report.strategy`` says which path ran.
+
+Every :class:`~repro.core.config.ExecutionMode` is supported; updates are
+executed through the ordinary :class:`~repro.core.executor.IRExecutor`, so
+JIT configurations keep compiling per-update and AOT configurations reuse
+their frozen plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set
+
+from repro.core.config import EngineConfig
+from repro.core.executor import IRExecutor
+from repro.core.profile import RuntimeProfile
+from repro.datalog.fingerprint import fingerprint_program
+from repro.datalog.program import DatalogProgram
+from repro.engine.engine import (
+    ExecutionEngine,
+    apply_aot_if_configured,
+    prepare_evaluation,
+)
+from repro.engine.indexing import select_retraction_indexes
+from repro.incremental.cache import ResultCache
+from repro.incremental.dred import (
+    over_delete,
+    rederivation_seeds,
+    rule_seed_plans,
+    update_plans_by_delta,
+)
+from repro.ir.builder import build_update_ir
+from repro.ir.ops import ProgramOp
+from repro.relational.operators import SubqueryEvaluator
+from repro.relational.relation import Row
+
+RowBatch = Iterable[Sequence[object]]
+
+
+@dataclass
+class UpdateReport:
+    """What one mutation batch did to the session's fixpoint."""
+
+    strategy: str = "incremental"          # "incremental" or "recompute"
+    inserted: int = 0                      # genuinely new rows asserted
+    retracted: int = 0                     # base rows actually retracted
+    over_deleted: int = 0                  # size of the DRed deletion cone
+    rederived: int = 0                     # cone rows that survived re-derivation
+    propagated: int = 0                    # facts promoted by delta propagation
+    seconds: float = 0.0
+
+
+def _config_cache_key(config: EngineConfig) -> str:
+    """A deterministic cache-key component covering every semantics-relevant knob."""
+    return "|".join(
+        str(part)
+        for part in (
+            config.mode.value,
+            config.backend,
+            config.granularity.value,
+            config.async_compilation,
+            config.compile_mode,
+            config.use_indexes,
+            config.evaluator_style,
+            config.optimize_seed,
+            config.aot_sort.value,
+            config.aot_online,
+        )
+    )
+
+
+def _dependency_closure(program: DatalogProgram) -> Dict[str, FrozenSet[str]]:
+    """Map each relation to every relation its contents can depend on."""
+    direct: Dict[str, Set[str]] = {name: {name} for name in program.relation_names()}
+    for rule in program.rules:
+        direct.setdefault(rule.head_relation, {rule.head_relation}).update(
+            atom.relation for atom in rule.body_atoms()
+        )
+    changed = True
+    while changed:
+        changed = False
+        for name, deps in direct.items():
+            expanded: Set[str] = set(deps)
+            for dep in deps:
+                expanded |= direct.get(dep, set())
+            if expanded != deps:
+                direct[name] = expanded
+                changed = True
+    return {name: frozenset(deps) for name, deps in direct.items()}
+
+
+class IncrementalSession:
+    """A long-lived evaluation of one program over a changing fact base.
+
+    Parameters
+    ----------
+    program:
+        The Datalog program.  The session copies it, so later mutations of
+        the caller's object cannot desynchronise the session's IR.
+    config:
+        Any :class:`EngineConfig`; defaults to the interpreted configuration.
+    cache:
+        Optional shared :class:`ResultCache`.  Entries are keyed by program
+        fingerprint (including initial facts) and configuration, and guarded
+        by per-relation validity tokens (generation counter + mutation
+        digest over the queried relation's dependency cone), so sharing is
+        always safe: sessions share an entry exactly when that cone's
+        mutation history is identical.  By default each session gets a
+        private cache.
+    """
+
+    def __init__(
+        self,
+        program: DatalogProgram,
+        config: Optional[EngineConfig] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.program = program.copy()
+        self.config = config or EngineConfig()
+        self.profile = RuntimeProfile()
+
+        setup_start = time.perf_counter()
+        self.storage, self.tree = prepare_evaluation(
+            self.program, self.config, self.profile
+        )
+        self.incremental_capable = not any(
+            rule.negated_atoms() or rule.has_aggregation()
+            for rule in self.program.rules
+        )
+        self._update_tree: Optional[ProgramOp] = None
+        if self.incremental_capable:
+            if self.config.use_indexes:
+                for relation, column in sorted(select_retraction_indexes(self.program)):
+                    self.storage.register_index(relation, column)
+            self._update_tree = build_update_ir(self.program, check_safety=False)
+            # DRed plans depend only on the immutable program: build once,
+            # reuse for every retraction batch.
+            self._dred_delta_plans = update_plans_by_delta(self.program)
+            self._dred_seed_plans = rule_seed_plans(self.program)
+            apply_aot_if_configured(
+                self._update_tree, self.config, self.storage, self.profile
+            )
+        self.setup_seconds = time.perf_counter() - setup_start
+
+        self.cache = cache if cache is not None else ResultCache()
+        self.program_fingerprint = fingerprint_program(self.program)
+        # Cache keys embed the *initial* facts too: two sessions whose
+        # programs differ only in their EDB could otherwise collide on key
+        # and generation vector alike.
+        self._cache_fingerprint = fingerprint_program(
+            self.program, include_facts=True
+        )
+        # Per-relation rolling digests of the mutations applied to each
+        # relation.  Generation counters alone cannot distinguish *diverged*
+        # sessions sharing a cache (different mutations advance them
+        # identically), so cache validity tokens pair the counter with the
+        # relation's mutation digest: sessions share an entry exactly when
+        # the queried relation's whole dependency cone has identical history.
+        self._mutation_digests: Dict[str, str] = {
+            name: "0" for name in self.program.relation_names()
+        }
+        self._config_key = _config_cache_key(self.config)
+        self._dependencies = _dependency_closure(self.program)
+        self._evaluated = False
+        self.updates_applied = 0
+        self.last_report: Optional[UpdateReport] = None
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _execute(self, tree: ProgramOp) -> RuntimeProfile:
+        profile = RuntimeProfile()
+        executor = IRExecutor(self.storage, self.config, profile)
+        executor.execute(tree)
+        return profile
+
+    def _ensure_evaluated(self) -> None:
+        if not self._evaluated:
+            self._execute(self.tree)
+            self._evaluated = True
+
+    def refresh(self) -> None:
+        """Force the initial fixpoint computation (otherwise lazy)."""
+        self._ensure_evaluated()
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert_facts(self, relation: str, rows: RowBatch) -> UpdateReport:
+        """Assert a batch of facts and repair the fixpoint incrementally."""
+        return self.apply({relation: rows}, None)
+
+    def retract_facts(self, relation: str, rows: RowBatch) -> UpdateReport:
+        """Retract a batch of *base* facts (rows never asserted are ignored)."""
+        return self.apply(None, {relation: rows})
+
+    def apply(
+        self,
+        inserts: Optional[Mapping[str, RowBatch]] = None,
+        retracts: Optional[Mapping[str, RowBatch]] = None,
+    ) -> UpdateReport:
+        """Apply one mixed mutation batch: retractions first, then insertions.
+
+        A row both retracted and inserted in the same batch ends up present.
+        Returns an :class:`UpdateReport`; the session is at fixpoint again
+        when this method returns.
+        """
+        started = time.perf_counter()
+        self._ensure_evaluated()
+        insert_rows = self._normalise(inserts)
+        retract_rows = self._normalise(retracts)
+
+        if self.incremental_capable:
+            report = self._apply_incremental(insert_rows, retract_rows)
+        else:
+            report = self._apply_recompute(insert_rows, retract_rows)
+
+        report.seconds = time.perf_counter() - started
+        self.updates_applied += 1
+        self.last_report = report
+        return report
+
+    def _advance_mutation_digests(
+        self,
+        inserts: Dict[str, Set[Row]],
+        retracts: Dict[str, Set[Row]],
+    ) -> None:
+        """Fold one batch's *effective* changes into the touched digests.
+
+        Callers pass only rows that actually changed state (genuinely new
+        inserts, base rows actually retracted): a no-op batch must not
+        advance any digest, or it would invalidate still-valid cache entries
+        and permanently fork a replica off a shared cache.
+        """
+        touched: Dict[str, "hashlib._Hash"] = {}
+        for tag, batch in (("+", inserts), ("-", retracts)):
+            for name in batch:
+                digest = touched.get(name)
+                if digest is None:
+                    digest = hashlib.sha256(
+                        self._mutation_digests[name].encode("utf-8")
+                    )
+                    touched[name] = digest
+                rows = ";".join(sorted(repr(row) for row in batch[name]))
+                digest.update(f"{tag}{rows}\n".encode("utf-8"))
+        for name, digest in touched.items():
+            self._mutation_digests[name] = digest.hexdigest()
+
+    def _normalise(
+        self, batch: Optional[Mapping[str, RowBatch]]
+    ) -> Dict[str, Set[Row]]:
+        normalised: Dict[str, Set[Row]] = {}
+        for name, rows in (batch or {}).items():
+            arity = self.storage.arity_of(name)  # raises on unknown relations
+            row_set = {tuple(row) for row in rows}
+            for row in row_set:
+                if len(row) != arity:
+                    raise ValueError(
+                        f"relation {name!r} has arity {arity}, got row {row!r}"
+                    )
+            if row_set:
+                normalised[name] = row_set
+        return normalised
+
+    def _apply_incremental(
+        self,
+        inserts: Dict[str, Set[Row]],
+        retracts: Dict[str, Set[Row]],
+    ) -> UpdateReport:
+        report = UpdateReport(strategy="incremental")
+
+        # -- retractions: delete-and-rederive ---------------------------------
+        seeded = 0
+        eligible: Dict[str, Set[Row]] = {}
+        for name, rows in retracts.items():
+            base = {row for row in rows if self.storage.is_base_row(name, row)}
+            for row in base:
+                self.storage.forget_base_row(name, row)
+            if base:
+                eligible[name] = base
+        if eligible:
+            report.retracted = sum(len(rows) for rows in eligible.values())
+            evaluator = SubqueryEvaluator(self.storage, self.config.evaluator_style)
+            cone = over_delete(
+                self.program, self.storage, eligible, evaluator,
+                plans_by_delta=self._dred_delta_plans,
+            )
+            report.over_deleted = cone.total()
+            for name, rows in cone.deleted.items():
+                self.storage.retract_rows(name, rows)
+            seeds = rederivation_seeds(
+                self.program, self.storage, cone, evaluator,
+                seed_plans=self._dred_seed_plans,
+            )
+            for name, rows in seeds.items():
+                report.rederived += self.storage.seed_delta(name, rows)
+            seeded += report.rederived
+
+        # -- insertions --------------------------------------------------------
+        effective_inserts: Dict[str, Set[Row]] = {}
+        for name, rows in inserts.items():
+            new_rows = {
+                row for row in rows if row not in self.storage.derived(name)
+            }
+            if new_rows:
+                effective_inserts[name] = new_rows
+            report.inserted += self.storage.seed_delta(name, rows)
+            for row in rows:
+                self.storage.insert_base(name, row)
+        seeded += report.inserted
+
+        # One semi-naive propagation covers both phases: rederivation
+        # survivors and fresh insertions are all just delta seeds by now.
+        if seeded:
+            profile = self._execute(self._update_tree)
+            report.propagated = sum(it.promoted for it in profile.iterations)
+        self._advance_mutation_digests(effective_inserts, eligible)
+        return report
+
+    def _apply_recompute(
+        self,
+        inserts: Dict[str, Set[Row]],
+        retracts: Dict[str, Set[Row]],
+    ) -> UpdateReport:
+        """Fallback for programs with negation/aggregation: recompute from base."""
+        report = UpdateReport(strategy="recompute")
+        effective_retracts: Dict[str, Set[Row]] = {}
+        effective_inserts: Dict[str, Set[Row]] = {}
+        for name, rows in retracts.items():
+            for row in rows:
+                if self.storage.forget_base_row(name, row):
+                    report.retracted += 1
+                    effective_retracts.setdefault(name, set()).add(row)
+        for name, rows in inserts.items():
+            for row in rows:
+                # Count rows new to Derived — the same meaning `inserted`
+                # has on the incremental path (seed_delta's count); rows
+                # already derived don't change the fixpoint but still become
+                # base rows.
+                if row not in self.storage.derived(name):
+                    report.inserted += 1
+                    effective_inserts.setdefault(name, set()).add(row)
+                self.storage.insert_base(name, row)
+        # A no-op batch (nothing retracted, every insert already derived)
+        # keeps the fixpoint: skip the full recompute and its cache-wide
+        # generation churn.
+        if effective_retracts or effective_inserts:
+            self._rebuild_from_base()
+        self._advance_mutation_digests(effective_inserts, effective_retracts)
+        return report
+
+    def _rebuild_from_base(self) -> None:
+        """Clear every database, re-load base rows, re-run the main tree."""
+        names = self.storage.relation_names()
+        base = {name: self.storage.base_rows(name) for name in names}
+        self.storage.reset_idb(names)
+        for name, rows in base.items():
+            for row in rows:
+                self.storage.insert_base(name, row)
+        self._execute(self.tree)
+        self._evaluated = True
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(self, relation: str) -> FrozenSet[Row]:
+        """The current tuples of ``relation``, served from cache when valid."""
+        self._ensure_evaluated()
+        dependencies = self._dependencies.get(relation, frozenset((relation,)))
+        tokens = {
+            name: f"{generation}:{self._mutation_digests[name]}"
+            for name, generation in self.storage.generations(dependencies).items()
+        }
+        key = (self._cache_fingerprint, self._config_key, relation)
+        cached = self.cache.lookup(key, tokens)
+        if cached is not None:
+            return cached
+        rows = frozenset(self.storage.tuples(relation))
+        self.cache.store(key, tokens, rows)
+        return rows
+
+    def results(self) -> Dict[str, FrozenSet[Row]]:
+        """Every IDB relation's tuples (cached individually)."""
+        return {name: self.query(name) for name in self.program.idb_relations()}
+
+    # -- verification helpers ----------------------------------------------------
+
+    def snapshot_program(self) -> DatalogProgram:
+        """The program with the session's *current* base facts as its EDB."""
+        clone = DatalogProgram(self.program.name)
+        for name, decl in self.program.relations.items():
+            clone.declare_relation(name, decl.arity)
+        for name in self.storage.relation_names():
+            for row in sorted(self.storage.base_rows(name), key=repr):
+                clone.add_fact(name, row)
+        for rule in self.program.rules:
+            clone.add_rule(rule.head, rule.body, rule.name)
+        return clone
+
+    def recompute(self, config: Optional[EngineConfig] = None) -> Dict[str, Set[Row]]:
+        """From-scratch evaluation of the current base facts (fresh engine)."""
+        engine = ExecutionEngine(self.snapshot_program(), config or self.config)
+        return engine.run()
+
+    def self_check(self) -> None:
+        """Assert the incremental state equals a from-scratch evaluation."""
+        self._ensure_evaluated()
+        reference = self.recompute()
+        for name, expected in reference.items():
+            actual = set(self.query(name))
+            if actual != set(expected):
+                missing = set(expected) - actual
+                extra = actual - set(expected)
+                raise AssertionError(
+                    f"incremental state diverged on {name!r}: "
+                    f"{len(missing)} missing, {len(extra)} extra"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        strategy = "incremental" if self.incremental_capable else "recompute"
+        return (
+            f"IncrementalSession({self.program.name!r}, strategy={strategy}, "
+            f"updates={self.updates_applied})"
+        )

@@ -29,7 +29,12 @@ from repro.ir.ops import (
     SwapClearOp,
     UnionOp,
 )
-from repro.ir.planning import build_join_plan, delta_subqueries, seed_plan
+from repro.ir.planning import (
+    build_join_plan,
+    delta_subqueries,
+    seed_plan,
+    update_subqueries,
+)
 
 
 class PlanBuilder:
@@ -120,6 +125,55 @@ class PlanBuilder:
 def build_program_ir(program: DatalogProgram, check_safety: bool = True) -> ProgramOp:
     """Lower ``program`` into the semi-naive IROp tree."""
     return PlanBuilder(program, check_safety=check_safety).build()
+
+
+def build_update_ir(program: DatalogProgram, check_safety: bool = True) -> ProgramOp:
+    """Lower ``program`` into the *incremental-update* propagation tree.
+
+    The tree is a single synthetic stratum with an empty seeding pass and one
+    DoWhile loop covering **all** rules at once, each rule expanded into one
+    delta sub-query per positive atom (:func:`~repro.ir.planning.update_subqueries`).
+    The caller seeds Delta-Known with the mutated rows before executing; the
+    loop then propagates exactly the consequences of the change and stops as
+    soon as an iteration promotes nothing.
+
+    Collapsing the strata is sound only for programs without negation or
+    aggregation (the incremental session falls back to full recomputation for
+    those): for positive programs, stratification affects evaluation order,
+    never the fixpoint.
+    """
+    if check_safety:
+        check_program_safety(program)
+    for rule in program.rules:
+        if rule.negated_atoms() or rule.has_aggregation():
+            raise ValueError(
+                f"rule {rule.name!r} uses negation or aggregation; incremental "
+                "delta propagation supports positive programs only"
+            )
+
+    relation_unions: List[IROp] = []
+    for relation in program.idb_relations():
+        rule_unions: List[IROp] = []
+        for rule in program.rules_for(relation):
+            plans = update_subqueries(rule)
+            if plans:
+                rule_unions.append(
+                    UnionOp(rule.name, [JoinProjectOp(plan) for plan in plans])
+                )
+        if rule_unions:
+            relation_unions.append(
+                InsertOp(relation, RelationUnionOp(relation, rule_unions), InsertOp.NEW)
+            )
+
+    every_relation = list(program.relation_names())
+    body = SequenceOp(list(relation_unions) + [SwapClearOp(every_relation)])
+    stratum = StratumOp(
+        index=0,
+        relations=every_relation,
+        seed=SequenceOp([]),
+        loop=DoWhileOp(body, every_relation),
+    )
+    return ProgramOp([stratum], name=f"{program.name}-update")
 
 
 def build_naive_ir(program: DatalogProgram, check_safety: bool = True) -> ProgramOp:

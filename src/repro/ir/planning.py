@@ -141,6 +141,32 @@ def delta_subqueries(rule: Rule, stratum_relations: Iterable[str]) -> List[JoinP
     return plans
 
 
+def update_subqueries(rule: Rule) -> List[JoinPlan]:
+    """The delta sub-queries of ``rule`` for *incremental* evaluation.
+
+    Unlike :func:`delta_subqueries`, the delta choice ranges over **every**
+    positive atom, not only same-stratum ones: an incremental update may seed
+    the delta of any relation (typically a mutated EDB relation), and the
+    change must flow through non-recursive rules too.  One plan per positive
+    atom position, that position reading Delta-Known, the rest Derived.
+
+    Each plan is built with its delta atom rotated to the *front* of the join
+    (remaining atoms keep their relative order).  During an incremental
+    update the delta holds a handful of changed rows while Derived holds the
+    whole fixpoint, so driving the join from the delta — and exiting
+    immediately when it is empty — is the difference between touching the
+    change cone and rescanning the database every iteration.  Runtime
+    re-optimizers (JIT/AOT-online) may still reorder further.
+    """
+    plans: List[JoinPlan] = []
+    for position in range(len(rule.positive_atoms())):
+        order = [position] + [
+            i for i in range(len(rule.positive_atoms())) if i != position
+        ]
+        plans.append(build_join_plan(rule, delta_index=position, atom_order=order))
+    return plans
+
+
 def positive_atom_permutation(plan: JoinPlan, order: Sequence[int]) -> JoinPlan:
     """Reorder the positive atoms of an existing plan and re-legalize.
 

@@ -159,9 +159,17 @@ class PullSubqueryEvaluator:
     def __init__(self, storage: StorageManager) -> None:
         self.storage = storage
 
-    def bindings(self, plan: JoinPlan) -> Iterator[Bindings]:
-        """Yield every complete binding produced by the plan."""
-        yield from self._recurse(plan, 0, {})
+    def bindings(self, plan: JoinPlan,
+                 initial: Optional[Bindings] = None) -> Iterator[Bindings]:
+        """Yield every complete binding produced by the plan.
+
+        ``initial`` pre-binds variables before the first source runs, turning
+        leading scans into indexed probes.  The incremental subsystem uses
+        this for targeted re-derivation: binding a rule's head variables to
+        one deleted row asks "does *this* fact still have a derivation?"
+        without enumerating the rule's full output.
+        """
+        yield from self._recurse(plan, 0, dict(initial) if initial else {})
 
     def _recurse(self, plan: JoinPlan, position: int, bindings: Bindings) -> Iterator[Bindings]:
         if position == len(plan.sources):
@@ -308,9 +316,14 @@ class SubqueryEvaluator:
             return self._push.evaluate(plan)
         return self._pull.evaluate(plan)
 
-    def bindings(self, plan: JoinPlan) -> Iterator[Bindings]:
+    def bindings(self, plan: JoinPlan,
+                 initial: Optional[Bindings] = None) -> Iterator[Bindings]:
         """Complete bindings (always pull-style; used for aggregation)."""
-        return self._pull.bindings(plan)
+        return self._pull.bindings(plan, initial)
+
+    def satisfiable(self, plan: JoinPlan, initial: Optional[Bindings] = None) -> bool:
+        """True when the plan has at least one result under ``initial``."""
+        return next(iter(self._pull.bindings(plan, initial)), None) is not None
 
 
 def evaluate_subquery(storage: StorageManager, plan: JoinPlan, style: str = "push") -> Set[Row]:

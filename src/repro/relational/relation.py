@@ -30,6 +30,24 @@ class HashIndex:
     def insert(self, row: Row) -> None:
         self._buckets.setdefault(row[self.column], []).append(row)
 
+    def remove(self, row: Row) -> bool:
+        """Remove one row from its bucket; returns True if it was present.
+
+        Retraction support: buckets are lists, so removal is linear in the
+        bucket size — acceptable because retractions only touch the buckets of
+        the retracted rows, never the whole index.
+        """
+        bucket = self._buckets.get(row[self.column])
+        if bucket is None:
+            return False
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[row[self.column]]
+        return True
+
     def lookup(self, value: Any) -> Sequence[Row]:
         """Rows whose indexed column equals ``value`` (possibly empty)."""
         return self._buckets.get(value, ())
@@ -81,6 +99,24 @@ class Relation:
             if self.insert(row):
                 inserted += 1
         return inserted
+
+    def discard(self, row: Sequence[Any]) -> bool:
+        """Remove a row, maintaining every index; returns True if present."""
+        row_tuple = tuple(row)
+        if row_tuple not in self._rows:
+            return False
+        self._rows.discard(row_tuple)
+        for index in self._indexes.values():
+            index.remove(row_tuple)
+        return True
+
+    def discard_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Remove many rows; returns the number actually removed."""
+        removed = 0
+        for row in rows:
+            if self.discard(row):
+                removed += 1
+        return removed
 
     def clear(self) -> None:
         """Remove all rows (indexes are kept but emptied)."""

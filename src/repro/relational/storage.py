@@ -40,6 +40,12 @@ class StorageManager:
         self._delta_known: Dict[str, Relation] = {}
         self._delta_new: Dict[str, Relation] = {}
         self._indexed_columns: Dict[str, Set[int]] = {}
+        # Incremental-evaluation bookkeeping: per-relation generation counters
+        # (bumped on every observable change to the Derived database, used by
+        # the result cache) and the explicitly asserted "base" rows of each
+        # relation (the support set delete-and-rederive may retract from).
+        self._generations: Dict[str, int] = {}
+        self._base_rows: Dict[str, Set[Row]] = {}
         if program is not None:
             self.load_program(program)
 
@@ -59,13 +65,15 @@ class StorageManager:
         self._delta_known[name] = Relation(f"{name}Δ", arity)
         self._delta_new[name] = Relation(f"{name}Δ'", arity)
         self._indexed_columns[name] = set()
+        self._generations[name] = 0
+        self._base_rows[name] = set()
 
     def load_program(self, program: DatalogProgram) -> None:
         """Declare every relation of ``program`` and load its EDB facts."""
         for name, declaration in program.relations.items():
             self.declare(name, declaration.arity)
         for fact in program.facts:
-            self.insert_derived(fact.relation, fact.values)
+            self.insert_base(fact.relation, fact.values)
 
     def register_index(self, relation: str, column: int) -> None:
         """Request an index on ``relation[column]`` on all copies of the relation.
@@ -137,7 +145,71 @@ class StorageManager:
     def insert_derived(self, name: str, row: Sequence[Any]) -> bool:
         """Insert directly into the Derived database (used for EDB facts)."""
         self._require(name)
-        return self._derived[name].insert(row)
+        inserted = self._derived[name].insert(row)
+        if inserted:
+            self._generations[name] += 1
+        return inserted
+
+    def insert_base(self, name: str, row: Sequence[Any]) -> bool:
+        """Insert an explicitly asserted fact, recording it as a base row.
+
+        Base rows are the retraction unit of the incremental subsystem: only
+        facts that were explicitly asserted (program EDB facts or session
+        ``insert_facts`` batches) can be retracted; everything else is derived
+        and only disappears when its derivations do.
+        """
+        inserted = self.insert_derived(name, row)
+        self._base_rows[name].add(tuple(row))
+        return inserted
+
+    def base_rows(self, name: str) -> Set[Row]:
+        """The explicitly asserted rows of ``name`` (a copy)."""
+        self._require(name)
+        return set(self._base_rows[name])
+
+    def is_base_row(self, name: str, row: Sequence[Any]) -> bool:
+        self._require(name)
+        return tuple(row) in self._base_rows[name]
+
+    def forget_base_row(self, name: str, row: Sequence[Any]) -> bool:
+        """Drop a row from the base set without touching the databases."""
+        self._require(name)
+        before = len(self._base_rows[name])
+        self._base_rows[name].discard(tuple(row))
+        return len(self._base_rows[name]) != before
+
+    def retract_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Physically remove rows from every copy of ``name``, keeping indexes.
+
+        Returns the number of rows removed from the Derived database.  Used
+        by delete-and-rederive after the over-deletion cone is computed; the
+        delta copies are scrubbed too so a retraction can never leak through
+        a stale delta into the next fixpoint.
+        """
+        self._require(name)
+        removed = 0
+        for row in rows:
+            row_tuple = tuple(row)
+            if self._derived[name].discard(row_tuple):
+                removed += 1
+            self._delta_known[name].discard(row_tuple)
+            self._delta_new[name].discard(row_tuple)
+        if removed:
+            self._generations[name] += 1
+        return removed
+
+    # -- generation counters (result-cache invalidation) -------------------------
+
+    def generation(self, name: str) -> int:
+        """Monotonic counter, bumped whenever Derived ``name`` changes."""
+        self._require(name)
+        return self._generations[name]
+
+    def generations(self, names: Optional[Iterable[str]] = None) -> Dict[str, int]:
+        """Generation snapshot of ``names`` (default: every relation)."""
+        if names is None:
+            return dict(self._generations)
+        return {name: self.generation(name) for name in names}
 
     def insert_new(self, name: str, row: Sequence[Any]) -> bool:
         """Insert into Delta-New if the fact is not already derived.
@@ -165,6 +237,8 @@ class StorageManager:
             if self._derived[name].insert(row):
                 self._delta_known[name].insert(row)
                 count += 1
+        if count:
+            self._generations[name] += 1
         return count
 
     # -- iteration management (SwapClearOp / DiffOp semantics) ------------------
@@ -183,7 +257,10 @@ class StorageManager:
         for name in names:
             self._require(name)
             new_relation = self._delta_new[name]
-            promoted += self._derived[name].absorb(new_relation)
+            absorbed = self._derived[name].absorb(new_relation)
+            if absorbed:
+                self._generations[name] += 1
+            promoted += absorbed
             # Rotate: new becomes known; old known becomes the next new buffer.
             self._delta_known[name], self._delta_new[name] = (
                 self._delta_new[name],
@@ -202,6 +279,8 @@ class StorageManager:
         """Forget all derived facts of ``names`` (used between benchmark runs)."""
         for name in names:
             self._require(name)
+            if len(self._derived[name]):
+                self._generations[name] += 1
             self._derived[name].clear()
             self._delta_known[name].clear()
             self._delta_new[name].clear()

@@ -24,11 +24,21 @@ from repro.workloads.program_facts import (
     SListLibDataset,
 )
 from repro.workloads.datasets import DatasetSpec, get_dataset, list_datasets
+from repro.workloads.streaming import (
+    UpdateBatch,
+    UpdateStream,
+    edge_update_stream,
+    fact_update_stream,
+)
 
 __all__ = [
     "CSDADataset",
     "CSPADataset",
     "DatasetSpec",
+    "UpdateBatch",
+    "UpdateStream",
+    "edge_update_stream",
+    "fact_update_stream",
     "HttpdLikeGenerator",
     "SListLibDataset",
     "SListLibGenerator",

@@ -1,0 +1,174 @@
+"""Streaming-update workloads: deterministic batched mutation sequences.
+
+The incremental subsystem is exercised by *update streams*: an initial fact
+base followed by batches of insertions and retractions.  This module
+generates such streams deterministically (same ``seed`` → same stream), in
+the shape :meth:`repro.incremental.IncrementalSession.apply` consumes, so
+tests, benchmarks and examples can all replay identical traffic.
+
+Retractions are always drawn from facts known to be live (initial facts plus
+earlier insertions, minus earlier retractions), mirroring real feeds where
+deletes reference previously ingested rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.workloads.graphs import Edge, random_edges
+
+Row = Tuple[object, ...]
+
+
+@dataclass
+class UpdateBatch:
+    """One mutation batch: per-relation inserted and retracted rows."""
+
+    inserts: Dict[str, List[Row]] = field(default_factory=dict)
+    retracts: Dict[str, List[Row]] = field(default_factory=dict)
+
+    def insert_count(self) -> int:
+        return sum(len(rows) for rows in self.inserts.values())
+
+    def retract_count(self) -> int:
+        return sum(len(rows) for rows in self.retracts.values())
+
+    def is_empty(self) -> bool:
+        return not self.insert_count() and not self.retract_count()
+
+
+@dataclass
+class UpdateStream:
+    """An initial fact base plus an ordered sequence of update batches."""
+
+    initial: Dict[str, List[Row]]
+    batches: List[UpdateBatch]
+
+    def __iter__(self) -> Iterator[UpdateBatch]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def live_after(self) -> Dict[str, Set[Row]]:
+        """The per-relation live sets once every batch has been applied.
+
+        Matches session semantics (retracts before inserts within a batch),
+        so chained streams can start where a previous stream ended.
+        """
+        live: Dict[str, Set[Row]] = {
+            name: set(rows) for name, rows in self.initial.items()
+        }
+        for batch in self.batches:
+            for name, rows in batch.retracts.items():
+                live.setdefault(name, set()).difference_update(rows)
+            for name, rows in batch.inserts.items():
+                live.setdefault(name, set()).update(rows)
+        return live
+
+
+def edge_update_stream(
+    nodes: int,
+    initial_edges: int = 0,
+    batches: int = 1,
+    batch_size: int = 1,
+    retract_fraction: float = 0.3,
+    relation: str = "edge",
+    seed: int = 0,
+    start_edges: Optional[Sequence[Edge]] = None,
+) -> UpdateStream:
+    """A deterministic stream of edge insertions/retractions over one graph.
+
+    Each batch holds ``batch_size`` mutations; a mutation is a retraction of a
+    live edge with probability ``retract_fraction`` (when any are eligible),
+    otherwise an insertion of an edge not currently live.  Node ids stay in
+    ``range(nodes)`` so the stream keeps churning one bounded graph rather
+    than growing an ever-larger vertex set.
+
+    ``start_edges`` overrides the generated initial graph — pass a previous
+    stream's :meth:`UpdateStream.live_after` to chain phases (e.g. an
+    insert-only warm-up followed by retract-only churn) over one session.
+    """
+    if not 0.0 <= retract_fraction <= 1.0:
+        raise ValueError("retract_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    if start_edges is not None:
+        live: Set[Edge] = {tuple(edge) for edge in start_edges}
+    else:
+        live = set(random_edges(nodes, initial_edges, seed=seed))
+    initial = {relation: [tuple(edge) for edge in sorted(live)]}
+
+    out_batches: List[UpdateBatch] = []
+    for _ in range(batches):
+        batch = UpdateBatch()
+        # Retraction victims come from the batch-*start* live set: the
+        # session applies a batch's retractions before its insertions, so a
+        # row inserted and retracted within one batch would end up live in
+        # the session while the stream's bookkeeping marked it dead.
+        retractable = set(live)
+        for _ in range(batch_size):
+            eligible = live & retractable
+            if eligible and rng.random() < retract_fraction:
+                victim = rng.choice(sorted(eligible))
+                live.discard(victim)
+                batch.retracts.setdefault(relation, []).append(tuple(victim))
+            else:
+                for _ in range(10 * nodes):
+                    candidate = (rng.randrange(nodes), rng.randrange(nodes))
+                    if candidate[0] != candidate[1] and candidate not in live:
+                        live.add(candidate)
+                        batch.inserts.setdefault(relation, []).append(candidate)
+                        break
+        if not batch.is_empty():
+            out_batches.append(batch)
+    return UpdateStream(initial=initial, batches=out_batches)
+
+
+def fact_update_stream(
+    base_facts: Dict[str, Sequence[Sequence[object]]],
+    batches: int,
+    batch_size: int,
+    retract_fraction: float = 0.3,
+    seed: int = 0,
+) -> UpdateStream:
+    """A churn stream over an arbitrary multi-relation fact base.
+
+    Insertions replay previously retracted rows (or rows sampled from the
+    initial base that happen to be retracted at the time); retractions pick
+    live rows uniformly across relations.  This keeps every generated row
+    schema-valid without knowing anything about the relations' domains —
+    exactly what the Andersen/CSPA fact bases need.
+    """
+    rng = random.Random(seed)
+    live: Dict[str, Set[Row]] = {
+        name: {tuple(row) for row in rows} for name, rows in base_facts.items()
+    }
+    dead: Dict[str, Set[Row]] = {name: set() for name in base_facts}
+    relations = sorted(name for name, rows in live.items() if rows)
+    initial = {name: sorted(rows, key=repr) for name, rows in live.items()}
+
+    out_batches: List[UpdateBatch] = []
+    for _ in range(batches):
+        batch = UpdateBatch()
+        # Only rows live at batch start may be retracted in that batch; see
+        # edge_update_stream for why (the session retracts before inserting).
+        retractable = {name: set(rows) for name, rows in live.items()}
+        for _ in range(batch_size):
+            name = relations[rng.randrange(len(relations))]
+            eligible = live[name] & retractable[name]
+            can_insert = bool(dead[name])
+            if eligible and (not can_insert or rng.random() < retract_fraction):
+                victim = rng.choice(sorted(eligible, key=repr))
+                live[name].discard(victim)
+                dead[name].add(victim)
+                batch.retracts.setdefault(name, []).append(victim)
+            elif can_insert:
+                row = rng.choice(sorted(dead[name], key=repr))
+                dead[name].discard(row)
+                live[name].add(row)
+                batch.inserts.setdefault(name, []).append(row)
+        if not batch.is_empty():
+            out_batches.append(batch)
+    return UpdateStream(initial=initial, batches=out_batches)

@@ -1,0 +1,262 @@
+"""Unit tests for the incremental evaluation subsystem."""
+
+import pytest
+
+from repro.analyses.micro import build_primes_program, build_transitive_closure_program
+from repro.core.config import EngineConfig
+from repro.datalog.fingerprint import fingerprint_program
+from repro.engine.engine import ExecutionEngine
+from repro.engine.indexing import rebuild_indexes, verify_indexes
+from repro.incremental import IncrementalSession, ResultCache
+from repro.incremental.dred import over_delete
+from repro.relational.operators import SubqueryEvaluator
+
+EDGES = [(1, 2), (2, 3), (3, 4), (5, 6)]
+
+
+def tc_session(edges=EDGES, config=None, cache=None):
+    return IncrementalSession(
+        build_transitive_closure_program(edges), config or EngineConfig.interpreted(),
+        cache=cache,
+    )
+
+
+class TestInsertion:
+    def test_initial_query_matches_single_shot_engine(self):
+        session = tc_session()
+        engine = ExecutionEngine(build_transitive_closure_program(EDGES))
+        assert set(session.query("path")) == engine.run()["path"]
+
+    def test_insert_extends_the_fixpoint_incrementally(self):
+        session = tc_session()
+        report = session.insert_facts("edge", [(4, 5)])
+        assert report.strategy == "incremental"
+        assert report.inserted == 1
+        assert (1, 6) in session.query("path")  # 1→...→4→5→6 now closed
+        session.self_check()
+
+    def test_duplicate_inserts_are_noops(self):
+        session = tc_session()
+        before = session.query("path")
+        report = session.insert_facts("edge", [(1, 2)])
+        assert report.inserted == 0
+        assert session.query("path") == before
+
+    def test_insert_into_idb_relation_is_allowed(self):
+        session = tc_session()
+        report = session.insert_facts("path", [(9, 10)])
+        assert report.inserted == 1
+        assert (9, 10) in session.query("path")
+        session.self_check()
+
+    def test_unknown_relation_and_bad_arity_are_rejected(self):
+        session = tc_session()
+        with pytest.raises(KeyError):
+            session.insert_facts("nope", [(1, 2)])
+        with pytest.raises(ValueError):
+            session.insert_facts("edge", [(1, 2, 3)])
+
+
+class TestRetraction:
+    def test_retraction_removes_downstream_derivations(self):
+        session = tc_session()
+        report = session.retract_facts("edge", [(2, 3)])
+        assert report.retracted == 1
+        assert report.over_deleted >= 3  # (2,3) plus (1,3),(2,4),(1,4),(3,4 keeps)
+        paths = session.query("path")
+        assert (1, 3) not in paths and (1, 4) not in paths
+        assert (3, 4) in paths
+        session.self_check()
+
+    def test_rederivation_restores_alternative_support(self):
+        # Two parallel routes 1→2: retracting one must keep path(1,2).
+        session = tc_session([(1, 2), (1, 3), (3, 2)])
+        session.retract_facts("edge", [(1, 2)])
+        assert (1, 2) in session.query("path")
+        session.self_check()
+
+    def test_cycle_retraction_converges(self):
+        session = tc_session([(1, 2), (2, 3), (3, 1)])
+        session.retract_facts("edge", [(2, 3)])
+        paths = session.query("path")
+        assert paths == frozenset({(1, 2), (3, 1), (3, 2)})
+
+    def test_retracting_nonbase_rows_is_ignored(self):
+        session = tc_session()
+        report = session.retract_facts("edge", [(7, 8)])
+        assert report.retracted == 0 and report.over_deleted == 0
+        # Derived (non-base) facts cannot be retracted either.
+        report = session.retract_facts("path", [(1, 3)])
+        assert report.retracted == 0
+        assert (1, 3) in session.query("path")
+
+    def test_retract_then_reinsert_round_trips(self):
+        session = tc_session()
+        before = session.query("path")
+        session.retract_facts("edge", [(2, 3)])
+        session.insert_facts("edge", [(2, 3)])
+        assert session.query("path") == before
+
+    def test_indexes_stay_consistent_and_can_be_rebuilt(self):
+        session = tc_session()
+        session.retract_facts("edge", [(2, 3)])
+        assert verify_indexes(session.storage) == []
+        rebuild_indexes(session.storage, "path")
+        assert verify_indexes(session.storage) == []
+
+    def test_over_delete_reports_the_cone(self):
+        session = tc_session([(1, 2), (2, 3)])
+        session.refresh()
+        cone = over_delete(
+            session.program, session.storage, {"edge": {(1, 2)}},
+            SubqueryEvaluator(session.storage),
+        )
+        assert cone.rows("edge") == {(1, 2)}
+        assert cone.rows("path") == {(1, 2), (1, 3)}
+
+
+class TestResultCache:
+    def test_repeated_queries_hit_the_cache(self):
+        session = tc_session()
+        session.query("path")
+        session.query("path")
+        assert session.cache.stats.hits == 1
+
+    def test_mutation_invalidates_dependent_relations(self):
+        session = tc_session()
+        session.query("path")
+        session.insert_facts("edge", [(6, 7)])
+        session.query("path")  # stale: edge generation moved
+        assert session.cache.stats.invalidations >= 1
+        session.query("path")
+        assert session.cache.stats.hits >= 1
+
+    def test_unrelated_relations_keep_their_entries(self):
+        # Two independent components: island edges don't invalidate... the
+        # dependency unit is the relation, so mutate an unrelated relation.
+        program = build_transitive_closure_program(EDGES)
+        program.declare_relation("tag", 1)
+        program.add_fact("tag", ("a",))
+        session = IncrementalSession(program, EngineConfig.interpreted())
+        session.query("path")
+        session.insert_facts("tag", [("b",)])
+        session.query("path")
+        assert session.cache.stats.hits == 1  # tag is not a dependency of path
+
+    def test_sessions_with_different_facts_do_not_collide_in_a_shared_cache(self):
+        # Same rules, different EDB: keys must differ (the generation vectors
+        # coincide, so only the facts-aware fingerprint keeps them apart).
+        shared = ResultCache()
+        a = tc_session([(1, 2)], cache=shared)
+        assert set(a.query("path")) == {(1, 2)}
+        b = tc_session([(3, 4)], cache=shared)
+        assert set(b.query("path")) == {(3, 4)}
+        assert set(a.query("path")) == {(1, 2)}
+
+    def test_replica_sessions_share_cache_entries(self):
+        shared = ResultCache()
+        a = tc_session(cache=shared)
+        b = tc_session(cache=shared)
+        a.query("path")
+        b.query("path")
+        assert shared.stats.hits == 1
+
+    def test_diverging_update_streams_fork_the_shared_cache(self):
+        # Different mutations advance generation counters identically, so
+        # only the stream digest keeps diverged sessions apart.
+        shared = ResultCache()
+        a = tc_session([(1, 2)], cache=shared)
+        b = tc_session([(1, 2)], cache=shared)
+        a.insert_facts("edge", [(2, 3)])
+        b.insert_facts("edge", [(5, 6)])
+        a.query("path")
+        assert set(b.query("path")) == {(1, 2), (5, 6)}
+
+    def test_identical_update_streams_keep_sharing(self):
+        shared = ResultCache()
+        a = tc_session(cache=shared)
+        b = tc_session(cache=shared)
+        a.insert_facts("edge", [(4, 5)])
+        b.insert_facts("edge", [(4, 5)])
+        a.query("path")
+        b.query("path")
+        assert shared.stats.hits == 1
+
+    def test_noop_batches_do_not_invalidate_or_fork(self):
+        session = tc_session()
+        session.query("path")
+        session.retract_facts("edge", [(99, 100)])  # never asserted
+        session.insert_facts("edge", [(1, 2)])      # already live
+        session.query("path")
+        assert session.cache.stats.hits == 1
+        # ...and a replica that applied the same no-ops still shares.
+        shared = ResultCache()
+        a = tc_session(cache=shared)
+        b = tc_session(cache=shared)
+        a.retract_facts("edge", [(99, 100)])
+        a.query("path")
+        b.query("path")
+        assert shared.stats.hits == 1
+
+    def test_cache_eviction_respects_capacity(self):
+        cache = ResultCache(max_entries=1)
+        session = tc_session(cache=cache)
+        session.query("path")
+        session.query("edge")
+        assert len(cache) == 1
+
+
+class TestFallbackAndFingerprint:
+    def test_negation_program_falls_back_to_recompute(self):
+        session = IncrementalSession(build_primes_program(limit=30))
+        assert not session.incremental_capable
+        before = set(session.query("prime"))
+        report = session.insert_facts("num", [(31,), (32,)])
+        assert report.strategy == "recompute"
+        assert report.inserted == 2
+        after = set(session.query("prime"))
+        # 31 is prime; 32 also lands in `prime` because the composite rule's
+        # product filter is capped at the original limit constant — either
+        # way the fallback must match from-scratch evaluation exactly.
+        assert after != before and (31,) in after
+        session.self_check()
+
+    def test_negation_program_retraction_recomputes(self):
+        session = IncrementalSession(build_primes_program(limit=30))
+        session.refresh()
+        victim = (30,)
+        assert session.storage.is_base_row("num", victim)
+        report = session.retract_facts("num", [victim])
+        assert report.strategy == "recompute" and report.retracted == 1
+        assert victim not in session.query("num")
+        session.self_check()
+
+    def test_noop_batches_skip_the_fallback_recompute(self):
+        session = IncrementalSession(build_primes_program(limit=30))
+        session.refresh()
+        generations = dict(session.storage.generations())
+        # Retract rows never asserted; re-assert an existing base row.
+        some_base = next(
+            (name, row)
+            for name in session.storage.relation_names()
+            for row in sorted(session.storage.base_rows(name), key=repr)[:1]
+        )
+        session.retract_facts(some_base[0], [(-99,) * len(some_base[1])])
+        session.insert_facts(some_base[0], [some_base[1]])
+        assert session.storage.generations() == generations  # no rebuild ran
+
+    def test_fingerprint_is_stable_and_structure_sensitive(self):
+        p1 = build_transitive_closure_program(EDGES)
+        p2 = build_transitive_closure_program(EDGES)
+        assert fingerprint_program(p1) == fingerprint_program(p2)
+        assert fingerprint_program(p1) == fingerprint_program(p1.with_rules(p1.rules))
+        p3 = build_transitive_closure_program(EDGES, ordering="worst")
+        assert fingerprint_program(p1) != fingerprint_program(p3)
+
+    def test_fingerprint_ignores_facts_unless_asked(self):
+        p1 = build_transitive_closure_program([(1, 2)])
+        p2 = build_transitive_closure_program([(3, 4)])
+        assert fingerprint_program(p1) == fingerprint_program(p2)
+        assert fingerprint_program(p1, include_facts=True) != fingerprint_program(
+            p2, include_facts=True
+        )
