@@ -1,0 +1,81 @@
+"""Shard-parallel evaluation: a 1/2/4-shard scaling curve on reachability.
+
+Builds the transitive-closure program over a random 10k-edge graph and
+evaluates it through ``EngineConfig.parallel(shards=N)`` for N in {1, 2, 4},
+printing per-run wall time, the chosen strategy/pool and the speedup over
+one shard (``shards=1`` is the ordinary single-shard engine).  The result
+sets are asserted bit-for-bit equal across shard counts.
+
+Two effects drive the curve: the worker pool (real parallelism when the
+machine has a core per shard — on smaller machines it degrades to serial
+round-robin, which this script points out) and the shard workers' one-shot
+plan compilation, which amortises across all rounds because shard plans are
+frozen at setup.
+
+Run with:  python examples/parallel_speedup.py [--edges N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.core.config import EngineConfig
+from repro.engine import ExecutionEngine
+from repro.workloads import random_edges
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=10_000,
+                        help="number of random edges (default 10000)")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="runs per shard count, best-of (default 2)")
+    args = parser.parse_args()
+
+    nodes = max(args.edges + 2_000, args.edges * 6 // 5)
+    edges = random_edges(nodes, args.edges, seed=2024)
+    cpus = os.cpu_count() or 1
+    print(f"reachability over {len(edges)} random edges ({nodes} nodes), "
+          f"{cpus} CPU core(s)\n")
+
+    baseline = None
+    reference = None
+    for shards in (1, 2, 4):
+        best_seconds = float("inf")
+        result = None
+        report = None
+        for _ in range(args.repeat):
+            engine = ExecutionEngine(
+                build_transitive_closure_program(edges),
+                EngineConfig.parallel(shards=shards),
+            )
+            started = time.perf_counter()
+            rows = engine.run()["path"]
+            seconds = time.perf_counter() - started
+            if seconds < best_seconds:
+                best_seconds, result, report = seconds, rows, engine.parallel_report
+
+        if baseline is None:
+            baseline, reference = best_seconds, result
+        assert result == reference, "sharded result diverged from single-shard"
+        if report is None:
+            detail = "standard engine (sharding disabled)"
+        else:
+            stratum = report.strata[-1]
+            detail = f"strategy={stratum.strategy} pool={stratum.pool}"
+        print(f"shards={shards}:  {best_seconds * 1000:8.1f} ms   "
+              f"speedup {baseline / best_seconds:4.2f}x   {detail}   "
+              f"({len(result)} path tuples)")
+
+    if cpus < 4:
+        print(f"\nnote: with {cpus} core(s) the pool degrades to serial "
+              "round-robin; the remaining speedup comes from the shard "
+              "workers' one-shot plan compilation. Expect a steeper curve "
+              "on a multi-core machine.")
+
+
+if __name__ == "__main__":
+    main()

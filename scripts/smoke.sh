@@ -18,6 +18,10 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
+echo "== 2-shard parallel smoke bench =="
+python -m repro.bench --quick --only parallel
+
+echo
 echo "== micro-benchmark sanity (fibonacci, one JIT configuration) =="
 python - <<'PY'
 from repro.analyses.registry import get_benchmark

@@ -26,6 +26,7 @@ from repro.core.config import (
     CompilationGranularity,
     EngineConfig,
     ExecutionMode,
+    ShardingConfig,
 )
 from repro.datalog.dsl import Program, RelationHandle
 from repro.datalog.literals import compare, let
@@ -41,6 +42,7 @@ __all__ = [
     "EngineConfig",
     "ExecutionEngine",
     "ExecutionMode",
+    "ShardingConfig",
     "Program",
     "RelationHandle",
     "Variable",

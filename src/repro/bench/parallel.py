@@ -1,0 +1,103 @@
+"""Shard-parallel benchmark: scaling of the sharded fixpoint vs one shard.
+
+Not a paper figure — this measures the shard-parallel evaluation subsystem
+on the reachability (transitive-closure) workload: the same program and
+facts evaluated at 1, 2 and 4 shards per execution mode, with bit-for-bit
+equality of the result sets verified against the 1-shard run.
+
+``shards=1`` is the standard single-shard engine (sharding disabled by
+definition), so each mode's ``speedup`` column reads as "shard-parallel
+subsystem over the ordinary engine".  Two effects contribute: the worker
+pool (real parallelism when the machine has cores to spare — note that on a
+single-core machine the pool degrades to serial round-robin) and the shard
+workers' one-shot plan compilation, which amortises over every round
+because shard plans are frozen at setup (see
+:class:`~repro.core.config.ShardingConfig.shard_backend`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.core.config import EngineConfig
+from repro.engine.engine import ExecutionEngine
+from repro.workloads.graphs import random_edges
+
+PARALLEL_COLUMNS = (
+    "workload", "mode", "shards", "strategy", "pool",
+    "seconds", "speedup", "equal",
+)
+
+#: (label, base-configuration factory) per benchmarked execution mode.
+DEFAULT_MODES: Tuple[Tuple[str, object], ...] = (
+    ("interpreted", EngineConfig.interpreted),
+    ("jit-bytecode", lambda: EngineConfig.jit("bytecode")),
+    ("aot-facts", EngineConfig.aot),
+)
+
+
+def _measure(
+    edges: Sequence[Tuple[int, int]],
+    config: EngineConfig,
+    repeat: int,
+) -> Tuple[float, Set[Tuple[object, ...]], Optional[object]]:
+    best_seconds = float("inf")
+    result: Set[Tuple[object, ...]] = set()
+    report = None
+    for _ in range(max(1, repeat)):
+        program = build_transitive_closure_program(edges)
+        started = time.perf_counter()
+        engine = ExecutionEngine(program, config)
+        rows = engine.run()["path"]
+        seconds = time.perf_counter() - started
+        if seconds < best_seconds:
+            best_seconds = seconds
+            result = rows
+            report = engine.parallel_report
+    return best_seconds, result, report
+
+
+def run_parallel(
+    nodes: int = 12_000,
+    edge_count: int = 10_000,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    modes: Optional[Sequence[Tuple[str, object]]] = None,
+    repeat: int = 1,
+    seed: int = 2024,
+    quick: bool = False,
+) -> List[Dict[str, object]]:
+    """Benchmark rows for the shards scaling curve (per mode, per count).
+
+    ``quick`` shrinks the workload to a 2k-edge graph, 1/2 shards and the
+    interpreted mode only — the CI smoke configuration.
+    """
+    if quick:
+        nodes, edge_count = 3_000, 2_000
+        shard_counts = tuple(n for n in shard_counts if n <= 2) or (1, 2)
+        modes = modes if modes is not None else DEFAULT_MODES[:1]
+    modes = list(modes if modes is not None else DEFAULT_MODES)
+    edges = random_edges(nodes, edge_count, seed=seed)
+    workload = f"tc_{edge_count // 1000}k"
+
+    rows: List[Dict[str, object]] = []
+    for label, base_factory in modes:
+        baseline_seconds: Optional[float] = None
+        baseline_result: Optional[Set] = None
+        for shards in shard_counts:
+            config = EngineConfig.parallel(shards=shards, base=base_factory())
+            seconds, result, report = _measure(edges, config, repeat)
+            if baseline_seconds is None:
+                baseline_seconds, baseline_result = seconds, result
+            rows.append({
+                "workload": workload,
+                "mode": label,
+                "shards": shards,
+                "strategy": "/".join(report.strategies()) if report else "single",
+                "pool": report.strata[-1].pool if report and report.strata else "-",
+                "seconds": seconds,
+                "speedup": baseline_seconds / seconds if seconds else float("inf"),
+                "equal": result == baseline_result,
+            })
+    return rows

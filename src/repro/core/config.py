@@ -51,6 +51,40 @@ class AOTSortMode(str, enum.Enum):
     FACTS_AND_RULES = "facts"     # initial EDB cardinalities + selectivity
 
 
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Configuration of the shard-parallel evaluation subsystem.
+
+    Orthogonal to :class:`ExecutionMode`: any mode except NAIVE (a baseline
+    kept deliberately simple) can be sharded.  ``shards=1`` means sharding
+    is disabled — evaluation takes the ordinary single-shard engine path,
+    so ``EngineConfig.parallel(shards=1)`` is exactly the standard engine.
+
+    ``pool`` selects the worker pool: ``"auto"`` uses forked processes when
+    the machine has enough cores for the requested shard count (shard
+    evaluation is pure Python, so threads would contend on the GIL — only
+    processes parallelise it) and falls back to serial round-robin
+    otherwise (including under pytest/CI, where oversubscription hurts more
+    than it helps); ``"serial"``, ``"thread"`` and ``"process"`` force a
+    specific pool (``"process"`` requires the fork start method and
+    degrades to serial where unavailable).
+
+    ``shard_backend`` controls how workers evaluate their loop plans.  A
+    shard's plans are frozen for the whole fixpoint, so — unlike the
+    adaptive single-shard JIT, which must keep re-deciding — one compilation
+    per shard at setup amortises over every round.  ``"auto"`` compiles with
+    the ``bytecode`` backend in interpreted mode, the configured JIT backend
+    in JIT mode, and interprets the (pre-reordered) plans in AOT mode;
+    ``"none"`` forces pure interpretation inside workers; any backend name
+    forces that backend.
+    """
+
+    shards: int = 1
+    pool: str = "auto"              # "auto" | "serial" | "thread" | "process"
+    shard_backend: str = "auto"     # "auto" | "none" | a backend name
+    max_rounds: int = 1_000_000
+
+
 @dataclass
 class EngineConfig:
     """Every knob of one program evaluation."""
@@ -69,21 +103,25 @@ class EngineConfig:
     aot_sort: AOTSortMode = AOTSortMode.NONE
     aot_online: bool = False
     collect_profile: bool = True
+    sharding: Optional[ShardingConfig] = None
     label: str = ""
 
     def describe(self) -> str:
         """A short configuration name for result tables."""
         if self.label:
             return self.label
+        suffix = ""
+        if self.sharding is not None and self.sharding.shards > 1:
+            suffix = f"x{self.sharding.shards}"
         if self.mode == ExecutionMode.INTERPRETED:
-            return "interpreted" + ("+idx" if self.use_indexes else "")
+            return "interpreted" + ("+idx" if self.use_indexes else "") + suffix
         if self.mode == ExecutionMode.NAIVE:
-            return "naive"
+            return "naive"  # no shard suffix: NAIVE always bypasses sharding
         if self.mode == ExecutionMode.AOT:
             online = "+online" if self.aot_online else ""
-            return f"macro-{self.aot_sort.value}{online}"
+            return f"macro-{self.aot_sort.value}{online}{suffix}"
         sync = "async" if self.async_compilation else "blocking"
-        return f"jit-{self.backend}-{sync}-{self.granularity.value}"
+        return f"jit-{self.backend}-{sync}-{self.granularity.value}{suffix}"
 
     # -- named configurations used by the benchmark harness --------------------
 
@@ -127,6 +165,40 @@ class EngineConfig:
             aot_online=online,
             use_indexes=use_indexes,
             backend="irgen",
+        )
+
+    @staticmethod
+    def parallel(
+        shards: int = 2,
+        base: Optional["EngineConfig"] = None,
+        pool: str = "auto",
+        shard_backend: str = "auto",
+        max_rounds: int = 1_000_000,
+        **changes,
+    ) -> "EngineConfig":
+        """A shard-parallel configuration over any base configuration.
+
+        Sharding composes orthogonally with the execution mode::
+
+            EngineConfig.parallel(shards=4)                          # interpreted base
+            EngineConfig.parallel(shards=4, base=EngineConfig.jit()) # sharded JIT
+            EngineConfig.parallel(shards=2, mode=ExecutionMode.AOT)  # keyword overrides
+
+        ``shards=1`` disables sharding (the standard single-shard engine
+        runs); NAIVE mode always bypasses sharding.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        config = base if base is not None else EngineConfig()
+        if changes:
+            config = config.with_(**changes)
+        return config.with_(
+            sharding=ShardingConfig(
+                shards=shards,
+                pool=pool,
+                shard_backend=shard_backend,
+                max_rounds=max_rounds,
+            )
         )
 
     def with_(self, **changes) -> "EngineConfig":

@@ -13,6 +13,7 @@ from repro.core.config import (
     CompilationGranularity,
     EngineConfig,
     ExecutionMode,
+    ShardingConfig,
 )
 from repro.core.profile import RuntimeProfile
 from repro.engine.engine import ExecutionEngine
@@ -24,6 +25,7 @@ __all__ = [
     "EngineConfig",
     "ExecutionEngine",
     "ExecutionMode",
+    "ShardingConfig",
     "RuntimeProfile",
     "select_indexes",
 ]

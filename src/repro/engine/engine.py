@@ -68,6 +68,19 @@ def apply_aot_if_configured(
         )
 
 
+def sharding_active(config: EngineConfig) -> bool:
+    """Whether this configuration evaluates through the parallel subsystem.
+
+    ``shards=1`` is the standard single-shard engine by definition, and the
+    NAIVE mode — a deliberately simple baseline — always bypasses sharding.
+    """
+    return (
+        config.sharding is not None
+        and config.sharding.shards > 1
+        and config.mode != ExecutionMode.NAIVE
+    )
+
+
 class ExecutionEngine:
     """Evaluates one Datalog program under one configuration.
 
@@ -86,6 +99,8 @@ class ExecutionEngine:
         self.storage, self.tree = prepare_evaluation(program, self.config, self.profile)
         self.setup_seconds = time.perf_counter() - setup_start
         self._ran = False
+        #: Set by :meth:`run` when the shard-parallel evaluator was used.
+        self.parallel_report = None
 
     # -- execution --------------------------------------------------------------
 
@@ -95,8 +110,17 @@ class ExecutionEngine:
             raise RuntimeError(
                 "this engine has already run; build a new ExecutionEngine to re-evaluate"
             )
-        executor = IRExecutor(self.storage, self.config, self.profile)
-        executor.execute(self.tree)
+        if sharding_active(self.config):
+            # Lazy import: repro.parallel sits above the engine layer.
+            from repro.parallel.executor import ParallelEvaluator
+
+            evaluator = ParallelEvaluator(
+                self.program, self.config, self.storage, self.tree, self.profile
+            )
+            self.parallel_report = evaluator.run()
+        else:
+            executor = IRExecutor(self.storage, self.config, self.profile)
+            executor.execute(self.tree)
         self._ran = True
         return {
             relation: self.storage.tuples(relation)

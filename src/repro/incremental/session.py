@@ -38,6 +38,7 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set
 from repro.core.config import EngineConfig
 from repro.core.executor import IRExecutor
 from repro.core.profile import RuntimeProfile
+from repro.relational.storage import DatabaseKind
 from repro.datalog.fingerprint import fingerprint_program
 from repro.datalog.program import DatalogProgram
 from repro.engine.engine import (
@@ -62,10 +63,19 @@ RowBatch = Iterable[Sequence[object]]
 
 
 @dataclass
+class _SessionShardState:
+    """The session's persistent shard-parallel propagation machinery."""
+
+    spec: "object"      # repro.parallel.partition.PartitionSpec
+    sharded: "object"   # repro.parallel.sharded_storage.ShardedStorage
+    pool: "object"      # repro.parallel.executor.WorkerPool
+
+
+@dataclass
 class UpdateReport:
     """What one mutation batch did to the session's fixpoint."""
 
-    strategy: str = "incremental"          # "incremental" or "recompute"
+    strategy: str = "incremental"          # "incremental[-sharded]" or "recompute"
     inserted: int = 0                      # genuinely new rows asserted
     retracted: int = 0                     # base rows actually retracted
     over_deleted: int = 0                  # size of the DRed deletion cone
@@ -188,13 +198,42 @@ class IncrementalSession:
         self._evaluated = False
         self.updates_applied = 0
         self.last_report: Optional[UpdateReport] = None
+        # Shard-parallel update propagation (see _propagate_parallel): the
+        # per-shard replicas and their worker pool are built lazily on the
+        # first batch that needs them and then kept in sync across batches.
+        self._shard_state = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; only needed when sharded)."""
+        if self._shard_state is not None:
+            self._shard_state.pool.close()
+            self._shard_state = None
+
+    def __enter__(self) -> "IncrementalSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- evaluation -------------------------------------------------------------
 
     def _execute(self, tree: ProgramOp) -> RuntimeProfile:
         profile = RuntimeProfile()
-        executor = IRExecutor(self.storage, self.config, profile)
-        executor.execute(tree)
+        from repro.engine.engine import sharding_active
+
+        if tree is self.tree and sharding_active(self.config):
+            # The initial fixpoint (and any full rebuild) takes the same
+            # shard-parallel path a sharded ExecutionEngine would.
+            from repro.parallel.executor import ParallelEvaluator
+
+            ParallelEvaluator(
+                self.program, self.config, self.storage, tree, profile
+            ).run()
+        else:
+            executor = IRExecutor(self.storage, self.config, profile)
+            executor.execute(tree)
         return profile
 
     def _ensure_evaluated(self) -> None:
@@ -310,6 +349,11 @@ class IncrementalSession:
             report.over_deleted = cone.total()
             for name, rows in cone.deleted.items():
                 self.storage.retract_rows(name, rows)
+                if self._shard_state is not None:
+                    # Keep the persistent shard replicas consistent with the
+                    # deletion cone so insert batches after a retraction can
+                    # still propagate shard-parallel without a rebuild.
+                    self._shard_state.sharded.retract_rows(name, rows)
             seeds = rederivation_seeds(
                 self.program, self.storage, cone, evaluator,
                 seed_plans=self._dred_seed_plans,
@@ -334,10 +378,117 @@ class IncrementalSession:
         # One semi-naive propagation covers both phases: rederivation
         # survivors and fresh insertions are all just delta seeds by now.
         if seeded:
-            profile = self._execute(self._update_tree)
-            report.propagated = sum(it.promoted for it in profile.iterations)
+            if self._sharded_propagation():
+                report.propagated = self._propagate_parallel()
+                report.strategy = "incremental-sharded"
+            else:
+                profile = self._execute(self._update_tree)
+                report.propagated = sum(it.promoted for it in profile.iterations)
         self._advance_mutation_digests(effective_inserts, eligible)
         return report
+
+    # -- shard-parallel propagation ----------------------------------------------
+
+    def _sharded_propagation(self) -> bool:
+        from repro.engine.engine import sharding_active
+
+        return self.incremental_capable and sharding_active(self.config)
+
+    def _build_shard_state(self):
+        """Build the persistent per-shard replicas for update propagation.
+
+        The update tree's delta choice ranges over *every* positive atom, so
+        no pivot-aligned partitioning exists: propagation always runs the
+        replicated strategy — each shard mirrors the whole derived database
+        and owns a hash slice of every delta.  The fork pool is excluded
+        here: children would stop seeing the coordinator's between-batch
+        replica maintenance, so an explicit ``pool="process"`` request
+        degrades to serial for session propagation (full evaluations still
+        honour it).
+        """
+        from repro.ir.builder import collect_loop_plans
+        from repro.parallel.exchange import ExchangeRouter
+        from repro.parallel.executor import (
+            ShardWorker,
+            make_pool,
+            resolve_pool_kind,
+            resolve_shard_backend,
+        )
+        from repro.parallel.partition import PartitionSpec
+        from repro.parallel.sharded_storage import ShardedStorage
+
+        sharding = self.config.sharding
+        relations = self.storage.relation_names()
+        spec = PartitionSpec(
+            shards=sharding.shards,
+            columns={name: 0 for name in relations},
+            replicated=frozenset(),
+            aligned=False,
+        )
+        sharded = ShardedStorage(spec, self.storage)
+        for name in relations:
+            sharded.replicate_derived(self.storage, name)
+        groups = collect_loop_plans(self._update_tree.strata[0].loop)
+        if groups is None:  # pragma: no cover - update trees are always flat
+            return None
+        router = ExchangeRouter(spec)
+        workers = [
+            ShardWorker(shard, sharded.shard(shard), groups, relations, router=router)
+            for shard in range(spec.shards)
+        ]
+        backend_name = resolve_shard_backend(self.config)
+        for worker in workers:
+            worker.prepare(
+                backend_name, self.config.use_indexes, self.config.evaluator_style
+            )
+        pool_kind = resolve_pool_kind(sharding, spec.shards)
+        if pool_kind == "process":
+            pool_kind = "serial"
+        pool = make_pool(pool_kind, workers)
+        return _SessionShardState(spec=spec, sharded=sharded, pool=pool)
+
+    def _propagate_parallel(self) -> int:
+        """Propagate the just-seeded deltas through the shard pool.
+
+        The global storage has already absorbed the seeds (Derived and
+        Delta-Known); the shards receive the seed rows (replica maintenance
+        plus owner-sliced deltas) and iterate exchange rounds to global
+        quiescence, folding each round's accepted rows back into the global
+        storage as they appear.  Returns the number of propagated facts —
+        the same count the serial update tree would report.
+        """
+        from repro.parallel.executor import run_replicated_rounds
+
+        fresh = self._shard_state is None
+        if fresh:
+            self._shard_state = self._build_shard_state()
+        state = self._shard_state
+        if state is None:  # pragma: no cover - defensive fallback
+            profile = self._execute(self._update_tree)
+            return sum(it.promoted for it in profile.iterations)
+
+        for name in self.storage.relation_names():
+            rows = self.storage.tuples(name, DatabaseKind.DELTA_KNOWN)
+            if not rows:
+                continue
+            if not fresh:
+                # Replicas built earlier have not seen this batch's seeds.
+                state.sharded.broadcast_derived(name, rows)
+            state.sharded.scatter_delta(name, rows)
+
+        def absorb(accepted: Mapping[str, Sequence[Sequence[object]]]) -> None:
+            for name, rows in accepted.items():
+                self.storage.absorb_rows(name, rows)
+
+        result = run_replicated_rounds(
+            state.pool,
+            state.spec.shards,
+            max_rounds=min(self.config.max_iterations, self.config.sharding.max_rounds),
+            on_accepted=absorb,
+        )
+        state.sharded.clear_deltas()
+        self.storage.clear_deltas(self.storage.relation_names())
+        return result.promoted
 
     def _apply_recompute(
         self,

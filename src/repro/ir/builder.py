@@ -10,7 +10,9 @@ nodes, followed by a ``SwapClearOp``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relational.operators import JoinPlan
 
 from repro.datalog.program import DatalogProgram
 from repro.datalog.rules import Rule
@@ -174,6 +176,37 @@ def build_update_ir(program: DatalogProgram, check_safety: bool = True) -> Progr
         loop=DoWhileOp(body, every_relation),
     )
     return ProgramOp([stratum], name=f"{program.name}-update")
+
+
+def collect_loop_plans(loop: DoWhileOp) -> Optional[List[Tuple[str, List["JoinPlan"]]]]:
+    """Extract ``(relation, plans)`` groups from a semi-naive loop body.
+
+    The shard-parallel evaluator executes loop bodies itself (so it can
+    interleave the exchange step between iterations) instead of walking the
+    IR tree per round; this flattens one ``DoWhileOp`` — as produced by
+    :func:`build_program_ir` or :func:`build_update_ir`, including after
+    AOT join-order rewriting — into per-relation plan groups.  Returns None
+    when the body contains anything but Insert→Union→σπ⋈ structure and the
+    trailing SwapClear (callers then fall back to ordinary execution).
+    """
+    groups: List[Tuple[str, List[JoinPlan]]] = []
+    for child in loop.body.children:
+        if isinstance(child, SwapClearOp):
+            continue
+        if not isinstance(child, InsertOp) or child.target != InsertOp.NEW:
+            return None
+        plans: List[JoinPlan] = []
+        stack: List[IROp] = [child.source]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, JoinProjectOp):
+                plans.append(node.plan)
+            elif isinstance(node, (UnionOp, RelationUnionOp, SequenceOp)):
+                stack.extend(reversed(node.children))
+            else:
+                return None
+        groups.append((child.relation, plans))
+    return groups
 
 
 def build_naive_ir(program: DatalogProgram, check_safety: bool = True) -> ProgramOp:

@@ -1,0 +1,58 @@
+"""Shard-parallel evaluation: hash-partitioned semi-naive fixpoints.
+
+Public surface:
+
+* :class:`~repro.core.config.ShardingConfig` via ``EngineConfig.parallel(...)``
+  — the configuration entry point;
+* :class:`ParallelEvaluator` — the fixpoint driver the engine dispatches to;
+* :class:`ShardedStorage`, :class:`PartitionSpec`, :class:`ExchangeRouter` —
+  the storage, placement and exchange building blocks (also used by the
+  incremental session's shard-parallel update propagation).
+"""
+
+from repro.parallel.exchange import ExchangeRouter, QuiescenceTracker
+from repro.parallel.executor import (
+    ForkWorkerPool,
+    ParallelEvaluator,
+    ParallelRunReport,
+    SerialPool,
+    ShardWorker,
+    ThreadWorkerPool,
+    WorkerPool,
+    make_pool,
+    resolve_pool_kind,
+    resolve_shard_backend,
+    run_replicated_rounds,
+)
+from repro.parallel.partition import (
+    PartitionSpec,
+    StratumPartitioning,
+    find_aligned_columns,
+    plan_stratum_partitioning,
+    shard_of,
+    stable_hash,
+)
+from repro.parallel.sharded_storage import ShardedStorage
+
+__all__ = [
+    "ExchangeRouter",
+    "ForkWorkerPool",
+    "ParallelEvaluator",
+    "ParallelRunReport",
+    "PartitionSpec",
+    "QuiescenceTracker",
+    "SerialPool",
+    "ShardWorker",
+    "ShardedStorage",
+    "StratumPartitioning",
+    "ThreadWorkerPool",
+    "WorkerPool",
+    "find_aligned_columns",
+    "make_pool",
+    "plan_stratum_partitioning",
+    "resolve_pool_kind",
+    "resolve_shard_backend",
+    "run_replicated_rounds",
+    "shard_of",
+    "stable_hash",
+]

@@ -1,0 +1,703 @@
+"""Worker pools and the shard-parallel fixpoint driver.
+
+The :class:`ParallelEvaluator` evaluates a program's fixpoint across N
+shards.  Per recursive stratum it
+
+1. runs the ordinary seeding pass on the global storage (through the
+   standard :class:`~repro.core.executor.IRExecutor`, so aggregate rules and
+   JIT seed reordering behave exactly as in single-shard evaluation),
+2. picks a placement (:mod:`repro.parallel.partition`) and scatters the
+   seeded state into a :class:`~repro.parallel.sharded_storage.ShardedStorage`,
+3. drives shard-local semi-naive iterations on a worker pool, exchanging
+   freshly derived tuples between rounds (:mod:`repro.parallel.exchange`),
+4. merges the shard results back into the global storage deterministically.
+
+Two loop strategies exist, chosen by the partitioning analysis:
+
+* **aligned** — the pivot-aligned partitioning makes every shard's fixpoint
+  self-contained, so each worker runs its whole loop as one task and the
+  exchange step is provably idle;
+* **replicated** — every shard mirrors the stratum's derived database and
+  owns a slice of the delta; each round evaluates shard-local deltas, routes
+  derived tuples to their owners, and broadcasts accepted tuples so the
+  replicas stay complete.  This is the sound fallback for any positive
+  recursive stratum (and the engine of the incremental session's
+  shard-parallel update propagation).
+
+Worker pools: serial round-robin (always safe — used whenever the machine
+has fewer cores than shards, and under pytest/CI), a ``fork``-based process
+pool whose children inherit their shard state and exchange picklable row
+batches over pipes (the ``auto`` choice on multi-core machines — shard
+evaluation is pure Python, so only processes escape the GIL), and an
+opt-in thread pool.  Shard workers evaluate their
+frozen plans through a one-shot compiled artifact (see
+:class:`~repro.core.config.ShardingConfig.shard_backend`): unlike the
+adaptive single-shard JIT, a shard's plans never change after setup, so one
+compilation per shard amortises over every round — this is what makes the
+subsystem faster than the plain interpreter even on a single core, with the
+pool adding real parallelism on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.backends.base import get_backend
+from repro.core.config import EngineConfig, ExecutionMode, ShardingConfig
+from repro.core.executor import IRExecutor
+from repro.core.join_order import (
+    JoinOrderOptimizer,
+    storage_cardinality_view,
+    storage_index_view,
+)
+from repro.core.profile import RuntimeProfile
+from repro.datalog.program import DatalogProgram
+from repro.ir.builder import collect_loop_plans
+from repro.ir.ops import ProgramOp, StratumOp
+from repro.parallel.exchange import (
+    ExchangeRouter,
+    Outboxes,
+    QuiescenceTracker,
+    merge_outboxes,
+)
+from repro.parallel.partition import PartitionSpec, plan_stratum_partitioning
+from repro.parallel.sharded_storage import ShardedStorage
+from repro.relational.operators import JoinPlan, SubqueryEvaluator
+from repro.relational.relation import Row
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+# ---------------------------------------------------------------------------
+# Worker pools
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Invokes one method on every shard worker and gathers ordered results."""
+
+    kind = "abstract"
+
+    def __init__(self, workers: Sequence["ShardWorker"]) -> None:
+        self.workers = list(workers)
+
+    def invoke(self, method: str, args_per_worker: Optional[Sequence[tuple]] = None) -> List[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class SerialPool(WorkerPool):
+    """Round-robin execution in the calling thread.
+
+    The degradation target required on single-core machines: with
+    ``shards > os.cpu_count()`` there is no parallel speedup to be had, so
+    the shards simply take turns — same results, no oversubscription, and
+    nothing that could deadlock.
+    """
+
+    kind = "serial"
+
+    def invoke(self, method, args_per_worker=None):
+        args_per_worker = args_per_worker or [()] * len(self.workers)
+        return [
+            getattr(worker, method)(*args)
+            for worker, args in zip(self.workers, args_per_worker)
+        ]
+
+
+class ThreadWorkerPool(WorkerPool):
+    """A persistent thread pool; workers mutate only their own shard state."""
+
+    kind = "thread"
+
+    def __init__(self, workers: Sequence["ShardWorker"], max_workers: int) -> None:
+        super().__init__(workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-shard"
+        )
+
+    def invoke(self, method, args_per_worker=None):
+        args_per_worker = args_per_worker or [()] * len(self.workers)
+        futures = [
+            self._executor.submit(getattr(worker, method), *args)
+            for worker, args in zip(self.workers, args_per_worker)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self):
+        self._executor.shutdown(wait=True)
+
+
+def _fork_worker_main(connection, worker: "ShardWorker") -> None:
+    """Child process loop: execute piped commands against the inherited shard."""
+    try:
+        while True:
+            method, args = connection.recv()
+            if method == "__stop__":
+                break
+            try:
+                connection.send(("ok", getattr(worker, method)(*args)))
+            except Exception as error:  # surface, don't kill the pipe
+                connection.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        connection.close()
+
+
+class ForkWorkerPool(WorkerPool):
+    """One forked process per shard; state is inherited, batches are pickled.
+
+    Only the interpreted/compiled shard state needs to survive the fork —
+    it is inherited by memory copy, so nothing about the worker itself must
+    be picklable.  Per-round traffic (row batches: tuples of plain values)
+    is pickled over pipes, which is why this pool is only offered where the
+    data is picklable and the ``fork`` start method exists.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: Sequence["ShardWorker"]) -> None:
+        super().__init__(workers)
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        self._connections = []
+        self._processes = []
+        for worker in self.workers:
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_fork_worker_main, args=(child_end, worker), daemon=True
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+        self._closed = False
+
+    def invoke(self, method, args_per_worker=None):
+        args_per_worker = args_per_worker or [()] * len(self.workers)
+        for connection, args in zip(self._connections, args_per_worker):
+            connection.send((method, args))
+        results = []
+        for shard, connection in enumerate(self._connections):
+            status, payload = connection.recv()
+            if status != "ok":
+                raise RuntimeError(f"shard {shard} worker failed: {payload}")
+            results.append(payload)
+        return results
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("__stop__", ()))
+            except (BrokenPipeError, OSError):  # child already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        for connection in self._connections:
+            connection.close()
+
+
+def fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_pool_kind(sharding: ShardingConfig, shards: int) -> str:
+    """Decide which pool to use, degrading gracefully on small machines.
+
+    ``auto`` only parallelises when the machine has a core per shard and we
+    are not inside pytest/CI (single-core runners and test harnesses get
+    serial round-robin — identical results, no oversubscription).  Where it
+    does parallelise it prefers the forked-process pool: shard evaluation is
+    pure Python, so threads contend on the GIL and add synchronisation
+    without overlap — only processes deliver real parallelism.  The thread
+    pool remains an explicit opt-in (useful where forking is hostile, e.g.
+    embedded interpreters).  An explicit ``process`` request falls back to
+    serial where ``fork`` is unavailable rather than failing.
+    """
+    requested = sharding.pool
+    cpus = os.cpu_count() or 1
+    if requested == "serial":
+        return "serial"
+    if requested == "thread":
+        return "thread"
+    if requested == "process":
+        return "process" if fork_available() else "serial"
+    # "auto"
+    if shards > cpus or cpus <= 1:
+        return "serial"
+    if "PYTEST_CURRENT_TEST" in os.environ or os.environ.get("CI"):
+        return "serial"
+    return "process" if fork_available() else "serial"
+
+
+def make_pool(kind: str, workers: Sequence["ShardWorker"]) -> WorkerPool:
+    if kind == "thread":
+        cpus = os.cpu_count() or 1
+        return ThreadWorkerPool(workers, max_workers=min(len(workers), max(1, cpus)))
+    if kind == "process":
+        return ForkWorkerPool(workers)
+    return SerialPool(workers)
+
+
+# ---------------------------------------------------------------------------
+# Shard workers
+# ---------------------------------------------------------------------------
+
+
+class ShardWorker:
+    """Evaluates one shard's loop plans against its local storage.
+
+    ``groups`` are ``(relation, plans)`` pairs extracted from the loop body;
+    :meth:`prepare` freezes each group into either a one-shot compiled
+    artifact or an interpreted closure.  The worker never touches another
+    shard's storage: cross-shard rows leave through outboxes and arrive via
+    :meth:`ingest_and_collect` / :meth:`finish_round`, all invoked by the
+    coordinator at round barriers.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        storage: StorageManager,
+        groups: Sequence[Tuple[str, Sequence[JoinPlan]]],
+        swap_relations: Sequence[str],
+        router: Optional[ExchangeRouter] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.storage = storage
+        self.groups = [(relation, list(plans)) for relation, plans in groups]
+        self.swap_relations = list(swap_relations)
+        self.router = router
+        self._evaluate_group: List[Callable[[], Set[Row]]] = []
+
+    def prepare(self, backend_name: Optional[str], use_indexes: bool, style: str) -> None:
+        """Freeze each plan group into its evaluation closure.
+
+        Must run before the pool starts (fork children inherit the compiled
+        artifacts; threads share them read-only).
+        """
+        self._evaluate_group = []
+        for relation, plans in self.groups:
+            if backend_name:
+                artifact = get_backend(backend_name).compile_plans(
+                    plans, self.storage, use_indexes=use_indexes,
+                    label=f"shard{self.shard_id}-{relation}",
+                )
+                self._evaluate_group.append(
+                    (lambda artifact=artifact: artifact(self.storage))
+                )
+            else:
+                evaluator = SubqueryEvaluator(self.storage, style)
+                def interpret(plans=plans, evaluator=evaluator) -> Set[Row]:
+                    rows: Set[Row] = set()
+                    for plan in plans:
+                        rows |= evaluator.evaluate(plan)
+                    return rows
+                self._evaluate_group.append(interpret)
+
+    # -- aligned strategy --------------------------------------------------------
+
+    def run_local_fixpoint(self, max_iterations: int) -> Tuple[int, int]:
+        """Run the shard's semi-naive loop to local fixpoint.
+
+        Used by the aligned strategy, where pivot alignment guarantees every
+        derivable row is locally owned — so the whole loop is one pool task.
+        Returns ``(iterations, promoted_total)``.
+        """
+        iterations = 0
+        promoted_total = 0
+        while True:
+            iterations += 1
+            for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
+                self.storage.insert_new_many(relation, evaluate())
+            promoted = self.storage.swap_and_clear(self.swap_relations)
+            promoted_total += promoted
+            if promoted == 0 or iterations >= max_iterations:
+                return iterations, promoted_total
+
+    # -- replicated strategy (one exchange round at a time) ----------------------
+
+    def evaluate_round(self) -> Tuple[int, Outboxes]:
+        """Evaluate this shard's delta slice; keep owned rows, export the rest."""
+        assert self.router is not None
+        accepted_local = 0
+        outboxes: Outboxes = {}
+        for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
+            produced = evaluate()
+            if not produced:
+                continue
+            local, routed = self.router.route(relation, produced, self.shard_id)
+            accepted_local += self.storage.insert_new_many(relation, local)
+            for owner, batches in routed.items():
+                box = outboxes.setdefault(owner, {})
+                for name, rows in batches.items():
+                    box.setdefault(name, []).extend(rows)
+        return accepted_local, outboxes
+
+    def ingest_and_collect(
+        self, inbox: Mapping[str, Sequence[Sequence[Any]]]
+    ) -> Tuple[int, Dict[str, List[Row]]]:
+        """Accept delivered rows, then report this round's full delta batch.
+
+        Delivered rows deduplicate against the local Derived replica exactly
+        like locally derived ones.  The returned batch (the Delta-New
+        contents: local + delivered acceptances) is what the coordinator
+        broadcasts for replica maintenance.  Rows are returned unsorted —
+        every consumer folds them into set-backed relations, and sorting
+        would break on relations whose columns mix value types.
+        """
+        accepted = 0
+        for relation, rows in inbox.items():
+            accepted += self.storage.insert_new_many(relation, rows)
+        batch = {
+            relation: list(self.storage.tuples(relation, DatabaseKind.DELTA_NEW))
+            for relation in self.swap_relations
+            if self.storage.cardinality(relation, DatabaseKind.DELTA_NEW)
+        }
+        return accepted, batch
+
+    def finish_round(self, foreign: Mapping[str, Sequence[Sequence[Any]]]) -> int:
+        """Promote the local delta, then absorb other owners' accepted rows.
+
+        The swap runs first so foreign rows never enter this shard's delta:
+        they are owned — and delta-joined — elsewhere; here they only keep
+        the Derived replica complete.
+        """
+        promoted = self.storage.swap_and_clear(self.swap_relations)
+        for relation, rows in foreign.items():
+            self.storage.absorb_rows(relation, rows)
+        return promoted
+
+    # -- result collection -------------------------------------------------------
+
+    def collect_derived(self, relations: Sequence[str]) -> Dict[str, List[Row]]:
+        """This shard's Derived rows (the merge path for every pool kind).
+
+        Fork-pool children mutate their own copy of the shard state, so the
+        coordinator must always pull results through the pool instead of
+        reading its (stale, for forked pools) worker objects directly.
+        Rows come back unsorted: the merge target is set-backed, so the
+        result does not depend on row order, and sorting would break on
+        relations whose columns mix value types.
+        """
+        return {
+            relation: list(self.storage.relation(relation).rows())
+            for relation in relations
+        }
+
+
+# ---------------------------------------------------------------------------
+# The replicated-strategy round driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RoundDriverResult:
+    rounds: int = 0
+    exchanged: int = 0
+    promoted: int = 0
+
+
+def run_replicated_rounds(
+    pool: WorkerPool,
+    shards: int,
+    max_rounds: int,
+    tracker: Optional[QuiescenceTracker] = None,
+    on_accepted: Optional[Callable[[Dict[str, List[Row]]], None]] = None,
+) -> RoundDriverResult:
+    """Drive exchange rounds until the two-phase quiescence check passes.
+
+    ``on_accepted`` receives every round's accepted rows (relation → rows),
+    which is how the incremental session folds shard-parallel propagation
+    results into its global storage as they appear.
+    """
+    tracker = tracker if tracker is not None else QuiescenceTracker()
+    result = RoundDriverResult()
+    while result.rounds < max_rounds:
+        result.rounds += 1
+        stats = tracker.begin_round()
+
+        evaluated = pool.invoke("evaluate_round")
+        stats.accepted_local = sum(accepted for accepted, _ in evaluated)
+        inboxes = merge_outboxes([outboxes for _, outboxes in evaluated], shards)
+        stats.exchanged = sum(
+            len(rows) for inbox in inboxes for rows in inbox.values()
+        )
+
+        ingested = pool.invoke("ingest_and_collect", [(inbox,) for inbox in inboxes])
+        stats.accepted_delivered = sum(accepted for accepted, _ in ingested)
+
+        accepted_rows: Dict[str, List[Row]] = {}
+        for _, batch in ingested:
+            for relation, rows in batch.items():
+                accepted_rows.setdefault(relation, []).extend(rows)
+        if on_accepted is not None and accepted_rows:
+            on_accepted(accepted_rows)
+
+        foreign_per_shard: List[Dict[str, List[Row]]] = []
+        for shard in range(shards):
+            foreign: Dict[str, List[Row]] = {}
+            for other, (_, batch) in enumerate(ingested):
+                if other == shard:
+                    continue
+                for relation, rows in batch.items():
+                    foreign.setdefault(relation, []).extend(rows)
+            foreign_per_shard.append(foreign)
+
+        promoted = pool.invoke("finish_round", [(f,) for f in foreign_per_shard])
+        stats.promoted = sum(promoted)
+        result.exchanged += stats.exchanged
+        result.promoted += stats.promoted
+        if tracker.global_fixpoint(stats):
+            break
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The parallel evaluator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StratumRunReport:
+    """How one stratum was evaluated."""
+
+    index: int
+    strategy: str                     # "serial" | "aligned" | "replicated"
+    shards: int = 1
+    pool: str = "serial"
+    rounds: int = 0
+    exchanged: int = 0
+    promoted: int = 0
+    seconds: float = 0.0
+    partition_reasons: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ParallelRunReport:
+    """Everything the shard-parallel evaluation did."""
+
+    shards: int
+    strata: List[StratumRunReport] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def strategies(self) -> List[str]:
+        return [stratum.strategy for stratum in self.strata]
+
+    def total_exchanged(self) -> int:
+        return sum(stratum.exchanged for stratum in self.strata)
+
+
+def resolve_shard_backend(config: EngineConfig) -> Optional[str]:
+    """Which backend shard workers compile their frozen plans with.
+
+    See :class:`~repro.core.config.ShardingConfig.shard_backend`.  AOT mode
+    interprets by default so its reorder-only character is preserved; the
+    JIT modes keep their configured backend; interpreted mode defaults to
+    the cheap-to-invoke ``bytecode`` backend.
+    """
+    assert config.sharding is not None
+    choice = config.sharding.shard_backend
+    if choice == "none":
+        return None
+    if choice != "auto":
+        return choice
+    if config.mode == ExecutionMode.JIT:
+        return config.backend
+    if config.mode == ExecutionMode.AOT:
+        return None
+    return "bytecode"
+
+
+class ParallelEvaluator:
+    """Evaluates one prepared program shard-parallel (see module docstring)."""
+
+    def __init__(
+        self,
+        program: DatalogProgram,
+        config: EngineConfig,
+        storage: StorageManager,
+        tree: ProgramOp,
+        profile: Optional[RuntimeProfile] = None,
+    ) -> None:
+        if config.sharding is None or config.sharding.shards < 2:
+            raise ValueError("ParallelEvaluator requires a sharding config with shards >= 2")
+        self.program = program
+        self.config = config
+        self.sharding = config.sharding
+        self.storage = storage
+        self.tree = tree
+        self.profile = profile if profile is not None else RuntimeProfile()
+        self.report = ParallelRunReport(shards=self.sharding.shards)
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> ParallelRunReport:
+        started = time.perf_counter()
+        for stratum in self.tree.strata:
+            stratum_started = time.perf_counter()
+            report = self._run_stratum(stratum)
+            report.seconds = time.perf_counter() - stratum_started
+            self.report.strata.append(report)
+        self.report.seconds = time.perf_counter() - started
+        self.profile.wall_seconds = self.report.seconds
+        for name in self.storage.relation_names():
+            self.profile.result_sizes[name] = self.storage.cardinality(name)
+        return self.report
+
+    # -- per-stratum driver ------------------------------------------------------
+
+    def _run_stratum(self, stratum: StratumOp) -> StratumRunReport:
+        groups = collect_loop_plans(stratum.loop) if stratum.loop is not None else None
+        if stratum.loop is None or groups is None:
+            self._execute_serial(stratum)
+            return StratumRunReport(index=stratum.index, strategy="serial")
+
+        # 1. Seed on the global storage with the standard executor.
+        self._execute_serial(
+            StratumOp(stratum.index, stratum.relations, stratum.seed, None)
+        )
+
+        # 2. Placement.
+        plans = [plan for _, group_plans in groups for plan in group_plans]
+        arities = {
+            name: self.storage.arity_of(name) for name in self.storage.relation_names()
+        }
+        fact_counts = {
+            name: self.storage.cardinality(name)
+            for name in self.storage.relation_names()
+        }
+        partitioning = plan_stratum_partitioning(
+            self.sharding.shards, plans, stratum.relations, arities, fact_counts
+        )
+        spec = partitioning.spec
+        if self.config.mode == ExecutionMode.JIT:
+            groups = self._reorder_groups(groups)
+
+        # 3. Scatter the seeded state.
+        sharded = ShardedStorage(
+            spec, self.storage, relations=set(spec.columns) | set(spec.replicated)
+        )
+        for name in sorted(spec.replicated):
+            # Loop plans only ever *read* support relations, so every shard
+            # can adopt the global copy by reference instead of duplicating it.
+            sharded.share_derived(self.storage, name)
+        for name in sorted(spec.columns):
+            if spec.aligned:
+                sharded.partition_derived(self.storage, name)
+            else:
+                sharded.replicate_derived(self.storage, name)
+            sharded.scatter_delta(
+                name, self.storage.tuples(name, DatabaseKind.DELTA_KNOWN)
+            )
+
+        # 4. Workers and pool.
+        router = ExchangeRouter(spec)
+        swap_relations = [r for r in stratum.relations if r in spec.columns]
+        workers = [
+            ShardWorker(
+                shard, sharded.shard(shard), groups, swap_relations, router=router
+            )
+            for shard in range(spec.shards)
+        ]
+        backend_name = resolve_shard_backend(self.config)
+        for worker in workers:
+            worker.prepare(
+                backend_name, self.config.use_indexes, self.config.evaluator_style
+            )
+        pool_kind = resolve_pool_kind(self.sharding, spec.shards)
+        pool = make_pool(pool_kind, workers)
+
+        report = StratumRunReport(
+            index=stratum.index,
+            strategy="aligned" if spec.aligned else "replicated",
+            shards=spec.shards,
+            pool=pool_kind,
+            partition_reasons=dict(partitioning.reasons),
+        )
+        max_rounds = min(
+            stratum.loop.max_iterations,
+            self.config.max_iterations,
+            self.sharding.max_rounds,
+        )
+        try:
+            if spec.aligned:
+                results = pool.invoke("run_local_fixpoint", [(max_rounds,)] * spec.shards)
+                report.rounds = max(iterations for iterations, _ in results)
+                report.promoted = sum(promoted for _, promoted in results)
+                self.profile.record_iteration(
+                    stratum.index, report.rounds, report.promoted, None, 0.0
+                )
+            else:
+                tracker = QuiescenceTracker()
+                outcome = run_replicated_rounds(
+                    pool, spec.shards, max_rounds, tracker=tracker
+                )
+                report.rounds = outcome.rounds
+                report.exchanged = outcome.exchanged
+                report.promoted = outcome.promoted
+                for stats in tracker.rounds:
+                    self.profile.record_iteration(
+                        stratum.index, stats.round_index, stats.promoted, None, 0.0
+                    )
+
+            # 5. Merge (always through the pool: fork children own the state).
+            # Aligned shards each hold a disjoint fragment, so all must be
+            # collected; replicated shards converge to identical mirrors, so
+            # only shard 0 is asked for rows (the rest collect nothing).
+            merge_relations = swap_relations
+            if spec.aligned:
+                collect_args = [(merge_relations,)] * spec.shards
+            else:
+                collect_args = [(merge_relations,)] + [((),)] * (spec.shards - 1)
+            collected = pool.invoke("collect_derived", collect_args)
+            for shard_rows in collected:
+                for name, rows in shard_rows.items():
+                    self.storage.absorb_rows(name, rows)
+        finally:
+            pool.close()
+
+        # Leave the global deltas the way a completed serial loop would.
+        self.storage.clear_deltas(stratum.relations)
+        return report
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _execute_serial(self, stratum: StratumOp) -> None:
+        executor = IRExecutor(self.storage, self.config, self.profile)
+        executor.execute(ProgramOp([stratum], name=self.tree.name))
+
+    def _reorder_groups(
+        self, groups: Sequence[Tuple[str, Sequence[JoinPlan]]]
+    ) -> List[Tuple[str, List[JoinPlan]]]:
+        """JIT composition: order each plan once, from post-seed cardinalities.
+
+        The adaptive single-shard JIT re-decides join orders per iteration;
+        shard plans are frozen at setup, so the decision is taken once here —
+        against the global cardinalities the seeding pass just produced —
+        then compiled once per shard.
+        """
+        optimizer = JoinOrderOptimizer(self.config.selectivity)
+        cardinalities = storage_cardinality_view(self.storage)
+        indexes = storage_index_view(self.storage)
+        reordered: List[Tuple[str, List[JoinPlan]]] = []
+        for relation, plans in groups:
+            ordered = []
+            for plan in plans:
+                optimized, decision = optimizer.optimize_plan(plan, cardinalities, indexes)
+                self.profile.record_reorder(0, plan.rule_name, "shard-setup", decision)
+                ordered.append(optimized)
+            reordered.append((relation, ordered))
+        return reordered

@@ -1,0 +1,167 @@
+"""Per-shard storage: N StorageManagers behind one global-view facade.
+
+:class:`ShardedStorage` owns one :class:`~repro.relational.storage.StorageManager`
+per shard, each declaring the same relations (and the same hash indexes) as
+the global storage it was built from.  The evaluator decides, per relation,
+how rows are placed:
+
+* :meth:`partition_derived` / :meth:`scatter_delta` — split by the
+  :class:`~repro.parallel.partition.PartitionSpec` owner hash (aligned
+  strategy, and delta ownership under the replicated strategy);
+* :meth:`replicate_derived` — mirror to every shard (support relations, and
+  the derived database under the replicated strategy).
+
+Reads present the *global view*: :meth:`tuples` and :meth:`cardinality`
+union the shard fragments of partitioned relations and read one replica of
+replicated ones.  Merging shard results back into the global
+``StorageManager`` is the evaluator's job — it pulls ``collect_derived``
+batches through the worker pool (fork children own their shard state, so
+the coordinator cannot read its worker objects directly) and folds them in
+with :meth:`StorageManager.absorb_rows`; the target relations are
+set-backed, so the merged database is independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.parallel.partition import PartitionSpec
+from repro.relational.relation import Row
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+class ShardedStorage:
+    """One StorageManager per shard plus placement-aware data movement."""
+
+    def __init__(
+        self,
+        spec: PartitionSpec,
+        template: StorageManager,
+        relations: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.spec = spec
+        self.relation_names_list = sorted(
+            set(relations) if relations is not None else template.relation_names()
+        )
+        self._arities = {
+            name: template.arity_of(name) for name in self.relation_names_list
+        }
+        self.shards: List[StorageManager] = []
+        for _ in range(spec.shards):
+            shard = StorageManager()
+            for name in self.relation_names_list:
+                shard.declare(name, self._arities[name])
+                for column in template.registered_indexes(name):
+                    shard.register_index(name, column)
+            self.shards.append(shard)
+
+    # -- StorageManager-style read API (the global view) ------------------------
+
+    def shard(self, index: int) -> StorageManager:
+        return self.shards[index]
+
+    def relation_names(self) -> List[str]:
+        return list(self.relation_names_list)
+
+    def arity_of(self, name: str) -> int:
+        return self._arities[name]
+
+    def tuples(self, name: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> Set[Row]:
+        """The global row set of ``name``: fragment union or one replica."""
+        if self.spec.is_partitioned(name) or kind != DatabaseKind.DERIVED:
+            merged: Set[Row] = set()
+            for shard in self.shards:
+                merged |= shard.tuples(name, kind)
+            return merged
+        return self.shards[0].tuples(name, kind)
+
+    def cardinality(self, name: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> int:
+        return len(self.tuples(name, kind))
+
+    def cardinalities(self, kind: DatabaseKind = DatabaseKind.DERIVED) -> Dict[str, int]:
+        return {name: self.cardinality(name, kind) for name in self.relation_names_list}
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard derived cardinalities (balance/debugging aid)."""
+        return {
+            name: {
+                f"shard{i}": shard.cardinality(name)
+                for i, shard in enumerate(self.shards)
+            }
+            for name in self.relation_names_list
+        }
+
+    # -- data placement ----------------------------------------------------------
+
+    def replicate_derived(self, source: StorageManager, name: str) -> int:
+        """Copy the Derived rows of ``name`` to every shard; returns the count."""
+        rows = source.relation(name).rows()
+        for shard in self.shards:
+            shard.absorb_rows(name, rows)
+        return len(rows)
+
+    def share_derived(self, source: StorageManager, name: str) -> int:
+        """Mirror ``name`` into every shard *by reference*, not by copy.
+
+        For relations the loop provably never writes — support relations are
+        read purely as non-delta inputs — every shard can read the source's
+        own :class:`Relation` object: thread workers share it safely (reads
+        only), fork workers get copy-on-write pages, and the serial pool
+        saves the copy outright.  Mutable relations must use
+        :meth:`replicate_derived` instead.
+        """
+        relation = source.relation(name)
+        for shard in self.shards:
+            shard.adopt_derived(name, relation)
+        return len(relation)
+
+    def partition_derived(self, source: StorageManager, name: str) -> int:
+        """Split the Derived rows of ``name`` across owners; returns the count."""
+        buckets = self.spec.split(name, source.relation(name).rows())
+        for shard, bucket in zip(self.shards, buckets):
+            shard.absorb_rows(name, bucket)
+        return sum(len(bucket) for bucket in buckets)
+
+    def scatter_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Place delta rows into their owners' Delta-Known databases.
+
+        The rows are assumed to be present in the owning shard's Derived
+        database already (standard semi-naive invariant: the delta is a
+        subset of Derived); only the delta copy is written here.
+        """
+        buckets = self.spec.split(name, rows)
+        for shard, bucket in zip(self.shards, buckets):
+            shard.force_delta(name, bucket)
+        return sum(len(bucket) for bucket in buckets)
+
+    def broadcast_derived(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert rows into every shard's Derived replica (replicated strategy)."""
+        rows = [tuple(row) for row in rows]
+        for shard in self.shards:
+            shard.absorb_rows(name, rows)
+        return len(rows)
+
+    def retract_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Remove rows from every shard holding them (keeps replicas in sync).
+
+        Mirrors :meth:`StorageManager.retract_rows` across the pool so an
+        incremental session's delete-and-rederive pass can maintain its
+        persistent shard replicas instead of rebuilding them per batch.
+        Returns the total number of Derived removals across shards.
+        """
+        rows = [tuple(row) for row in rows]
+        removed = 0
+        for shard in self.shards:
+            removed += shard.retract_rows(name, rows)
+        return removed
+
+    def clear_deltas(self, names: Optional[Iterable[str]] = None) -> None:
+        names = list(names) if names is not None else self.relation_names_list
+        for shard in self.shards:
+            shard.clear_deltas(names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedStorage(shards={self.spec.shards}, "
+            f"relations={len(self.relation_names_list)}, aligned={self.spec.aligned})"
+        )

@@ -100,6 +100,24 @@ class Relation:
                 inserted += 1
         return inserted
 
+    def absorb_set(self, rows: Iterable[Row]) -> int:
+        """Bulk-insert already-tupled rows via set arithmetic.
+
+        The fast path for the shard-parallel scatter/merge steps, which move
+        tens of thousands of rows at once: the membership filtering happens
+        in one C-level set difference instead of one Python call per row.
+        Rows must already be tuples of the right arity — callers own that
+        invariant (they read the rows out of another relation).
+        """
+        new_rows = set(rows) - self._rows
+        if not new_rows:
+            return 0
+        self._rows |= new_rows
+        for index in self._indexes.values():
+            for row in new_rows:
+                index.insert(row)
+        return len(new_rows)
+
     def discard(self, row: Sequence[Any]) -> bool:
         """Remove a row, maintaining every index; returns True if present."""
         row_tuple = tuple(row)

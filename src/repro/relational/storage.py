@@ -162,6 +162,23 @@ class StorageManager:
         self._base_rows[name].add(tuple(row))
         return inserted
 
+    def adopt_derived(self, name: str, relation: Relation) -> None:
+        """Use ``relation`` as this manager's Derived copy of ``name``.
+
+        The zero-copy sharing hook of the shard-parallel subsystem: a
+        replicated *read-only* support relation can back any number of
+        shard-local storages at once.  The adopting manager must never
+        mutate the relation — the callers (see
+        :meth:`repro.parallel.sharded_storage.ShardedStorage.share_derived`)
+        only adopt relations their plans read, never write.
+        """
+        self._require(name)
+        if relation.arity != self._arities[name]:
+            raise ValueError(
+                f"cannot adopt {relation!r} as {name!r}: arity mismatch"
+            )
+        self._derived[name] = relation
+
     def base_rows(self, name: str) -> Set[Row]:
         """The explicitly asserted rows of ``name`` (a copy)."""
         self._require(name)
@@ -210,6 +227,34 @@ class StorageManager:
         if names is None:
             return dict(self._generations)
         return {name: self.generation(name) for name in names}
+
+    def absorb_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert rows into the Derived database, one generation bump.
+
+        The bulk path of the shard-parallel subsystem: scattering partitions
+        to shards and merging shard results back both move tens of thousands
+        of rows at once, and bumping the generation counter per batch (not
+        per row) keeps result-cache tokens meaningful.  Returns the number
+        of rows that were new.
+        """
+        self._require(name)
+        inserted = self._derived[name].absorb_set(
+            rows if isinstance(rows, (set, frozenset)) else (tuple(row) for row in rows)
+        )
+        if inserted:
+            self._generations[name] += 1
+        return inserted
+
+    def force_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert rows into Delta-Known only, regardless of Derived membership.
+
+        Used when seeding shard-local deltas: the rows are already present
+        in the (local or replicated) Derived database, so :meth:`seed_delta`
+        — which skips anything already derived — would drop them.  Returns
+        the number of rows new to Delta-Known.
+        """
+        self._require(name)
+        return self._delta_known[name].insert_many(rows)
 
     def insert_new(self, name: str, row: Sequence[Any]) -> bool:
         """Insert into Delta-New if the fact is not already derived.

@@ -1,0 +1,115 @@
+"""IncrementalSession + sharding: propagation paths, fallbacks, lifecycle."""
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.analyses.registry import get_benchmark
+from repro.core.config import EngineConfig
+from repro.incremental import IncrementalSession
+
+EDGES = [(1, 2), (2, 3), (3, 4), (4, 5), (6, 7), (7, 1)]
+
+
+@pytest.fixture
+def sharded_session():
+    session = IncrementalSession(
+        build_transitive_closure_program(EDGES), EngineConfig.parallel(shards=3)
+    )
+    yield session
+    session.close()
+
+
+class TestShardedPropagation:
+    def test_insert_batches_propagate_shard_parallel(self, sharded_session):
+        report = sharded_session.insert_facts("edge", [(5, 6), (8, 1)])
+        assert report.strategy == "incremental-sharded"
+        assert report.propagated > 0
+        sharded_session.self_check()
+
+    def test_shard_state_persists_across_batches(self, sharded_session):
+        sharded_session.insert_facts("edge", [(5, 6)])
+        state = sharded_session._shard_state
+        assert state is not None
+        sharded_session.insert_facts("edge", [(8, 9), (9, 1)])
+        assert sharded_session._shard_state is state
+        sharded_session.self_check()
+
+    def test_retraction_syncs_replicas(self, sharded_session):
+        sharded_session.insert_facts("edge", [(5, 6)])
+        # DRed itself runs serially on the global storage; only the
+        # propagation of rederivation survivors (if any) is sharded.
+        report = sharded_session.retract_facts("edge", [(2, 3)])
+        assert report.retracted == 1
+        sharded_session.self_check()
+        # The persistent replicas must have followed the deletion cone:
+        # the next sharded insert sees consistent state.
+        report = sharded_session.insert_facts("edge", [(2, 3)])
+        assert report.strategy == "incremental-sharded"
+        sharded_session.self_check()
+
+    def test_retraction_without_rederivation_stays_serial(self):
+        with IncrementalSession(
+            build_transitive_closure_program([(1, 2), (2, 3)]),
+            EngineConfig.parallel(shards=2),
+        ) as session:
+            report = session.retract_facts("edge", [(2, 3)])
+            assert report.strategy == "incremental"
+            assert report.rederived == 0
+            session.self_check()
+
+    def test_mixed_batches_stay_correct(self, sharded_session):
+        report = sharded_session.apply(
+            inserts={"edge": [(5, 8), (8, 9)]}, retracts={"edge": [(1, 2)]}
+        )
+        assert report.strategy == "incremental-sharded"
+        sharded_session.self_check()
+
+    def test_queries_and_cache_work_when_sharded(self, sharded_session):
+        before = sharded_session.query("path")
+        assert sharded_session.query("path") is before  # cache hit
+        sharded_session.insert_facts("edge", [(5, 6)])
+        after = sharded_session.query("path")
+        assert after > before  # strictly more reachability
+
+
+class TestFallbacks:
+    def test_single_shard_config_uses_serial_path(self):
+        session = IncrementalSession(
+            build_transitive_closure_program(EDGES), EngineConfig.parallel(shards=1)
+        )
+        report = session.insert_facts("edge", [(5, 6)])
+        assert report.strategy == "incremental"
+        assert session._shard_state is None
+
+    def test_negation_programs_fall_back_to_recompute(self):
+        spec = get_benchmark("primes")
+        session = IncrementalSession(spec.build(), EngineConfig.parallel(shards=2))
+        report = session.insert_facts("num", [(211,)])
+        assert report.strategy == "recompute"
+        assert session._shard_state is None
+        session.self_check()
+
+    def test_jit_base_config_composes(self):
+        config = EngineConfig.parallel(shards=2, base=EngineConfig.jit("lambda"))
+        with IncrementalSession(
+            build_transitive_closure_program(EDGES), config
+        ) as session:
+            report = session.insert_facts("edge", [(5, 6)])
+            assert report.strategy == "incremental-sharded"
+            session.self_check()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, sharded_session):
+        sharded_session.insert_facts("edge", [(5, 6)])
+        sharded_session.close()
+        sharded_session.close()
+        assert sharded_session._shard_state is None
+
+    def test_context_manager_closes(self):
+        with IncrementalSession(
+            build_transitive_closure_program(EDGES), EngineConfig.parallel(shards=2)
+        ) as session:
+            session.insert_facts("edge", [(5, 6)])
+            assert session._shard_state is not None
+        assert session._shard_state is None

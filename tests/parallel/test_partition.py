@@ -1,0 +1,119 @@
+"""Partitioning policy: stable hashing and pivot-alignment analysis."""
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.datalog.literals import Atom
+from repro.datalog.program import DatalogProgram
+from repro.datalog.terms import Variable
+from repro.ir.builder import build_program_ir, collect_loop_plans
+from repro.parallel.partition import (
+    PartitionSpec,
+    find_aligned_columns,
+    plan_stratum_partitioning,
+    shard_of,
+    stable_hash,
+)
+
+
+def _loop_plans(program):
+    tree = build_program_ir(program)
+    for stratum in tree.strata:
+        if stratum.loop is not None:
+            groups = collect_loop_plans(stratum.loop)
+            return stratum, [p for _, plans in groups for p in plans]
+    raise AssertionError("program has no recursive stratum")
+
+
+def _nonlinear_tc():
+    program = DatalogProgram("nltc")
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    path = lambda a, b: Atom("path", (a, b))  # noqa: E731
+    edge = lambda a, b: Atom("edge", (a, b))  # noqa: E731
+    program.add_rule(path(x, y), [edge(x, y)])
+    program.add_rule(path(x, z), [path(x, y), path(y, z)])
+    program.add_fact("edge", (1, 2))
+    return program
+
+
+class TestStableHash:
+    def test_integers_hash_to_themselves(self):
+        assert stable_hash(42) == 42
+        assert stable_hash(-3) == -3
+
+    def test_refines_equality_across_numeric_types(self):
+        # Partitioning hashes must refine ==: equal-comparing values MUST
+        # co-locate, or aligned shard-local joins silently miss matches.
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(False) == stable_hash(0) == stable_hash(0.0)
+        for shards in (2, 3, 4):
+            assert shard_of(True, shards) == shard_of(1, shards) == shard_of(1.0, shards)
+
+    def test_strings_are_deterministic(self):
+        # Unlike builtin hash(), the value must not depend on PYTHONHASHSEED.
+        assert stable_hash("node-7") == stable_hash("node-7")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_shard_of_covers_all_shards(self):
+        owners = {shard_of(value, 4) for value in range(100)}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestAlignment:
+    def test_linear_tc_aligns_on_source_column(self):
+        stratum, plans = _loop_plans(build_transitive_closure_program([(1, 2)]))
+        columns = find_aligned_columns(
+            plans, stratum.relations, {"path": 2, "edge": 2}
+        )
+        assert columns == {"path": 0}
+
+    def test_nonlinear_tc_has_no_aligned_pivot(self):
+        stratum, plans = _loop_plans(_nonlinear_tc())
+        assert find_aligned_columns(plans, stratum.relations, {"path": 2}) is None
+
+    def test_mutually_recursive_aligned_pair(self):
+        program = DatalogProgram("pair")
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        a = lambda s, t: Atom("a", (s, t))  # noqa: E731
+        b = lambda s, t: Atom("b", (s, t))  # noqa: E731
+        e = lambda s, t: Atom("e", (s, t))  # noqa: E731
+        program.add_rule(a(x, z), [b(x, y), e(y, z)])
+        program.add_rule(b(x, z), [a(x, y), e(y, z)])
+        program.add_fact("a", (0, 1))
+        program.add_fact("e", (1, 2))
+        stratum, plans = _loop_plans(program)
+        columns = find_aligned_columns(
+            plans, stratum.relations, {"a": 2, "b": 2, "e": 2}
+        )
+        assert columns == {"a": 0, "b": 0}
+
+
+class TestStratumPartitioning:
+    def test_tc_placement(self):
+        stratum, plans = _loop_plans(build_transitive_closure_program([(1, 2)]))
+        partitioning = plan_stratum_partitioning(
+            4, plans, stratum.relations, {"path": 2, "edge": 2},
+            fact_counts={"edge": 10_000, "path": 0},
+        )
+        spec = partitioning.spec
+        assert spec.aligned
+        assert spec.columns == {"path": 0}
+        assert spec.replicated == frozenset({"edge"})
+        assert "edge" in partitioning.reasons
+
+    def test_unaligned_falls_back_to_delta_partitioning(self):
+        stratum, plans = _loop_plans(_nonlinear_tc())
+        partitioning = plan_stratum_partitioning(
+            2, plans, stratum.relations, {"path": 2, "edge": 2}
+        )
+        assert not partitioning.spec.aligned
+        assert partitioning.spec.columns == {"path": 0}
+
+    def test_spec_split_routes_every_row_to_its_owner(self):
+        spec = PartitionSpec(shards=3, columns={"r": 1})
+        rows = [(i, i * 7) for i in range(30)]
+        buckets = spec.split("r", rows)
+        assert sum(len(b) for b in buckets) == 30
+        for shard, bucket in enumerate(buckets):
+            for row in bucket:
+                assert spec.owner("r", row) == shard

@@ -1,0 +1,127 @@
+"""ShardedStorage: scatter, share, merge and retraction sync."""
+
+import pytest
+
+from repro.parallel.partition import PartitionSpec
+from repro.parallel.sharded_storage import ShardedStorage
+from repro.relational.storage import DatabaseKind, StorageManager
+
+
+@pytest.fixture
+def global_storage():
+    storage = StorageManager()
+    storage.declare("path", 2)
+    storage.declare("edge", 2)
+    storage.register_index("edge", 0)
+    for row in [(i, i + 1) for i in range(20)]:
+        storage.insert_derived("edge", row)
+        storage.insert_derived("path", row)
+    return storage
+
+
+def make_sharded(global_storage, shards=4, aligned=True):
+    spec = PartitionSpec(
+        shards=shards, columns={"path": 0}, replicated=frozenset({"edge"}),
+        aligned=aligned,
+    )
+    return ShardedStorage(spec, global_storage)
+
+
+class TestScatterAndViews:
+    def test_partition_derived_is_disjoint_and_complete(self, global_storage):
+        sharded = make_sharded(global_storage)
+        sharded.partition_derived(global_storage, "path")
+        fragments = [shard.tuples("path") for shard in sharded.shards]
+        assert set().union(*fragments) == global_storage.tuples("path")
+        total = sum(len(fragment) for fragment in fragments)
+        assert total == len(global_storage.tuples("path"))  # no duplicates
+        for shard_id, fragment in enumerate(fragments):
+            for row in fragment:
+                assert sharded.spec.owner("path", row) == shard_id
+
+    def test_replicate_derived_copies_independent_state(self, global_storage):
+        sharded = make_sharded(global_storage)
+        sharded.replicate_derived(global_storage, "edge")
+        for shard in sharded.shards:
+            assert shard.tuples("edge") == global_storage.tuples("edge")
+        sharded.shards[0].insert_derived("edge", (99, 100))
+        assert (99, 100) not in sharded.shards[1].tuples("edge")
+
+    def test_share_derived_adopts_by_reference(self, global_storage):
+        sharded = make_sharded(global_storage)
+        sharded.share_derived(global_storage, "edge")
+        source = global_storage.relation("edge")
+        for shard in sharded.shards:
+            assert shard.relation("edge") is source
+
+    def test_global_view_unions_partitioned_fragments(self, global_storage):
+        sharded = make_sharded(global_storage)
+        sharded.partition_derived(global_storage, "path")
+        assert sharded.tuples("path") == global_storage.tuples("path")
+        assert sharded.cardinality("path") == 20
+
+    def test_indexes_are_registered_per_shard(self, global_storage):
+        sharded = make_sharded(global_storage)
+        for shard in sharded.shards:
+            assert shard.registered_indexes("edge") == (0,)
+
+
+class TestDeltasAndMerge:
+    def test_scatter_delta_goes_to_owner_only(self, global_storage):
+        sharded = make_sharded(global_storage)
+        rows = [(i, 0) for i in range(12)]
+        sharded.scatter_delta("path", rows)
+        seen = []
+        for shard_id, shard in enumerate(sharded.shards):
+            delta = shard.tuples("path", DatabaseKind.DELTA_KNOWN)
+            for row in delta:
+                assert sharded.spec.owner("path", row) == shard_id
+            seen.extend(delta)
+        assert sorted(seen) == rows
+
+    def test_fragment_absorb_roundtrip(self, global_storage):
+        # The evaluator's merge path: pull each shard's fragment and fold it
+        # into a fresh global manager with absorb_rows.
+        sharded = make_sharded(global_storage)
+        sharded.partition_derived(global_storage, "path")
+        sharded.shards[1].insert_derived("path", (1, 99))
+
+        target = StorageManager()
+        target.declare("path", 2)
+        added = sum(
+            target.absorb_rows("path", shard.relation("path").rows())
+            for shard in sharded.shards
+        )
+        assert added == 21
+        assert target.tuples("path") == global_storage.tuples("path") | {(1, 99)}
+
+    def test_retract_rows_synchronises_every_shard(self, global_storage):
+        sharded = make_sharded(global_storage)
+        for shard in sharded.shards:
+            shard.absorb_rows("path", global_storage.tuples("path"))
+        removed = sharded.retract_rows("path", [(0, 1), (1, 2)])
+        assert removed == 2 * len(sharded.shards)
+        for shard in sharded.shards:
+            assert (0, 1) not in shard.tuples("path")
+            assert (1, 2) not in shard.tuples("path")
+
+
+class TestStorageHelpers:
+    def test_absorb_rows_bumps_generation_once(self, global_storage):
+        generation = global_storage.generation("path")
+        added = global_storage.absorb_rows("path", [(50, 51), (52, 53), (0, 1)])
+        assert added == 2  # (0, 1) was already present
+        assert global_storage.generation("path") == generation + 1
+        assert global_storage.absorb_rows("path", [(50, 51)]) == 0
+        assert global_storage.generation("path") == generation + 1
+
+    def test_force_delta_ignores_derived_membership(self, global_storage):
+        count = global_storage.force_delta("path", [(0, 1)])
+        assert count == 1
+        assert (0, 1) in global_storage.tuples("path", DatabaseKind.DELTA_KNOWN)
+
+    def test_adopt_derived_rejects_arity_mismatch(self, global_storage):
+        from repro.relational.relation import Relation
+
+        with pytest.raises(ValueError):
+            global_storage.adopt_derived("path", Relation("other", 3))
