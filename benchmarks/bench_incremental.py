@@ -57,7 +57,7 @@ def test_full_recompute_baseline(benchmark):
         from repro.engine.engine import ExecutionEngine
         return ExecutionEngine(
             build_transitive_closure_program(edges), EngineConfig.interpreted()
-        ).run()
+        ).evaluate()
 
     benchmark.pedantic(recompute, rounds=1, iterations=1)
 

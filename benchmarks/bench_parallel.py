@@ -58,7 +58,7 @@ def test_sharded_results_bitwise_equal_across_modes():
     edges = random_edges(2_000, 1_500, seed=11)
     reference = ExecutionEngine(
         build_transitive_closure_program(edges), EngineConfig.interpreted()
-    ).run()["path"]
+    ).evaluate()["path"]
     configs = [
         EngineConfig.interpreted(),
         EngineConfig.jit("bytecode"),
@@ -71,7 +71,7 @@ def test_sharded_results_bitwise_equal_across_modes():
                 build_transitive_closure_program(edges),
                 EngineConfig.parallel(shards=shards, base=base),
             )
-            assert engine.run()["path"] == reference, (
+            assert engine.evaluate()["path"] == reference, (
                 f"{base.describe()} at {shards} shards diverged"
             )
 
@@ -109,6 +109,6 @@ def test_fixpoint_latency(benchmark, tc_10k_edges, shards):
         return ExecutionEngine(
             build_transitive_closure_program(tc_10k_edges),
             EngineConfig.parallel(shards=shards),
-        ).run()
+        ).evaluate()
 
     benchmark.pedantic(evaluate, rounds=1, iterations=1)

@@ -25,7 +25,7 @@ def run_benchmark_once(name: str, config: EngineConfig, ordering: Ordering) -> i
     """Build and evaluate one workload; returns the query-relation size."""
     spec = get_benchmark(name)
     engine = ExecutionEngine(spec.build(ordering), config)
-    results = engine.run()
+    results = engine.evaluate()
     return len(results[spec.query_relation])
 
 

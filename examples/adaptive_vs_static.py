@@ -28,7 +28,7 @@ def evaluate(label: str, config: EngineConfig, ordering: Ordering) -> None:
     dataset = SListLibGenerator(seed=7).generate(list_length=14, extra_pipelines=3)
     program = build_inverse_functions_program(dataset, ordering=ordering)
     engine = ExecutionEngine(program, config)
-    results = engine.run()
+    results = engine.evaluate()
     profile = engine.profile
     print(f"{label:48s} wasted-work sites: {len(results['wastedWork']):3d}   "
           f"time: {profile.wall_seconds * 1000:8.1f} ms   "

@@ -1,10 +1,11 @@
-"""Incremental sessions: serve queries while the fact base changes.
+"""Connections: serve queries while the fact base changes.
 
 Builds a reachability program over a random graph, opens a long-lived
-:class:`~repro.incremental.IncrementalSession`, and streams mutation batches
-through it — comparing the per-batch repair latency against rebuilding the
-engine and recomputing the fixpoint from scratch, and showing the result
-cache absorbing repeated queries between updates.
+:class:`repro.Connection` (which wraps an incremental evaluation session),
+and streams mutation batches through it — comparing the per-batch repair
+latency against a one-shot ``Database.query`` recompute from scratch, and
+showing the database-wide result cache absorbing repeated queries between
+updates.
 
 Run with:  python examples/incremental_sessions.py
 """
@@ -13,10 +14,8 @@ from __future__ import annotations
 
 import time
 
+from repro import Database, EngineConfig
 from repro.analyses.micro import build_transitive_closure_program
-from repro.core.config import EngineConfig
-from repro.engine import ExecutionEngine
-from repro.incremental import IncrementalSession
 from repro.workloads import edge_update_stream
 
 
@@ -25,33 +24,36 @@ def main() -> None:
         nodes=1_500, initial_edges=1_200, batches=6, batch_size=8,
         retract_fraction=0.4, seed=2024,
     )
-    session = IncrementalSession(
+    db = Database(
         build_transitive_closure_program(stream.initial["edge"]),
         EngineConfig.interpreted(),
     )
-    session.refresh()
-    print(f"initial fixpoint: {len(session.query('path'))} path tuples "
+    conn = db.connect()
+    conn.refresh()
+    print(f"initial fixpoint: {conn.query('path').count()} path tuples "
           f"from {len(stream.initial['edge'])} edges\n")
 
     for i, batch in enumerate(stream, start=1):
-        report = session.apply(inserts=batch.inserts, retracts=batch.retracts)
+        report = conn.apply(inserts=batch.inserts, retracts=batch.retracts)
 
         started = time.perf_counter()
-        engine = ExecutionEngine(session.snapshot_program(), EngineConfig.interpreted())
-        scratch = engine.run()["path"]
+        scratch_db = Database(conn.session.snapshot_program(), db.config)
+        scratch = scratch_db.query("path")
         scratch_seconds = time.perf_counter() - started
 
-        assert set(session.query("path")) == scratch
+        assert conn.query("path") == scratch, "incremental state diverged"
         print(f"batch {i}: +{batch.insert_count()} / -{batch.retract_count()} facts   "
               f"incremental {report.seconds * 1000:7.2f} ms   "
               f"recompute {scratch_seconds * 1000:7.2f} ms   "
               f"(cone {report.over_deleted}, rederived {report.rederived})")
 
-    session.query("path")
-    session.query("path")
-    stats = session.cache.stats
+    conn.query("path")
+    conn.query("path")
+    stats = db.cache.stats
     print(f"\nresult cache: {stats.hits} hits / {stats.misses} misses "
-          f"({stats.invalidations} invalidations) across {session.updates_applied} updates")
+          f"({stats.invalidations} invalidations) across "
+          f"{conn.session.updates_applied} updates")
+    conn.close()
 
 
 if __name__ == "__main__":

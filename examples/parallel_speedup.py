@@ -53,7 +53,7 @@ def main() -> None:
                 EngineConfig.parallel(shards=shards),
             )
             started = time.perf_counter()
-            rows = engine.run()["path"]
+            rows = engine.evaluate()["path"]
             seconds = time.perf_counter() - started
             if seconds < best_seconds:
                 best_seconds, result, report = seconds, rows, engine.parallel_report

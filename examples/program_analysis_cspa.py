@@ -28,7 +28,7 @@ def run(config: EngineConfig, label: str, tuples: int) -> None:
     dataset = HttpdLikeGenerator(seed=2024).cspa(tuples=tuples)
     program = build_cspa_program(dataset, ordering=Ordering.WORST)
     engine = ExecutionEngine(program, config)
-    results = engine.run()
+    results = engine.evaluate()
     profile = engine.profile
 
     print(f"=== {label} ===")

@@ -1,16 +1,16 @@
-"""Textual Datalog: parse a program from source and query it.
+"""Textual Datalog: open a Database over source text and query it.
 
 Shows the parser front end (Soufflé-style surface syntax with negation,
-arithmetic and aggregation), the plan explainer, and querying multiple
-relations from one evaluation — a small "who can reach the database through
-which services" analysis over a microservice call graph.
+arithmetic and aggregation) behind :meth:`repro.Database.from_source`, the
+``QueryResult`` exports, and the plan explainer — a small "who can reach the
+database through which services" analysis over a microservice call graph.
 
 Run with:  python examples/textual_datalog.py
 """
 
 from __future__ import annotations
 
-from repro import EngineConfig, ExecutionEngine, parse_program
+from repro import Database, EngineConfig
 
 SOURCE = """
 % service call graph: calls(caller, callee)
@@ -40,19 +40,19 @@ exposure(X, count(D)) :- exposed(X, D).
 
 
 def main() -> None:
-    program = parse_program(SOURCE, name="service-graph")
-    engine = ExecutionEngine(program, EngineConfig.jit("lambda"))
-    results = engine.run()
+    db = Database.from_source(SOURCE, EngineConfig.jit("lambda"),
+                              name="service-graph")
+    results = db.query()  # one ResultSet covering every derived relation
 
     print("exposed service -> sensitive store:")
-    for service, store in sorted(results["exposed"]):
+    for service, store in results["exposed"]:
         print(f"  {service:10s} -> {store}")
     print()
-    print("exposure counts:", sorted(results["exposure"]))
-    print("isolated services:", sorted(v for (v,) in results["isolated"]))
+    print("exposure counts:", results["exposure"].to_list())
+    print("isolated services:", [v for (v,) in results["isolated"]])
     print()
     print("logical plan (after any JIT rewrites):")
-    print(engine.explain())
+    print(results.explain())
 
 
 if __name__ == "__main__":

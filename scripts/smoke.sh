@@ -22,19 +22,26 @@ echo "== 2-shard parallel smoke bench =="
 python -m repro.bench --quick --only parallel
 
 echo
+echo "== public-API drift guard (snapshot + deprecation shims) =="
+python -m pytest -x -q tests/api
+
+echo
+echo "== examples (DeprecationWarning = error, so API drift fails here) =="
+for example in examples/*.py; do
+  echo "-- ${example}"
+  python -W error::DeprecationWarning "${example}" > /dev/null
+done
+
+echo
 echo "== micro-benchmark sanity (fibonacci, one JIT configuration) =="
 python - <<'PY'
 from repro.analyses.registry import get_benchmark
 from repro.core.config import EngineConfig
-from repro.engine.engine import ExecutionEngine
 
 spec = get_benchmark("fibonacci")
-engine = ExecutionEngine(spec.build(), EngineConfig.jit("lambda"))
-results = engine.run()
-size = len(results[spec.query_relation])
-assert size > 0, "fibonacci benchmark produced no tuples"
-print(f"fibonacci: {size} tuples in {engine.execution_seconds()*1000:.1f} ms "
-      f"({engine.profile.sources.compiled} compiled sub-query executions)")
+result = spec.query(EngineConfig.jit("lambda"))
+assert result.count() > 0, "fibonacci benchmark produced no tuples"
+print(f"fibonacci: {result.count()} tuples; first rows {result.take(3)}")
 PY
 
 if [[ "${1:-}" == "--full" ]]; then

@@ -9,11 +9,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-carac",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Compiling Structured Queries with Adaptive "
         "Metaprogramming' (ICDE 2024): an adaptive Datalog engine with "
-        "JIT/AOT join ordering and an incremental evaluation subsystem"
+        "JIT/AOT join ordering, incremental and shard-parallel evaluation "
+        "subsystems behind an embedded Database/Connection/QueryResult API"
     ),
     long_description=(
         "A pure-Python Datalog engine reproducing the paper's adaptive "

@@ -9,7 +9,12 @@ laptop-friendly scale plus optional alternative scales.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # repro.api sits above this layer; import only for types
+    from repro.api.database import Database
+    from repro.api.result import QueryResult
+    from repro.core.config import EngineConfig
 
 from repro.analyses.andersen import build_andersen_program
 from repro.analyses.cspa import build_cspa_program
@@ -38,6 +43,18 @@ class BenchmarkSpec:
     def build(self, ordering: "Ordering | str" = Ordering.WRITTEN) -> DatalogProgram:
         """Build a fresh program (facts included) in the requested ordering."""
         return self.builder(Ordering(ordering).value)
+
+    def database(self, config: Optional["EngineConfig"] = None,
+                 ordering: "Ordering | str" = Ordering.WRITTEN) -> "Database":
+        """Open a :class:`repro.Database` over a fresh build of this workload."""
+        from repro.api.database import Database
+
+        return Database(self.build(ordering), config, name=self.name)
+
+    def query(self, config: Optional["EngineConfig"] = None,
+              ordering: "Ordering | str" = Ordering.WRITTEN) -> "QueryResult":
+        """One-shot evaluation of the workload's query relation."""
+        return self.database(config, ordering).query(self.query_relation)
 
 
 def _macro(name: str, query: str, description: str,

@@ -1,0 +1,346 @@
+"""The embedded-database entry point: ``Database`` and ``Connection``.
+
+This is the public face of the engine, shaped like the embedded databases it
+aspires to sit beside (SQLite, DuckDB): one :class:`Database` per program,
+:class:`Connection` objects for stateful interaction, and every read returning
+a first-class :class:`~repro.api.result.QueryResult`.
+
+::
+
+    from repro import Database, EngineConfig, Program
+
+    program = Program("reachability")
+    edge, path = program.relations("edge", "path", arity=2)
+    x, y, z = program.variables("x", "y", "z")
+    path(x, y) <= edge(x, y)
+    path(x, z) <= path(x, y) & edge(y, z)
+    edge.add_facts([(1, 2), (2, 3), (3, 4)])
+
+    db = Database(program, EngineConfig.jit("lambda"))
+    with db.connect() as conn:
+        conn.insert_facts("edge", [(4, 5)])
+        result = conn.query("path")        # QueryResult
+        print(result.count(), result.take(3))
+        print(result.explain())
+
+Every execution subsystem plugs in underneath this one surface: the
+configuration decides whether a connection evaluates interpreted, JIT, AOT
+or shard-parallel (``EngineConfig.parallel(shards=N, ...)``), and the results
+are bit-for-bit identical across all of them.
+
+A :class:`Database` accepts an embedded-DSL :class:`~repro.datalog.dsl.Program`,
+a bare :class:`~repro.datalog.program.DatalogProgram`, or textual Datalog
+source (parsed with :func:`repro.datalog.parser.parse_program`).  Connections
+opened from one database share its :class:`~repro.incremental.cache.ResultCache`,
+so replicas serving the same workload reuse each other's query results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union, overload
+
+from repro.api.explain import render_explain
+from repro.api.result import QueryResult, ResultSchema, ResultSet
+from repro.core.config import EngineConfig
+from repro.datalog.program import DatalogProgram
+from repro.incremental.cache import ResultCache
+from repro.incremental.session import IncrementalSession, UpdateReport
+from repro.relational.relation import Row
+
+#: Anything a :class:`Database` can be opened over.
+ProgramLike = Union["DatalogProgram", "object", str]
+
+
+def coerce_program(program: ProgramLike, name: str = "database") -> DatalogProgram:
+    """Accept a DSL ``Program``, a ``DatalogProgram`` or Datalog source text."""
+    if isinstance(program, DatalogProgram):
+        return program
+    if isinstance(program, str):
+        from repro.datalog.parser import parse_program
+
+        return parse_program(program, name=name)
+    datalog = getattr(program, "datalog", None)
+    if isinstance(datalog, DatalogProgram):
+        return datalog
+    raise TypeError(
+        "expected a Program, DatalogProgram or Datalog source string, "
+        f"got {type(program).__name__}"
+    )
+
+
+def schema_for(program: DatalogProgram, relation: str) -> ResultSchema:
+    """The :class:`ResultSchema` of a declared relation."""
+    declaration = program.relations.get(relation)
+    if declaration is None:
+        raise KeyError(
+            f"unknown relation {relation!r}; "
+            f"available: {sorted(program.relations)}"
+        )
+    return ResultSchema.of(
+        relation, declaration.arity, getattr(declaration, "columns", None)
+    )
+
+
+class Connection:
+    """A stateful handle on one evaluated program: mutate facts, read results.
+
+    Wraps a long-lived :class:`~repro.incremental.IncrementalSession`: the
+    first read computes the fixpoint, mutations repair it incrementally
+    (delta propagation / DRed, shard-parallel when the configuration says
+    so), and repeated queries are served from the result cache.  Every read
+    returns an immutable :class:`QueryResult` snapshot.
+    """
+
+    def __init__(self, session: IncrementalSession,
+                 _database: Optional["Database"] = None) -> None:
+        self._session = session
+        self._database = _database
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._session.config
+
+    @property
+    def program(self) -> DatalogProgram:
+        return self._session.program
+
+    @property
+    def session(self) -> IncrementalSession:
+        """The underlying incremental session (advanced use)."""
+        return self._session
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_report(self) -> Optional[UpdateReport]:
+        """The :class:`UpdateReport` of the most recent mutation batch."""
+        return self._session.last_report
+
+    def schema(self, relation: str) -> ResultSchema:
+        return schema_for(self._session.program, relation)
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert_facts(self, relation: str, rows) -> UpdateReport:
+        """Assert a batch of facts; the fixpoint is repaired before returning."""
+        self._check_open()
+        return self._session.insert_facts(relation, rows)
+
+    def retract_facts(self, relation: str, rows) -> UpdateReport:
+        """Retract a batch of base facts (rows never asserted are ignored)."""
+        self._check_open()
+        return self._session.retract_facts(relation, rows)
+
+    def apply(self, inserts=None, retracts=None) -> UpdateReport:
+        """One mixed mutation batch: retractions first, then insertions."""
+        self._check_open()
+        return self._session.apply(inserts, retracts)
+
+    # -- queries ---------------------------------------------------------------
+
+    @overload
+    def query(self, relation: str) -> QueryResult: ...
+
+    @overload
+    def query(self, relation: None = None) -> ResultSet: ...
+
+    def query(self, relation: Optional[str] = None):
+        """Rows of ``relation`` as a :class:`QueryResult` snapshot.
+
+        With no argument: a :class:`ResultSet` covering every IDB relation
+        (the same relations the legacy ``ExecutionEngine.run()`` returned),
+        in declaration order, for any execution mode.
+        """
+        self._check_open()
+        if relation is None:
+            results = {
+                name: self._snapshot(name)
+                for name in self._session.program.idb_relations()
+            }
+            return ResultSet(results, explain=self._render_explain)
+        return self._snapshot(relation)
+
+    def _snapshot(self, relation: str) -> QueryResult:
+        schema = self.schema(relation)  # raises KeyError on unknown relations
+        rows = self._session.fetch(relation)
+        count = len(rows)
+
+        def explain() -> str:
+            return self._render_explain(relation=relation, row_count=count)
+
+        return QueryResult(schema, rows, explain=explain)
+
+    def refresh(self) -> None:
+        """Force the initial fixpoint computation (otherwise lazy)."""
+        self._check_open()
+        self._session.refresh()
+
+    def explain(self, relation: Optional[str] = None) -> str:
+        """The session's plan and the adaptive decisions taken so far."""
+        self._check_open()
+        row_count = None
+        if relation is not None:
+            row_count = len(self._session.fetch(relation))
+        return self._render_explain(relation=relation, row_count=row_count)
+
+    def _render_explain(self, relation: Optional[str] = None,
+                        row_count: Optional[int] = None) -> str:
+        session = self._session
+        return render_explain(
+            title=f"connection over {session.program.name!r}",
+            config=session.config,
+            tree=session.tree,
+            profile=session.profile,
+            relation=relation,
+            row_count=row_count,
+        )
+
+    def self_check(self) -> None:
+        """Assert the incremental state equals a from-scratch evaluation."""
+        self._check_open()
+        self._session.self_check()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release session resources (idempotent)."""
+        if not self._closed:
+            self._session.close()
+            self._closed = True
+            if self._database is not None:
+                self._database._forget(self)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Connection({self._session.program.name!r}, "
+            f"config={self._session.config.describe()!r}, {state})"
+        )
+
+
+class Database:
+    """One Datalog program, embedded-database-shaped.
+
+    The single entry point of the public API: hold a :class:`Database` per
+    program, open :class:`Connection` objects for stateful work, or use
+    :meth:`query` for one-shot reads.  The configuration given here is the
+    default for every connection; ``connect(config=...)`` overrides it per
+    connection (e.g. one interpreted and one shard-parallel connection over
+    the same program).
+    """
+
+    def __init__(self, program: ProgramLike,
+                 config: Optional[EngineConfig] = None,
+                 cache: Optional[ResultCache] = None,
+                 name: str = "database") -> None:
+        self.program = coerce_program(program, name=name)
+        self.config = config or EngineConfig()
+        #: Shared across every connection; keyed by program fingerprint,
+        #: configuration and mutation history, so sharing is always safe.
+        self.cache = cache if cache is not None else ResultCache()
+        self._connections: List[Connection] = []
+        self._closed = False
+
+    @classmethod
+    def from_source(cls, source: str,
+                    config: Optional[EngineConfig] = None,
+                    name: str = "parsed") -> "Database":
+        """Open a database over textual Datalog source."""
+        return cls(source, config=config, name=name)
+
+    # -- schema ----------------------------------------------------------------
+
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(self.program.relations)
+
+    def schema(self, relation: str) -> ResultSchema:
+        return schema_for(self.program, relation)
+
+    def schemas(self) -> Dict[str, ResultSchema]:
+        return {name: self.schema(name) for name in self.program.relations}
+
+    # -- connections -----------------------------------------------------------
+
+    def connect(self, config: Optional[EngineConfig] = None) -> Connection:
+        """Open a :class:`Connection` (its session snapshots the program now)."""
+        self._check_open()
+        session = IncrementalSession(
+            self.program, config or self.config, cache=self.cache
+        )
+        connection = Connection(session, _database=self)
+        self._connections.append(connection)
+        return connection
+
+    # -- one-shot queries ------------------------------------------------------
+
+    @overload
+    def query(self, relation: str,
+              config: Optional[EngineConfig] = None) -> QueryResult: ...
+
+    @overload
+    def query(self, relation: None = None,
+              config: Optional[EngineConfig] = None) -> ResultSet: ...
+
+    def query(self, relation: Optional[str] = None,
+              config: Optional[EngineConfig] = None):
+        """Evaluate once and return results (no session state is kept).
+
+        With a relation name: that relation's :class:`QueryResult` (EDB
+        relations are allowed).  Without: a :class:`ResultSet` of every IDB
+        relation — the same answer in every execution mode.
+        """
+        self._check_open()
+        from repro.engine.engine import ExecutionEngine
+
+        engine = ExecutionEngine(self.program.copy(), config or self.config)
+        results = engine.evaluate()
+        if relation is None:
+            return results
+        return engine.result(relation)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every connection opened from this database (idempotent)."""
+        for connection in list(self._connections):
+            connection.close()
+        self._connections.clear()
+        self._closed = True
+
+    def _forget(self, connection: Connection) -> None:
+        try:
+            self._connections.remove(connection)
+        except ValueError:  # pragma: no cover - double-close race
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this database is closed")
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Database({self.program.name!r}, "
+            f"config={self.config.describe()!r}, "
+            f"connections={len(self._connections)})"
+        )

@@ -1,0 +1,89 @@
+"""Rendering of query plans and adaptive-execution decisions.
+
+One formatter serves every producer of :class:`~repro.api.result.QueryResult`
+objects — the single-shot engine, connections over incremental sessions, and
+shard-parallel evaluations — so ``.explain()`` output looks the same whatever
+path computed the rows: the configuration, the (possibly JIT-rewritten) IR
+tree, and the join-order / code-generation decisions taken at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import EngineConfig
+from repro.core.profile import RuntimeProfile
+from repro.ir.ops import ProgramOp
+from repro.ir.printer import explain as explain_tree
+
+
+def _format_order(order) -> str:
+    return " ⋈ ".join(order) if order else "(empty)"
+
+
+def render_explain(
+    title: str,
+    config: EngineConfig,
+    tree: Optional[ProgramOp] = None,
+    profile: Optional[RuntimeProfile] = None,
+    relation: Optional[str] = None,
+    row_count: Optional[int] = None,
+) -> str:
+    """A human-readable account of how a result was (or will be) computed."""
+    lines: List[str] = [f"-- {title}"]
+    if relation is not None:
+        suffix = "" if row_count is None else f"  ({row_count} rows)"
+        lines.append(f"relation: {relation}{suffix}")
+    lines.append(f"configuration: {config.describe()}")
+    detail = f"mode={config.mode.value}"
+    if config.mode.value == "jit":
+        detail += (
+            f" backend={config.backend}"
+            f" granularity={config.granularity.value}"
+            f" compilation={'async' if config.async_compilation else 'blocking'}"
+        )
+    if config.mode.value == "aot":
+        detail += f" sort={config.aot_sort.value} online={config.aot_online}"
+    if config.sharding is not None and config.sharding.shards > 1:
+        detail += f" shards={config.sharding.shards} pool={config.sharding.pool}"
+    lines.append(detail)
+
+    if tree is not None:
+        lines.append("")
+        lines.append("plan (after any adaptive rewrites):")
+        lines.extend("  " + line for line in explain_tree(tree).splitlines())
+
+    if profile is not None:
+        lines.append("")
+        lines.append(
+            f"execution: {profile.iteration_count()} iterations, "
+            f"{len(profile.compile_events)} compilations "
+            f"({profile.total_compile_seconds() * 1000:.1f} ms), "
+            f"sub-queries {profile.sources.interpreted} interpreted / "
+            f"{profile.sources.compiled} compiled"
+        )
+        if profile.reorders:
+            changed = [r for r in profile.reorders if r.decision.changed]
+            lines.append(
+                f"adaptive join-order decisions: {len(profile.reorders)} "
+                f"({len(changed)} changed the as-written order)"
+            )
+            shown = 0
+            for record in profile.reorders:
+                if not record.decision.changed:
+                    continue
+                lines.append(
+                    f"  [{record.stage}] {record.rule_name}: "
+                    f"{_format_order(record.decision.original_order)} -> "
+                    f"{_format_order(record.decision.chosen_order)} "
+                    f"(est. cost {record.decision.estimated_cost:.1f})"
+                )
+                shown += 1
+                if shown >= 12:
+                    lines.append(
+                        f"  ... {len(changed) - shown} more changed decisions"
+                    )
+                    break
+        else:
+            lines.append("adaptive join-order decisions: none recorded")
+    return "\n".join(lines)

@@ -1,0 +1,306 @@
+"""First-class query results: schema-carrying, ordered, lazily materialised.
+
+:class:`QueryResult` replaces the raw ``set`` / ``dict`` / ``frozenset`` zoo
+the engine, the incremental session and the parallel executor used to return.
+One result object knows
+
+* its **schema** (:class:`ResultSchema`: relation name, arity, column names),
+* a **deterministic row order** (natural sort where the rows are comparable,
+  a ``repr``-keyed total order otherwise — the same batch of rows always
+  iterates identically, across runs and across execution modes),
+* **lazy materialisation**: a result may be built from a thunk, in which case
+  rows are fetched on first access; sorting happens only when an ordered view
+  is actually requested (``count()``/``__contains__`` never sort),
+* **pagination** (:meth:`QueryResult.rows` with offset/limit,
+  :meth:`QueryResult.take`), **columnar export**
+  (:meth:`QueryResult.to_columns`, :meth:`QueryResult.to_dicts`) and
+* :meth:`QueryResult.explain` — the plan and the adaptive join-order /
+  code-generation decisions that produced the rows.
+
+``QueryResult`` registers as :class:`collections.abc.Set`, so every set idiom
+the old API supported keeps working: ``row in result``, ``len(result)``,
+``result == {(1, 2)}``, ``result - other``, iteration.  Set operators return
+plain ``set`` objects (a derived result has no single source relation).
+
+:class:`ResultSet` is the multi-relation analogue — an immutable mapping of
+relation name to :class:`QueryResult` — and compares equal to the plain
+``Dict[str, Set[Row]]`` the legacy ``ExecutionEngine.run()`` returned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping as MappingABC
+from collections.abc import Set as SetABC
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.relational.relation import Row
+
+#: A result's rows: either an already-materialised set or a thunk fetching one.
+RowSource = Union[FrozenSet[Row], Iterable[Row], Callable[[], Iterable[Row]]]
+#: Deferred plan/profile rendering, attached by whichever engine produced the rows.
+ExplainFn = Callable[[], str]
+
+
+def default_columns(arity: int) -> Tuple[str, ...]:
+    """Positional column names (``c0`` … ``c{n-1}``) for undeclared schemas."""
+    return tuple(f"c{i}" for i in range(arity))
+
+
+@dataclass(frozen=True)
+class ResultSchema:
+    """The shape of one relation's rows: name, arity, column names."""
+
+    relation: str
+    arity: int
+    columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != self.arity:
+            raise ValueError(
+                f"schema for {self.relation!r} declares {len(self.columns)} "
+                f"column names for arity {self.arity}"
+            )
+
+    @staticmethod
+    def of(relation: str, arity: int,
+           columns: Optional[Iterable[str]] = None) -> "ResultSchema":
+        """Build a schema, generating positional column names when undeclared."""
+        names = tuple(columns) if columns is not None else default_columns(arity)
+        return ResultSchema(relation=relation, arity=arity, columns=names)
+
+
+def ordered_rows(rows: Iterable[Row]) -> Tuple[Row, ...]:
+    """Rows in the canonical deterministic order.
+
+    Natural tuple ordering when every row is mutually comparable; otherwise
+    (mixed int/str columns) the ``repr``-keyed total order used throughout
+    the code base.  Both are stable across runs and execution modes.
+    """
+    try:
+        return tuple(sorted(rows))
+    except TypeError:
+        return tuple(sorted(rows, key=repr))
+
+
+class QueryResult(SetABC):
+    """The rows of one relation at one point in time, with schema and plan.
+
+    Results are immutable snapshots: mutating the session or database that
+    produced one does not change it.  Construction is cheap — when built
+    from a thunk the rows are fetched on first access, and the deterministic
+    sort happens only when an ordered view (iteration, :meth:`rows`,
+    :meth:`take`, exports) is requested.
+    """
+
+    __slots__ = ("_schema", "_frozen", "_thunk", "_sorted", "_explain_fn")
+
+    def __init__(self, schema: ResultSchema, rows: RowSource,
+                 explain: Optional[ExplainFn] = None) -> None:
+        self._schema = schema
+        self._frozen: Optional[FrozenSet[Row]] = None
+        self._thunk: Optional[Callable[[], Iterable[Row]]] = None
+        if callable(rows):
+            self._thunk = rows
+        elif isinstance(rows, frozenset):
+            # Already-frozen row sets (e.g. the session result cache's) are
+            # adopted as-is: no per-query copy of a potentially huge result.
+            self._frozen = rows
+        else:
+            self._frozen = frozenset(tuple(row) for row in rows)
+        self._sorted: Optional[Tuple[Row, ...]] = None
+        self._explain_fn = explain
+
+    # -- schema ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> ResultSchema:
+        return self._schema
+
+    @property
+    def relation(self) -> str:
+        return self._schema.relation
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self._schema.columns
+
+    # -- materialisation -------------------------------------------------------
+
+    def _materialise(self) -> FrozenSet[Row]:
+        if self._frozen is None:
+            assert self._thunk is not None
+            self._frozen = frozenset(tuple(row) for row in self._thunk())
+            self._thunk = None
+        return self._frozen
+
+    def _ordered(self) -> Tuple[Row, ...]:
+        if self._sorted is None:
+            self._sorted = ordered_rows(self._materialise())
+        return self._sorted
+
+    # -- set protocol ----------------------------------------------------------
+
+    def __contains__(self, row: object) -> bool:
+        try:
+            candidate = tuple(row)  # type: ignore[arg-type]
+        except TypeError:
+            return False
+        return candidate in self._materialise()
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._ordered())
+
+    def __len__(self) -> int:
+        return len(self._materialise())
+
+    def __bool__(self) -> bool:
+        return bool(self._materialise())
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[Row]) -> set:
+        # Set operators (|, &, -, ^) produce plain sets: a derived row set
+        # has no single source relation, hence no schema to carry.
+        return set(iterable)
+
+    __hash__ = SetABC._hash  # results are immutable snapshots
+
+    # -- row access ------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of rows (no ordering cost)."""
+        return len(self._materialise())
+
+    def rows(self, offset: int = 0,
+             limit: Optional[int] = None) -> Iterator[Row]:
+        """Iterate rows in deterministic order, with offset/limit pagination."""
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        stop = None if limit is None else offset + limit
+        return itertools.islice(iter(self._ordered()), offset, stop)
+
+    def take(self, n: int) -> List[Row]:
+        """The first ``n`` rows in deterministic order."""
+        return list(self.rows(limit=n))
+
+    def first(self) -> Optional[Row]:
+        """The first row in deterministic order, or ``None`` when empty."""
+        ordered = self._ordered()
+        return ordered[0] if ordered else None
+
+    # -- exports ---------------------------------------------------------------
+
+    def to_set(self) -> set:
+        return set(self._materialise())
+
+    def to_frozenset(self) -> FrozenSet[Row]:
+        return self._materialise()
+
+    def to_list(self) -> List[Row]:
+        """All rows as a list, in deterministic order."""
+        return list(self._ordered())
+
+    def to_columns(self) -> Dict[str, List[Any]]:
+        """Columnar export: column name -> value vector (rows in order)."""
+        ordered = self._ordered()
+        return {
+            name: [row[i] for row in ordered]
+            for i, name in enumerate(self._schema.columns)
+        }
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Row-wise export: one ``{column: value}`` dict per row, in order."""
+        columns = self._schema.columns
+        return [dict(zip(columns, row)) for row in self._ordered()]
+
+    # -- provenance ------------------------------------------------------------
+
+    def explain(self) -> str:
+        """The plan and adaptive decisions behind this result.
+
+        Covers the evaluated IR tree and, when the producing engine recorded
+        them, the runtime join-order reorderings and code-generation events —
+        the adaptive-metaprogramming choices the paper studies.
+        """
+        if self._explain_fn is None:
+            return (
+                f"-- {self._schema.relation} ({self.count()} rows): "
+                "no execution profile attached"
+            )
+        return self._explain_fn()
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(row) for row in self.take(3))
+        suffix = ", ..." if self.count() > 3 else ""
+        return (
+            f"QueryResult({self._schema.relation!r}, {self.count()} rows"
+            + (f": {preview}{suffix}" if preview else "")
+            + ")"
+        )
+
+
+class ResultSet(MappingABC):
+    """An immutable mapping of relation name -> :class:`QueryResult`.
+
+    Compares equal to the plain ``{relation: set(rows)}`` dictionaries the
+    legacy API returned, preserves the producing engine's relation order,
+    and carries one whole-program :meth:`explain`.
+    """
+
+    __slots__ = ("_results", "_explain_fn")
+
+    def __init__(self, results: Mapping[str, QueryResult],
+                 explain: Optional[ExplainFn] = None) -> None:
+        self._results: Dict[str, QueryResult] = dict(results)
+        self._explain_fn = explain
+
+    def __getitem__(self, relation: str) -> QueryResult:
+        try:
+            return self._results[relation]
+        except KeyError:
+            raise KeyError(
+                f"no result for relation {relation!r}; "
+                f"available: {sorted(self._results)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(self._results)
+
+    def total_rows(self) -> int:
+        return sum(result.count() for result in self._results.values())
+
+    def to_sets(self) -> Dict[str, set]:
+        """The legacy shape: a fresh ``{relation: set(rows)}`` dictionary."""
+        return {name: result.to_set() for name, result in self._results.items()}
+
+    def explain(self) -> str:
+        if self._explain_fn is None:
+            return "-- no execution profile attached"
+        return self._explain_fn()
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}: {result.count()}" for name, result in self._results.items()
+        )
+        return f"ResultSet({{{body}}})"

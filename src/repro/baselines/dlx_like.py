@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Mapping, Optional, Set
 
 from repro.core.config import EngineConfig, ExecutionMode
 from repro.datalog.program import DatalogProgram
@@ -22,9 +22,13 @@ from repro.relational.relation import Row
 
 @dataclass
 class DLXLikeResult:
-    """Execution outcome (or a recorded DNF)."""
+    """Execution outcome (or a recorded DNF).
 
-    relations: Dict[str, Set[Row]]
+    ``relations`` is a :class:`~repro.api.result.ResultSet` (a mapping of
+    relation name to ``QueryResult``), comparable to plain dicts of sets.
+    """
+
+    relations: Mapping[str, Set[Row]]
     evaluation_seconds: float
     finished: bool = True
 
@@ -50,7 +54,7 @@ class DLXLikeEngine:
             config = config.with_(max_iterations=self.timeout_iterations)
         engine = ExecutionEngine(program, config)
         start = time.perf_counter()
-        relations = engine.run()
+        relations = engine.evaluate()
         seconds = time.perf_counter() - start
         finished = True
         if self.timeout_iterations is not None:

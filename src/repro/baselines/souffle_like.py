@@ -81,7 +81,7 @@ class SouffleLikeEngine:
     def _profile_orders(self, program: DatalogProgram) -> StorageManager:
         """Run the query once to collect the cardinalities a profile would hold."""
         engine = ExecutionEngine(program.copy(), EngineConfig.interpreted(self.use_indexes))
-        engine.run()
+        engine.evaluate()
         return engine.storage
 
     # -- execution ---------------------------------------------------------------

@@ -33,7 +33,7 @@ def _timed_recompute(edges: Sequence[Tuple[object, ...]],
                      config: EngineConfig) -> Tuple[float, int]:
     started = time.perf_counter()
     engine = ExecutionEngine(build_transitive_closure_program(edges), config)
-    results = engine.run()
+    results = engine.evaluate()
     return time.perf_counter() - started, len(results["path"])
 
 

@@ -57,9 +57,9 @@ def measure_program(program: DatalogProgram, config: EngineConfig,
     compile_seconds = 0.0
     for _ in range(max(1, repeat)):
         engine = ExecutionEngine(program.copy(), config)
-        engine.run()
+        results = engine.evaluate()
         times.append(engine.profile.wall_seconds)
-        result_size = engine.storage.cardinality(query_relation)
+        result_size = results[query_relation].count()
         iterations = engine.profile.iteration_count()
         compilations = len(engine.profile.compile_events)
         compile_seconds = engine.profile.total_compile_seconds()

@@ -84,6 +84,10 @@ class ShardingConfig:
     shard_backend: str = "auto"     # "auto" | "none" | a backend name
     max_rounds: int = 1_000_000
 
+    def with_(self, **changes) -> "ShardingConfig":
+        """A modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
 
 @dataclass
 class EngineConfig:
@@ -107,12 +111,19 @@ class EngineConfig:
     label: str = ""
 
     def describe(self) -> str:
-        """A short configuration name for result tables."""
-        if self.label:
-            return self.label
+        """A short configuration name for result tables.
+
+        Sharded configurations always carry their shard count (an ``xN``
+        suffix), including labelled ones — a parallel configuration's name
+        round-trips through :meth:`with_` without losing the shard count.
+        The suffix is appended unconditionally to labels (no substring
+        guessing), so a label must not embed the count itself.
+        """
         suffix = ""
         if self.sharding is not None and self.sharding.shards > 1:
             suffix = f"x{self.sharding.shards}"
+        if self.label:
+            return self.label + suffix
         if self.mode == ExecutionMode.INTERPRETED:
             return "interpreted" + ("+idx" if self.use_indexes else "") + suffix
         if self.mode == ExecutionMode.NAIVE:
@@ -201,6 +212,25 @@ class EngineConfig:
             )
         )
 
+    #: ``with_`` keys routed into the nested :class:`ShardingConfig`.
+    _SHARDING_KEYS = frozenset({"shards", "pool", "shard_backend", "max_rounds"})
+
     def with_(self, **changes) -> "EngineConfig":
-        """A modified copy (dataclasses.replace wrapper)."""
-        return replace(self, **changes)
+        """A modified copy (dataclasses.replace wrapper).
+
+        Sharding-level knobs (``shards``, ``pool``, ``shard_backend``,
+        ``max_rounds``) are routed into the nested :class:`ShardingConfig`,
+        so a parallel configuration survives copy-with-changes:
+        ``EngineConfig.parallel(shards=4).with_(shards=2)`` re-shards, and
+        ``.with_(use_indexes=False)`` keeps the sharding intact.
+        """
+        shard_changes = {
+            key: changes.pop(key)
+            for key in list(changes)
+            if key in self._SHARDING_KEYS
+        }
+        config = replace(self, **changes)
+        if shard_changes:
+            base = config.sharding if config.sharding is not None else ShardingConfig()
+            config = replace(config, sharding=replace(base, **shard_changes))
+        return config

@@ -15,7 +15,7 @@ The paper's running example (Fig. 1a) declares relations and variables on a
     VaFlow(v1, v2) <= VaFlow(v3, v2) & VaFlow(v1, v3)
     ...
     Assign.add_fact(1, 2)
-    result = program.solve("VaFlow")
+    result = program.database().query("VaFlow")   # a QueryResult
 
 ``head <= body`` registers the rule with the program immediately (rules are
 values too, mirroring Carac's first-class constraints: ``program.rule(head,
@@ -26,7 +26,26 @@ provide the built-ins used by the microbenchmark programs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    overload,
+)
+
+if TYPE_CHECKING:  # execution layers sit above the DSL; import only for types
+    from repro.api.database import Database
+    from repro.core.config import EngineConfig
+    from repro.engine.engine import ExecutionEngine
+    from repro.incremental.session import IncrementalSession
+    from repro.relational.relation import Row
 
 from repro.datalog.literals import (
     Assignment,
@@ -66,10 +85,16 @@ class RelationHandle:
     ground tuple into the program's extensional data for this relation.
     """
 
-    def __init__(self, program: "Program", name: str, arity: Optional[int] = None) -> None:
+    def __init__(self, program: "Program", name: str, arity: Optional[int] = None,
+                 columns: Optional[Sequence[str]] = None) -> None:
         self._program = program
         self.name = name
+        if columns is not None:
+            columns = tuple(columns)
+            if arity is None:
+                arity = len(columns)
         self.arity = arity
+        self.columns = columns
 
     def __call__(self, *terms: Any) -> DSLAtom:
         if self.arity is None:
@@ -116,17 +141,31 @@ class Program:
 
     # -- declaration ----------------------------------------------------------
 
-    def relation(self, name: str, arity: Optional[int] = None) -> RelationHandle:
-        """Declare (or fetch) a relation handle by name."""
+    def relation(self, name: str, arity: Optional[int] = None,
+                 columns: Optional[Sequence[str]] = None) -> RelationHandle:
+        """Declare (or fetch) a relation handle by name.
+
+        ``columns`` optionally names the relation's columns (implying the
+        arity); the names flow into every ``QueryResult`` schema for this
+        relation (``.to_dicts()`` / ``.to_columns()`` keys).
+        """
         handle = self._relation_handles.get(name)
         if handle is None:
-            handle = RelationHandle(self, name, arity)
-            if arity is not None:
-                self.datalog.declare_relation(name, arity)
+            handle = RelationHandle(self, name, arity, columns)
+            if handle.arity is not None:
+                self.datalog.declare_relation(name, handle.arity, handle.columns)
             self._relation_handles[name] = handle
-        elif arity is not None and handle.arity is None:
-            handle.arity = arity
-            self.datalog.declare_relation(name, arity)
+        else:
+            if arity is not None and handle.arity is None:
+                handle.arity = arity
+                self.datalog.declare_relation(name, arity)
+            if columns is not None:
+                handle.columns = tuple(columns)
+                if handle.arity is None:
+                    handle.arity = len(handle.columns)
+                self.datalog.declare_relation(
+                    name, handle.arity, handle.columns
+                )
         return handle
 
     def relations(self, *names: str, arity: Optional[int] = None) -> List[RelationHandle]:
@@ -160,38 +199,68 @@ class Program:
 
     # -- execution (lazy import of the engine to avoid layering cycles) -------
 
-    def solve(self, relation: Optional[str] = None, config: Any = None) -> Any:
-        """Evaluate the program to fixpoint.
+    def database(self, config: Optional["EngineConfig"] = None) -> "Database":
+        """Open a :class:`repro.Database` over this program.
 
-        Returns the set of tuples of ``relation`` if given, otherwise a dict
-        of every IDB relation to its tuples.  ``config`` is an optional
-        :class:`repro.engine.EngineConfig`.
+        The single entry point of the public API: ``program.database()``,
+        then ``.connect()`` for stateful connections or ``.query()`` for
+        one-shot reads returning :class:`~repro.api.result.QueryResult`
+        objects.
         """
-        from repro.engine import EngineConfig, ExecutionEngine
+        from repro.api.database import Database
 
-        engine = ExecutionEngine(self.datalog, config or EngineConfig())
-        result = engine.run()
+        return Database(self.datalog, config)
+
+    @overload
+    def solve(self, relation: str,
+              config: Optional["EngineConfig"] = None) -> "Set[Row]": ...
+
+    @overload
+    def solve(self, relation: None = None,
+              config: Optional["EngineConfig"] = None) -> "Dict[str, Set[Row]]": ...
+
+    def solve(self, relation: Optional[str] = None,
+              config: Optional["EngineConfig"] = None):
+        """Deprecated: use ``program.database(config).query(relation)``.
+
+        Evaluates the program to fixpoint through the :class:`repro.Database`
+        API and returns the legacy shapes: the set of tuples of ``relation``
+        when given (empty set when the relation is unknown *or extensional*,
+        exactly as before — the legacy dict covered IDB relations only),
+        otherwise a dict of every IDB relation to its tuples — the same
+        relations in every execution mode.
+        """
+        warnings.warn(
+            "Program.solve() is deprecated; use program.database(config)"
+            ".query(relation), which returns QueryResult objects",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        database = self.database(config)
         if relation is None:
-            return result
-        return result.get(relation, set())
+            return database.query().to_sets()
+        if relation not in self.datalog.idb_relations():
+            return set()
+        return database.query(relation).to_set()
 
-    def engine(self, config: Any = None) -> Any:
+    def engine(self, config: Optional["EngineConfig"] = None) -> "ExecutionEngine":
         """Build (but do not run) an execution engine for this program."""
-        from repro.engine import EngineConfig, ExecutionEngine
+        from repro.engine import ExecutionEngine
 
-        return ExecutionEngine(self.datalog, config or EngineConfig())
+        return ExecutionEngine(self.datalog, config)
 
-    def session(self, config: Any = None) -> Any:
+    def session(self, config: Optional["EngineConfig"] = None) -> "IncrementalSession":
         """Build a long-lived :class:`repro.incremental.IncrementalSession`.
 
         The session snapshots the program as currently declared; facts added
         through the DSL afterwards do not reach it — use the session's
-        ``insert_facts`` / ``retract_facts`` instead.
+        ``insert_facts`` / ``retract_facts`` instead.  Most callers want
+        :meth:`database` and ``connect()`` instead, whose connections wrap a
+        session and return :class:`~repro.api.result.QueryResult` objects.
         """
-        from repro.engine import EngineConfig
         from repro.incremental import IncrementalSession
 
-        return IncrementalSession(self.datalog, config or EngineConfig())
+        return IncrementalSession(self.datalog, config)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Program({self.datalog!r})"

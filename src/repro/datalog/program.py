@@ -26,12 +26,17 @@ class RelationDeclaration:
     one rule.  Relations that have both facts and rules are treated as IDB
     relations whose facts seed the derived database (this mirrors Carac,
     where facts may be added to any relation at runtime).
+
+    ``columns`` optionally names the columns (``None`` means positional
+    ``c0..c{n-1}`` names are generated); the names surface in the schema of
+    every :class:`~repro.api.result.QueryResult` for this relation.
     """
 
     name: str
     arity: int
     fact_count: int = 0
     rule_count: int = 0
+    columns: Optional[Tuple[str, ...]] = None
 
     @property
     def is_edb(self) -> bool:
@@ -60,8 +65,16 @@ class DatalogProgram:
 
     # -- declaration ----------------------------------------------------------
 
-    def declare_relation(self, name: str, arity: int) -> RelationDeclaration:
+    def declare_relation(self, name: str, arity: int,
+                         columns: Optional[Sequence[str]] = None) -> RelationDeclaration:
         """Declare (or fetch) a relation, validating arity consistency."""
+        if columns is not None:
+            columns = tuple(columns)
+            if len(columns) != arity:
+                raise ValueError(
+                    f"relation {name!r} declared with arity {arity} but "
+                    f"{len(columns)} column names {columns!r}"
+                )
         existing = self.relations.get(name)
         if existing is not None:
             if existing.arity != arity:
@@ -69,8 +82,10 @@ class DatalogProgram:
                     f"relation {name!r} redeclared with arity {arity}, "
                     f"previously {existing.arity}"
                 )
+            if columns is not None:
+                existing.columns = columns
             return existing
-        declaration = RelationDeclaration(name=name, arity=arity)
+        declaration = RelationDeclaration(name=name, arity=arity, columns=columns)
         self.relations[name] = declaration
         return declaration
 
@@ -139,6 +154,7 @@ class DatalogProgram:
                 arity=decl.arity,
                 fact_count=decl.fact_count,
                 rule_count=decl.rule_count,
+                columns=decl.columns,
             )
         clone.facts = list(self.facts)
         clone.rules = list(self.rules)
@@ -158,6 +174,10 @@ class DatalogProgram:
             decl.fact_count += 1
         for rule in rules:
             clone.add_rule(rule.head, rule.body, rule.name)
+        for name, decl in self.relations.items():
+            replacement = clone.relations.get(name)
+            if replacement is not None and decl.columns is not None:
+                replacement.columns = decl.columns
         return clone
 
     def validate_arities(self) -> None:

@@ -3,7 +3,11 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # repro.api sits above this layer; import only for types
+    from repro.api.result import QueryResult, ResultSet
 
 from repro.core.aot import apply_aot_optimization
 from repro.core.config import AOTSortMode, EngineConfig, ExecutionMode
@@ -104,12 +108,10 @@ class ExecutionEngine:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self) -> Dict[str, Set[Row]]:
-        """Evaluate to fixpoint; returns every IDB relation's tuples."""
+    def _execute_once(self) -> None:
+        """Run the fixpoint computation (idempotent)."""
         if self._ran:
-            raise RuntimeError(
-                "this engine has already run; build a new ExecutionEngine to re-evaluate"
-            )
+            return
         if sharding_active(self.config):
             # Lazy import: repro.parallel sits above the engine layer.
             from repro.parallel.executor import ParallelEvaluator
@@ -122,14 +124,79 @@ class ExecutionEngine:
             executor = IRExecutor(self.storage, self.config, self.profile)
             executor.execute(self.tree)
         self._ran = True
+
+    def evaluate(self) -> "ResultSet":
+        """Evaluate to fixpoint; every IDB relation as a :class:`QueryResult`.
+
+        The canonical way to read a single-shot evaluation.  Idempotent: the
+        fixpoint runs once, later calls return fresh views of the same state.
+        """
+        from repro.api.result import ResultSet
+
+        self._execute_once()
+        results = {
+            relation: self.result(relation)
+            for relation in self.program.idb_relations()
+        }
+        return ResultSet(results, explain=self._render_explain)
+
+    def result(self, name: str) -> "QueryResult":
+        """One relation (IDB or EDB) as a :class:`QueryResult`."""
+        from repro.api.database import schema_for
+        from repro.api.result import QueryResult
+
+        self._execute_once()
+        schema = schema_for(self.program, name)
+
+        def explain() -> str:
+            return self._render_explain(relation=name)
+
+        # The engine is single-shot, so storage is stable after the fixpoint:
+        # rows may be fetched lazily, on first access.
+        return QueryResult(
+            schema, lambda: self.storage.tuples(name), explain=explain
+        )
+
+    def run(self) -> Dict[str, Set[Row]]:
+        """Deprecated: use :meth:`evaluate` (or :class:`repro.Database`).
+
+        Evaluates to fixpoint and returns the legacy ``{relation: set(rows)}``
+        dictionary over every IDB relation.
+        """
+        warnings.warn(
+            "ExecutionEngine.run() is deprecated; use ExecutionEngine.evaluate() "
+            "or the repro.Database API, which return QueryResult objects",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._ran:
+            raise RuntimeError(
+                "this engine has already run; build a new ExecutionEngine to re-evaluate"
+            )
+        self._execute_once()
         return {
             relation: self.storage.tuples(relation)
             for relation in self.program.idb_relations()
         }
 
     def relation(self, name: str) -> Set[Row]:
-        """Tuples of one relation (IDB or EDB) after :meth:`run`."""
+        """Tuples of one relation (IDB or EDB) after evaluation."""
         return self.storage.tuples(name)
+
+    def _render_explain(self, relation: Optional[str] = None) -> str:
+        from repro.api.explain import render_explain
+
+        row_count = None
+        if relation is not None and self._ran:
+            row_count = self.storage.cardinality(relation)
+        return render_explain(
+            title=f"evaluation of {self.program.name!r}",
+            config=self.config,
+            tree=self.tree,
+            profile=self.profile if self._ran else None,
+            relation=relation,
+            row_count=row_count,
+        )
 
     def execution_seconds(self) -> float:
         """Wall-clock time of the :meth:`run` call (excludes engine setup)."""

@@ -32,8 +32,12 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # repro.api sits above this layer; import only for types
+    from repro.api.result import ResultSet
 
 from repro.core.config import EngineConfig
 from repro.core.executor import IRExecutor
@@ -234,7 +238,22 @@ class IncrementalSession:
         else:
             executor = IRExecutor(self.storage, self.config, profile)
             executor.execute(tree)
+        self._absorb_profile(profile)
         return profile
+
+    def _absorb_profile(self, profile: RuntimeProfile) -> None:
+        """Fold one execution's profile into the session-lifetime profile.
+
+        ``self.profile`` accumulates every fixpoint and update the session
+        ran, so ``Connection.explain()`` can surface the adaptive join-order
+        and code-generation decisions taken across the session's lifetime.
+        """
+        self.profile.iterations.extend(profile.iterations)
+        self.profile.reorders.extend(profile.reorders)
+        self.profile.compile_events.extend(profile.compile_events)
+        self.profile.sources.interpreted += profile.sources.interpreted
+        self.profile.sources.compiled += profile.sources.compiled
+        self.profile.wall_seconds += profile.wall_seconds
 
     def _ensure_evaluated(self) -> None:
         if not self._evaluated:
@@ -535,7 +554,7 @@ class IncrementalSession:
 
     # -- queries ----------------------------------------------------------------
 
-    def query(self, relation: str) -> FrozenSet[Row]:
+    def fetch(self, relation: str) -> FrozenSet[Row]:
         """The current tuples of ``relation``, served from cache when valid."""
         self._ensure_evaluated()
         dependencies = self._dependencies.get(relation, frozenset((relation,)))
@@ -551,9 +570,21 @@ class IncrementalSession:
         self.cache.store(key, tokens, rows)
         return rows
 
+    def query(self, relation: str) -> FrozenSet[Row]:
+        """Deprecated: use :meth:`fetch` (or ``Connection.query`` for
+        :class:`~repro.api.result.QueryResult` objects)."""
+        warnings.warn(
+            "IncrementalSession.query() is deprecated; use "
+            "IncrementalSession.fetch() or a repro.Database connection, whose "
+            "query() returns QueryResult objects",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.fetch(relation)
+
     def results(self) -> Dict[str, FrozenSet[Row]]:
         """Every IDB relation's tuples (cached individually)."""
-        return {name: self.query(name) for name in self.program.idb_relations()}
+        return {name: self.fetch(name) for name in self.program.idb_relations()}
 
     # -- verification helpers ----------------------------------------------------
 
@@ -569,17 +600,17 @@ class IncrementalSession:
             clone.add_rule(rule.head, rule.body, rule.name)
         return clone
 
-    def recompute(self, config: Optional[EngineConfig] = None) -> Dict[str, Set[Row]]:
+    def recompute(self, config: Optional[EngineConfig] = None) -> "ResultSet":
         """From-scratch evaluation of the current base facts (fresh engine)."""
         engine = ExecutionEngine(self.snapshot_program(), config or self.config)
-        return engine.run()
+        return engine.evaluate()
 
     def self_check(self) -> None:
         """Assert the incremental state equals a from-scratch evaluation."""
         self._ensure_evaluated()
         reference = self.recompute()
         for name, expected in reference.items():
-            actual = set(self.query(name))
+            actual = set(self.fetch(name))
             if actual != set(expected):
                 missing = set(expected) - actual
                 extra = actual - set(expected)

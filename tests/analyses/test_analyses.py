@@ -26,7 +26,7 @@ from repro.workloads.program_facts import (
 
 
 def solve(program, relation, config=None):
-    return ExecutionEngine(program, config or EngineConfig.interpreted()).run()[relation]
+    return ExecutionEngine(program, config or EngineConfig.interpreted()).evaluate()[relation]
 
 
 class TestMicroPrograms:
@@ -101,7 +101,7 @@ class TestMacroAnalyses:
 
     def test_csda_null_propagation(self):
         dataset = CSDADataset(edge=[(1, 2), (2, 3), (4, 5)], null_source=[(1,)])
-        results = ExecutionEngine(build_csda_program(dataset), EngineConfig.interpreted()).run()
+        results = ExecutionEngine(build_csda_program(dataset), EngineConfig.interpreted()).evaluate()
         assert results["nullFlow"] == {(1,), (2,), (3,)}
 
     def test_csda_orderings_agree(self):
@@ -114,7 +114,7 @@ class TestMacroAnalyses:
         dataset = SListLibGenerator(seed=3).generate(list_length=5, extra_pipelines=0)
         results = ExecutionEngine(
             build_andersen_program(dataset), EngineConfig.interpreted()
-        ).run()
+        ).evaluate()
         points_to = results["pointsTo"]
         # Every addressOf fact is a points-to fact directly.
         for variable, obj in dataset.address_of:
@@ -130,7 +130,7 @@ class TestMacroAnalyses:
         dataset = SListLibGenerator(seed=7).generate(list_length=8, extra_pipelines=1)
         results = ExecutionEngine(
             build_inverse_functions_program(dataset), EngineConfig.interpreted()
-        ).run()
+        ).evaluate()
         assert results["wastedWork"], "the planted serialize/deserialize round trip must be found"
         assert results["roundTrip"]
 

@@ -1,0 +1,136 @@
+"""The legacy entry points still work, set-like, with exactly one warning.
+
+PR 1–2 users called ``Program.solve``, ``ExecutionEngine.run`` and
+``IncrementalSession.query``.  Those call-forms survive as thin shims over
+the Database API: each returns the legacy set-like shape (a mutable set /
+dict-of-sets / frozenset, comparing equal to what the new API yields) and
+emits exactly one ``DeprecationWarning`` naming its replacement.
+"""
+
+import warnings
+
+import pytest
+
+from repro import Database, EngineConfig, ExecutionEngine, Program, parse_program
+from repro.incremental import IncrementalSession
+
+TC_SOURCE = """
+edge(1, 2). edge(2, 3). edge(3, 4).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+TC_PATHS = {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+
+def build_program() -> Program:
+    program = Program("reach")
+    edge, path = program.relations("edge", "path", arity=2)
+    x, y, z = program.variables("x", "y", "z")
+    path(x, y) <= edge(x, y)
+    path(x, z) <= path(x, y) & edge(y, z)
+    edge.add_facts([(1, 2), (2, 3), (3, 4)])
+    return program
+
+
+def assert_exactly_one_deprecation(recorded, replacement_hint):
+    deprecations = [w for w in recorded if w.category is DeprecationWarning]
+    assert len(deprecations) == 1, [str(w.message) for w in recorded]
+    assert replacement_hint in str(deprecations[0].message)
+
+
+class TestProgramSolveShim:
+    def test_solve_with_relation_returns_plain_set(self):
+        program = build_program()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            result = program.solve("path")
+        assert_exactly_one_deprecation(recorded, "database")
+        assert type(result) is set
+        assert result == TC_PATHS
+
+    def test_solve_without_relation_returns_dict_of_sets(self):
+        program = build_program()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            result = program.solve()
+        assert_exactly_one_deprecation(recorded, "database")
+        assert type(result) is dict
+        assert set(result) == {"path"}
+        assert type(result["path"]) is set
+        assert result["path"] == TC_PATHS
+
+    def test_solve_unknown_relation_keeps_legacy_empty_set(self):
+        program = build_program()
+        with pytest.warns(DeprecationWarning):
+            assert program.solve("no_such_relation") == set()
+
+    def test_solve_edb_relation_keeps_legacy_empty_set(self):
+        # The legacy solve() dict covered IDB relations only, so solve("edge")
+        # returned set() — EDB reads belong to the new Database.query API.
+        program = build_program()
+        with pytest.warns(DeprecationWarning):
+            assert program.solve("edge") == set()
+        assert Database(program).query("edge") == {(1, 2), (2, 3), (3, 4)}
+
+    def test_solve_accepts_config(self):
+        program = build_program()
+        with pytest.warns(DeprecationWarning):
+            result = program.solve("path", EngineConfig.jit("lambda"))
+        assert result == TC_PATHS
+
+    def test_solve_agrees_with_database_query(self):
+        program = build_program()
+        modern = Database(program).query("path")
+        with pytest.warns(DeprecationWarning):
+            legacy = program.solve("path")
+        assert modern == legacy
+
+
+class TestEngineRunShim:
+    def test_run_returns_dict_of_mutable_sets(self):
+        engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.interpreted())
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            results = engine.run()
+        assert_exactly_one_deprecation(recorded, "evaluate")
+        assert type(results) is dict
+        assert type(results["path"]) is set
+        assert results["path"] == TC_PATHS
+        results["path"].add((9, 9))  # legacy callers could mutate their copy
+
+    def test_run_agrees_with_evaluate(self):
+        legacy_engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.interpreted())
+        with pytest.warns(DeprecationWarning):
+            legacy = legacy_engine.run()
+        modern = ExecutionEngine(
+            parse_program(TC_SOURCE), EngineConfig.interpreted()
+        ).evaluate()
+        assert modern == legacy
+
+    def test_run_still_refuses_to_rerun(self):
+        engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.interpreted())
+        with pytest.warns(DeprecationWarning):
+            engine.run()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RuntimeError):
+                engine.run()
+
+
+class TestSessionQueryShim:
+    def test_query_returns_frozenset_and_warns_once(self):
+        session = IncrementalSession(parse_program(TC_SOURCE))
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            result = session.query("path")
+        assert_exactly_one_deprecation(recorded, "fetch")
+        assert type(result) is frozenset
+        assert result == TC_PATHS
+
+    def test_query_agrees_with_fetch_and_connection(self):
+        session = IncrementalSession(parse_program(TC_SOURCE))
+        with pytest.warns(DeprecationWarning):
+            legacy = session.query("path")
+        assert legacy == session.fetch("path")
+        with Database(TC_SOURCE).connect() as conn:
+            assert conn.query("path") == legacy

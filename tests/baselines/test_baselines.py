@@ -15,7 +15,7 @@ path(X, Z) :- path(X, Y), edge(Y, Z).
 
 
 def reference():
-    return ExecutionEngine(parse_program(SOURCE), EngineConfig.interpreted()).run()["path"]
+    return ExecutionEngine(parse_program(SOURCE), EngineConfig.interpreted()).evaluate()["path"]
 
 
 class TestSouffleLike:
@@ -50,7 +50,7 @@ class TestSouffleLike:
 
         dataset = SListLibGenerator(seed=3).generate(list_length=6, extra_pipelines=0)
         program = build_andersen_program(dataset)
-        expected = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()["pointsTo"]
+        expected = ExecutionEngine(program.copy(), EngineConfig.interpreted()).evaluate()["pointsTo"]
         result = SouffleLikeEngine(mode="auto-tuned", toolchain_seconds=0.0).run(program)
         assert result.relations["pointsTo"] == expected
 

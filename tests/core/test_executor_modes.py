@@ -33,7 +33,7 @@ volume(R, count(V)) :- sales(R, V).
 
 
 def run(source: str, config: EngineConfig):
-    return ExecutionEngine(parse_program(source), config).run()
+    return ExecutionEngine(parse_program(source), config).evaluate()
 
 
 REFERENCE_TC = run(TC_SOURCE, EngineConfig.naive())["path"]
@@ -91,7 +91,7 @@ class TestAggregation:
 class TestProfileBookkeeping:
     def test_interpreted_profile_has_no_compilations(self):
         engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.interpreted())
-        engine.run()
+        engine.evaluate()
         summary = engine.profile.summary()
         assert summary["compilations"] == 0
         assert summary["reorders"] == 0
@@ -100,7 +100,7 @@ class TestProfileBookkeeping:
 
     def test_jit_profile_records_reorders_and_compiles(self):
         engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.jit("quotes"))
-        engine.run()
+        engine.evaluate()
         summary = engine.profile.summary()
         assert summary["reorders"] > 0
         assert summary["compilations"] >= 1
@@ -111,28 +111,31 @@ class TestProfileBookkeeping:
         engine = ExecutionEngine(
             parse_program(TC_SOURCE), EngineConfig.aot(sort=AOTSortMode.FACTS_AND_RULES)
         )
-        engine.run()
+        engine.evaluate()
         stages = {record.stage for record in engine.profile.reorders}
         assert "aot" in stages
 
     def test_iteration_records_have_delta_cardinalities(self):
         engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.interpreted())
-        engine.run()
+        engine.evaluate()
         assert any(
             record.delta_cardinalities.get("path", 0) > 0
             for record in engine.profile.iterations
         )
 
-    def test_engine_cannot_run_twice(self):
+    def test_evaluate_is_idempotent_but_legacy_run_cannot_rerun(self):
         engine = ExecutionEngine(parse_program(TC_SOURCE), EngineConfig.interpreted())
-        engine.run()
-        with pytest.raises(RuntimeError):
-            engine.run()
+        first = engine.evaluate()
+        second = engine.evaluate()  # no re-execution: fresh view of same state
+        assert first == second
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RuntimeError):
+                engine.run()
 
     def test_max_iterations_bounds_execution(self):
         config = EngineConfig.interpreted().with_(max_iterations=1)
         engine = ExecutionEngine(parse_program(TC_SOURCE), config)
-        results = engine.run()
+        results = engine.evaluate()
         assert results["path"] < REFERENCE_TC
 
     def test_explain_shows_plan(self):
@@ -147,10 +150,10 @@ class TestFreshnessThresholdBehaviour:
             parse_program(source),
             EngineConfig.jit("lambda").with_(freshness_threshold=0.0),
         )
-        eager.run()
+        eager.evaluate()
         lazy = ExecutionEngine(
             parse_program(source),
             EngineConfig.jit("lambda").with_(freshness_threshold=1e9),
         )
-        lazy.run()
+        lazy.evaluate()
         assert len(eager.profile.compile_events) >= len(lazy.profile.compile_events)

@@ -95,16 +95,16 @@ class TestFactsAndSolve:
         path(x, y) <= edge(x, y)
         path(x, z) <= path(x, y) & edge(y, z)
         edge.add_facts([(1, 2), (2, 3)])
-        result = program.solve("path")
+        result = program.database().query("path")
         assert result == {(1, 2), (2, 3), (1, 3)}
 
-    def test_solve_returns_all_idb_without_argument(self):
+    def test_query_returns_all_idb_without_argument(self):
         program = Program()
         edge, path = program.relations("edge", "path", arity=2)
         x, y = program.variables("x", "y")
         path(x, y) <= edge(x, y)
         edge.add_fact(1, 2)
-        result = program.solve()
+        result = program.database().query()
         assert set(result.keys()) == {"path"}
 
     def test_engine_accessor_builds_unrun_engine(self):
@@ -115,5 +115,5 @@ class TestFactsAndSolve:
         edge.add_fact(1, 2)
         engine = program.engine()
         assert engine.relation("path") == set()
-        engine.run()
+        engine.evaluate()
         assert engine.relation("path") == {(1, 2)}

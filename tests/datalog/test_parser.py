@@ -136,6 +136,6 @@ class TestEndToEnd:
         path(X, Z) :- path(X, Y), edge(Y, Z).
         """
         program = parse_program(source)
-        results = ExecutionEngine(program, EngineConfig.interpreted()).run()
+        results = ExecutionEngine(program, EngineConfig.interpreted()).evaluate()
         assert (1, 4) in results["path"]
         assert len(results["path"]) == 6

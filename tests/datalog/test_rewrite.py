@@ -56,9 +56,9 @@ class TestAliasElimination:
         from repro import EngineConfig, ExecutionEngine
 
         program = self.build_program_with_alias()
-        original = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()["path"]
+        original = ExecutionEngine(program.copy(), EngineConfig.interpreted()).evaluate()["path"]
         rewritten = eliminate_aliases(program)
-        result = ExecutionEngine(rewritten, EngineConfig.interpreted()).run()["path"]
+        result = ExecutionEngine(rewritten, EngineConfig.interpreted()).evaluate()["path"]
         assert result == original
 
 
@@ -86,8 +86,8 @@ class TestBodyReordering:
         program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
         program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
         reversed_program = reverse_rule_bodies(program)
-        original = ExecutionEngine(program, EngineConfig.interpreted()).run()["path"]
-        mirrored = ExecutionEngine(reversed_program, EngineConfig.interpreted()).run()["path"]
+        original = ExecutionEngine(program, EngineConfig.interpreted()).evaluate()["path"]
+        mirrored = ExecutionEngine(reversed_program, EngineConfig.interpreted()).evaluate()["path"]
         assert original == mirrored
         step_rule = reversed_program.rules_for("path")[1]
         assert [a.relation for a in step_rule.body_atoms()] == ["edge", "path"]

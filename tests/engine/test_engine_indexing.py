@@ -63,14 +63,14 @@ class TestExecutionEngine:
     path(X, Z) :- path(X, Y), edge(Y, Z).
     """
 
-    def test_run_returns_idb_relations_only(self):
+    def test_evaluate_returns_idb_relations_only(self):
         engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
-        results = engine.run()
+        results = engine.evaluate()
         assert set(results) == {"path"}
 
     def test_relation_accessor_reads_edb_too(self):
         engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
-        engine.run()
+        engine.evaluate()
         assert engine.relation("edge") == {(1, 2), (2, 3)}
 
     def test_indexes_registered_when_enabled(self):
@@ -83,7 +83,7 @@ class TestExecutionEngine:
 
     def test_execution_seconds_populated(self):
         engine = ExecutionEngine(parse_program(self.SOURCE), EngineConfig.interpreted())
-        engine.run()
+        engine.evaluate()
         assert engine.execution_seconds() > 0
         assert engine.setup_seconds >= 0
 

@@ -25,28 +25,28 @@ class TestInsertion:
     def test_initial_query_matches_single_shot_engine(self):
         session = tc_session()
         engine = ExecutionEngine(build_transitive_closure_program(EDGES))
-        assert set(session.query("path")) == engine.run()["path"]
+        assert set(session.fetch("path")) == engine.evaluate()["path"]
 
     def test_insert_extends_the_fixpoint_incrementally(self):
         session = tc_session()
         report = session.insert_facts("edge", [(4, 5)])
         assert report.strategy == "incremental"
         assert report.inserted == 1
-        assert (1, 6) in session.query("path")  # 1→...→4→5→6 now closed
+        assert (1, 6) in session.fetch("path")  # 1→...→4→5→6 now closed
         session.self_check()
 
     def test_duplicate_inserts_are_noops(self):
         session = tc_session()
-        before = session.query("path")
+        before = session.fetch("path")
         report = session.insert_facts("edge", [(1, 2)])
         assert report.inserted == 0
-        assert session.query("path") == before
+        assert session.fetch("path") == before
 
     def test_insert_into_idb_relation_is_allowed(self):
         session = tc_session()
         report = session.insert_facts("path", [(9, 10)])
         assert report.inserted == 1
-        assert (9, 10) in session.query("path")
+        assert (9, 10) in session.fetch("path")
         session.self_check()
 
     def test_unknown_relation_and_bad_arity_are_rejected(self):
@@ -63,7 +63,7 @@ class TestRetraction:
         report = session.retract_facts("edge", [(2, 3)])
         assert report.retracted == 1
         assert report.over_deleted >= 3  # (2,3) plus (1,3),(2,4),(1,4),(3,4 keeps)
-        paths = session.query("path")
+        paths = session.fetch("path")
         assert (1, 3) not in paths and (1, 4) not in paths
         assert (3, 4) in paths
         session.self_check()
@@ -72,13 +72,13 @@ class TestRetraction:
         # Two parallel routes 1→2: retracting one must keep path(1,2).
         session = tc_session([(1, 2), (1, 3), (3, 2)])
         session.retract_facts("edge", [(1, 2)])
-        assert (1, 2) in session.query("path")
+        assert (1, 2) in session.fetch("path")
         session.self_check()
 
     def test_cycle_retraction_converges(self):
         session = tc_session([(1, 2), (2, 3), (3, 1)])
         session.retract_facts("edge", [(2, 3)])
-        paths = session.query("path")
+        paths = session.fetch("path")
         assert paths == frozenset({(1, 2), (3, 1), (3, 2)})
 
     def test_retracting_nonbase_rows_is_ignored(self):
@@ -88,14 +88,14 @@ class TestRetraction:
         # Derived (non-base) facts cannot be retracted either.
         report = session.retract_facts("path", [(1, 3)])
         assert report.retracted == 0
-        assert (1, 3) in session.query("path")
+        assert (1, 3) in session.fetch("path")
 
     def test_retract_then_reinsert_round_trips(self):
         session = tc_session()
-        before = session.query("path")
+        before = session.fetch("path")
         session.retract_facts("edge", [(2, 3)])
         session.insert_facts("edge", [(2, 3)])
-        assert session.query("path") == before
+        assert session.fetch("path") == before
 
     def test_indexes_stay_consistent_and_can_be_rebuilt(self):
         session = tc_session()
@@ -118,17 +118,17 @@ class TestRetraction:
 class TestResultCache:
     def test_repeated_queries_hit_the_cache(self):
         session = tc_session()
-        session.query("path")
-        session.query("path")
+        session.fetch("path")
+        session.fetch("path")
         assert session.cache.stats.hits == 1
 
     def test_mutation_invalidates_dependent_relations(self):
         session = tc_session()
-        session.query("path")
+        session.fetch("path")
         session.insert_facts("edge", [(6, 7)])
-        session.query("path")  # stale: edge generation moved
+        session.fetch("path")  # stale: edge generation moved
         assert session.cache.stats.invalidations >= 1
-        session.query("path")
+        session.fetch("path")
         assert session.cache.stats.hits >= 1
 
     def test_unrelated_relations_keep_their_entries(self):
@@ -138,9 +138,9 @@ class TestResultCache:
         program.declare_relation("tag", 1)
         program.add_fact("tag", ("a",))
         session = IncrementalSession(program, EngineConfig.interpreted())
-        session.query("path")
+        session.fetch("path")
         session.insert_facts("tag", [("b",)])
-        session.query("path")
+        session.fetch("path")
         assert session.cache.stats.hits == 1  # tag is not a dependency of path
 
     def test_sessions_with_different_facts_do_not_collide_in_a_shared_cache(self):
@@ -148,17 +148,17 @@ class TestResultCache:
         # coincide, so only the facts-aware fingerprint keeps them apart).
         shared = ResultCache()
         a = tc_session([(1, 2)], cache=shared)
-        assert set(a.query("path")) == {(1, 2)}
+        assert set(a.fetch("path")) == {(1, 2)}
         b = tc_session([(3, 4)], cache=shared)
-        assert set(b.query("path")) == {(3, 4)}
-        assert set(a.query("path")) == {(1, 2)}
+        assert set(b.fetch("path")) == {(3, 4)}
+        assert set(a.fetch("path")) == {(1, 2)}
 
     def test_replica_sessions_share_cache_entries(self):
         shared = ResultCache()
         a = tc_session(cache=shared)
         b = tc_session(cache=shared)
-        a.query("path")
-        b.query("path")
+        a.fetch("path")
+        b.fetch("path")
         assert shared.stats.hits == 1
 
     def test_diverging_update_streams_fork_the_shared_cache(self):
@@ -169,8 +169,8 @@ class TestResultCache:
         b = tc_session([(1, 2)], cache=shared)
         a.insert_facts("edge", [(2, 3)])
         b.insert_facts("edge", [(5, 6)])
-        a.query("path")
-        assert set(b.query("path")) == {(1, 2), (5, 6)}
+        a.fetch("path")
+        assert set(b.fetch("path")) == {(1, 2), (5, 6)}
 
     def test_identical_update_streams_keep_sharing(self):
         shared = ResultCache()
@@ -178,31 +178,31 @@ class TestResultCache:
         b = tc_session(cache=shared)
         a.insert_facts("edge", [(4, 5)])
         b.insert_facts("edge", [(4, 5)])
-        a.query("path")
-        b.query("path")
+        a.fetch("path")
+        b.fetch("path")
         assert shared.stats.hits == 1
 
     def test_noop_batches_do_not_invalidate_or_fork(self):
         session = tc_session()
-        session.query("path")
+        session.fetch("path")
         session.retract_facts("edge", [(99, 100)])  # never asserted
         session.insert_facts("edge", [(1, 2)])      # already live
-        session.query("path")
+        session.fetch("path")
         assert session.cache.stats.hits == 1
         # ...and a replica that applied the same no-ops still shares.
         shared = ResultCache()
         a = tc_session(cache=shared)
         b = tc_session(cache=shared)
         a.retract_facts("edge", [(99, 100)])
-        a.query("path")
-        b.query("path")
+        a.fetch("path")
+        b.fetch("path")
         assert shared.stats.hits == 1
 
     def test_cache_eviction_respects_capacity(self):
         cache = ResultCache(max_entries=1)
         session = tc_session(cache=cache)
-        session.query("path")
-        session.query("edge")
+        session.fetch("path")
+        session.fetch("edge")
         assert len(cache) == 1
 
 
@@ -210,11 +210,11 @@ class TestFallbackAndFingerprint:
     def test_negation_program_falls_back_to_recompute(self):
         session = IncrementalSession(build_primes_program(limit=30))
         assert not session.incremental_capable
-        before = set(session.query("prime"))
+        before = set(session.fetch("prime"))
         report = session.insert_facts("num", [(31,), (32,)])
         assert report.strategy == "recompute"
         assert report.inserted == 2
-        after = set(session.query("prime"))
+        after = set(session.fetch("prime"))
         # 31 is prime; 32 also lands in `prime` because the composite rule's
         # product filter is capped at the original limit constant — either
         # way the fallback must match from-scratch evaluation exactly.
@@ -228,7 +228,7 @@ class TestFallbackAndFingerprint:
         assert session.storage.is_base_row("num", victim)
         report = session.retract_facts("num", [victim])
         assert report.strategy == "recompute" and report.retracted == 1
-        assert victim not in session.query("num")
+        assert victim not in session.fetch("num")
         session.self_check()
 
     def test_noop_batches_skip_the_fallback_recompute(self):

@@ -65,10 +65,10 @@ class TestShardedPropagation:
         sharded_session.self_check()
 
     def test_queries_and_cache_work_when_sharded(self, sharded_session):
-        before = sharded_session.query("path")
-        assert sharded_session.query("path") is before  # cache hit
+        before = sharded_session.fetch("path")
+        assert sharded_session.fetch("path") is before  # cache hit
         sharded_session.insert_facts("edge", [(5, 6)])
-        after = sharded_session.query("path")
+        after = sharded_session.fetch("path")
         assert after > before  # strictly more reachability
 
 

@@ -36,7 +36,7 @@ def reference_results():
     for name in WORKLOADS:
         spec = get_benchmark(name)
         engine = ExecutionEngine(spec.build(Ordering.WRITTEN), EngineConfig.interpreted())
-        results[name] = engine.run()[spec.query_relation]
+        results[name] = engine.evaluate()[spec.query_relation]
     return results
 
 
@@ -45,7 +45,7 @@ def reference_results():
 def test_configuration_matches_interpreter(name, config, reference_results):
     spec = get_benchmark(name)
     engine = ExecutionEngine(spec.build(Ordering.WRITTEN), config)
-    assert engine.run()[spec.query_relation] == reference_results[name]
+    assert engine.evaluate()[spec.query_relation] == reference_results[name]
 
 
 @pytest.mark.parametrize("name", WORKLOADS)
@@ -53,7 +53,7 @@ def test_configuration_matches_interpreter(name, config, reference_results):
 def test_orderings_match_reference_under_jit(name, ordering, reference_results):
     spec = get_benchmark(name)
     engine = ExecutionEngine(spec.build(ordering), EngineConfig.jit("lambda"))
-    assert engine.run()[spec.query_relation] == reference_results[name]
+    assert engine.evaluate()[spec.query_relation] == reference_results[name]
 
 
 @pytest.mark.parametrize("name", ["fibonacci", "andersen", "csda"])

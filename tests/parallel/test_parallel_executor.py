@@ -32,7 +32,7 @@ def tc_edges():
 
 @pytest.fixture(scope="module")
 def tc_reference(tc_edges):
-    return tc_engine(tc_edges, EngineConfig.interpreted()).run()["path"]
+    return tc_engine(tc_edges, EngineConfig.interpreted()).evaluate()["path"]
 
 
 class TestConfigSurface:
@@ -106,7 +106,7 @@ class TestEquivalence:
     @pytest.mark.parametrize("shards", [2, 3, 4])
     def test_aligned_tc_matches_reference(self, tc_edges, tc_reference, shards):
         engine = tc_engine(tc_edges, EngineConfig.parallel(shards=shards))
-        assert engine.run()["path"] == tc_reference
+        assert engine.evaluate()["path"] == tc_reference
         assert engine.parallel_report.strategies() == ["aligned"]
 
     def test_replicated_strategy_matches_reference(self):
@@ -118,9 +118,9 @@ class TestEquivalence:
         program.add_rule(path(x, z), [path(x, y), path(y, z)])
         program.add_facts("edge", random_edges(40, 90, seed=3))
 
-        reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()
+        reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).evaluate()
         engine = ExecutionEngine(program.copy(), EngineConfig.parallel(shards=3))
-        assert engine.run() == reference
+        assert engine.evaluate() == reference
         report = engine.parallel_report
         assert report.strategies() == ["replicated"]
         assert report.total_exchanged() > 0  # the exchange did real work
@@ -141,18 +141,18 @@ class TestEquivalence:
             (0, True), (True, "a"), (3, 1.0),
         ])
 
-        reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()
+        reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).evaluate()
         for shards in (2, 3):
             engine = ExecutionEngine(program.copy(), EngineConfig.parallel(shards=shards))
-            assert engine.run() == reference
+            assert engine.evaluate() == reference
 
     @pytest.mark.parametrize("name", ["fibonacci", "andersen", "inverse_functions"])
     @pytest.mark.parametrize("shards", [2, 4])
     def test_benchmark_programs_match(self, name, shards):
         spec = get_benchmark(name)
-        reference = ExecutionEngine(spec.build(), EngineConfig.interpreted()).run()
+        reference = ExecutionEngine(spec.build(), EngineConfig.interpreted()).evaluate()
         engine = ExecutionEngine(spec.build(), EngineConfig.parallel(shards=shards))
-        assert engine.run()[spec.query_relation] == reference[spec.query_relation]
+        assert engine.evaluate()[spec.query_relation] == reference[spec.query_relation]
 
     @pytest.mark.parametrize("base", [
         EngineConfig.jit("bytecode"),
@@ -161,37 +161,37 @@ class TestEquivalence:
     ], ids=lambda c: c.describe())
     def test_modes_compose(self, tc_edges, tc_reference, base):
         engine = tc_engine(tc_edges, EngineConfig.parallel(shards=2, base=base))
-        assert engine.run()["path"] == tc_reference
+        assert engine.evaluate()["path"] == tc_reference
 
     def test_negation_program_matches(self):
         spec = get_benchmark("primes")
-        reference = ExecutionEngine(spec.build(), EngineConfig.interpreted()).run()
+        reference = ExecutionEngine(spec.build(), EngineConfig.interpreted()).evaluate()
         engine = ExecutionEngine(spec.build(), EngineConfig.parallel(shards=2))
-        assert engine.run()[spec.query_relation] == reference[spec.query_relation]
+        assert engine.evaluate()[spec.query_relation] == reference[spec.query_relation]
 
     def test_interpreted_workers_available_for_verification(self, tc_edges, tc_reference):
         engine = tc_engine(
             tc_edges, EngineConfig.parallel(shards=2, shard_backend="none")
         )
-        assert engine.run()["path"] == tc_reference
+        assert engine.evaluate()["path"] == tc_reference
 
     def test_naive_mode_runs_single_shard(self, tc_edges, tc_reference):
         engine = tc_engine(
             tc_edges, EngineConfig.parallel(shards=4, base=EngineConfig.naive())
         )
-        assert engine.run()["path"] == tc_reference
+        assert engine.evaluate()["path"] == tc_reference
         assert engine.parallel_report is None
 
 
 class TestPools:
     def test_thread_pool_matches_reference(self, tc_edges, tc_reference):
         engine = tc_engine(tc_edges, EngineConfig.parallel(shards=2, pool="thread"))
-        assert engine.run()["path"] == tc_reference
+        assert engine.evaluate()["path"] == tc_reference
 
     @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
     def test_fork_pool_matches_reference(self, tc_edges, tc_reference):
         engine = tc_engine(tc_edges, EngineConfig.parallel(shards=2, pool="process"))
-        assert engine.run()["path"] == tc_reference
+        assert engine.evaluate()["path"] == tc_reference
 
     @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
     def test_fork_pool_surfaces_worker_errors(self):
@@ -227,6 +227,6 @@ class TestTermination:
     def test_max_iterations_caps_the_sharded_loop(self, tc_edges):
         config = EngineConfig.parallel(shards=2, max_iterations=2)
         engine = tc_engine(tc_edges, config)
-        engine.run()
+        engine.evaluate()
         report = engine.parallel_report
         assert report.strata[0].rounds <= 2

@@ -52,7 +52,7 @@ def reference_closure(edges):
 
 def run_closure(edges, config):
     program = build_transitive_closure_program(edges)
-    return ExecutionEngine(program, config).run()["path"]
+    return ExecutionEngine(program, config).evaluate()["path"]
 
 
 class TestStrategyInvariance:
@@ -102,8 +102,8 @@ class TestOrderInvariance:
             permuted_rules.append(reorder_rule_body(rule, order))
         permuted = program.with_rules(permuted_rules)
 
-        original = ExecutionEngine(program, EngineConfig.interpreted()).run()["path"]
-        shuffled = ExecutionEngine(permuted, EngineConfig.interpreted()).run()["path"]
+        original = ExecutionEngine(program, EngineConfig.interpreted()).evaluate()["path"]
+        shuffled = ExecutionEngine(permuted, EngineConfig.interpreted()).evaluate()["path"]
         assert original == shuffled
 
     @given(edges=edges_strategy)
@@ -119,7 +119,7 @@ class TestOrderInvariance:
             body = [Atom("edge", (x, y)), Atom("edge", (y, z)), Atom("edge", (x, z))]
             program.add_rule(Atom("triangle", (x, y, z)), [body[i] for i in order])
             results.append(
-                ExecutionEngine(program, EngineConfig.interpreted()).run()["triangle"]
+                ExecutionEngine(program, EngineConfig.interpreted()).evaluate()["triangle"]
             )
         assert all(result == results[0] for result in results)
 

@@ -47,7 +47,7 @@ mutations_strategy = st.lists(
 
 
 def scratch_results(program, config, query):
-    return ExecutionEngine(program, config).run()[query]
+    return ExecutionEngine(program, config).evaluate()[query]
 
 
 @pytest.mark.parametrize("config", ALL_MODE_CONFIGS, ids=lambda c: c.describe())
@@ -70,7 +70,7 @@ def test_tc_random_update_sequences_match_scratch(config, edges, mutations):
         expected = scratch_results(
             build_transitive_closure_program(sorted(live)), config, "path"
         )
-        assert set(session.query("path")) == set(expected)
+        assert set(session.fetch("path")) == set(expected)
 
 
 @pytest.mark.parametrize("config", ALL_MODE_CONFIGS, ids=lambda c: c.describe())

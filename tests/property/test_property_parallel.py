@@ -69,12 +69,12 @@ def build_random_program(edges, rule_shape):
 @given(edges=edges_strategy)
 def test_random_programs_match_single_shard(rule_shape, edges):
     program = build_random_program(edges, rule_shape)
-    reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()
+    reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).evaluate()
     for shards in SHARD_COUNTS:
         engine = ExecutionEngine(
             program.copy(), EngineConfig.parallel(shards=shards)
         )
-        assert engine.run() == reference, f"{rule_shape} diverged at {shards} shards"
+        assert engine.evaluate() == reference, f"{rule_shape} diverged at {shards} shards"
 
 
 @pytest.mark.parametrize("base", [
@@ -85,9 +85,9 @@ def test_random_programs_match_single_shard(rule_shape, edges):
 @given(edges=edges_strategy)
 def test_random_programs_match_across_modes(base, edges):
     program = build_random_program(edges, "linear")
-    reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).run()
+    reference = ExecutionEngine(program.copy(), EngineConfig.interpreted()).evaluate()
     engine = ExecutionEngine(program.copy(), EngineConfig.parallel(shards=3, base=base))
-    assert engine.run() == reference
+    assert engine.evaluate() == reference
 
 
 @pytest.mark.parametrize("shards", [2, 4])
@@ -111,5 +111,5 @@ def test_sharded_sessions_replay_update_sequences(shards, edges, mutations):
             expected = ExecutionEngine(
                 build_transitive_closure_program(sorted(live)),
                 EngineConfig.interpreted(),
-            ).run()["path"]
-            assert set(session.query("path")) == set(expected)
+            ).evaluate()["path"]
+            assert set(session.fetch("path")) == set(expected)

@@ -38,13 +38,13 @@ class TestParserProperties:
         source += "\npath(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).\n"
         parsed_result = ExecutionEngine(
             parse_program(source), EngineConfig.interpreted()
-        ).run()["path"]
+        ).evaluate()["path"]
 
         program = DatalogProgram()
         program.add_facts("edge", rows)
         program.add_rule(Atom("path", (x, y)), [Atom("edge", (x, y))])
         program.add_rule(Atom("path", (x, z)), [Atom("path", (x, y)), Atom("edge", (y, z))])
-        dsl_result = ExecutionEngine(program, EngineConfig.interpreted()).run()["path"]
+        dsl_result = ExecutionEngine(program, EngineConfig.interpreted()).evaluate()["path"]
         assert parsed_result == dsl_result
 
 
