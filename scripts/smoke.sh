@@ -22,6 +22,10 @@ echo "== 2-shard parallel smoke bench =="
 python -m repro.bench --quick --only parallel
 
 echo
+echo "== vectorized executor smoke bench =="
+python -m repro.bench --quick --only vectorized
+
+echo
 echo "== public-API drift guard (snapshot + deprecation shims) =="
 python -m pytest -x -q tests/api
 

@@ -36,6 +36,8 @@ def render_explain(
         lines.append(f"relation: {relation}{suffix}")
     lines.append(f"configuration: {config.describe()}")
     detail = f"mode={config.mode.value}"
+    if config.executor != "pushdown":
+        detail += f" executor={config.executor}"
     if config.mode.value == "jit":
         detail += (
             f" backend={config.backend}"
@@ -55,13 +57,30 @@ def render_explain(
 
     if profile is not None:
         lines.append("")
+        sources = (
+            f"sub-queries {profile.sources.interpreted} interpreted / "
+            f"{profile.sources.compiled} compiled"
+        )
+        if profile.sources.vectorized:
+            sources += f" / {profile.sources.vectorized} vectorized"
         lines.append(
             f"execution: {profile.iteration_count()} iterations, "
             f"{len(profile.compile_events)} compilations "
             f"({profile.total_compile_seconds() * 1000:.1f} ms), "
-            f"sub-queries {profile.sources.interpreted} interpreted / "
-            f"{profile.sources.compiled} compiled"
+            + sources
         )
+        if profile.block_joins:
+            joins = profile.block_joins
+            lines.append(
+                f"vectorized batches: {joins.get('batches', 0)} "
+                f"(index-probe {joins.get('index', 0)}, "
+                f"table-build {joins.get('build', 0)})"
+            )
+        if profile.block_plans:
+            latest = dict(profile.block_plans)  # last prediction per rule wins
+            lines.append("vectorized plan strategies (latest per rule):")
+            for rule_name, strategies in list(latest.items())[:8]:
+                lines.append(f"  {rule_name}: {' ⋈ '.join(strategies)}")
         if profile.reorders:
             changed = [r for r in profile.reorders if r.decision.changed]
             lines.append(

@@ -1,8 +1,9 @@
 """Run the whole evaluation harness: ``python -m repro.bench [options]``.
 
 Prints every table and figure of the paper's evaluation section — plus the
-repository's own subsystem benchmarks (``incremental``, ``parallel``) —
-regenerated over the synthetic datasets at the selected scale.
+repository's own subsystem benchmarks (``incremental``, ``parallel``,
+``vectorized``) — regenerated over the synthetic datasets at the selected
+scale.
 
 Sections register in a single table (:data:`SECTIONS`: name → title →
 columns → runner), so adding an experiment is one entry, automatically
@@ -30,6 +31,7 @@ from repro.bench.incremental import INCREMENTAL_COLUMNS, run_incremental
 from repro.bench.parallel import PARALLEL_COLUMNS, run_parallel
 from repro.bench.table1 import TABLE1_COLUMNS, run_table1
 from repro.bench.table2 import TABLE2_COLUMNS, run_table2
+from repro.bench.vectorized import VECTORIZED_COLUMNS, run_vectorized
 
 Rows = List[Dict[str, object]]
 
@@ -102,6 +104,12 @@ SECTIONS: Tuple[BenchSection, ...] = (
         "Shard-parallel evaluation — shards scaling vs single shard",
         PARALLEL_COLUMNS,
         lambda args: run_parallel(repeat=args.repeat, quick=args.quick),
+    ),
+    BenchSection(
+        "vectorized",
+        "Vectorized execution — batch vs tuple-at-a-time sub-queries",
+        VECTORIZED_COLUMNS,
+        lambda args: run_vectorized(repeat=args.repeat, quick=args.quick),
     ),
 )
 

@@ -100,6 +100,13 @@ class EngineConfig:
     compile_mode: str = "full"                 # "full" or "snippet"
     use_indexes: bool = True
     evaluator_style: str = "push"              # "push" or "pull"
+    #: Physical sub-query executor: ``"pushdown"`` is the tuple-at-a-time
+    #: binding recursion (the oracle every other executor is tested
+    #: against), ``"vectorized"`` the ColumnarBlock batch executor —
+    #: ``EngineConfig.with_(executor="vectorized")`` turns it on over any
+    #: configuration.  Orthogonal to mode/backend/sharding: it changes how
+    #: interpreted sub-queries run, never what they compute.
+    executor: str = "pushdown"                 # "pushdown" or "vectorized"
     freshness_threshold: float = 0.2
     optimize_seed: bool = True
     max_iterations: int = 1_000_000
@@ -119,9 +126,9 @@ class EngineConfig:
         The suffix is appended unconditionally to labels (no substring
         guessing), so a label must not embed the count itself.
         """
-        suffix = ""
+        suffix = "+vec" if self.executor == "vectorized" else ""
         if self.sharding is not None and self.sharding.shards > 1:
-            suffix = f"x{self.sharding.shards}"
+            suffix += f"x{self.sharding.shards}"
         if self.label:
             return self.label + suffix
         if self.mode == ExecutionMode.INTERPRETED:

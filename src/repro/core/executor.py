@@ -35,6 +35,7 @@ from repro.core.config import (
 from repro.core.freshness import FreshnessTest
 from repro.core.join_order import (
     JoinOrderOptimizer,
+    annotate_block_strategies,
     storage_cardinality_view,
     storage_index_view,
 )
@@ -68,7 +69,9 @@ class IRExecutor:
         self.storage = storage
         self.config = config
         self.profile = profile if profile is not None else RuntimeProfile()
-        self.evaluator = SubqueryEvaluator(storage, config.evaluator_style)
+        self.evaluator = SubqueryEvaluator(
+            storage, config.evaluator_style, executor=config.executor
+        )
         self.stats = StatisticsCollector()
         self.freshness = FreshnessTest(config.freshness_threshold, self.stats)
 
@@ -95,6 +98,7 @@ class IRExecutor:
             for stratum in program.strata:
                 self._execute_stratum(stratum)
         finally:
+            self.profile.absorb_block_stats(self.evaluator.vectorized_stats)
             if self.compilation is not None:
                 self.profile.compile_events = list(self.compilation.events)
                 self.compilation.shutdown()
@@ -170,8 +174,11 @@ class IRExecutor:
         raise TypeError(f"cannot produce rows for {node!r}")
 
     def _union_children(self, node: IROp, stage: str) -> Set[Row]:
+        children = node.children
+        if len(children) == 1:  # single-rule/single-subquery: no union copy
+            return self._rows_for(children[0], stage)
         result: Set[Row] = set()
-        for child in node.children:
+        for child in children:
             result |= self._rows_for(child, stage)
         return result
 
@@ -219,7 +226,10 @@ class IRExecutor:
         return plan
 
     def _interpret_plan(self, plan: JoinPlan) -> Set[Row]:
-        self.profile.record_interpreted()
+        if self.evaluator.executor == "vectorized":
+            self.profile.record_vectorized()
+        else:
+            self.profile.record_interpreted()
         return self.evaluator.evaluate(plan)
 
     def _interpret_plans(self, plans: Sequence[JoinPlan]) -> Set[Row]:
@@ -233,11 +243,18 @@ class IRExecutor:
         cardinalities = storage_cardinality_view(self.storage)
         indexes = storage_index_view(self.storage)
         ordered: List[JoinPlan] = []
+        vectorized = self.config.executor == "vectorized"
         for node in nodes:
             optimized, decision = self.optimizer.optimize_plan(
                 node.plan, cardinalities, indexes
             )
             self.profile.record_reorder(node.node_id, node.plan.rule_name, stage, decision)
+            if vectorized:
+                # Profile how the batch executor will run the chosen order.
+                self.profile.record_block_plan(
+                    node.plan.rule_name,
+                    annotate_block_strategies(optimized, cardinalities, indexes),
+                )
             ordered.append(optimized)
         return ordered
 
@@ -272,7 +289,8 @@ class IRExecutor:
         if self.config.compile_mode == "snippet":
             style = self.config.evaluator_style
             continuations = [
-                _make_continuation(plan, style) for plan in ordered_plans
+                _make_continuation(plan, style, self.config.executor)
+                for plan in ordered_plans
             ]
 
         label = getattr(node, "relation", None) or getattr(node, "rule_name", None) or node.kind
@@ -338,10 +356,11 @@ class IRExecutor:
         return out
 
 
-def _make_continuation(plan: JoinPlan, style: str) -> ArtifactFunction:
+def _make_continuation(plan: JoinPlan, style: str,
+                       executor: str = "pushdown") -> ArtifactFunction:
     """A continuation that evaluates one plan through the interpreter."""
 
     def continuation(storage: StorageManager) -> Set[Row]:
-        return SubqueryEvaluator(storage, style).evaluate(plan)
+        return SubqueryEvaluator(storage, style, executor=executor).evaluate(plan)
 
     return continuation

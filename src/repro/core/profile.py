@@ -43,9 +43,10 @@ class ExecutionSource:
 
     interpreted: int = 0
     compiled: int = 0
+    vectorized: int = 0
 
     def total(self) -> int:
-        return self.interpreted + self.compiled
+        return self.interpreted + self.compiled + self.vectorized
 
 
 @dataclass
@@ -58,6 +59,13 @@ class RuntimeProfile:
     compile_events: List[object] = field(default_factory=list)
     wall_seconds: float = 0.0
     result_sizes: Dict[str, int] = field(default_factory=dict)
+    #: Vectorized-executor counters: evaluated batches and the physical
+    #: build strategy each keyed batch join took ("index" probe of an
+    #: existing per-column index vs fresh "build" of a hash table).
+    block_joins: Dict[str, int] = field(default_factory=dict)
+    #: Per-plan strategy predictions taken alongside join-order decisions
+    #: (rule name -> one strategy per positive atom, in chosen order).
+    block_plans: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
 
     # -- recording -------------------------------------------------------------
 
@@ -84,6 +92,20 @@ class RuntimeProfile:
     def record_compiled(self) -> None:
         self.sources.compiled += 1
 
+    def record_vectorized(self) -> None:
+        self.sources.vectorized += 1
+
+    def record_block_plan(self, rule_name: str,
+                          strategies: Tuple[str, ...]) -> None:
+        self.block_plans.append((rule_name, strategies))
+
+    def absorb_block_stats(self, stats: Optional[Dict[str, int]]) -> None:
+        """Fold one evaluator's batch counters into the profile."""
+        if not stats:
+            return
+        for key, value in stats.items():
+            self.block_joins[key] = self.block_joins.get(key, 0) + value
+
     # -- summaries -------------------------------------------------------------
 
     def iteration_count(self) -> int:
@@ -108,5 +130,7 @@ class RuntimeProfile:
             "compile_seconds": self.total_compile_seconds(),
             "subqueries_interpreted": self.sources.interpreted,
             "subqueries_compiled": self.sources.compiled,
+            "subqueries_vectorized": self.sources.vectorized,
+            "block_joins": dict(self.block_joins),
             "result_sizes": dict(self.result_sizes),
         }

@@ -181,6 +181,15 @@ class Assignment(Literal):
         return f"{self.target!r} := {self.expression!r}"
 
 
+def comparison_operator(op: str) -> Callable[[Any, Any], bool]:
+    """The Python callable behind one comparison operator symbol.
+
+    Public so batch evaluators can compile filters once per block instead of
+    re-dispatching through :meth:`Comparison.evaluate` per row.
+    """
+    return _COMPARISON_OPERATORS[op]
+
+
 def let(target: Variable, expression: Any) -> Assignment:
     """Convenience constructor for an :class:`Assignment` literal."""
     return Assignment(target, as_term(expression))

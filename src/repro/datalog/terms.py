@@ -129,6 +129,16 @@ class BinaryExpression(Term):
         return f"({self.left!r} {self.op} {self.right!r})"
 
 
+def binary_operator(op: str) -> Callable[[Any, Any], Any]:
+    """The Python callable behind one arithmetic operator symbol.
+
+    Public so batch evaluators can compile expressions once per block
+    instead of re-dispatching through :meth:`BinaryExpression.substitute`
+    per row.
+    """
+    return _BINARY_OPERATORS[op]
+
+
 #: Alias used in type hints: any term that evaluates to a value.
 Expression = Union[Variable, Constant, BinaryExpression]
 

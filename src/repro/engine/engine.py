@@ -18,6 +18,7 @@ from repro.datalog.program import DatalogProgram
 from repro.ir.builder import build_naive_ir, build_program_ir
 from repro.ir.ops import ProgramOp
 from repro.ir.printer import explain
+from repro.relational.operators import EXECUTORS
 from repro.relational.relation import Row
 from repro.relational.storage import StorageManager
 from repro.engine.indexing import select_indexes
@@ -36,6 +37,10 @@ def prepare_evaluation(
     lowers the program to IR and (in AOT mode) applies the ahead-of-time
     join-order optimization to the tree in place.
     """
+    if config.executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {config.executor!r}; expected one of {EXECUTORS}"
+        )
     storage = StorageManager(program)
     if config.use_indexes:
         for relation, column in sorted(select_indexes(program)):

@@ -60,6 +60,7 @@ from repro.incremental.dred import (
 )
 from repro.ir.builder import build_update_ir
 from repro.ir.ops import ProgramOp
+from repro.relational.columnar import ColumnarBlock
 from repro.relational.operators import SubqueryEvaluator
 from repro.relational.relation import Row
 
@@ -73,6 +74,9 @@ class _SessionShardState:
     spec: "object"      # repro.parallel.partition.PartitionSpec
     sharded: "object"   # repro.parallel.sharded_storage.ShardedStorage
     pool: "object"      # repro.parallel.executor.WorkerPool
+    #: Workers interpret through the vectorized executor (no compiled
+    #: backend), so their batch counters must be drained into the profile.
+    vectorized: bool = False
 
 
 @dataclass
@@ -100,6 +104,7 @@ def _config_cache_key(config: EngineConfig) -> str:
             config.compile_mode,
             config.use_indexes,
             config.evaluator_style,
+            config.executor,
             config.optimize_seed,
             config.aot_sort.value,
             config.aot_online,
@@ -251,8 +256,11 @@ class IncrementalSession:
         self.profile.iterations.extend(profile.iterations)
         self.profile.reorders.extend(profile.reorders)
         self.profile.compile_events.extend(profile.compile_events)
+        self.profile.block_plans.extend(profile.block_plans)
+        self.profile.absorb_block_stats(profile.block_joins)
         self.profile.sources.interpreted += profile.sources.interpreted
         self.profile.sources.compiled += profile.sources.compiled
+        self.profile.sources.vectorized += profile.sources.vectorized
         self.profile.wall_seconds += profile.wall_seconds
 
     def _ensure_evaluated(self) -> None:
@@ -360,7 +368,10 @@ class IncrementalSession:
                 eligible[name] = base
         if eligible:
             report.retracted = sum(len(rows) for rows in eligible.values())
-            evaluator = SubqueryEvaluator(self.storage, self.config.evaluator_style)
+            evaluator = SubqueryEvaluator(
+                self.storage, self.config.evaluator_style,
+                executor=self.config.executor,
+            )
             cone = over_delete(
                 self.program, self.storage, eligible, evaluator,
                 plans_by_delta=self._dred_delta_plans,
@@ -458,13 +469,17 @@ class IncrementalSession:
         backend_name = resolve_shard_backend(self.config)
         for worker in workers:
             worker.prepare(
-                backend_name, self.config.use_indexes, self.config.evaluator_style
+                backend_name, self.config.use_indexes,
+                self.config.evaluator_style, self.config.executor,
             )
         pool_kind = resolve_pool_kind(sharding, spec.shards)
         if pool_kind == "process":
             pool_kind = "serial"
         pool = make_pool(pool_kind, workers)
-        return _SessionShardState(spec=spec, sharded=sharded, pool=pool)
+        return _SessionShardState(
+            spec=spec, sharded=sharded, pool=pool,
+            vectorized=backend_name is None and self.config.executor == "vectorized",
+        )
 
     def _propagate_parallel(self) -> int:
         """Propagate the just-seeded deltas through the shard pool.
@@ -487,13 +502,17 @@ class IncrementalSession:
             return sum(it.promoted for it in profile.iterations)
 
         for name in self.storage.relation_names():
-            rows = self.storage.tuples(name, DatabaseKind.DELTA_KNOWN)
-            if not rows:
+            delta = self.storage.relation(name, DatabaseKind.DELTA_KNOWN)
+            if not len(delta):
                 continue
+            # Move the seeded delta around in block form: one columnar batch
+            # per relation feeds both replica maintenance and the owner
+            # split, which hashes the partition column column-wise.
+            block = ColumnarBlock.from_relation(delta)
             if not fresh:
                 # Replicas built earlier have not seen this batch's seeds.
-                state.sharded.broadcast_derived(name, rows)
-            state.sharded.scatter_delta(name, rows)
+                state.sharded.broadcast_derived(name, block)
+            state.sharded.scatter_delta(name, block)
 
         def absorb(accepted: Mapping[str, Sequence[Sequence[object]]]) -> None:
             for name, rows in accepted.items():
@@ -505,6 +524,10 @@ class IncrementalSession:
             max_rounds=min(self.config.max_iterations, self.config.sharding.max_rounds),
             on_accepted=absorb,
         )
+        if state.vectorized:
+            from repro.parallel.executor import drain_pool_vectorized_stats
+
+            drain_pool_vectorized_stats(state.pool, self.profile)
         state.sharded.clear_deltas()
         self.storage.clear_deltas(self.storage.relation_names())
         return result.promoted

@@ -207,6 +207,18 @@ class ForkWorkerPool(WorkerPool):
             connection.close()
 
 
+def drain_pool_vectorized_stats(pool: WorkerPool, profile: RuntimeProfile) -> None:
+    """Fold every worker's (reset-on-read) batch counters into ``profile``.
+
+    Shared by the one-shot :class:`ParallelEvaluator` pools and the
+    incremental session's persistent pool, so parallel+vectorized runs
+    report the same explain() counters as single-shard runs.
+    """
+    for stats in pool.invoke("drain_vectorized_stats"):
+        profile.absorb_block_stats(stats)
+        profile.sources.vectorized += stats.get("batches", 0)
+
+
 def fork_available() -> bool:
     import multiprocessing
 
@@ -281,14 +293,19 @@ class ShardWorker:
         self.swap_relations = list(swap_relations)
         self.router = router
         self._evaluate_group: List[Callable[[], Set[Row]]] = []
+        self._evaluators: List[SubqueryEvaluator] = []
 
-    def prepare(self, backend_name: Optional[str], use_indexes: bool, style: str) -> None:
+    def prepare(self, backend_name: Optional[str], use_indexes: bool, style: str,
+                executor: str = "pushdown") -> None:
         """Freeze each plan group into its evaluation closure.
 
         Must run before the pool starts (fork children inherit the compiled
-        artifacts; threads share them read-only).
+        artifacts; threads share them read-only).  ``executor`` selects the
+        interpreting closure's physical executor (pushdown recursion or the
+        vectorized batch pipeline); compiled artifacts ignore it.
         """
         self._evaluate_group = []
+        self._evaluators = []
         for relation, plans in self.groups:
             if backend_name:
                 artifact = get_backend(backend_name).compile_plans(
@@ -299,13 +316,31 @@ class ShardWorker:
                     (lambda artifact=artifact: artifact(self.storage))
                 )
             else:
-                evaluator = SubqueryEvaluator(self.storage, style)
+                evaluator = SubqueryEvaluator(self.storage, style, executor=executor)
+                self._evaluators.append(evaluator)
                 def interpret(plans=plans, evaluator=evaluator) -> Set[Row]:
                     rows: Set[Row] = set()
                     for plan in plans:
                         rows |= evaluator.evaluate(plan)
                     return rows
                 self._evaluate_group.append(interpret)
+
+    def drain_vectorized_stats(self) -> Dict[str, int]:
+        """This shard's accumulated batch counters, reset after reading.
+
+        Pulled through the pool at merge time (fork children own their
+        evaluators) so parallel+vectorized runs report batch/strategy counts
+        in the profile just like single-shard runs; draining keeps a
+        persistent session pool from double-counting across batches.
+        """
+        merged: Dict[str, int] = {}
+        for evaluator in self._evaluators:
+            stats = evaluator.vectorized_stats
+            if stats:
+                for key, value in stats.items():
+                    merged[key] = merged.get(key, 0) + value
+                    stats[key] = 0
+        return merged
 
     # -- aligned strategy --------------------------------------------------------
 
@@ -518,6 +553,10 @@ def resolve_shard_backend(config: EngineConfig) -> Optional[str]:
         return config.backend
     if config.mode == ExecutionMode.AOT:
         return None
+    if config.executor == "vectorized":
+        # The batch pipeline plays the role of the one-shot compile: shard
+        # workers interpret their frozen plans block-at-a-time instead.
+        return None
     return "bytecode"
 
 
@@ -615,7 +654,8 @@ class ParallelEvaluator:
         backend_name = resolve_shard_backend(self.config)
         for worker in workers:
             worker.prepare(
-                backend_name, self.config.use_indexes, self.config.evaluator_style
+                backend_name, self.config.use_indexes,
+                self.config.evaluator_style, self.config.executor,
             )
         pool_kind = resolve_pool_kind(self.sharding, spec.shards)
         pool = make_pool(pool_kind, workers)
@@ -666,6 +706,8 @@ class ParallelEvaluator:
             for shard_rows in collected:
                 for name, rows in shard_rows.items():
                     self.storage.absorb_rows(name, rows)
+            if backend_name is None and self.config.executor == "vectorized":
+                drain_pool_vectorized_stats(pool, self.profile)
         finally:
             pool.close()
 

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
-from repro.parallel.partition import PartitionSpec
+from repro.parallel.partition import PartitionSpec, stable_hash
+from repro.relational.columnar import ColumnarBlock
 from repro.relational.relation import Row
 from repro.relational.storage import DatabaseKind, StorageManager
 
@@ -122,21 +123,39 @@ class ShardedStorage:
             shard.absorb_rows(name, bucket)
         return sum(len(bucket) for bucket in buckets)
 
-    def scatter_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+    def scatter_delta(self, name: str,
+                      rows: "Iterable[Sequence[Any]] | ColumnarBlock") -> int:
         """Place delta rows into their owners' Delta-Known databases.
+
+        Accepts either a plain row iterable or a :class:`ColumnarBlock` —
+        the vectorized executor's interchange format — in which case the
+        owner split hashes the partition column columnar-wise
+        (:meth:`ColumnarBlock.partition` with the partitioner's
+        ``stable_hash``, so bucket assignment is identical to
+        :meth:`PartitionSpec.split`).
 
         The rows are assumed to be present in the owning shard's Derived
         database already (standard semi-naive invariant: the delta is a
         subset of Derived); only the delta copy is written here.
         """
-        buckets = self.spec.split(name, rows)
+        if isinstance(rows, ColumnarBlock):
+            buckets = rows.partition(
+                self.spec.partition_column(name), self.spec.shards,
+                hash_fn=stable_hash,
+            )
+        else:
+            buckets = self.spec.split(name, rows)
         for shard, bucket in zip(self.shards, buckets):
             shard.force_delta(name, bucket)
         return sum(len(bucket) for bucket in buckets)
 
-    def broadcast_derived(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+    def broadcast_derived(self, name: str,
+                          rows: "Iterable[Sequence[Any]] | ColumnarBlock") -> int:
         """Insert rows into every shard's Derived replica (replicated strategy)."""
-        rows = [tuple(row) for row in rows]
+        if isinstance(rows, ColumnarBlock):
+            rows = rows.rows()
+        else:
+            rows = [tuple(row) for row in rows]
         for shard in self.shards:
             shard.absorb_rows(name, rows)
         return len(rows)

@@ -12,12 +12,14 @@ JIT, backends) manipulates relations only through these classes.
 
 from repro.relational.relation import HashIndex, Relation
 from repro.relational.storage import DatabaseKind, StorageManager
+from repro.relational.columnar import ColumnarBlock, choose_build_strategy
 from repro.relational.operators import (
     AtomSource,
     JoinPlan,
     PullSubqueryEvaluator,
     PushSubqueryEvaluator,
     SubqueryEvaluator,
+    VectorizedSubqueryEvaluator,
     evaluate_subquery,
 )
 from repro.relational.statistics import (
@@ -29,6 +31,7 @@ from repro.relational.statistics import (
 __all__ = [
     "AtomSource",
     "CardinalitySnapshot",
+    "ColumnarBlock",
     "DatabaseKind",
     "HashIndex",
     "JoinPlan",
@@ -39,5 +42,7 @@ __all__ = [
     "StatisticsCollector",
     "StorageManager",
     "SubqueryEvaluator",
+    "VectorizedSubqueryEvaluator",
+    "choose_build_strategy",
     "evaluate_subquery",
 ]

@@ -1,0 +1,257 @@
+"""Columnar batches: the interchange format of the vectorized executor.
+
+A :class:`ColumnarBlock` is an ordered batch of variable bindings — the
+vectorized analogue of the one-`dict`-per-tuple bindings the pushdown
+evaluator threads through its recursion.  One block holds the bindings of
+*every* intermediate tuple of a sub-query at once: one named column per
+bound variable, all columns the same length.
+
+Blocks deliberately keep **two** physical layouts and convert lazily:
+
+* **column-major** (``columns``): per-column tuples, the shape the batch
+  operators' key extraction and the storage layer's scatter/partition
+  helpers want;
+* **row-major** (``rows()``): a list of plain value tuples, the shape the
+  batch hash-join emits (one C-level tuple concatenation per output row).
+
+Both conversions are single ``zip(*...)`` calls, so a block that is built
+row-major by one operator and read column-major by the next pays one
+C-level transpose instead of a Python-level loop.  This file also hosts the
+C-level ``dict`` hash build/probe primitives the batch join is made of;
+the operators themselves (batch hash-join, batch negation) live in
+:mod:`repro.relational.operators` next to the tuple-at-a-time evaluators
+they replace.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.terms import Variable
+from repro.relational.relation import Relation, Row
+
+
+def choose_build_strategy(distinct_keys: int, relation_rows: int,
+                          indexed: bool) -> str:
+    """How the batch hash-join obtains its probe table for one atom.
+
+    ``"index"`` — reuse the relation's existing per-column :class:`HashIndex`
+    and materialise buckets only for the probe side's *distinct* key values;
+    the win whenever the probe side is narrower than the stored relation
+    (the delta-driven joins of every semi-naive iteration).
+
+    ``"build"`` — one pass over the (constant-filtered) relation rows into a
+    fresh ``dict``; the fallback when no index covers the join column or the
+    probe side is as wide as the relation itself.
+    """
+    if indexed and distinct_keys < relation_rows:
+        return "index"
+    return "build"
+
+
+class ColumnarBlock:
+    """An ordered batch of bindings: one column per variable, equal lengths."""
+
+    __slots__ = ("variables", "_slots", "_columns", "_column_cache", "_rows", "_length")
+
+    def __init__(
+        self,
+        variables: Sequence[Variable],
+        columns: Optional[Sequence[Sequence[Any]]] = None,
+        rows: Optional[List[Row]] = None,
+        length: Optional[int] = None,
+    ) -> None:
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self._slots: Dict[Variable, int] = {
+            variable: i for i, variable in enumerate(self.variables)
+        }
+        self._columns: Optional[Tuple[Tuple[Any, ...], ...]] = None
+        self._column_cache: Dict[int, Tuple[Any, ...]] = {}
+        self._rows: Optional[List[Row]] = rows
+        if columns is not None:
+            self._columns = tuple(tuple(column) for column in columns)
+            if len(self._columns) != len(self.variables):
+                raise ValueError(
+                    f"{len(self.variables)} variables but {len(self._columns)} columns"
+                )
+            lengths = {len(column) for column in self._columns}
+            if len(lengths) > 1:
+                raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+            self._length = next(iter(lengths)) if lengths else (length or 0)
+        elif rows is not None:
+            self._length = len(rows)
+        else:
+            self._length = length or 0
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def unit(cls) -> "ColumnarBlock":
+        """The join identity: no columns, exactly one (empty) row."""
+        return cls((), rows=[()])
+
+    @classmethod
+    def empty(cls, variables: Sequence[Variable] = ()) -> "ColumnarBlock":
+        return cls(variables, rows=[])
+
+    @classmethod
+    def from_rows(cls, variables: Sequence[Variable],
+                  rows: Iterable[Sequence[Any]]) -> "ColumnarBlock":
+        return cls(variables, rows=[tuple(row) for row in rows])
+
+    @classmethod
+    def from_columns(cls, variables: Sequence[Variable],
+                     columns: Sequence[Sequence[Any]]) -> "ColumnarBlock":
+        return cls(variables, columns=columns)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnarBlock":
+        """A block over a whole relation, with positional column variables.
+
+        The bridge the storage-layer consumers (shard scatter, delta
+        propagation) use to move row batches around in block form.
+        """
+        variables = tuple(Variable(f"c{i}") for i in range(relation.arity))
+        return cls(variables, rows=list(relation.rows()))
+
+    # -- shape -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def has(self, variable: Variable) -> bool:
+        return variable in self._slots
+
+    def slot(self, variable: Variable) -> Optional[int]:
+        """The column index of ``variable``, or None when unbound."""
+        return self._slots.get(variable)
+
+    # -- layouts (lazily materialised, each computed at most once) ----------------
+
+    @property
+    def columns(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Column-major view: per-column value tuples (one C-level transpose)."""
+        if self._columns is None:
+            if self._length == 0 or not self.variables:
+                self._columns = ((),) * len(self.variables)
+            else:
+                assert self._rows is not None
+                self._columns = tuple(zip(*self._rows))
+        return self._columns
+
+    def column(self, variable: Variable) -> Tuple[Any, ...]:
+        return self.column_at(self._slots[variable])
+
+    def column_at(self, slot: int) -> Tuple[Any, ...]:
+        """One column's values, without transposing the whole block.
+
+        Row-major blocks extract (and cache) single columns on demand — the
+        batch join usually needs only its key column, so paying for a full
+        transpose per join would waste most of it.
+        """
+        if self._columns is not None:
+            return self._columns[slot]
+        cached = self._column_cache.get(slot)
+        if cached is None:
+            assert self._rows is not None
+            cached = tuple(map(itemgetter(slot), self._rows))
+            self._column_cache[slot] = cached
+        return cached
+
+    def rows(self) -> List[Row]:
+        """Row-major view: a list of value tuples (one C-level transpose)."""
+        if self._rows is None:
+            if self._length == 0:
+                self._rows = []
+            elif not self.variables:
+                self._rows = [()] * self._length
+            else:
+                self._rows = list(zip(*self._columns))  # type: ignore[arg-type]
+        return self._rows
+
+    # -- derived blocks ------------------------------------------------------------
+
+    def replace_rows(self, rows: List[Row]) -> "ColumnarBlock":
+        """A block with the same variables over a filtered/extended row list."""
+        return ColumnarBlock(self.variables, rows=rows)
+
+    def to_columns(self) -> Dict[Variable, Tuple[Any, ...]]:
+        """Export: variable -> column tuple (consumed by storage plumbing)."""
+        return dict(zip(self.variables, self.columns))
+
+    def partition(self, slot: int, shards: int, hash_fn=hash) -> List[List[Row]]:
+        """Split rows into per-shard buckets by hash of one column.
+
+        ``hash_fn`` is injected by the caller (the parallel layer passes its
+        ``stable_hash``) so bucket assignment matches
+        :meth:`repro.parallel.partition.PartitionSpec.split` exactly — blocks
+        flow straight into the scatter step.
+        """
+        buckets: List[List[Row]] = [[] for _ in range(shards)]
+        column = self.column_at(slot)
+        rows = self.rows()
+        for value, row in zip(column, rows):
+            buckets[hash_fn(value) % shards].append(row)
+        return buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ", ".join(v.name for v in self.variables)
+        return f"ColumnarBlock([{names}], rows={self._length})"
+
+
+def build_hash_table(
+    rows: Iterable[Row],
+    key_positions: Sequence[int],
+    value_positions: Sequence[int],
+) -> Dict[Any, List[Tuple[Any, ...]]]:
+    """One-pass dict build over relation rows: join key -> payload tuples.
+
+    Keys are scalars for single-column joins (no tuple boxing on either the
+    build or the probe side) and position-ordered tuples otherwise; payloads
+    are the values of the caller's ``value_positions`` (the atom's fresh
+    variables).  Rows must already satisfy any constant/duplicate-variable
+    constraints — callers pre-filter (usually via ``Relation.probe``).
+    """
+    table: Dict[Any, List[Tuple[Any, ...]]] = {}
+    if len(key_positions) == 1:
+        key_position = key_positions[0]
+        for row in rows:
+            payload = tuple(row[p] for p in value_positions)
+            table.setdefault(row[key_position], []).append(payload)
+    else:
+        for row in rows:
+            key = tuple(row[p] for p in key_positions)
+            payload = tuple(row[p] for p in value_positions)
+            table.setdefault(key, []).append(payload)
+    return table
+
+
+def probe_hash_table(
+    table: Dict[Any, List[Tuple[Any, ...]]],
+    keys: Sequence[Any],
+    bases: Optional[Sequence[Row]],
+) -> List[Row]:
+    """Probe ``table`` with one key per input row; emit concatenated rows.
+
+    ``bases`` carries the input rows' kept columns (None when nothing is
+    kept: every output row is just the payload).  The per-match work is one
+    C-level tuple concatenation and one list append.
+    """
+    get = table.get
+    if bases is None:
+        out: List[Row] = []
+        for key in keys:
+            matches = get(key)
+            if matches:
+                out.extend(matches)
+        return out
+    return [
+        base + payload
+        for base, matches in zip(bases, map(get, keys))
+        if matches
+        for payload in matches
+    ]

@@ -14,14 +14,27 @@ optimizer reasons about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from itertools import repeat
+from operator import itemgetter
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.datalog.literals import Assignment, Atom, Comparison, Literal
-from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable
+from repro.datalog.literals import Assignment, Atom, Comparison, Literal, comparison_operator
+from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable, binary_operator
+from repro.relational.columnar import (
+    ColumnarBlock,
+    build_hash_table,
+    choose_build_strategy,
+    probe_hash_table,
+)
 from repro.relational.relation import Relation, Row
 from repro.relational.storage import DatabaseKind, StorageManager
 
 Bindings = Dict[Variable, Any]
+
+#: The two interchangeable physical executors for one :class:`JoinPlan`:
+#: ``"pushdown"`` is the tuple-at-a-time binding recursion (push/pull styles),
+#: ``"vectorized"`` the batch executor over :class:`ColumnarBlock`s.
+EXECUTORS = ("pushdown", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -301,20 +314,398 @@ class PushSubqueryEvaluator:
         return results
 
 
-class SubqueryEvaluator:
-    """Facade over the push/pull evaluators, selected by ``style``."""
+# ---------------------------------------------------------------------------
+# The vectorized (batch) executor
+# ---------------------------------------------------------------------------
 
-    def __init__(self, storage: StorageManager, style: str = "push") -> None:
-        if style not in ("push", "pull"):
-            raise ValueError(f"unknown evaluator style {style!r}")
-        self.style = style
-        self._push = PushSubqueryEvaluator(storage)
-        self._pull = PullSubqueryEvaluator(storage)
+
+def _compile_term(term: Term, block: ColumnarBlock) -> Callable[[Row], Any]:
+    """Compile one term into a row-tuple accessor over ``block``'s layout."""
+    if isinstance(term, Variable):
+        slot = block.slot(term)
+        if slot is None:
+            raise KeyError(f"unbound variable {term.name!r}")
+        return itemgetter(slot)
+    if isinstance(term, Constant):
+        value = term.value
+        return lambda row: value
+    if isinstance(term, BinaryExpression):
+        func = binary_operator(term.op)
+        left = _compile_term(term.left, block)
+        right = _compile_term(term.right, block)
+        return lambda row: func(left(row), right(row))
+    if isinstance(term, Aggregate):
+        # Mirrors Aggregate.substitute: at tuple level, project the target.
+        return _compile_term(term.target, block)
+    raise TypeError(f"cannot compile term {term!r}")  # pragma: no cover
+
+
+def _filtered_relation_rows(
+    relation: Relation,
+    constants: Dict[int, Any],
+    dup_checks: Sequence[Tuple[int, int]],
+) -> Iterable[Row]:
+    """Relation rows satisfying the atom's constant/repeated-variable checks."""
+    rows: Iterable[Row] = relation.probe(constants) if constants else relation.rows()
+    if dup_checks:
+        rows = (r for r in rows if all(r[p] == r[q] for p, q in dup_checks))
+    return rows
+
+
+def _kept_projection(block: ColumnarBlock,
+                     needed: FrozenSet[Variable]) -> Tuple[Tuple[Variable, ...], Optional[List[Row]]]:
+    """The block's rows restricted to the still-needed variables.
+
+    Returns ``(kept_variables, bases)`` where ``bases`` is None when no
+    column survives (output rows are then pure join payloads).  Dropping
+    dead columns here is what keeps intermediate tuples narrow as the join
+    pipeline advances — the batch analogue of projection pushdown.
+    """
+    kept = [i for i, v in enumerate(block.variables) if v in needed]
+    variables = tuple(block.variables[i] for i in kept)
+    if not kept:
+        # No column survives: under set semantics the rows are now
+        # indistinguishable, so multiplicity carries no information.
+        return variables, None
+    if len(kept) == len(block.variables):
+        return variables, block.rows()
+    if len(kept) == 1:
+        return variables, list(zip(block.column_at(kept[0])))
+    return variables, list(map(itemgetter(*kept), block.rows()))
+
+
+def _restrict_block(block: ColumnarBlock,
+                    needed: FrozenSet[Variable]) -> ColumnarBlock:
+    """The block itself, minus columns no later literal (or the head) reads."""
+    variables, bases = _kept_projection(block, needed)
+    if len(variables) == len(block.variables):
+        return block
+    if bases is None:
+        # Zero-column blocks clamp to one row: duplicates of () are
+        # semantically inert and would only multiply later cartesians.
+        return ColumnarBlock(variables, rows=[()] if len(block) else [])
+    return ColumnarBlock(variables, rows=bases)
+
+
+def batch_hash_join(
+    block: ColumnarBlock,
+    atom: Atom,
+    relation: Relation,
+    needed: FrozenSet[Variable],
+    stats: Optional[Dict[str, int]] = None,
+) -> ColumnarBlock:
+    """Join an entire block against ``relation`` in one batch.
+
+    The batch counterpart of the pushdown evaluator's per-tuple
+    probe/extend step: analyse the atom once (constants, join keys, fresh
+    variables, repeated variables), build or reuse a hash table over the
+    relation side (:func:`~repro.relational.columnar.choose_build_strategy`
+    decides between a fresh dict build and probing the relation's existing
+    per-column index), then emit every extended row with one C-level tuple
+    concatenation per match.
+    """
+    # -- atom layout ----------------------------------------------------------
+    key_positions: List[int] = []
+    key_slots: List[int] = []
+    constants: Dict[int, Any] = {}
+    first_seen: Dict[Variable, int] = {}
+    dup_checks: List[Tuple[int, int]] = []
+    fresh_positions: List[int] = []
+    fresh_variables: List[Variable] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constants[position] = term.value
+        elif isinstance(term, Variable):
+            slot = block.slot(term)
+            if slot is not None:
+                key_positions.append(position)
+                key_slots.append(slot)
+            elif term in first_seen:
+                dup_checks.append((position, first_seen[term]))
+            else:
+                first_seen[term] = position
+                if term in needed:
+                    fresh_positions.append(position)
+                    fresh_variables.append(term)
+        else:  # pragma: no cover - expressions cannot appear in body atoms
+            raise TypeError(f"unexpected term {term!r} in body atom")
+
+    kept_variables, bases = _kept_projection(block, needed)
+    out_variables = kept_variables + tuple(fresh_variables)
+    if not relation:
+        return ColumnarBlock.empty(out_variables)
+
+    # -- no join key: scan / existence-filter / cartesian ----------------------
+    if not key_positions:
+        if not fresh_positions:
+            matched = next(iter(_filtered_relation_rows(relation, constants, dup_checks)), None)
+            if matched is None:
+                return ColumnarBlock.empty(out_variables)
+            return _restrict_block(block, needed)
+        source = _filtered_relation_rows(relation, constants, dup_checks)
+        if not constants and not dup_checks and fresh_positions == list(range(relation.arity)):
+            payloads: List[Row] = list(source)  # rows already match position order
+        elif len(fresh_positions) == 1:
+            position = fresh_positions[0]
+            payloads = [(r[position],) for r in source]
+        else:
+            payloads = list(map(itemgetter(*fresh_positions), source))
+        if bases is None:
+            # All input rows are indistinguishable (no kept columns), so one
+            # copy of the payloads is the whole answer under set semantics.
+            out_rows = payloads
+        else:
+            out_rows = [base + payload for base in bases for payload in payloads]
+        return ColumnarBlock(out_variables, rows=out_rows)
+
+    # -- keyed: hash build (or index probe) + batch probe ----------------------
+    single_key = len(key_positions) == 1
+    if single_key:
+        keys: Sequence[Any] = block.column_at(key_slots[0])
+    else:
+        keys = list(zip(*(block.column_at(s) for s in key_slots)))
+    distinct = set(keys)
+    buckets = None
+    if single_key:
+        key_position = key_positions[0]
+        buckets = relation.index_buckets(key_position)
+        if (
+            buckets is None
+            and relation.has_index(key_position)
+            and len(distinct) < len(relation)
+        ):
+            # A lazily-registered index worth probing: materialise it now.
+            # One build pass costs the same as an ad-hoc table, but the
+            # index persists across batches (delta copies demote it again on
+            # clear, so a per-iteration buffer never accrues maintenance).
+            index = relation.build_index(key_position)
+            assert index is not None
+            buckets = index.buckets()
+    strategy = choose_build_strategy(len(distinct), len(relation), buckets is not None)
+    if stats is not None:
+        stats[strategy] = stats.get(strategy, 0) + 1
+    if strategy == "index":
+        assert buckets is not None  # strategy "index" implies the index exists
+        bucket_of = buckets.get
+        table: Dict[Any, List[Tuple[Any, ...]]] = {}
+        if not constants and not dup_checks and len(fresh_positions) == 1:
+            # The bread-and-butter shape (e.g. pathΔ(x,y) ⋈ edge(y,z)):
+            # per distinct key, one bucket lookup and one list comprehension.
+            fresh_position = fresh_positions[0]
+            for value in distinct:
+                bucket = bucket_of(value)
+                if bucket:
+                    table[value] = [(r[fresh_position],) for r in bucket]
+        else:
+            for value in distinct:
+                bucket = bucket_of(value)
+                if not bucket:
+                    continue
+                payloads = []
+                for r in bucket:
+                    if constants and any(r[p] != c for p, c in constants.items()):
+                        continue
+                    if dup_checks and any(r[p] != r[q] for p, q in dup_checks):
+                        continue
+                    payloads.append(tuple(r[p] for p in fresh_positions))
+                if payloads:
+                    table[value] = payloads
+    else:
+        table = build_hash_table(
+            _filtered_relation_rows(relation, constants, dup_checks),
+            key_positions,
+            fresh_positions,
+        )
+    return ColumnarBlock(out_variables, rows=probe_hash_table(table, keys, bases))
+
+
+def batch_negation(block: ColumnarBlock, atom: Atom, relation: Relation) -> ColumnarBlock:
+    """Anti-join an entire block against ``relation`` in one batch.
+
+    Probe tuples for every block row are assembled column-wise (one C-level
+    ``zip`` across columns and constant repeats), then tested against the
+    relation's row set directly — no per-row bindings dictionaries.
+    """
+    count = len(block)
+    sequences: List[Iterable[Any]] = []
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            sequences.append(repeat(term.value, count))
+        elif isinstance(term, Variable):
+            slot = block.slot(term)
+            if slot is None:
+                raise ValueError(
+                    f"negated atom {atom!r} reached with unbound variable "
+                    f"{term.name!r}; the planner must order it after its binders"
+                )
+            sequences.append(block.column_at(slot))
+        else:  # pragma: no cover
+            raise TypeError(f"unexpected term {term!r} in negated atom")
+    contained = relation.rows()
+    if not contained:
+        return block
+    if not sequences:  # zero-arity atom: all-or-nothing
+        return block.replace_rows([]) if () in contained else block
+    rows = block.rows()
+    kept = [
+        row for probe, row in zip(zip(*sequences), rows) if probe not in contained
+    ]
+    if len(kept) == count:
+        return block
+    return block.replace_rows(kept)
+
+
+def batch_comparison(block: ColumnarBlock, comparison: Comparison) -> ColumnarBlock:
+    """Filter an entire block through one comparison literal."""
+    func = comparison_operator(comparison.op)
+    left = _compile_term(comparison.left, block)
+    right = _compile_term(comparison.right, block)
+    return block.replace_rows(
+        [row for row in block.rows() if func(left(row), right(row))]
+    )
+
+
+def batch_assignment(block: ColumnarBlock, assignment: Assignment) -> ColumnarBlock:
+    """Extend (or equality-filter) an entire block through one assignment."""
+    expression = _compile_term(assignment.expression, block)
+    slot = block.slot(assignment.target)
+    rows = block.rows()
+    if slot is not None:  # re-binding degenerates to an equality filter
+        bound = itemgetter(slot)
+        return block.replace_rows(
+            [row for row in rows if bound(row) == expression(row)]
+        )
+    return ColumnarBlock(
+        block.variables + (assignment.target,),
+        rows=[row + (expression(row),) for row in rows],
+    )
+
+
+def project_block(head_terms: Sequence[Term], block: ColumnarBlock) -> Set[Row]:
+    """Project the head over every block row at once.
+
+    All-variable heads compile to one :func:`operator.itemgetter`, so the
+    entire projection (and the de-duplicating ``set``) runs at C level.
+    """
+    rows = block.rows()
+    if not rows:
+        return set()
+    slots: List[int] = []
+    for term in head_terms:
+        if isinstance(term, Variable):
+            slot = block.slot(term)
+            if slot is None:
+                raise KeyError(f"unbound variable {term.name!r}")
+            slots.append(slot)
+        else:
+            break
+    else:
+        if not slots:
+            return {()}
+        if slots == list(range(len(block.variables))):
+            return set(rows)  # block rows already have the head shape
+        if len(slots) == 1:
+            return set(zip(block.column_at(slots[0])))
+        return set(map(itemgetter(*slots), rows))
+    compiled = [_compile_term(term, block) for term in head_terms]
+    return {tuple(fn(row) for fn in compiled) for row in rows}
+
+
+class VectorizedSubqueryEvaluator:
+    """Batch (block-at-a-time) evaluation of a :class:`JoinPlan`.
+
+    Produces exactly the same result set as the push/pull evaluators — the
+    differential property suite holds it to bit-for-bit equality — but
+    processes the whole intermediate result per body position instead of
+    recursing per tuple.  ``stats`` counts evaluated batches and which
+    build strategy each keyed join took (folded into the runtime profile by
+    the executor).
+    """
+
+    def __init__(self, storage: StorageManager) -> None:
+        self.storage = storage
+        self.stats: Dict[str, int] = {"batches": 0, "index": 0, "build": 0}
 
     def evaluate(self, plan: JoinPlan) -> Set[Row]:
+        self.stats["batches"] += 1
+        needed_after = self._needed_after(plan)
+        block = ColumnarBlock.unit()
+        for position, source in enumerate(plan.sources):
+            if not block:
+                return set()
+            literal = source.literal
+            if isinstance(literal, Atom):
+                if literal.negated:
+                    relation = self.storage.relation(
+                        literal.relation, DatabaseKind.DERIVED
+                    )
+                    block = batch_negation(block, literal, relation)
+                else:
+                    relation = self.storage.relation(
+                        literal.relation, source.kind or DatabaseKind.DERIVED
+                    )
+                    block = batch_hash_join(
+                        block, literal, relation, needed_after[position], self.stats
+                    )
+            elif isinstance(literal, Comparison):
+                block = batch_comparison(block, literal)
+            elif isinstance(literal, Assignment):
+                block = batch_assignment(block, literal)
+            else:  # pragma: no cover - planner emits only the above
+                raise TypeError(f"unsupported literal {literal!r}")
+        return project_block(plan.head_terms, block)
+
+    @staticmethod
+    def _needed_after(plan: JoinPlan) -> List[FrozenSet[Variable]]:
+        """Per body position: variables any later literal or the head reads."""
+        needed: Set[Variable] = set()
+        for term in plan.head_terms:
+            needed |= term.variables()
+        out: List[FrozenSet[Variable]] = [frozenset()] * len(plan.sources)
+        for position in range(len(plan.sources) - 1, -1, -1):
+            out[position] = frozenset(needed)
+            needed |= plan.sources[position].literal.variables()
+        return out
+
+
+class SubqueryEvaluator:
+    """Facade over the physical executors.
+
+    ``style`` selects between the push and pull tuple-at-a-time pipelines;
+    ``executor`` selects between that pushdown recursion (the oracle) and
+    the vectorized batch executor.  :meth:`bindings` and
+    :meth:`satisfiable` always run pull-style — aggregation grouping and
+    DRed's targeted re-derivation need complete per-tuple bindings, which a
+    batch pipeline does not materialise.
+    """
+
+    def __init__(self, storage: StorageManager, style: str = "push",
+                 executor: str = "pushdown") -> None:
+        if style not in ("push", "pull"):
+            raise ValueError(f"unknown evaluator style {style!r}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.style = style
+        self.executor = executor
+        self._push = PushSubqueryEvaluator(storage)
+        self._pull = PullSubqueryEvaluator(storage)
+        self._vectorized: Optional[VectorizedSubqueryEvaluator] = (
+            VectorizedSubqueryEvaluator(storage) if executor == "vectorized" else None
+        )
+
+    def evaluate(self, plan: JoinPlan) -> Set[Row]:
+        if self._vectorized is not None:
+            return self._vectorized.evaluate(plan)
         if self.style == "push":
             return self._push.evaluate(plan)
         return self._pull.evaluate(plan)
+
+    @property
+    def vectorized_stats(self) -> Optional[Dict[str, int]]:
+        """Batch/strategy counters of the vectorized executor (else None)."""
+        return None if self._vectorized is None else self._vectorized.stats
 
     def bindings(self, plan: JoinPlan,
                  initial: Optional[Bindings] = None) -> Iterator[Bindings]:
@@ -326,6 +717,7 @@ class SubqueryEvaluator:
         return next(iter(self._pull.bindings(plan, initial)), None) is not None
 
 
-def evaluate_subquery(storage: StorageManager, plan: JoinPlan, style: str = "push") -> Set[Row]:
+def evaluate_subquery(storage: StorageManager, plan: JoinPlan,
+                      style: str = "push", executor: str = "pushdown") -> Set[Row]:
     """One-shot convenience wrapper used by tests and the interpreter."""
-    return SubqueryEvaluator(storage, style).evaluate(plan)
+    return SubqueryEvaluator(storage, style, executor=executor).evaluate(plan)

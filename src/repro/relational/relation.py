@@ -30,6 +30,26 @@ class HashIndex:
     def insert(self, row: Row) -> None:
         self._buckets.setdefault(row[self.column], []).append(row)
 
+    def insert_many(self, rows: Iterable[Row]) -> None:
+        """Bulk insert: one inlined loop instead of a method call per row.
+
+        The batch maintenance path of :meth:`Relation.absorb_set` — promotion
+        and scatter batches touch every index once per batch, not per row.
+        """
+        buckets = self._buckets
+        column = self.column
+        setdefault = buckets.setdefault
+        for row in rows:
+            setdefault(row[column], []).append(row)
+
+    def buckets(self) -> Dict[Any, List[Row]]:
+        """The live value -> rows mapping (read-only for callers).
+
+        Exposed so the vectorized batch join can probe distinct keys with
+        plain dict lookups instead of two method dispatches per key.
+        """
+        return self._buckets
+
     def remove(self, row: Row) -> bool:
         """Remove one row from its bucket; returns True if it was present.
 
@@ -68,13 +88,18 @@ class HashIndex:
 class Relation:
     """A named, fixed-arity set of tuples with optional per-column indexes."""
 
-    __slots__ = ("name", "arity", "_rows", "_indexes")
+    __slots__ = ("name", "arity", "_rows", "_indexes", "_lazy_columns")
 
     def __init__(self, name: str, arity: int) -> None:
         self.name = name
         self.arity = arity
         self._rows: Set[Row] = set()
         self._indexes: Dict[int, HashIndex] = {}
+        # Columns registered with build_index(lazy=True): the index is only
+        # materialised on first probe, and demoted again on clear() — so a
+        # copy that is never probed (delta buffers under the vectorized
+        # executor) pays zero maintenance per insert.
+        self._lazy_columns: Set[int] = set()
 
     # -- mutation --------------------------------------------------------------
 
@@ -93,9 +118,25 @@ class Relation:
         return True
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Insert many rows; returns the number of new rows."""
+        """Insert many rows; returns the number of new rows.
+
+        When every row is already a tuple of the right arity — the common
+        case: promotion batches and scatter/merge traffic read rows out of
+        other relations — the batch takes the :meth:`absorb_set` fast path
+        (one C-level set difference instead of one Python call per row).
+        Anything else (lists, wrong arity) falls back to per-row
+        :meth:`insert`, preserving its validation errors.
+        """
+        arity = self.arity
+        materialised = (
+            rows if isinstance(rows, (set, frozenset, list, tuple)) else list(rows)
+        )
+        if all(
+            isinstance(row, tuple) and len(row) == arity for row in materialised
+        ):
+            return self.absorb_set(materialised)
         inserted = 0
-        for row in rows:
+        for row in materialised:
             if self.insert(row):
                 inserted += 1
         return inserted
@@ -114,8 +155,7 @@ class Relation:
             return 0
         self._rows |= new_rows
         for index in self._indexes.values():
-            for row in new_rows:
-                index.insert(row)
+            index.insert_many(new_rows)
         return len(new_rows)
 
     def discard(self, row: Sequence[Any]) -> bool:
@@ -137,15 +177,24 @@ class Relation:
         return removed
 
     def clear(self) -> None:
-        """Remove all rows (indexes are kept but emptied)."""
+        """Remove all rows (indexes are kept but emptied; lazy ones demoted)."""
         self._rows.clear()
+        for column in [c for c in self._indexes if c in self._lazy_columns]:
+            del self._indexes[column]
         for index in self._indexes.values():
             index.clear()
 
     # -- indexes ---------------------------------------------------------------
 
-    def build_index(self, column: int) -> HashIndex:
-        """Create (or fetch) the index on ``column`` and populate it."""
+    def build_index(self, column: int, lazy: bool = False) -> Optional[HashIndex]:
+        """Create (or fetch) the index on ``column`` and populate it.
+
+        ``lazy=True`` only *registers* the column (returning None when not
+        yet materialised): the index springs into existence on the first
+        probe that needs it and is demoted again by :meth:`clear`.  Made for
+        the delta buffers — rewritten wholesale every iteration, probed only
+        by some plan shapes — where eager maintenance is pure overhead.
+        """
         if column < 0 or column >= self.arity:
             raise ValueError(
                 f"cannot index column {column} of {self.name!r} (arity {self.arity})"
@@ -153,17 +202,41 @@ class Relation:
         existing = self._indexes.get(column)
         if existing is not None:
             return existing
+        if lazy:
+            self._lazy_columns.add(column)
+            return None
+        return self._materialise_index(column)
+
+    def _materialise_index(self, column: int) -> HashIndex:
         index = HashIndex(column)
-        for row in self._rows:
-            index.insert(row)
+        index.insert_many(self._rows)
         self._indexes[column] = index
         return index
 
+    def _index_for(self, column: int) -> Optional[HashIndex]:
+        """The usable index on ``column``, materialising a lazy one."""
+        index = self._indexes.get(column)
+        if index is None and column in self._lazy_columns:
+            index = self._materialise_index(column)
+        return index
+
+    def index_buckets(self, column: int) -> Optional[Dict[Any, List[Row]]]:
+        """The index's value -> rows mapping, or None when unindexed.
+
+        Deliberately does *not* materialise lazy indexes: batch joins that
+        find no live index build their own per-batch table instead, which
+        does not have to be maintained afterwards.
+        """
+        index = self._indexes.get(column)
+        return None if index is None else index.buckets()
+
     def drop_indexes(self) -> None:
         self._indexes.clear()
+        self._lazy_columns.clear()
 
     def has_index(self, column: int) -> bool:
-        return column in self._indexes
+        """Whether ``column`` carries an index (materialised or lazy)."""
+        return column in self._indexes or column in self._lazy_columns
 
     def indexed_columns(self) -> Tuple[int, ...]:
         return tuple(sorted(self._indexes))
@@ -189,7 +262,7 @@ class Relation:
 
     def lookup(self, column: int, value: Any) -> Iterable[Row]:
         """Rows with ``row[column] == value``, via index when available."""
-        index = self._indexes.get(column)
+        index = self._index_for(column)
         if index is not None:
             return index.lookup(value)
         return (row for row in self._rows if row[column] == value)
@@ -206,7 +279,7 @@ class Relation:
         best_column: Optional[int] = None
         best_count: Optional[int] = None
         for column in constraints:
-            index = self._indexes.get(column)
+            index = self._index_for(column)
             if index is None:
                 continue
             count = len(index.lookup(constraints[column]))
@@ -232,8 +305,12 @@ class Relation:
     # -- set operations used by the storage manager ----------------------------
 
     def absorb(self, other: "Relation") -> int:
-        """Insert every row of ``other``; returns the number of new rows."""
-        return self.insert_many(other.rows())
+        """Insert every row of ``other``; returns the number of new rows.
+
+        Goes straight to :meth:`absorb_set`: rows read out of another
+        relation are tuples of the right arity by construction.
+        """
+        return self.absorb_set(other.rows())
 
     def difference_into(self, other: "Relation", target: "Relation") -> int:
         """Write ``self - other`` into ``target``; returns the number written."""
@@ -246,6 +323,7 @@ class Relation:
     def copy(self, name: Optional[str] = None) -> "Relation":
         clone = Relation(name or self.name, self.arity)
         clone._rows = set(self._rows)
+        clone._lazy_columns = set(self._lazy_columns)
         for column in self._indexes:
             clone.build_index(column)
         return clone

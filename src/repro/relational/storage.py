@@ -69,11 +69,22 @@ class StorageManager:
         self._base_rows[name] = set()
 
     def load_program(self, program: DatalogProgram) -> None:
-        """Declare every relation of ``program`` and load its EDB facts."""
+        """Declare every relation of ``program`` and load its EDB facts.
+
+        Facts are loaded in one batch per relation (arity is already
+        enforced by the program's own declarations), so a 10k-row EDB costs
+        set arithmetic, not 10k insert calls.
+        """
         for name, declaration in program.relations.items():
             self.declare(name, declaration.arity)
+        by_relation: Dict[str, Set[Row]] = {}
         for fact in program.facts:
-            self.insert_base(fact.relation, fact.values)
+            by_relation.setdefault(fact.relation, set()).add(fact.values)
+        for name, rows in by_relation.items():
+            inserted = self._derived[name].absorb_set(rows)
+            if inserted:
+                self._generations[name] += 1
+            self._base_rows[name] |= rows
 
     def register_index(self, relation: str, column: int) -> None:
         """Request an index on ``relation[column]`` on all copies of the relation.
@@ -84,9 +95,14 @@ class StorageManager:
         """
         self._require(relation)
         self._indexed_columns[relation].add(column)
-        self._derived[relation].build_index(column)
-        self._delta_known[relation].build_index(column)
-        self._delta_new[relation].build_index(column)
+        # All copies register lazily: the index springs into existence on the
+        # first probe that needs it (see Relation.build_index), so a copy no
+        # plan shape ever probes — delta buffers under the vectorized
+        # executor, join-side columns of schema-selected but unused indexes —
+        # pays zero per-row maintenance.
+        self._derived[relation].build_index(column, lazy=True)
+        self._delta_known[relation].build_index(column, lazy=True)
+        self._delta_new[relation].build_index(column, lazy=True)
 
     def registered_indexes(self, relation: str) -> Tuple[int, ...]:
         return tuple(sorted(self._indexed_columns.get(relation, ())))
@@ -256,6 +272,29 @@ class StorageManager:
         self._require(name)
         return self._delta_known[name].insert_many(rows)
 
+    def _normalise_batch(self, name: str, rows: Iterable[Sequence[Any]]) -> Set[Row]:
+        """One batch as a validated set of tuples (shared by the bulk writers).
+
+        A set/frozenset of plain tuples (the shape evaluation batches have)
+        passes through as-is; anything else — including sets holding other
+        hashable sequences like strings — is re-tupled row by row, exactly
+        as the per-row insert path used to.
+        """
+        self._require(name)
+        if isinstance(rows, (set, frozenset)) and all(
+            type(row) is tuple for row in rows
+        ):
+            rows_set: Set[Row] = rows
+        else:
+            rows_set = {tuple(row) for row in rows}
+        arity = self._arities[name]
+        if any(len(row) != arity for row in rows_set):
+            bad = next(row for row in rows_set if len(row) != arity)
+            raise ValueError(
+                f"relation {name!r} has arity {arity}, got row {bad!r}"
+            )
+        return rows_set
+
     def insert_new(self, name: str, row: Sequence[Any]) -> bool:
         """Insert into Delta-New if the fact is not already derived.
 
@@ -268,23 +307,33 @@ class StorageManager:
         return self._delta_new[name].insert(row)
 
     def insert_new_many(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
-        count = 0
-        for row in rows:
-            if self.insert_new(name, row):
-                count += 1
-        return count
+        """Batch :meth:`insert_new`: one set difference instead of per-row calls.
+
+        The hot sink of every semi-naive iteration — each loop pass pours a
+        whole evaluation batch in here, so the derived-membership filter runs
+        as a single C-level set difference (arity is still validated, in one
+        C-level pass, like the per-row path used to).
+        """
+        rows_set = self._normalise_batch(name, rows)
+        fresh = rows_set - self._derived[name].rows()
+        if not fresh:
+            return 0
+        return self._delta_new[name].absorb_set(fresh)
 
     def seed_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Initialise Delta-Known and Derived with the first-iteration facts."""
-        self._require(name)
-        count = 0
-        for row in rows:
-            if self._derived[name].insert(row):
-                self._delta_known[name].insert(row)
-                count += 1
-        if count:
-            self._generations[name] += 1
-        return count
+        """Initialise Delta-Known and Derived with the first-iteration facts.
+
+        Batched like :meth:`insert_new_many`: the genuinely new rows are
+        computed with one set difference and absorbed into both copies.
+        """
+        rows_set = self._normalise_batch(name, rows)
+        new = rows_set - self._derived[name].rows()
+        if not new:
+            return 0
+        self._derived[name].absorb_set(new)
+        self._delta_known[name].absorb_set(new)
+        self._generations[name] += 1
+        return len(new)
 
     # -- iteration management (SwapClearOp / DiffOp semantics) ------------------
 

@@ -126,6 +126,55 @@ class TestQueryResult:
         assert ordered_rows([(2, 1), (1, 2)]) == ((1, 2), (2, 1))
 
 
+class TestQueryResultEdgeCases:
+    def make(self, rows, relation="path", arity=2, columns=None):
+        return QueryResult(ResultSchema.of(relation, arity, columns), frozenset(rows))
+
+    def test_pagination_past_the_end(self):
+        result = self.make({(1, 2), (2, 3)})
+        assert list(result.rows(offset=2)) == []
+        assert list(result.rows(offset=99)) == []
+        assert list(result.rows(offset=99, limit=5)) == []
+        assert list(result.rows(offset=1, limit=99)) == [(2, 3)]
+        assert list(result.rows(offset=0, limit=0)) == []
+
+    def test_take_zero_and_beyond(self):
+        result = self.make({(1, 2), (2, 3)})
+        assert result.take(0) == []
+        assert result.take(99) == [(1, 2), (2, 3)]
+        assert self.make(set()).take(0) == []
+
+    def test_count_on_empty_relation(self):
+        """An IDB relation that derives nothing still yields a usable result."""
+        program = Program("empty_idb")
+        edge = program.relation("edge", 2)
+        unreached = program.relation("unreached", 2)
+        x, y = program.variables("x", "y")
+        unreached(x, y) <= edge(x, y) & edge(y, x)
+        edge.add_facts([(1, 2)])  # no cycle: nothing derives
+        result = Database(program).query("unreached")
+        assert result.count() == 0
+        assert not result
+        assert result.take(5) == []
+        assert list(result.rows(offset=3)) == []
+        assert result.first() is None
+        assert result.to_columns() == {"c0": [], "c1": []}
+        assert result.to_dicts() == []
+
+    def test_zero_arity_relation_exports(self):
+        """Arity-0 relations: one possible row ``()``; no columns at all."""
+        populated = self.make({()}, relation="flag", arity=0)
+        assert populated.count() == 1
+        assert populated.to_columns() == {}
+        assert populated.to_dicts() == [{}]
+        assert populated.to_list() == [()]
+        assert populated.take(0) == []
+        empty = self.make(set(), relation="flag", arity=0)
+        assert empty.count() == 0
+        assert empty.to_columns() == {}
+        assert empty.to_dicts() == []
+
+
 class TestResultSet:
     def test_mapping_protocol_and_dict_equality(self):
         db = Database(TC_SOURCE)
@@ -290,3 +339,10 @@ class TestExplain:
         with Database(TC_SOURCE).connect() as conn:
             conn.refresh()
             assert "configuration:" in conn.explain()
+
+    def test_vectorized_explain_reports_batches_and_strategies(self):
+        config = EngineConfig.jit("lambda").with_(executor="vectorized")
+        text = Database(TC_SOURCE, config).query("path").explain()
+        assert "executor=vectorized" in text
+        assert "vectorized batches:" in text
+        assert "vectorized plan strategies (latest per rule):" in text

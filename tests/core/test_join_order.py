@@ -212,3 +212,41 @@ class TestDecisionRecord:
         assert decision.original_order == ("big", "small")
         assert decision.chosen_order == ("small", "big")
         assert decision.changed
+
+
+class TestBlockStrategyAnnotation:
+    def test_annotates_scan_then_probe(self):
+        from repro.core.join_order import annotate_block_strategies
+
+        rule = Rule(
+            Atom("path", (x, z)),
+            (Atom("path", (x, y)), Atom("edge", (y, z))),
+        )
+        plan = build_join_plan(rule)
+        cards = cardinality_view({"path": 50, "edge": 1000})
+        indexed = annotate_block_strategies(
+            plan, cards, lambda relation, column: relation == "edge" and column == 0
+        )
+        assert indexed == ("scan", "index")
+        unindexed = annotate_block_strategies(plan, cards, no_index_view)
+        assert unindexed == ("scan", "build")
+
+    def test_assignments_bind_and_negation_is_skipped(self):
+        from repro.core.join_order import annotate_block_strategies
+
+        rule = Rule(
+            Atom("r", (x, z)),
+            (
+                Atom("num", (x,)),
+                Assignment(z, x + 1),
+                Atom("num", (z,)),
+                Atom("forbidden", (x, z), negated=True),
+            ),
+        )
+        plan = build_join_plan(rule)
+        cards = cardinality_view({"num": 100})
+        strategies = annotate_block_strategies(
+            plan, cards, lambda relation, column: True
+        )
+        # Second num atom joins on the assigned z: single indexed key.
+        assert strategies == ("scan", "index")

@@ -1,0 +1,220 @@
+"""Unit tests for ColumnarBlock and the batch (vectorized) operators."""
+
+import pytest
+
+from repro.datalog.literals import Assignment, Atom, Comparison
+from repro.datalog.terms import Constant, Variable
+from repro.relational.columnar import (
+    ColumnarBlock,
+    build_hash_table,
+    choose_build_strategy,
+    probe_hash_table,
+)
+from repro.relational.operators import (
+    AtomSource,
+    JoinPlan,
+    VectorizedSubqueryEvaluator,
+    batch_assignment,
+    batch_comparison,
+    batch_hash_join,
+    batch_negation,
+    evaluate_subquery,
+    project_block,
+)
+from repro.relational.relation import Relation
+from repro.relational.storage import DatabaseKind, StorageManager
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestColumnarBlock:
+    def test_unit_and_empty(self):
+        unit = ColumnarBlock.unit()
+        assert len(unit) == 1
+        assert unit.rows() == [()]
+        empty = ColumnarBlock.empty((x,))
+        assert len(empty) == 0 and not empty
+        assert empty.rows() == []
+        assert empty.columns == ((),)
+
+    def test_round_trip_between_layouts(self):
+        from_rows = ColumnarBlock.from_rows((x, y), [(1, 2), (3, 4)])
+        assert from_rows.columns == ((1, 3), (2, 4))
+        from_columns = ColumnarBlock.from_columns((x, y), [(1, 3), (2, 4)])
+        assert from_columns.rows() == [(1, 2), (3, 4)]
+        assert from_rows.column(y) == (2, 4)
+        assert from_columns.column_at(0) == (1, 3)
+
+    def test_single_column_extraction_does_not_need_full_transpose(self):
+        block = ColumnarBlock.from_rows((x, y, z), [(1, 2, 3), (4, 5, 6)])
+        assert block.column(y) == (2, 5)
+        assert block.column(y) is block.column(y)  # cached
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarBlock.from_columns((x, y), [(1, 2), (3,)])
+        with pytest.raises(ValueError):
+            ColumnarBlock.from_columns((x,), [(1,), (2,)])
+
+    def test_slot_lookup(self):
+        block = ColumnarBlock.from_rows((x, y), [(1, 2)])
+        assert block.slot(x) == 0 and block.slot(y) == 1
+        assert block.slot(z) is None
+        assert block.has(x) and not block.has(z)
+
+    def test_from_relation_and_partition(self):
+        relation = Relation("edge", 2)
+        relation.insert_many([(i, i + 1) for i in range(8)])
+        block = ColumnarBlock.from_relation(relation)
+        assert len(block) == 8
+        buckets = block.partition(0, 2, hash_fn=lambda v: v)
+        assert sorted(r for b in buckets for r in b) == sorted(relation.rows())
+        assert all(row[0] % 2 == shard for shard, bucket in enumerate(buckets)
+                   for row in bucket)
+
+    def test_to_columns_export(self):
+        block = ColumnarBlock.from_rows((x, y), [(1, 2), (3, 4)])
+        assert block.to_columns() == {x: (1, 3), y: (2, 4)}
+
+
+class TestHashPrimitives:
+    def test_build_and_probe_single_key(self):
+        table = build_hash_table([(1, "a"), (1, "b"), (2, "c")], [0], [1])
+        assert table == {1: [("a",), ("b",)], 2: [("c",)]}
+        out = probe_hash_table(table, [1, 2, 3], [(10,), (20,), (30,)])
+        assert sorted(out) == [(10, "a"), (10, "b"), (20, "c")]
+
+    def test_probe_without_bases_emits_payloads(self):
+        table = build_hash_table([(1, "a"), (2, "b")], [0], [1])
+        assert sorted(probe_hash_table(table, [2, 2], None)) == [("b",), ("b",)]
+
+    def test_multi_column_keys(self):
+        table = build_hash_table([(1, 2, 3)], [0, 1], [2])
+        assert table == {(1, 2): [(3,)]}
+
+    def test_choose_build_strategy(self):
+        assert choose_build_strategy(10, 1000, indexed=True) == "index"
+        assert choose_build_strategy(1000, 1000, indexed=True) == "build"
+        assert choose_build_strategy(10, 1000, indexed=False) == "build"
+
+
+def make_storage():
+    storage = StorageManager()
+    storage.declare("edge", 2)
+    storage.declare("path", 2)
+    return storage
+
+
+class TestBatchOperators:
+    def test_join_extends_block(self):
+        storage = make_storage()
+        edge = storage.derived("edge")
+        edge.insert_many([(1, 2), (2, 3), (2, 4)])
+        block = ColumnarBlock.from_rows((x, y), [(0, 1), (0, 2)])
+        out = batch_hash_join(block, Atom("edge", (y, z)), edge,
+                              needed=frozenset({x, y, z}))
+        assert out.variables == (x, y, z)
+        assert sorted(out.rows()) == [(0, 1, 2), (0, 2, 3), (0, 2, 4)]
+
+    def test_join_prunes_dead_columns(self):
+        storage = make_storage()
+        edge = storage.derived("edge")
+        edge.insert((1, 2))
+        block = ColumnarBlock.from_rows((x, y), [(0, 1)])
+        out = batch_hash_join(block, Atom("edge", (y, z)), edge,
+                              needed=frozenset({x, z}))
+        assert out.variables == (x, z)
+        assert out.rows() == [(0, 2)]
+
+    def test_join_respects_constants_and_repeated_variables(self):
+        storage = make_storage()
+        edge = storage.derived("edge")
+        edge.insert_many([(1, 1), (1, 2), (2, 2)])
+        unit = ColumnarBlock.unit()
+        same = batch_hash_join(unit, Atom("edge", (x, x)), edge, frozenset({x}))
+        assert sorted(same.rows()) == [(1,), (2,)]
+        pinned = batch_hash_join(unit, Atom("edge", (Constant(1), y)), edge,
+                                 frozenset({y}))
+        assert sorted(pinned.rows()) == [(1,), (2,)]
+
+    def test_join_existence_filter_keeps_or_drops_whole_block(self):
+        storage = make_storage()
+        edge = storage.derived("edge")
+        edge.insert((1, 2))
+        block = ColumnarBlock.from_rows((z,), [(7,), (8,)])
+        kept = batch_hash_join(block, Atom("edge", (Constant(1), Constant(2))),
+                               edge, frozenset({z}))
+        assert sorted(kept.rows()) == [(7,), (8,)]
+        dropped = batch_hash_join(block, Atom("edge", (Constant(9), Constant(9))),
+                                  edge, frozenset({z}))
+        assert len(dropped) == 0
+
+    def test_negation_filters_members(self):
+        storage = make_storage()
+        storage.derived("edge").insert((1, 2))
+        block = ColumnarBlock.from_rows((x, y), [(1, 2), (3, 4)])
+        out = batch_negation(block, Atom("edge", (x, y), negated=True),
+                             storage.derived("edge"))
+        assert out.rows() == [(3, 4)]
+
+    def test_negation_requires_bound_variables(self):
+        storage = make_storage()
+        block = ColumnarBlock.from_rows((x,), [(1,)])
+        with pytest.raises(ValueError, match="unbound variable"):
+            batch_negation(block, Atom("edge", (x, z), negated=True),
+                           storage.derived("edge"))
+
+    def test_comparison_and_assignment(self):
+        block = ColumnarBlock.from_rows((x, y), [(1, 2), (5, 2)])
+        filtered = batch_comparison(block, Comparison("<", x, y))
+        assert filtered.rows() == [(1, 2)]
+        extended = batch_assignment(filtered, Assignment(z, x + y))
+        assert extended.variables == (x, y, z)
+        assert extended.rows() == [(1, 2, 3)]
+        # Re-binding an existing variable degenerates to an equality filter.
+        rebound = batch_assignment(extended, Assignment(z, Constant(3)))
+        assert rebound.rows() == [(1, 2, 3)]
+        assert batch_assignment(extended, Assignment(z, Constant(9))).rows() == []
+
+    def test_project_block_shapes(self):
+        block = ColumnarBlock.from_rows((x, y), [(1, 2), (3, 4)])
+        assert project_block((x, y), block) == {(1, 2), (3, 4)}
+        assert project_block((y,), block) == {(2,), (4,)}
+        assert project_block((y, x), block) == {(2, 1), (4, 3)}
+        assert project_block((x, x + y), block) == {(1, 3), (3, 7)}
+
+
+class TestVectorizedEvaluator:
+    def plan(self):
+        return JoinPlan(
+            head_relation="path",
+            head_terms=(x, z),
+            sources=(
+                AtomSource(Atom("path", (x, y)), DatabaseKind.DELTA_KNOWN),
+                AtomSource(Atom("edge", (y, z)), DatabaseKind.DERIVED),
+            ),
+        )
+
+    def test_matches_pushdown(self):
+        storage = make_storage()
+        storage.derived("edge").insert_many([(1, 2), (2, 3), (3, 4)])
+        storage.force_delta("path", [(1, 2), (2, 3)])
+        reference = evaluate_subquery(storage, self.plan(), executor="pushdown")
+        vectorized = evaluate_subquery(storage, self.plan(), executor="vectorized")
+        assert vectorized == reference == {(1, 3), (2, 4)}
+
+    def test_stats_count_batches_and_strategies(self):
+        storage = make_storage()
+        storage.register_index("edge", 0)
+        storage.derived("edge").insert_many([(1, 2), (2, 3)])
+        storage.force_delta("path", [(1, 2)])
+        evaluator = VectorizedSubqueryEvaluator(storage)
+        evaluator.evaluate(self.plan())
+        assert evaluator.stats["batches"] == 1
+        assert evaluator.stats["index"] + evaluator.stats["build"] >= 1
+
+    def test_unknown_executor_rejected(self):
+        from repro.relational.operators import SubqueryEvaluator
+
+        with pytest.raises(ValueError, match="unknown executor"):
+            SubqueryEvaluator(make_storage(), executor="simd")

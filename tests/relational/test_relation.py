@@ -129,3 +129,71 @@ class TestRelation:
         relation.build_index(0)
         relation.drop_indexes()
         assert relation.indexed_columns() == ()
+
+
+class TestInsertManyFastPath:
+    def test_tuples_of_correct_arity_take_absorb_set(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0)
+        assert relation.insert_many([(1, 2), (2, 3), (1, 2)]) == 2
+        assert len(relation) == 2
+        assert sorted(relation.lookup(0, 1)) == [(1, 2)]
+        # Re-inserting is a no-op and must not duplicate index buckets.
+        assert relation.insert_many({(1, 2), (2, 3)}) == 0
+        assert sorted(relation.lookup(0, 2)) == [(2, 3)]
+
+    def test_non_tuple_rows_fall_back_to_per_row_insert(self):
+        relation = Relation("edge", 2)
+        assert relation.insert_many([[1, 2], (2, 3)]) == 2
+        assert (1, 2) in relation
+
+    def test_wrong_arity_still_raises(self):
+        relation = Relation("edge", 2)
+        with pytest.raises(ValueError, match="arity"):
+            relation.insert_many([(1, 2, 3)])
+        with pytest.raises(ValueError, match="arity"):
+            relation.insert_many([(1, 2), (3,)])
+
+    def test_generator_input(self):
+        relation = Relation("edge", 2)
+        assert relation.insert_many((i, i + 1) for i in range(5)) == 5
+
+
+class TestLazyIndexes:
+    def test_lazy_index_materialises_on_first_probe(self):
+        relation = Relation("edge", 2)
+        assert relation.build_index(0, lazy=True) is None
+        assert relation.has_index(0)            # registered...
+        assert relation.indexed_columns() == () # ...but not yet materialised
+        relation.insert_many([(1, 2), (1, 3), (2, 4)])
+        assert relation.index_buckets(0) is None
+        assert sorted(relation.lookup(0, 1)) == [(1, 2), (1, 3)]  # materialises
+        assert relation.indexed_columns() == (0,)
+        assert relation.index_buckets(0) is not None
+
+    def test_clear_demotes_lazy_indexes_only(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0, lazy=True)
+        relation.build_index(1)  # eager
+        relation.insert((1, 2))
+        list(relation.lookup(0, 1))  # materialise the lazy one
+        assert relation.indexed_columns() == (0, 1)
+        relation.clear()
+        assert relation.indexed_columns() == (1,)  # lazy demoted, eager kept
+        relation.insert((3, 4))
+        assert sorted(relation.lookup(0, 3)) == [(3, 4)]  # re-materialises
+
+    def test_probe_uses_lazily_materialised_index(self):
+        relation = Relation("edge", 2)
+        relation.build_index(1, lazy=True)
+        relation.insert_many([(1, 2), (3, 2), (4, 5)])
+        assert sorted(relation.probe({1: 2})) == [(1, 2), (3, 2)]
+        assert relation.indexed_columns() == (1,)
+
+    def test_copy_preserves_lazy_registration(self):
+        relation = Relation("edge", 2)
+        relation.build_index(0, lazy=True)
+        clone = relation.copy()
+        clone.insert((1, 2))
+        assert clone.has_index(0)
+        assert sorted(clone.lookup(0, 1)) == [(1, 2)]

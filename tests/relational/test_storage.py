@@ -126,3 +126,18 @@ class TestSnapshots:
         snapshot = storage.snapshot()
         assert snapshot["path"]["delta"] == 2
         assert snapshot["edge"]["derived"] == 1
+
+
+class TestBatchWriterNormalisation:
+    def test_batch_writers_reject_wrong_arity(self):
+        storage = make_storage()
+        for method in ("seed_delta", "insert_new_many"):
+            with pytest.raises(ValueError, match="arity"):
+                getattr(storage, method)("path", [(1, 2, 3)])
+
+    def test_sets_of_non_tuple_sequences_are_tupled(self):
+        storage = make_storage()
+        storage.seed_delta("path", {"ab"})  # a set of 2-char strings
+        assert ("a", "b") in storage.derived("path")
+        storage.insert_new_many("path", {"cd"})
+        assert ("c", "d") in storage.new("path")
