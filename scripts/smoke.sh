@@ -18,12 +18,12 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
-echo "== 2-shard parallel smoke bench =="
-python -m repro.bench --quick --only parallel
-
-echo
-echo "== vectorized executor smoke bench =="
-python -m repro.bench --quick --only vectorized
+echo "== subsystem smoke benches (perf trajectory -> BENCH_5.json) =="
+# One machine-readable dump per CI run: 2-shard parallel, vectorized
+# executor and dictionary-encoded storage at --quick scale.  smoke.yml
+# uploads BENCH_5.json as an artifact so future PRs can diff against a
+# recorded baseline.
+python -m repro.bench --quick --only parallel,vectorized,interning --json BENCH_5.json
 
 echo
 echo "== public-API drift guard (snapshot + deprecation shims) =="

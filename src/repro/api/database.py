@@ -167,13 +167,19 @@ class Connection:
 
     def _snapshot(self, relation: str) -> QueryResult:
         schema = self.schema(relation)  # raises KeyError on unknown relations
-        rows = self._session.fetch(relation)
+        # Rows stay dictionary-encoded (shared with the session's result
+        # cache — one copy of each constant in the symbol table); the
+        # QueryResult decodes lazily, per accessed page.
+        rows = self._session.fetch_encoded(relation)
         count = len(rows)
 
         def explain() -> str:
             return self._render_explain(relation=relation, row_count=count)
 
-        return QueryResult(schema, rows, explain=explain)
+        return QueryResult(
+            schema, rows, explain=explain,
+            symbols=self._session.storage.symbols,
+        )
 
     def refresh(self) -> None:
         """Force the initial fixpoint computation (otherwise lazy)."""
@@ -185,7 +191,7 @@ class Connection:
         self._check_open()
         row_count = None
         if relation is not None:
-            row_count = len(self._session.fetch(relation))
+            row_count = len(self._session.fetch_encoded(relation))
         return self._render_explain(relation=relation, row_count=row_count)
 
     def _render_explain(self, relation: Optional[str] = None,
@@ -198,6 +204,7 @@ class Connection:
             profile=session.profile,
             relation=relation,
             row_count=row_count,
+            symbols=session.storage.symbols,
         )
 
     def self_check(self) -> None:

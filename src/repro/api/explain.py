@@ -28,6 +28,7 @@ def render_explain(
     profile: Optional[RuntimeProfile] = None,
     relation: Optional[str] = None,
     row_count: Optional[int] = None,
+    symbols=None,
 ) -> str:
     """A human-readable account of how a result was (or will be) computed."""
     lines: List[str] = [f"-- {title}"]
@@ -49,6 +50,12 @@ def render_explain(
     if config.sharding is not None and config.sharding.shards > 1:
         detail += f" shards={config.sharding.shards} pool={config.sharding.pool}"
     lines.append(detail)
+    if symbols is not None and not getattr(symbols, "identity", True):
+        lines.append(
+            f"dictionary encoding: {len(symbols)} symbols interned, "
+            f"{symbols.rows_encoded} rows encoded, "
+            f"{symbols.rows_decoded} rows decoded"
+        )
 
     if tree is not None:
         lines.append("")

@@ -106,13 +106,27 @@ class QueryResult(SetABC):
     :meth:`take`, exports) is requested.
     """
 
-    __slots__ = ("_schema", "_frozen", "_thunk", "_sorted", "_explain_fn")
+    __slots__ = ("_schema", "_frozen", "_thunk", "_sorted", "_decoded",
+                 "_explain_fn", "_symbols")
 
     def __init__(self, schema: ResultSchema, rows: RowSource,
-                 explain: Optional[ExplainFn] = None) -> None:
+                 explain: Optional[ExplainFn] = None, symbols=None) -> None:
+        """``symbols`` marks ``rows`` as dictionary-encoded.
+
+        When a (non-identity) symbol table is attached, the result holds
+        the storage-domain int tuples — one copy of each string lives in
+        the table, not one per row — and decoding happens here, at the
+        boundary: ordering sorts by decoded keys, bounded pages decode as
+        they are read, full views decode once and are memoised (repeat
+        iteration/export reuses the decoded rows), and membership probes
+        encode the probe instead of decoding the set.
+        """
         self._schema = schema
         self._frozen: Optional[FrozenSet[Row]] = None
         self._thunk: Optional[Callable[[], Iterable[Row]]] = None
+        if symbols is not None and getattr(symbols, "identity", False):
+            symbols = None
+        self._symbols = symbols
         if callable(rows):
             self._thunk = rows
         elif isinstance(rows, frozenset):
@@ -122,6 +136,7 @@ class QueryResult(SetABC):
         else:
             self._frozen = frozenset(tuple(row) for row in rows)
         self._sorted: Optional[Tuple[Row, ...]] = None
+        self._decoded: Optional[Tuple[Row, ...]] = None
         self._explain_fn = explain
 
     # -- schema ----------------------------------------------------------------
@@ -148,9 +163,40 @@ class QueryResult(SetABC):
         return self._frozen
 
     def _ordered(self) -> Tuple[Row, ...]:
+        """Storage-domain rows in canonical order (sorted by decoded key)."""
         if self._sorted is None:
-            self._sorted = ordered_rows(self._materialise())
+            if self._symbols is None:
+                self._sorted = ordered_rows(self._materialise())
+            else:
+                decode = self._symbols.resolve_row
+                rows = self._materialise()
+                try:
+                    self._sorted = tuple(sorted(rows, key=decode))
+                except TypeError:
+                    self._sorted = tuple(
+                        sorted(rows, key=lambda row: repr(decode(row)))
+                    )
         return self._sorted
+
+    def _decode_page(self, rows: Iterable[Row]) -> Iterator[Row]:
+        """Decode one page of ordered rows (identity when not encoded)."""
+        if self._symbols is None:
+            return iter(rows)
+        return iter(self._symbols.resolve_rows(rows))
+
+    def _decoded_ordered(self) -> Tuple[Row, ...]:
+        """All rows decoded, in canonical order — decoded at most once.
+
+        The memo behind every full view (iteration, ``to_list``/
+        ``to_dicts``/``to_columns``): repeat accesses reuse the decoded
+        tuple instead of re-resolving every row through the symbol table.
+        """
+        if self._decoded is None:
+            if self._symbols is None:
+                self._decoded = self._ordered()
+            else:
+                self._decoded = tuple(self._symbols.resolve_rows(self._ordered()))
+        return self._decoded
 
     # -- set protocol ----------------------------------------------------------
 
@@ -159,10 +205,15 @@ class QueryResult(SetABC):
             candidate = tuple(row)  # type: ignore[arg-type]
         except TypeError:
             return False
+        if self._symbols is not None:
+            # Encode the probe (no decode of the whole set); a value the
+            # table has never seen cannot occur in any stored row.
+            encoded = self._symbols.lookup_row(candidate)
+            return encoded is not None and encoded in self._materialise()
         return candidate in self._materialise()
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._ordered())
+        return iter(self._decoded_ordered())
 
     def __len__(self) -> int:
         return len(self._materialise())
@@ -192,7 +243,9 @@ class QueryResult(SetABC):
         if limit is not None and limit < 0:
             raise ValueError(f"limit must be >= 0, got {limit}")
         stop = None if limit is None else offset + limit
-        return itertools.islice(iter(self._ordered()), offset, stop)
+        if self._decoded is not None or (offset == 0 and limit is None):
+            return iter(self._decoded_ordered()[offset:stop])
+        return self._decode_page(itertools.islice(iter(self._ordered()), offset, stop))
 
     def take(self, n: int) -> List[Row]:
         """The first ``n`` rows in deterministic order."""
@@ -201,23 +254,33 @@ class QueryResult(SetABC):
     def first(self) -> Optional[Row]:
         """The first row in deterministic order, or ``None`` when empty."""
         ordered = self._ordered()
-        return ordered[0] if ordered else None
+        if not ordered:
+            return None
+        return next(self._decode_page(ordered[:1]))
 
     # -- exports ---------------------------------------------------------------
 
     def to_set(self) -> set:
+        if self._symbols is not None:
+            if self._decoded is not None:
+                return set(self._decoded)
+            return set(self._symbols.resolve_rows(self._materialise()))
         return set(self._materialise())
 
     def to_frozenset(self) -> FrozenSet[Row]:
+        if self._symbols is not None:
+            if self._decoded is not None:
+                return frozenset(self._decoded)
+            return frozenset(self._symbols.resolve_rows(self._materialise()))
         return self._materialise()
 
     def to_list(self) -> List[Row]:
         """All rows as a list, in deterministic order."""
-        return list(self._ordered())
+        return list(self._decoded_ordered())
 
     def to_columns(self) -> Dict[str, List[Any]]:
         """Columnar export: column name -> value vector (rows in order)."""
-        ordered = self._ordered()
+        ordered = self._decoded_ordered()
         return {
             name: [row[i] for row in ordered]
             for i, name in enumerate(self._schema.columns)
@@ -226,7 +289,7 @@ class QueryResult(SetABC):
     def to_dicts(self) -> List[Dict[str, Any]]:
         """Row-wise export: one ``{column: value}`` dict per row, in order."""
         columns = self._schema.columns
-        return [dict(zip(columns, row)) for row in self._ordered()]
+        return [dict(zip(columns, row)) for row in self._decoded_ordered()]
 
     # -- provenance ------------------------------------------------------------
 

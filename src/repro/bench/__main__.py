@@ -28,6 +28,7 @@ from repro.bench.fig67 import FIG67_COLUMNS, run_fig6, run_fig7
 from repro.bench.fig89 import FIG89_COLUMNS, run_fig8, run_fig9
 from repro.bench.formatting import format_rows
 from repro.bench.incremental import INCREMENTAL_COLUMNS, run_incremental
+from repro.bench.interning import INTERNING_COLUMNS, run_interning
 from repro.bench.parallel import PARALLEL_COLUMNS, run_parallel
 from repro.bench.table1 import TABLE1_COLUMNS, run_table1
 from repro.bench.table2 import TABLE2_COLUMNS, run_table2
@@ -111,6 +112,12 @@ SECTIONS: Tuple[BenchSection, ...] = (
         VECTORIZED_COLUMNS,
         lambda args: run_vectorized(repeat=args.repeat, quick=args.quick),
     ),
+    BenchSection(
+        "interning",
+        "Dictionary-encoded storage — interned vs raw-object evaluation",
+        INTERNING_COLUMNS,
+        lambda args: run_interning(repeat=args.repeat, quick=args.quick),
+    ),
 )
 
 
@@ -131,16 +138,31 @@ def main(argv=None) -> int:
                         help="skip the unindexed variants (much slower)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced scales for sections that support it (CI smoke)")
-    parser.add_argument("--only", choices=[section.name for section in SECTIONS],
-                        help="run a single experiment")
+    parser.add_argument("--only", metavar="NAME[,NAME...]",
+                        help="run a subset of experiments (comma-separated "
+                             f"names from: {', '.join(s.name for s in SECTIONS)})")
     parser.add_argument("--json", metavar="PATH", dest="json_path",
                         help="also dump every measured row as JSON to PATH")
     args = parser.parse_args(argv)
 
+    selected = None
+    if args.only is not None:
+        selected = {name.strip() for name in args.only.split(",") if name.strip()}
+        known = {section.name for section in SECTIONS}
+        if not selected:
+            # An empty selection (e.g. --only "$UNSET_VAR" in CI) would
+            # silently run nothing and exit 0 — fail loudly instead.
+            parser.error(f"--only selected no sections; choose from {sorted(known)}")
+        unknown = selected - known
+        if unknown:
+            parser.error(
+                f"unknown section(s) {sorted(unknown)}; choose from {sorted(known)}"
+            )
+
     started = time.perf_counter()
     collected: Dict[str, Rows] = {}
     for section in SECTIONS:
-        if args.only is not None and args.only != section.name:
+        if selected is not None and section.name not in selected:
             continue
         rows = section.runner(args)
         collected[section.name] = rows

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import gc
 import math
 import time
+import tracemalloc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analyses.ordering import Ordering
 from repro.analyses.registry import BenchmarkSpec, get_benchmark
@@ -93,3 +95,69 @@ def speedup(baseline_seconds: float, seconds: float) -> float:
     if seconds <= 0:
         return math.inf
     return baseline_seconds / seconds
+
+
+@dataclass
+class MemoryMeasurement:
+    """One tracemalloc-based memory measurement of a callable.
+
+    ``retained_bytes`` is what the call's result graph keeps alive after
+    transient allocations are released (measured current-minus-baseline
+    after a full gc pass) — for a storage load, the resident footprint of
+    the loaded database.  ``peak_bytes`` is the tracemalloc high-water mark
+    over the call, relative to the same baseline.
+    """
+
+    retained_bytes: int
+    peak_bytes: int
+
+    def retained_mb(self) -> float:
+        return self.retained_bytes / (1024 * 1024)
+
+    def peak_mb(self) -> float:
+        return self.peak_bytes / (1024 * 1024)
+
+
+#: Absolute high-water marks observed by in-flight :func:`measure_memory`
+#: calls, innermost last.  A nested call must ``reset_peak`` to isolate its
+#: own measurement, which clobbers the enclosing call's high-water mark —
+#: so each call hands its observed absolute peak up one level on exit.
+_active_peaks: List[int] = []
+
+
+def measure_memory(fn: Callable[[], Any]) -> Tuple[Any, MemoryMeasurement]:
+    """Run ``fn`` under ``tracemalloc``; returns ``(result, measurement)``.
+
+    Used by the ``interning`` bench section to compare the resident
+    footprint of raw-object versus dictionary-encoded storage: the builder
+    should create its inputs *inside* ``fn`` (as an ingest pipeline would)
+    so that only what the result retains is charged to it.  tracemalloc
+    only sees Python-level allocations, but every structure being compared
+    (tuples, sets, dicts, strings, symbol tables) allocates through it, so
+    the *ratio* between two measurements is meaningful even though absolute
+    numbers undercount interpreter overhead.  Calls nest: an inner
+    measurement propagates its peak outward, so the outer ``peak_bytes``
+    still covers the whole window despite the inner ``reset_peak``.
+    """
+    gc.collect()
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    _active_peaks.append(0)
+    try:
+        baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        result = fn()
+        gc.collect()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        nested_peak = _active_peaks.pop()
+        if not already_tracing:
+            tracemalloc.stop()
+    peak = max(peak, nested_peak)
+    if _active_peaks:
+        _active_peaks[-1] = max(_active_peaks[-1], peak)
+    return result, MemoryMeasurement(
+        retained_bytes=max(0, current - baseline),
+        peak_bytes=max(0, peak - baseline),
+    )

@@ -53,7 +53,9 @@ class BytecodeBackend(Backend):
 
         def build() -> ArtifactFunction:
             lowered = [lower_plan(plan, index_view, use_indexes) for plan in plans]
-            module, driver_name = build_union_module_ast(lowered, module_name)
+            module, driver_name = build_union_module_ast(
+                lowered, module_name, symbols=storage.symbols
+            )
             code = compile(module, f"<carac-bytecode:{module_name}>", "exec")
             namespace = {"DatabaseKind": DatabaseKind}
             exec(code, namespace)  # noqa: S102 - deliberate runtime codegen

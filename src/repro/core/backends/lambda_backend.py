@@ -25,6 +25,7 @@ from repro.core.backends.base import (
 from repro.relational.operators import JoinPlan
 from repro.relational.relation import Row
 from repro.relational.storage import DatabaseKind, StorageManager
+from repro.relational.symbols import IDENTITY
 
 #: A step closure maps a stream of partial binding environments (tuples keyed
 #: by slot index) to an extended stream.
@@ -51,7 +52,15 @@ class _SlotAllocator:
 
 
 def _value_getter(term: Term, slots: _SlotAllocator) -> Callable[[Environment], Any]:
-    """Precompile a term into an environment accessor."""
+    """Precompile a term into a *storage-domain* environment accessor.
+
+    Environments hold storage-domain values (dense symbol ids under
+    dictionary encoding), and plan constants were interned at plan-encode
+    time, so membership probes and head projections over variables and
+    constants need no translation.  Expression terms must not be compiled
+    here — they compute raw values; see :func:`_raw_value_getter` /
+    :func:`_stored_value_getter`.
+    """
     if isinstance(term, Constant):
         value = term.value
         return lambda env: value
@@ -60,9 +69,26 @@ def _value_getter(term: Term, slots: _SlotAllocator) -> Callable[[Environment], 
         if index is None:
             raise KeyError(f"variable {term.name!r} unbound when building lambda step")
         return lambda env: env[index]
+    raise TypeError(f"cannot compile stored accessor for {term!r}")
+
+
+def _raw_value_getter(term: Term, slots: _SlotAllocator,
+                      symbols) -> Callable[[Environment], Any]:
+    """Precompile a term into a *raw-domain* accessor (builtin operands)."""
+    if isinstance(term, Constant):
+        value = symbols.resolve(term.value)
+        return lambda env: value
+    if isinstance(term, Variable):
+        index = slots.known(term)
+        if index is None:
+            raise KeyError(f"variable {term.name!r} unbound when building lambda step")
+        if symbols.identity:
+            return lambda env: env[index]
+        resolve = symbols.resolve
+        return lambda env: resolve(env[index])
     # Arithmetic expression: recurse.
-    left = _value_getter(term.left, slots)  # type: ignore[union-attr]
-    right = _value_getter(term.right, slots)  # type: ignore[union-attr]
+    left = _raw_value_getter(term.left, slots, symbols)  # type: ignore[union-attr]
+    right = _raw_value_getter(term.right, slots, symbols)  # type: ignore[union-attr]
     op = term.op  # type: ignore[union-attr]
     import operator as _operator
 
@@ -73,6 +99,18 @@ def _value_getter(term: Term, slots: _SlotAllocator) -> Callable[[Environment], 
     }
     func = ops[op]
     return lambda env: func(left(env), right(env))
+
+
+def _stored_value_getter(term: Term, slots: _SlotAllocator,
+                         symbols) -> Callable[[Environment], Any]:
+    """Storage-domain accessor, re-interning computed (expression) values."""
+    if isinstance(term, (Constant, Variable)):
+        return _value_getter(term, slots)
+    raw = _raw_value_getter(term, slots, symbols)
+    if symbols.identity:
+        return raw
+    intern = symbols.intern
+    return lambda env: intern(raw(env))
 
 
 def _atom_step(atom: Atom, kind: DatabaseKind, slots: _SlotAllocator,
@@ -169,9 +207,10 @@ def _negation_step(atom: Atom, slots: _SlotAllocator) -> StepFunction:
     return step
 
 
-def _comparison_step(comparison: Comparison, slots: _SlotAllocator) -> StepFunction:
-    left = _value_getter(comparison.left, slots)
-    right = _value_getter(comparison.right, slots)
+def _comparison_step(comparison: Comparison, slots: _SlotAllocator,
+                     symbols=IDENTITY) -> StepFunction:
+    left = _raw_value_getter(comparison.left, slots, symbols)
+    right = _raw_value_getter(comparison.right, slots, symbols)
     import operator as _operator
 
     ops = {
@@ -188,8 +227,9 @@ def _comparison_step(comparison: Comparison, slots: _SlotAllocator) -> StepFunct
     return step
 
 
-def _assignment_step(assignment: Assignment, slots: _SlotAllocator) -> StepFunction:
-    expression = _value_getter(assignment.expression, slots)
+def _assignment_step(assignment: Assignment, slots: _SlotAllocator,
+                     symbols=IDENTITY) -> StepFunction:
+    expression = _raw_value_getter(assignment.expression, slots, symbols)
     existing = slots.known(assignment.target)
     if existing is not None:
         target_slot = existing
@@ -198,25 +238,28 @@ def _assignment_step(assignment: Assignment, slots: _SlotAllocator) -> StepFunct
         target_slot = slots.slot(assignment.target)
         check_only = False
     slot_count_after = slots.count()
+    resolve = symbols.resolve
+    intern = symbols.intern
 
     def step(storage: StorageManager, stream: Iterator[Environment]) -> Iterator[Environment]:
         for env in stream:
             value = expression(env)
             if check_only:
-                if env[target_slot] == value:
+                if resolve(env[target_slot]) == value:
                     yield env
                 continue
             extended = list(env)
             if len(extended) < slot_count_after:
                 extended.extend([None] * (slot_count_after - len(extended)))
-            extended[target_slot] = value
+            extended[target_slot] = intern(value)
             yield extended
 
     return step
 
 
 def build_plan_pipeline(plan: JoinPlan, use_indexes: bool,
-                        indexed_columns: Callable[[str], Tuple[int, ...]]) -> Callable[[StorageManager], Set[Row]]:
+                        indexed_columns: Callable[[str], Tuple[int, ...]],
+                        symbols=IDENTITY) -> Callable[[StorageManager], Set[Row]]:
     """Stitch the combinators for one plan into a single callable."""
     slots = _SlotAllocator()
     steps: List[StepFunction] = []
@@ -235,12 +278,12 @@ def build_plan_pipeline(plan: JoinPlan, use_indexes: bool,
         elif isinstance(literal, Atom):
             steps.append(_negation_step(literal, slots))
         elif isinstance(literal, Comparison):
-            steps.append(_comparison_step(literal, slots))
+            steps.append(_comparison_step(literal, slots, symbols))
         elif isinstance(literal, Assignment):
-            steps.append(_assignment_step(literal, slots))
+            steps.append(_assignment_step(literal, slots, symbols))
         else:  # pragma: no cover
             raise TypeError(f"unsupported literal {literal!r}")
-    head_getters = [_value_getter(term, slots) for term in plan.head_terms]
+    head_getters = [_stored_value_getter(term, slots, symbols) for term in plan.head_terms]
 
     def run(storage: StorageManager) -> Set[Row]:
         stream: Iterator[Environment] = iter(([],))
@@ -284,8 +327,12 @@ class LambdaBackend(Backend):
 
                 return snippet
 
-            pipelines = [build_plan_pipeline(plan, use_indexes, indexed_columns)
-                         for plan in plans]
+            pipelines = [
+                build_plan_pipeline(
+                    plan, use_indexes, indexed_columns, symbols=storage.symbols
+                )
+                for plan in plans
+            ]
 
             def full(run_storage: StorageManager) -> Set[Row]:
                 out: Set[Row] = set()

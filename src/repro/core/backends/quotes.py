@@ -79,7 +79,9 @@ class QuotesBackend(Backend):
                 return run_snippet
 
             lowered = [lower_plan(plan, index_view, use_indexes) for plan in plans]
-            source, driver_name = render_union_module(lowered, module_name)
+            source, driver_name = render_union_module(
+                lowered, module_name, symbols=storage.symbols
+            )
             code = compile(source, f"<carac-quotes:{module_name}>", "exec")
             exec(code, namespace)  # noqa: S102 - deliberate runtime codegen
             driver = namespace[driver_name]
@@ -100,7 +102,9 @@ class QuotesBackend(Backend):
         """Render (but do not compile) the module source, for inspection/tests."""
         index_view = self._index_view(storage, use_indexes)
         lowered = [lower_plan(plan, index_view, use_indexes) for plan in plans]
-        source, _driver = render_union_module(lowered, self._next_module_name(label))
+        source, _driver = render_union_module(
+            lowered, self._next_module_name(label), symbols=storage.symbols
+        )
         return source
 
 

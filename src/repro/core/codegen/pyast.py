@@ -14,6 +14,7 @@ import ast
 from typing import Dict, List, Sequence, Tuple
 
 from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable
+from repro.relational.symbols import IDENTITY
 from repro.core.codegen.steps import (
     AssignStep,
     ConditionStep,
@@ -48,7 +49,14 @@ def _name(identifier: str, ctx: ast.expr_context | None = None) -> ast.Name:
 
 
 def term_to_ast(term: Term, locals_map: Dict[Variable, str]) -> ast.expr:
-    """Build the ``ast`` expression for a term over the plan's local names."""
+    """Build the *storage-domain* ``ast`` expression for a term.
+
+    Under dictionary encoding plan constants are already interned ids, so
+    the generated equality checks, index probes and negation membership
+    tests compare int against int — no symbol-table call in the emitted
+    code.  Expression terms compute raw values; use the symbol-aware
+    helpers below for them.
+    """
     if isinstance(term, Constant):
         return ast.Constant(value=term.value)
     if isinstance(term, Variable):
@@ -65,6 +73,42 @@ def term_to_ast(term: Term, locals_map: Dict[Variable, str]) -> ast.expr:
     if isinstance(term, Aggregate):  # pragma: no cover - aggregates are interpreted
         raise TypeError("aggregate terms cannot be compiled")
     raise TypeError(f"cannot render term {term!r}")  # pragma: no cover
+
+
+def raw_term_ast(term: Term, locals_map: Dict[Variable, str], symbols) -> ast.expr:
+    """The *raw-domain* expression for a builtin operand.
+
+    Encoded bindings route through ``_resolve`` (bound in the generated
+    prologue); under the identity codec this collapses to
+    :func:`term_to_ast` exactly.
+    """
+    if symbols.identity:
+        return term_to_ast(term, locals_map)
+    if isinstance(term, (Constant, Variable)):
+        return ast.Call(
+            func=_name("_resolve"), args=[term_to_ast(term, locals_map)], keywords=[]
+        )
+    if isinstance(term, BinaryExpression):
+        left = raw_term_ast(term.left, locals_map, symbols)
+        right = raw_term_ast(term.right, locals_map, symbols)
+        if term.op in ("min", "max"):
+            return ast.Call(func=_name(term.op), args=[left, right], keywords=[])
+        return ast.BinOp(left=left, op=_BIN_OP_NODES[term.op], right=right)
+    if isinstance(term, Aggregate):  # pragma: no cover - aggregates are interpreted
+        raise TypeError("aggregate terms cannot be compiled")
+    raise TypeError(f"cannot render term {term!r}")  # pragma: no cover
+
+
+def stored_term_ast(term: Term, locals_map: Dict[Variable, str],
+                    symbols) -> ast.expr:
+    """Storage-domain expression, re-interning computed (expression) values."""
+    if isinstance(term, (Constant, Variable)) or symbols.identity:
+        return term_to_ast(term, locals_map)
+    return ast.Call(
+        func=_name("_intern"),
+        args=[raw_term_ast(term, locals_map, symbols)],
+        keywords=[],
+    )
 
 
 def _subscript(container: str, index: int) -> ast.Subscript:
@@ -91,11 +135,12 @@ def _relation_fetch(relation_local: str, relation_name: str, kind_value: str) ->
 
 
 def _build_steps(steps: Sequence[Step], index: int,
-                 locals_map: Dict[Variable, str]) -> List[ast.stmt]:
+                 locals_map: Dict[Variable, str],
+                 symbols=IDENTITY) -> List[ast.stmt]:
     if index == len(steps):
         return []
     step = steps[index]
-    rest = lambda: _build_steps(steps, index + 1, locals_map)  # noqa: E731
+    rest = lambda: _build_steps(steps, index + 1, locals_map, symbols)  # noqa: E731
 
     if isinstance(step, LoopStep):
         inner: List[ast.stmt] = []
@@ -168,27 +213,32 @@ def _build_steps(steps: Sequence[Step], index: int,
     if isinstance(step, ConditionStep):
         comparison = step.comparison
         test = ast.Compare(
-            left=term_to_ast(comparison.left, locals_map),
+            left=raw_term_ast(comparison.left, locals_map, symbols),
             ops=[_COMPARE_NODES[comparison.op]],
-            comparators=[term_to_ast(comparison.right, locals_map)],
+            comparators=[raw_term_ast(comparison.right, locals_map, symbols)],
         )
         body = rest() or [ast.Pass()]
         return [ast.If(test=test, body=body, orelse=[])]
 
     if isinstance(step, AssignStep):
-        expression = term_to_ast(step.expression, locals_map)
+        expression = raw_term_ast(step.expression, locals_map, symbols)
         if step.check_only:
-            test = ast.Compare(
-                left=_name(step.target_local), ops=[ast.Eq()], comparators=[expression]
-            )
+            target: ast.expr = _name(step.target_local)
+            if not symbols.identity:
+                target = ast.Call(func=_name("_resolve"), args=[target], keywords=[])
+            test = ast.Compare(left=target, ops=[ast.Eq()], comparators=[expression])
             body = rest() or [ast.Pass()]
             return [ast.If(test=test, body=body, orelse=[])]
+        if not symbols.identity:
+            expression = ast.Call(func=_name("_intern"), args=[expression], keywords=[])
         assign = ast.Assign(targets=[_name(step.target_local, ast.Store())],
                             value=expression)
         return [assign] + rest()
 
     if isinstance(step, EmitStep):
-        head = _tuple_expr([term_to_ast(term, locals_map) for term in step.head_terms])
+        head = _tuple_expr(
+            [stored_term_ast(term, locals_map, symbols) for term in step.head_terms]
+        )
         add_call = ast.Expr(
             value=ast.Call(
                 func=ast.Attribute(value=_name("out"), attr="add", ctx=ast.Load()),
@@ -201,7 +251,8 @@ def _build_steps(steps: Sequence[Step], index: int,
     raise TypeError(f"unknown step {step!r}")  # pragma: no cover
 
 
-def build_plan_function_ast(lowered: LoweredPlan, function_name: str) -> ast.FunctionDef:
+def build_plan_function_ast(lowered: LoweredPlan, function_name: str,
+                            symbols=IDENTITY) -> ast.FunctionDef:
     """Build the ``FunctionDef`` node evaluating one lowered plan."""
     body: List[ast.stmt] = [
         ast.Assign(
@@ -209,9 +260,20 @@ def build_plan_function_ast(lowered: LoweredPlan, function_name: str) -> ast.Fun
             value=ast.Call(func=_name("set"), args=[], keywords=[]),
         )
     ]
+    if not symbols.identity:
+        for alias, attr in (("_resolve", "resolve"), ("_intern", "intern")):
+            codec = ast.Attribute(
+                value=_name("storage"), attr="symbols", ctx=ast.Load()
+            )
+            body.append(
+                ast.Assign(
+                    targets=[_name(alias, ast.Store())],
+                    value=ast.Attribute(value=codec, attr=attr, ctx=ast.Load()),
+                )
+            )
     for relation_local, relation_name, kind in lowered.relation_locals:
         body.append(_relation_fetch(relation_local, relation_name, kind.value))
-    body.extend(_build_steps(lowered.steps, 0, lowered.locals_map))
+    body.extend(_build_steps(lowered.steps, 0, lowered.locals_map, symbols))
     body.append(ast.Return(value=_name("out")))
     return ast.FunctionDef(
         name=function_name,
@@ -230,6 +292,7 @@ def build_plan_function_ast(lowered: LoweredPlan, function_name: str) -> ast.Fun
 def build_union_module_ast(
     lowered_plans: Sequence[LoweredPlan],
     module_name: str = "generated_union",
+    symbols=IDENTITY,
 ) -> Tuple[ast.Module, str]:
     """Build an ``ast.Module`` with one function per plan and a union driver."""
     functions: List[ast.stmt] = []
@@ -237,7 +300,7 @@ def build_union_module_ast(
     for i, lowered in enumerate(lowered_plans):
         function_name = f"{module_name}_subquery_{i}"
         function_names.append(function_name)
-        functions.append(build_plan_function_ast(lowered, function_name))
+        functions.append(build_plan_function_ast(lowered, function_name, symbols))
 
     driver_name = f"{module_name}_driver"
     driver_body: List[ast.stmt] = [

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datalog.terms import Aggregate, BinaryExpression, Constant, Term, Variable
+from repro.relational.symbols import IDENTITY
 from repro.core.codegen.steps import (
     AssignStep,
     ConditionStep,
@@ -27,7 +28,14 @@ _INDENT = "    "
 
 
 def term_to_source(term: Term, locals_map: Dict[Variable, str]) -> str:
-    """Render a term as a Python expression over the plan's local variables."""
+    """Render a term as a *storage-domain* Python expression.
+
+    Variables and constants are already in the storage domain (under
+    dictionary encoding, plan constants were interned at plan-encode time,
+    so the generated equality checks and index probes compare int against
+    int with no per-tuple translation).  Expression terms cannot be
+    rendered here — they compute raw values; use the symbol-aware helpers.
+    """
     if isinstance(term, Constant):
         return repr(term.value)
     if isinstance(term, Variable):
@@ -46,16 +54,55 @@ def term_to_source(term: Term, locals_map: Dict[Variable, str]) -> str:
     raise TypeError(f"cannot render term {term!r}")  # pragma: no cover
 
 
+def raw_term_source(term: Term, locals_map: Dict[Variable, str], symbols) -> str:
+    """Render a term as a *raw-domain* expression (builtin operands).
+
+    Encoded variable bindings are resolved through ``_resolve`` (bound to
+    ``storage.symbols.resolve`` in the generated prologue); encoded
+    constants are resolved *now*, at code-generation time, and embedded as
+    plain literals — the compiled comparison carries no symbol-table work
+    for its constant side.
+    """
+    if isinstance(term, Constant):
+        return repr(symbols.resolve(term.value))
+    if isinstance(term, Variable):
+        local = locals_map.get(term)
+        if local is None:
+            raise KeyError(f"variable {term.name!r} is not bound at this point")
+        return local if symbols.identity else f"_resolve({local})"
+    if isinstance(term, BinaryExpression):
+        left = raw_term_source(term.left, locals_map, symbols)
+        right = raw_term_source(term.right, locals_map, symbols)
+        if term.op in ("min", "max"):
+            return f"{term.op}({left}, {right})"
+        return f"({left} {term.op} {right})"
+    if isinstance(term, Aggregate):  # pragma: no cover - aggregates are interpreted
+        raise TypeError("aggregate terms cannot be compiled")
+    raise TypeError(f"cannot render term {term!r}")  # pragma: no cover
+
+
+def stored_term_source(term: Term, locals_map: Dict[Variable, str], symbols) -> str:
+    """Render a term as a storage-domain expression, interning computed values."""
+    if isinstance(term, (Constant, Variable)):
+        return term_to_source(term, locals_map)
+    raw = raw_term_source(term, locals_map, symbols)
+    return raw if symbols.identity else f"_intern({raw})"
+
+
 def _tuple_source(expressions: Sequence[str]) -> str:
     if len(expressions) == 1:
         return f"({expressions[0]},)"
     return "(" + ", ".join(expressions) + ")"
 
 
-def render_plan_function(lowered: LoweredPlan, function_name: str) -> str:
+def render_plan_function(lowered: LoweredPlan, function_name: str,
+                         symbols=IDENTITY) -> str:
     """Render one lowered plan as a standalone ``def {name}(storage)`` function."""
     lines: List[str] = [f"def {function_name}(storage):"]
     lines.append(f"{_INDENT}out = set()")
+    if not symbols.identity:
+        lines.append(f"{_INDENT}_resolve = storage.symbols.resolve")
+        lines.append(f"{_INDENT}_intern = storage.symbols.intern")
     for relation_local, relation_name, kind in lowered.relation_locals:
         lines.append(
             f"{_INDENT}{relation_local} = storage.relation({relation_name!r}, "
@@ -99,19 +146,28 @@ def render_plan_function(lowered: LoweredPlan, function_name: str) -> str:
             depth += 1
         elif isinstance(step, ConditionStep):
             comparison = step.comparison
-            left = term_to_source(comparison.left, locals_map)
-            right = term_to_source(comparison.right, locals_map)
+            left = raw_term_source(comparison.left, locals_map, symbols)
+            right = raw_term_source(comparison.right, locals_map, symbols)
             emit(f"if {left} {comparison.op} {right}:")
             depth += 1
         elif isinstance(step, AssignStep):
-            expression = term_to_source(step.expression, locals_map)
+            expression = raw_term_source(step.expression, locals_map, symbols)
             if step.check_only:
-                emit(f"if {step.target_local} == {expression}:")
+                target = (
+                    step.target_local if symbols.identity
+                    else f"_resolve({step.target_local})"
+                )
+                emit(f"if {target} == {expression}:")
                 depth += 1
-            else:
+            elif symbols.identity:
                 emit(f"{step.target_local} = {expression}")
+            else:
+                emit(f"{step.target_local} = _intern({expression})")
         elif isinstance(step, EmitStep):
-            head = [term_to_source(term, locals_map) for term in step.head_terms]
+            head = [
+                stored_term_source(term, locals_map, symbols)
+                for term in step.head_terms
+            ]
             emit(f"out.add({_tuple_source(head)})")
         else:  # pragma: no cover
             raise TypeError(f"unknown step {step!r}")
@@ -123,6 +179,7 @@ def render_plan_function(lowered: LoweredPlan, function_name: str) -> str:
 def render_union_module(
     lowered_plans: Sequence[LoweredPlan],
     module_name: str = "generated_union",
+    symbols=IDENTITY,
 ) -> Tuple[str, str]:
     """Render several plans plus a union driver; returns (source, driver name).
 
@@ -134,7 +191,7 @@ def render_union_module(
     for i, lowered in enumerate(lowered_plans):
         function_name = f"{module_name}_subquery_{i}"
         function_names.append(function_name)
-        parts.append(render_plan_function(lowered, function_name))
+        parts.append(render_plan_function(lowered, function_name, symbols))
     driver_name = f"{module_name}_driver"
     driver_lines = [f"def {driver_name}(storage):", f"{_INDENT}out = set()"]
     for function_name in function_names:

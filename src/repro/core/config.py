@@ -107,6 +107,13 @@ class EngineConfig:
     #: configuration.  Orthogonal to mode/backend/sharding: it changes how
     #: interpreted sub-queries run, never what they compute.
     executor: str = "pushdown"                 # "pushdown" or "vectorized"
+    #: Dictionary-encoded storage: intern every constant into a dense int
+    #: domain at load/insert time and run the whole fixpoint over int
+    #: tuples, decoding lazily at the QueryResult boundary.  On by default;
+    #: ``interning=False`` keeps raw values end-to-end (the PR-4 behaviour)
+    #: and doubles as the differential oracle the encoded engine is tested
+    #: against.  Orthogonal to mode/backend/executor/sharding.
+    interning: bool = True
     freshness_threshold: float = 0.2
     optimize_seed: bool = True
     max_iterations: int = 1_000_000
@@ -127,6 +134,8 @@ class EngineConfig:
         guessing), so a label must not embed the count itself.
         """
         suffix = "+vec" if self.executor == "vectorized" else ""
+        if not self.interning:
+            suffix += "+raw"
         if self.sharding is not None and self.sharding.shards > 1:
             suffix += f"x{self.sharding.shards}"
         if self.label:

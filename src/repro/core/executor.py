@@ -40,7 +40,7 @@ from repro.core.join_order import (
     storage_index_view,
 )
 from repro.core.profile import RuntimeProfile
-from repro.datalog.terms import Aggregate, evaluate_aggregate
+from repro.datalog.terms import Aggregate, Variable, evaluate_aggregate
 from repro.ir.ops import (
     AggregateOp,
     DoWhileOp,
@@ -55,9 +55,9 @@ from repro.ir.ops import (
     SwapClearOp,
     UnionOp,
 )
-from repro.relational.operators import JoinPlan, SubqueryEvaluator
+from repro.relational.operators import JoinPlan, SubqueryEvaluator, evaluate_raw_term
 from repro.relational.relation import Row
-from repro.relational.statistics import StatisticsCollector, take_snapshot
+from repro.relational.statistics import SnapshotCache, StatisticsCollector
 from repro.relational.storage import DatabaseKind, StorageManager
 
 
@@ -88,6 +88,10 @@ class IRExecutor:
             self.compilation = CompilationManager(backend, config.async_compilation)
 
         self._current_iteration = 0
+        # Cardinality snapshots are reused across adaptive nodes within one
+        # iteration (Derived/Delta-Known only change at swap/seed
+        # boundaries), instead of re-copying every cardinality dict.
+        self._snapshots = SnapshotCache()
 
     # -- public API -------------------------------------------------------------
 
@@ -105,6 +109,7 @@ class IRExecutor:
         self.profile.wall_seconds = time.perf_counter() - started
         for name in self.storage.relation_names():
             self.profile.result_sizes[name] = self.storage.cardinality(name)
+        self.profile.record_symbol_stats(self.storage.symbols)
         return self.profile
 
     # -- stratum / loop ----------------------------------------------------------
@@ -114,7 +119,7 @@ class IRExecutor:
         for insert in stratum.seed.children:
             assert isinstance(insert, InsertOp)
             rows = self._rows_for(insert.source, stage="seed")
-            self.storage.seed_delta(insert.relation, rows)
+            self.storage.seed_delta_batch(insert.relation, rows)
 
         loop = stratum.loop
         if loop is None:
@@ -126,14 +131,16 @@ class IRExecutor:
             iteration += 1
             self._current_iteration = iteration
             iteration_start = time.perf_counter()
-            snapshot = self.stats.record(self.storage, iteration)
+            snapshot = self.stats.record_snapshot(
+                self._snapshots.take(self.storage, iteration)
+            )
             promoted = 0
             for child in loop.body.children:
                 if isinstance(child, SwapClearOp):
                     promoted = self.storage.swap_and_clear(child.relations)
                 elif isinstance(child, InsertOp):
                     rows = self._rows_for(child.source, stage="loop")
-                    self.storage.insert_new_many(child.relation, rows)
+                    self.storage.insert_new_batch(child.relation, rows)
                 else:  # pragma: no cover - defensive: builders only emit the above
                     self._rows_for(child, stage="loop")
             self.profile.record_iteration(
@@ -271,7 +278,7 @@ class IRExecutor:
         # The freshness test gates re-optimization: while the artifact's
         # compile-time cardinality snapshot is still representative, neither
         # the reordering algorithm nor the compiler runs again (paper §V-B2).
-        current_snapshot = take_snapshot(self.storage, self._current_iteration)
+        current_snapshot = self._snapshots.take(self.storage, self._current_iteration)
         artifact = self.compilation.current_artifact(node.node_id)
         if artifact is not None:
             compiled_at = self.compilation.artifact_snapshot(node.node_id)
@@ -327,20 +334,32 @@ class IRExecutor:
             )
             self.profile.record_reorder(node.node_id, plan.rule_name, "seed", decision)
 
-        head_terms = node.rule.head.terms
+        # The rule AST stays raw; bindings are storage-domain (encoded
+        # under interning).  Group keys therefore project through the plan's
+        # value domain — variables pass through, raw head constants and
+        # computed expressions are interned — while the aggregated values
+        # decode to raw for the arithmetic and the result re-interns.
+        symbols = self.storage.symbols
+        head_terms = node.head_terms
         aggregate_positions: Dict[int, Aggregate] = {
             i: term for i, term in enumerate(head_terms) if isinstance(term, Aggregate)
         }
+        key_terms = [
+            (i, term) for i, term in enumerate(head_terms)
+            if i not in aggregate_positions
+        ]
         groups: Dict[Tuple, Dict[int, List]] = {}
         for bindings in self.evaluator.bindings(plan):
             key = tuple(
-                term.substitute(bindings)
-                for i, term in enumerate(head_terms)
-                if i not in aggregate_positions
+                bindings[term] if isinstance(term, Variable)
+                else symbols.intern(evaluate_raw_term(term, bindings, symbols))
+                for _i, term in key_terms
             )
             bucket = groups.setdefault(key, {i: [] for i in aggregate_positions})
             for i, aggregate in aggregate_positions.items():
-                bucket[i].append(aggregate.target.substitute(bindings))
+                bucket[i].append(
+                    symbols.resolve(aggregate.target.substitute(bindings))
+                )
 
         self.profile.record_interpreted()
         out: Set[Row] = set()
@@ -349,7 +368,13 @@ class IRExecutor:
             row: List = []
             for i, term in enumerate(head_terms):
                 if i in aggregate_positions:
-                    row.append(evaluate_aggregate(aggregate_positions[i].func, collected[i]))
+                    row.append(
+                        symbols.intern(
+                            evaluate_aggregate(
+                                aggregate_positions[i].func, collected[i]
+                            )
+                        )
+                    )
                 else:
                     row.append(next(key_iterator))
             out.add(tuple(row))

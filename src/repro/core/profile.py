@@ -66,6 +66,10 @@ class RuntimeProfile:
     #: Per-plan strategy predictions taken alongside join-order decisions
     #: (rule name -> one strategy per positive atom, in chosen order).
     block_plans: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
+    #: Dictionary-encoding counters (interned symbols, rows encoded at the
+    #: load/mutation boundary, rows decoded at the result boundary); empty
+    #: when the evaluation ran with ``interning=False``.
+    symbol_stats: Dict[str, int] = field(default_factory=dict)
 
     # -- recording -------------------------------------------------------------
 
@@ -98,6 +102,16 @@ class RuntimeProfile:
     def record_block_plan(self, rule_name: str,
                           strategies: Tuple[str, ...]) -> None:
         self.block_plans.append((rule_name, strategies))
+
+    def record_symbol_stats(self, symbols) -> None:
+        """Snapshot a symbol table's counters into the profile."""
+        if symbols is None or getattr(symbols, "identity", True):
+            return
+        self.symbol_stats = {
+            "symbols": len(symbols),
+            "rows_encoded": symbols.rows_encoded,
+            "rows_decoded": symbols.rows_decoded,
+        }
 
     def absorb_block_stats(self, stats: Optional[Dict[str, int]]) -> None:
         """Fold one evaluator's batch counters into the profile."""
@@ -132,5 +146,6 @@ class RuntimeProfile:
             "subqueries_compiled": self.sources.compiled,
             "subqueries_vectorized": self.sources.vectorized,
             "block_joins": dict(self.block_joins),
+            "symbol_stats": dict(self.symbol_stats),
             "result_sizes": dict(self.result_sizes),
         }

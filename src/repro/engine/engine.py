@@ -16,11 +16,13 @@ from repro.core.join_order import JoinOrderOptimizer
 from repro.core.profile import RuntimeProfile
 from repro.datalog.program import DatalogProgram
 from repro.ir.builder import build_naive_ir, build_program_ir
+from repro.ir.encoding import encode_tree
 from repro.ir.ops import ProgramOp
 from repro.ir.printer import explain
 from repro.relational.operators import EXECUTORS
 from repro.relational.relation import Row
 from repro.relational.storage import StorageManager
+from repro.relational.symbols import SymbolTable
 from repro.engine.indexing import select_indexes
 
 
@@ -33,15 +35,19 @@ def prepare_evaluation(
 
     Shared between the single-shot :class:`ExecutionEngine` and the
     long-lived :class:`repro.incremental.IncrementalSession`: declares every
-    relation, loads the EDB facts, registers the schema-selected indexes,
-    lowers the program to IR and (in AOT mode) applies the ahead-of-time
-    join-order optimization to the tree in place.
+    relation, loads the EDB facts (interning them into the storage's
+    :class:`~repro.relational.symbols.SymbolTable` under the default
+    ``config.interning``), registers the schema-selected indexes, lowers
+    the program to IR, rewrites every plan constant into the symbol domain
+    (:func:`repro.ir.encoding.encode_tree`) and (in AOT mode) applies the
+    ahead-of-time join-order optimization to the tree in place.
     """
     if config.executor not in EXECUTORS:
         raise ValueError(
             f"unknown executor {config.executor!r}; expected one of {EXECUTORS}"
         )
-    storage = StorageManager(program)
+    symbols = SymbolTable() if config.interning else None
+    storage = StorageManager(program, symbols=symbols)
     if config.use_indexes:
         for relation, column in sorted(select_indexes(program)):
             storage.register_index(relation, column)
@@ -50,6 +56,7 @@ def prepare_evaluation(
         tree = build_naive_ir(program)
     else:
         tree = build_program_ir(program)
+    encode_tree(tree, storage.symbols)
 
     apply_aot_if_configured(tree, config, storage, profile)
     return storage, tree
@@ -157,9 +164,11 @@ class ExecutionEngine:
             return self._render_explain(relation=name)
 
         # The engine is single-shot, so storage is stable after the fixpoint:
-        # rows may be fetched lazily, on first access.
+        # rows may be fetched lazily, on first access.  Rows stay in the
+        # storage (symbol) domain; the result decodes at its boundary.
         return QueryResult(
-            schema, lambda: self.storage.tuples(name), explain=explain
+            schema, lambda: self.storage.tuples(name), explain=explain,
+            symbols=self.storage.symbols,
         )
 
     def run(self) -> Dict[str, Set[Row]]:
@@ -180,13 +189,13 @@ class ExecutionEngine:
             )
         self._execute_once()
         return {
-            relation: self.storage.tuples(relation)
+            relation: self.storage.decoded_tuples(relation)
             for relation in self.program.idb_relations()
         }
 
     def relation(self, name: str) -> Set[Row]:
-        """Tuples of one relation (IDB or EDB) after evaluation."""
-        return self.storage.tuples(name)
+        """Tuples of one relation (IDB or EDB) after evaluation, decoded."""
+        return self.storage.decoded_tuples(name)
 
     def _render_explain(self, relation: Optional[str] = None) -> str:
         from repro.api.explain import render_explain
@@ -201,6 +210,7 @@ class ExecutionEngine:
             profile=self.profile if self._ran else None,
             relation=relation,
             row_count=row_count,
+            symbols=self.storage.symbols,
         )
 
     def execution_seconds(self) -> float:

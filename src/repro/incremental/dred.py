@@ -33,6 +33,7 @@ from repro.ir.planning import seed_plan, update_subqueries
 from repro.relational.operators import Bindings, JoinPlan, SubqueryEvaluator
 from repro.relational.relation import Row
 from repro.relational.storage import DatabaseKind, StorageManager
+from repro.relational.symbols import IDENTITY
 
 
 @dataclass
@@ -137,6 +138,7 @@ def rederivation_seeds(
     cone: DeletionCone,
     evaluator: SubqueryEvaluator,
     seed_plans: Optional[SeedPlans] = None,
+    symbols=IDENTITY,
 ) -> Dict[str, Set[Row]]:
     """Phase 2 seeds: over-deleted rows that survive against the pruned database.
 
@@ -174,7 +176,7 @@ def rederivation_seeds(
             continue
         if all(isinstance(t, (Variable, Constant)) for t in rule.head.terms):
             for row in pending:
-                bindings = _head_bindings(rule, row)
+                bindings = _head_bindings(rule, row, symbols)
                 if bindings is not None and evaluator.satisfiable(plan, bindings):
                     found.add(row)
         else:
@@ -182,12 +184,19 @@ def rederivation_seeds(
     return survivors
 
 
-def _head_bindings(rule: Rule, row: Row) -> Optional[Bindings]:
-    """Bindings that pin the rule's head to ``row``; None when incompatible."""
+def _head_bindings(rule: Rule, row: Row, symbols=IDENTITY) -> Optional[Bindings]:
+    """Bindings that pin the rule's head to ``row``; None when incompatible.
+
+    ``row`` is a storage-domain (encoded) tuple while the rule AST is raw,
+    so head constants are translated through the symbol table for the
+    comparison: a constant the table never interned cannot match any stored
+    row.  The produced bindings stay encoded — they pre-bind an encoded
+    plan.
+    """
     bindings: Bindings = {}
     for term, value in zip(rule.head.terms, row):
         if isinstance(term, Constant):
-            if term.value != value:
+            if symbols.lookup(term.value) != value:
                 return None
         elif isinstance(term, Variable):
             if bindings.setdefault(term, value) != value:

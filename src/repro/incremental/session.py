@@ -34,7 +34,7 @@ import hashlib
 import time
 import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
 if TYPE_CHECKING:  # repro.api sits above this layer; import only for types
     from repro.api.result import ResultSet
@@ -59,6 +59,7 @@ from repro.incremental.dred import (
     update_plans_by_delta,
 )
 from repro.ir.builder import build_update_ir
+from repro.ir.encoding import encode_plan, encode_tree
 from repro.ir.ops import ProgramOp
 from repro.relational.columnar import ColumnarBlock
 from repro.relational.operators import SubqueryEvaluator
@@ -108,6 +109,7 @@ def _config_cache_key(config: EngineConfig) -> str:
             config.optimize_seed,
             config.aot_sort.value,
             config.aot_online,
+            config.interning,
         )
     )
 
@@ -176,10 +178,19 @@ class IncrementalSession:
                 for relation, column in sorted(select_retraction_indexes(self.program)):
                     self.storage.register_index(relation, column)
             self._update_tree = build_update_ir(self.program, check_safety=False)
-            # DRed plans depend only on the immutable program: build once,
+            encode_tree(self._update_tree, self.storage.symbols)
+            # DRed plans depend only on the immutable program: build once
+            # (constants pre-encoded into the session's symbol domain),
             # reuse for every retraction batch.
-            self._dred_delta_plans = update_plans_by_delta(self.program)
-            self._dred_seed_plans = rule_seed_plans(self.program)
+            symbols = self.storage.symbols
+            self._dred_delta_plans = {
+                name: [(head, encode_plan(plan, symbols)) for head, plan in pairs]
+                for name, pairs in update_plans_by_delta(self.program).items()
+            }
+            self._dred_seed_plans = [
+                (rule, encode_plan(plan, symbols))
+                for rule, plan in rule_seed_plans(self.program)
+            ]
             apply_aot_if_configured(
                 self._update_tree, self.config, self.storage, self.profile
             )
@@ -205,6 +216,12 @@ class IncrementalSession:
         self._config_key = _config_cache_key(self.config)
         self._dependencies = _dependency_closure(self.program)
         self._evaluated = False
+        # Decoded-result memo for :meth:`fetch`: relation -> (encoded
+        # frozenset, decoded frozenset).  Validity is by *identity* of the
+        # encoded set — the ResultCache returns the same object while the
+        # entry is valid, so a storage mutation (new encoded set) misses
+        # here automatically and repeat fetches skip the O(n) decode.
+        self._decoded_results: Dict[str, Tuple[FrozenSet[Row], FrozenSet[Row]]] = {}
         self.updates_applied = 0
         self.last_report: Optional[UpdateReport] = None
         # Shard-parallel update propagation (see _propagate_parallel): the
@@ -296,7 +313,7 @@ class IncrementalSession:
         started = time.perf_counter()
         self._ensure_evaluated()
         insert_rows = self._normalise(inserts)
-        retract_rows = self._normalise(retracts)
+        retract_rows = self._normalise(retracts, allocate=False)
 
         if self.incremental_capable:
             report = self._apply_incremental(insert_rows, retract_rows)
@@ -335,8 +352,17 @@ class IncrementalSession:
             self._mutation_digests[name] = digest.hexdigest()
 
     def _normalise(
-        self, batch: Optional[Mapping[str, RowBatch]]
+        self, batch: Optional[Mapping[str, RowBatch]], allocate: bool = True
     ) -> Dict[str, Set[Row]]:
+        """Validate one mutation batch and encode it into the storage domain.
+
+        This is the session's interning boundary: everything downstream
+        (delta seeding, DRed, shard scatter, the base-row ledger) works on
+        encoded rows.  ``allocate=False`` is the retraction path — a value
+        the symbol table has never seen cannot occur in any stored row, so
+        such rows are dropped here instead of allocating ids for them.
+        """
+        symbols = self.storage.symbols
         normalised: Dict[str, Set[Row]] = {}
         for name, rows in (batch or {}).items():
             arity = self.storage.arity_of(name)  # raises on unknown relations
@@ -346,8 +372,16 @@ class IncrementalSession:
                     raise ValueError(
                         f"relation {name!r} has arity {arity}, got row {row!r}"
                     )
-            if row_set:
-                normalised[name] = row_set
+            if allocate:
+                encoded = set(symbols.intern_rows(row_set))
+            else:
+                encoded = {
+                    encoded_row
+                    for encoded_row in map(symbols.lookup_row, row_set)
+                    if encoded_row is not None
+                }
+            if encoded:
+                normalised[name] = encoded
         return normalised
 
     def _apply_incremental(
@@ -387,6 +421,7 @@ class IncrementalSession:
             seeds = rederivation_seeds(
                 self.program, self.storage, cone, evaluator,
                 seed_plans=self._dred_seed_plans,
+                symbols=self.storage.symbols,
             )
             for name, rows in seeds.items():
                 report.rederived += self.storage.seed_delta(name, rows)
@@ -577,8 +612,17 @@ class IncrementalSession:
 
     # -- queries ----------------------------------------------------------------
 
-    def fetch(self, relation: str) -> FrozenSet[Row]:
-        """The current tuples of ``relation``, served from cache when valid."""
+    def fetch_encoded(self, relation: str) -> FrozenSet[Row]:
+        """Storage-domain tuples of ``relation``, served from cache when valid.
+
+        The cache holds *encoded* rows — under dictionary encoding a cached
+        result is a frozenset of int tuples, one copy of each string living
+        in the symbol table — and :class:`~repro.api.result.QueryResult`
+        decodes lazily at its boundary.  Symbol ids are deterministic per
+        (program, configuration, mutation history), which is exactly the
+        cache key + validity-token granularity, so shared entries decode
+        identically in every session allowed to hit them.
+        """
         self._ensure_evaluated()
         dependencies = self._dependencies.get(relation, frozenset((relation,)))
         tokens = {
@@ -592,6 +636,24 @@ class IncrementalSession:
         rows = frozenset(self.storage.tuples(relation))
         self.cache.store(key, tokens, rows)
         return rows
+
+    def fetch(self, relation: str) -> FrozenSet[Row]:
+        """The current (raw-domain) tuples of ``relation``.
+
+        Decoding is memoised per cached encoded set, so repeat fetches of
+        an unchanged relation return the same frozenset object instead of
+        re-resolving every row through the symbol table.
+        """
+        rows = self.fetch_encoded(relation)
+        symbols = self.storage.symbols
+        if symbols.identity:
+            return rows
+        memo = self._decoded_results.get(relation)
+        if memo is not None and memo[0] is rows:
+            return memo[1]
+        decoded = frozenset(symbols.resolve_rows(rows))
+        self._decoded_results[relation] = (rows, decoded)
+        return decoded
 
     def query(self, relation: str) -> FrozenSet[Row]:
         """Deprecated: use :meth:`fetch` (or ``Connection.query`` for
@@ -616,8 +678,12 @@ class IncrementalSession:
         clone = DatalogProgram(self.program.name)
         for name, decl in self.program.relations.items():
             clone.declare_relation(name, decl.arity)
+        symbols = self.storage.symbols
         for name in self.storage.relation_names():
-            for row in sorted(self.storage.base_rows(name), key=repr):
+            base = self.storage.base_rows(name)
+            if not symbols.identity:
+                base = set(symbols.resolve_rows(base))
+            for row in sorted(base, key=repr):
                 clone.add_fact(name, row)
         for rule in self.program.rules:
             clone.add_rule(rule.head, rule.body, rule.name)

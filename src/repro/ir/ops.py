@@ -69,7 +69,13 @@ class JoinProjectOp(IROp):
 
 
 class AggregateOp(IROp):
-    """Evaluate one aggregate rule: body bindings, group-by, aggregate, project."""
+    """Evaluate one aggregate rule: body bindings, group-by, aggregate, project.
+
+    ``head_terms`` starts as the rule's own head terms and is rewritten by
+    the constant-encoding pass (:mod:`repro.ir.encoding`) — the rule AST is
+    shared with the caller and must stay raw, but the executor's grouping
+    and projection read the plan's value domain.
+    """
 
     kind = "AggregateOp"
 
@@ -77,6 +83,7 @@ class AggregateOp(IROp):
         super().__init__()
         self.rule = rule
         self.plan = plan
+        self.head_terms = rule.head.terms
 
     def label(self) -> str:
         return f"γ {self.rule.head!r}"

@@ -57,6 +57,7 @@ from repro.core.join_order import (
 from repro.core.profile import RuntimeProfile
 from repro.datalog.program import DatalogProgram
 from repro.ir.builder import collect_loop_plans
+from repro.ir.encoding import plan_allocates
 from repro.ir.ops import ProgramOp, StratumOp
 from repro.parallel.exchange import (
     ExchangeRouter,
@@ -356,7 +357,7 @@ class ShardWorker:
         while True:
             iterations += 1
             for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
-                self.storage.insert_new_many(relation, evaluate())
+                self.storage.insert_new_batch(relation, evaluate())
             promoted = self.storage.swap_and_clear(self.swap_relations)
             promoted_total += promoted
             if promoted == 0 or iterations >= max_iterations:
@@ -374,7 +375,7 @@ class ShardWorker:
             if not produced:
                 continue
             local, routed = self.router.route(relation, produced, self.shard_id)
-            accepted_local += self.storage.insert_new_many(relation, local)
+            accepted_local += self.storage.insert_new_batch(relation, set(local))
             for owner, batches in routed.items():
                 box = outboxes.setdefault(owner, {})
                 for name, rows in batches.items():
@@ -594,6 +595,7 @@ class ParallelEvaluator:
         self.profile.wall_seconds = self.report.seconds
         for name in self.storage.relation_names():
             self.profile.result_sizes[name] = self.storage.cardinality(name)
+        self.profile.record_symbol_stats(self.storage.symbols)
         return self.report
 
     # -- per-stratum driver ------------------------------------------------------
@@ -658,6 +660,19 @@ class ParallelEvaluator:
                 self.config.evaluator_style, self.config.executor,
             )
         pool_kind = resolve_pool_kind(self.sharding, spec.shards)
+        if (
+            pool_kind == "process"
+            and not self.storage.symbols.identity
+            and any(plan_allocates(plan) for plan in plans)
+        ):
+            # Plans that compute fresh values (assignments, arithmetic
+            # heads) can intern new symbols mid-fixpoint.  A forked child
+            # allocating ids would diverge from its siblings' inherited
+            # tables, so such strata stay in-process — on the thread pool,
+            # where every worker interns through the one locked table and
+            # shard parallelism survives (the report's ``pool`` column
+            # shows the substitution).
+            pool_kind = "thread"
         pool = make_pool(pool_kind, workers)
 
         report = StratumRunReport(

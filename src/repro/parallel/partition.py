@@ -80,6 +80,13 @@ def stable_hash(value: Any) -> int:
     return zlib.crc32(repr(value).encode("utf-8"))
 
 
+#: ``stable_hash`` equals the builtin hash on every int, so int-only key
+#: columns — all of them, under dictionary encoding — may take
+#: :meth:`repro.relational.columnar.ColumnarBlock.partition`'s C-level
+#: ``map(hash, ...)`` fast path.
+stable_hash.int_compatible = True  # type: ignore[attr-defined]
+
+
 def shard_of(value: Any, shards: int) -> int:
     """The owning shard of a partition-column value."""
     return stable_hash(value) % shards

@@ -49,7 +49,11 @@ class ShardedStorage:
         }
         self.shards: List[StorageManager] = []
         for _ in range(spec.shards):
-            shard = StorageManager()
+            # Every shard shares the template's symbol table by reference:
+            # encoded rows move between shards id-compatible, threads intern
+            # through the table's lock, fork children inherit a consistent
+            # copy, and the serial pool simply shares the object.
+            shard = StorageManager(symbols=template.symbols)
             for name in self.relation_names_list:
                 shard.declare(name, self._arities[name])
                 for column in template.registered_indexes(name):

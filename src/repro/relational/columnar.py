@@ -25,6 +25,7 @@ they replace.
 
 from __future__ import annotations
 
+from array import array
 from operator import itemgetter
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -115,6 +116,37 @@ class ColumnarBlock:
         variables = tuple(Variable(f"c{i}") for i in range(relation.arity))
         return cls(variables, rows=list(relation.rows()))
 
+    @classmethod
+    def from_packed(cls, variables: Sequence[Variable],
+                    columns: Sequence["array"]) -> "ColumnarBlock":
+        """A block over pre-packed ``array('q')`` integer columns.
+
+        The constructor counterpart of :meth:`packed_column`: under symbol
+        interning every cell is a dense int, so a column packs into a
+        machine-word array — 8 bytes per cell instead of a pointer to a
+        boxed object.  The arrays are adopted as the block's column-major
+        layout directly (they support the same iteration/indexing the tuple
+        columns do); row-major views materialise lazily as usual.  Engine
+        blocks are built row-major today and pack key columns on demand
+        (:meth:`partition`); this entry point is for consumers that already
+        hold packed columns, e.g. a compact off-process interchange.
+        """
+        packed = tuple(
+            column if isinstance(column, array) else array("q", column)
+            for column in columns
+        )
+        block = cls(variables, length=len(packed[0]) if packed else 0)
+        if packed:
+            lengths = {len(column) for column in packed}
+            if len(lengths) > 1:
+                raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        if len(packed) != len(block.variables):
+            raise ValueError(
+                f"{len(block.variables)} variables but {len(packed)} columns"
+            )
+        block._columns = packed  # type: ignore[assignment]
+        return block
+
     # -- shape -------------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -183,6 +215,17 @@ class ColumnarBlock:
         """Export: variable -> column tuple (consumed by storage plumbing)."""
         return dict(zip(self.variables, self.columns))
 
+    def packed_column(self, slot: int) -> "array":
+        """One column as a machine-word ``array('q')``.
+
+        Only valid when every cell is an int — always true for
+        dictionary-encoded blocks, where cells are dense symbol ids.  Raises
+        ``TypeError``/``OverflowError`` otherwise (callers fall back to the
+        boxed tuple layout).
+        """
+        column = self.column_at(slot)
+        return column if isinstance(column, array) else array("q", column)
+
     def partition(self, slot: int, shards: int, hash_fn=hash) -> List[List[Row]]:
         """Split rows into per-shard buckets by hash of one column.
 
@@ -190,10 +233,26 @@ class ColumnarBlock:
         ``stable_hash``) so bucket assignment matches
         :meth:`repro.parallel.partition.PartitionSpec.split` exactly — blocks
         flow straight into the scatter step.
+
+        Dictionary-encoded fast path: when the key column is all ints (one
+        C-level ``array('q')`` probe) and ``hash_fn`` agrees with the
+        builtin hash on ints (``hash`` itself, or marked
+        ``int_compatible`` like the partitioner's ``stable_hash``), the
+        owner split runs over ``map(hash, column)`` — no per-value Python
+        dispatch into the hash function.
         """
         buckets: List[List[Row]] = [[] for _ in range(shards)]
         column = self.column_at(slot)
         rows = self.rows()
+        if hash_fn is hash or getattr(hash_fn, "int_compatible", False):
+            try:
+                packed = self.packed_column(slot)
+            except (TypeError, OverflowError, ValueError):
+                pass
+            else:
+                for value, row in zip(map(hash, packed), rows):
+                    buckets[value % shards].append(row)
+                return buckets
         for value, row in zip(column, rows):
             buckets[hash_fn(value) % shards].append(row)
         return buckets

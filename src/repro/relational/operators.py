@@ -28,6 +28,7 @@ from repro.relational.columnar import (
 )
 from repro.relational.relation import Relation, Row
 from repro.relational.storage import DatabaseKind, StorageManager
+from repro.relational.symbols import IDENTITY
 
 Bindings = Dict[Variable, Any]
 
@@ -158,11 +159,60 @@ def bound_constraints(atom: Atom, bindings: Bindings) -> Dict[int, Any]:
     return constraints
 
 
-def project_head(head_terms: Sequence[Term], bindings: Bindings) -> Row:
-    """Compute the head tuple for one complete set of bindings."""
+def evaluate_raw_term(term: Term, bindings: Bindings, symbols=IDENTITY) -> Any:
+    """Evaluate ``term`` in the *raw* value domain.
+
+    Built-in literals (comparisons, arithmetic) are meaningless over symbol
+    ids, so their operands cross back into the raw domain here: variable
+    bindings and plan constants are resolved through the symbol table (one
+    list subscript each) and the expression is computed over real values.
+    Under the identity codec this is exactly ``term.substitute(bindings)``.
+    """
+    if isinstance(term, Variable):
+        if term not in bindings:
+            raise KeyError(f"unbound variable {term.name!r}")
+        return symbols.resolve(bindings[term])
+    if isinstance(term, Constant):
+        return symbols.resolve(term.value)
+    if isinstance(term, BinaryExpression):
+        func = binary_operator(term.op)
+        return func(
+            evaluate_raw_term(term.left, bindings, symbols),
+            evaluate_raw_term(term.right, bindings, symbols),
+        )
+    if isinstance(term, Aggregate):
+        return evaluate_raw_term(term.target, bindings, symbols)
+    raise TypeError(f"cannot evaluate term {term!r}")  # pragma: no cover
+
+
+def evaluate_comparison(comparison: Comparison, bindings: Bindings,
+                        symbols=IDENTITY) -> bool:
+    """One comparison literal over (possibly encoded) bindings."""
+    if symbols.identity:
+        return comparison.evaluate(bindings)
+    func = comparison_operator(comparison.op)
+    return bool(
+        func(
+            evaluate_raw_term(comparison.left, bindings, symbols),
+            evaluate_raw_term(comparison.right, bindings, symbols),
+        )
+    )
+
+
+def project_head(head_terms: Sequence[Term], bindings: Bindings,
+                 symbols=IDENTITY) -> Row:
+    """Compute the head tuple for one complete set of bindings.
+
+    Variables and constants stay in the storage domain (bindings and plan
+    constants are already encoded); expression terms — the only place a
+    head can *compute* a value — evaluate raw and re-intern the result.
+    """
     values: List[Any] = []
     for term in head_terms:
-        values.append(term.substitute(bindings))
+        if isinstance(term, (Variable, Constant)):
+            values.append(term.substitute(bindings))
+        else:
+            values.append(symbols.intern(evaluate_raw_term(term, bindings, symbols)))
     return tuple(values)
 
 
@@ -171,6 +221,7 @@ class PullSubqueryEvaluator:
 
     def __init__(self, storage: StorageManager) -> None:
         self.storage = storage
+        self.symbols = storage.symbols
 
     def bindings(self, plan: JoinPlan,
                  initial: Optional[Bindings] = None) -> Iterator[Bindings]:
@@ -202,17 +253,17 @@ class PullSubqueryEvaluator:
                     yield from self._recurse(plan, position + 1, extended)
             return
         if isinstance(literal, Comparison):
-            if literal.evaluate(bindings):
+            if evaluate_comparison(literal, bindings, self.symbols):
                 yield from self._recurse(plan, position + 1, bindings)
             return
         if isinstance(literal, Assignment):
-            value = literal.evaluate(bindings)
+            value = evaluate_raw_term(literal.expression, bindings, self.symbols)
             existing = bindings.get(literal.target, _UNBOUND)
             if existing is _UNBOUND:
                 extended = dict(bindings)
-                extended[literal.target] = value
+                extended[literal.target] = self.symbols.intern(value)
                 yield from self._recurse(plan, position + 1, extended)
-            elif existing == value:
+            elif self.symbols.resolve(existing) == value:
                 yield from self._recurse(plan, position + 1, bindings)
             return
         raise TypeError(f"unsupported literal {literal!r}")  # pragma: no cover
@@ -239,8 +290,9 @@ class PullSubqueryEvaluator:
     def evaluate(self, plan: JoinPlan) -> Set[Row]:
         """Evaluate the plan and project the head (no aggregation here)."""
         results: Set[Row] = set()
+        symbols = self.symbols
         for bindings in self.bindings(plan):
-            results.add(project_head(plan.head_terms, bindings))
+            results.add(project_head(plan.head_terms, bindings, symbols))
         return results
 
 
@@ -255,14 +307,17 @@ class PushSubqueryEvaluator:
 
     def __init__(self, storage: StorageManager) -> None:
         self.storage = storage
+        self.symbols = storage.symbols
 
     def evaluate_into(self, plan: JoinPlan, consumer: Callable[[Row], None]) -> int:
         """Push every head tuple into ``consumer``; returns the tuple count."""
         count = 0
 
+        symbols = self.symbols
+
         def emit(bindings: Bindings) -> None:
             nonlocal count
-            consumer(project_head(plan.head_terms, bindings))
+            consumer(project_head(plan.head_terms, bindings, symbols))
             count += 1
 
         self._push(plan, 0, {}, emit)
@@ -293,17 +348,17 @@ class PushSubqueryEvaluator:
                     self._push(plan, position + 1, extended, emit)
             return
         if isinstance(literal, Comparison):
-            if literal.evaluate(bindings):
+            if evaluate_comparison(literal, bindings, self.symbols):
                 self._push(plan, position + 1, bindings, emit)
             return
         if isinstance(literal, Assignment):
-            value = literal.evaluate(bindings)
+            value = evaluate_raw_term(literal.expression, bindings, self.symbols)
             existing = bindings.get(literal.target, _UNBOUND)
             if existing is _UNBOUND:
                 extended = dict(bindings)
-                extended[literal.target] = value
+                extended[literal.target] = self.symbols.intern(value)
                 self._push(plan, position + 1, extended, emit)
-            elif existing == value:
+            elif self.symbols.resolve(existing) == value:
                 self._push(plan, position + 1, bindings, emit)
             return
         raise TypeError(f"unsupported literal {literal!r}")  # pragma: no cover
@@ -319,8 +374,14 @@ class PushSubqueryEvaluator:
 # ---------------------------------------------------------------------------
 
 
-def _compile_term(term: Term, block: ColumnarBlock) -> Callable[[Row], Any]:
-    """Compile one term into a row-tuple accessor over ``block``'s layout."""
+def _compile_term(term: Term, block: ColumnarBlock,
+                  symbols=IDENTITY) -> Callable[[Row], Any]:
+    """Compile one term into a storage-domain accessor over ``block``.
+
+    Variables and constants already live in the storage domain (encoded
+    under interning); expression terms compute raw and re-intern — they are
+    the only accessors that touch the symbol table per row.
+    """
     if isinstance(term, Variable):
         slot = block.slot(term)
         if slot is None:
@@ -330,13 +391,39 @@ def _compile_term(term: Term, block: ColumnarBlock) -> Callable[[Row], Any]:
         value = term.value
         return lambda row: value
     if isinstance(term, BinaryExpression):
-        func = binary_operator(term.op)
-        left = _compile_term(term.left, block)
-        right = _compile_term(term.right, block)
-        return lambda row: func(left(row), right(row))
+        raw = _compile_raw_term(term, block, symbols)
+        if symbols.identity:
+            return raw
+        intern = symbols.intern
+        return lambda row: intern(raw(row))
     if isinstance(term, Aggregate):
         # Mirrors Aggregate.substitute: at tuple level, project the target.
-        return _compile_term(term.target, block)
+        return _compile_term(term.target, block, symbols)
+    raise TypeError(f"cannot compile term {term!r}")  # pragma: no cover
+
+
+def _compile_raw_term(term: Term, block: ColumnarBlock,
+                      symbols=IDENTITY) -> Callable[[Row], Any]:
+    """Compile one term into a *raw-domain* accessor (builtin operands)."""
+    if isinstance(term, Variable):
+        slot = block.slot(term)
+        if slot is None:
+            raise KeyError(f"unbound variable {term.name!r}")
+        if symbols.identity:
+            return itemgetter(slot)
+        resolve = symbols.resolve
+        get = itemgetter(slot)
+        return lambda row: resolve(get(row))
+    if isinstance(term, Constant):
+        value = symbols.resolve(term.value)
+        return lambda row: value
+    if isinstance(term, BinaryExpression):
+        func = binary_operator(term.op)
+        left = _compile_raw_term(term.left, block, symbols)
+        right = _compile_raw_term(term.right, block, symbols)
+        return lambda row: func(left(row), right(row))
+    if isinstance(term, Aggregate):
+        return _compile_raw_term(term.target, block, symbols)
     raise TypeError(f"cannot compile term {term!r}")  # pragma: no cover
 
 
@@ -555,33 +642,47 @@ def batch_negation(block: ColumnarBlock, atom: Atom, relation: Relation) -> Colu
     return block.replace_rows(kept)
 
 
-def batch_comparison(block: ColumnarBlock, comparison: Comparison) -> ColumnarBlock:
-    """Filter an entire block through one comparison literal."""
+def batch_comparison(block: ColumnarBlock, comparison: Comparison,
+                     symbols=IDENTITY) -> ColumnarBlock:
+    """Filter an entire block through one comparison literal (raw domain)."""
     func = comparison_operator(comparison.op)
-    left = _compile_term(comparison.left, block)
-    right = _compile_term(comparison.right, block)
+    left = _compile_raw_term(comparison.left, block, symbols)
+    right = _compile_raw_term(comparison.right, block, symbols)
     return block.replace_rows(
         [row for row in block.rows() if func(left(row), right(row))]
     )
 
 
-def batch_assignment(block: ColumnarBlock, assignment: Assignment) -> ColumnarBlock:
-    """Extend (or equality-filter) an entire block through one assignment."""
-    expression = _compile_term(assignment.expression, block)
+def batch_assignment(block: ColumnarBlock, assignment: Assignment,
+                     symbols=IDENTITY) -> ColumnarBlock:
+    """Extend (or equality-filter) an entire block through one assignment.
+
+    The expression computes raw; extending the block re-interns the result
+    (assignments are where a fixpoint can allocate fresh symbols).  The
+    re-binding case compares in the raw domain and allocates nothing.
+    """
+    expression = _compile_raw_term(assignment.expression, block, symbols)
     slot = block.slot(assignment.target)
     rows = block.rows()
     if slot is not None:  # re-binding degenerates to an equality filter
-        bound = itemgetter(slot)
+        bound = _compile_raw_term(assignment.target, block, symbols)
         return block.replace_rows(
             [row for row in rows if bound(row) == expression(row)]
         )
+    if symbols.identity:
+        return ColumnarBlock(
+            block.variables + (assignment.target,),
+            rows=[row + (expression(row),) for row in rows],
+        )
+    intern = symbols.intern
     return ColumnarBlock(
         block.variables + (assignment.target,),
-        rows=[row + (expression(row),) for row in rows],
+        rows=[row + (intern(expression(row)),) for row in rows],
     )
 
 
-def project_block(head_terms: Sequence[Term], block: ColumnarBlock) -> Set[Row]:
+def project_block(head_terms: Sequence[Term], block: ColumnarBlock,
+                  symbols=IDENTITY) -> Set[Row]:
     """Project the head over every block row at once.
 
     All-variable heads compile to one :func:`operator.itemgetter`, so the
@@ -607,7 +708,7 @@ def project_block(head_terms: Sequence[Term], block: ColumnarBlock) -> Set[Row]:
         if len(slots) == 1:
             return set(zip(block.column_at(slots[0])))
         return set(map(itemgetter(*slots), rows))
-    compiled = [_compile_term(term, block) for term in head_terms]
+    compiled = [_compile_term(term, block, symbols) for term in head_terms]
     return {tuple(fn(row) for fn in compiled) for row in rows}
 
 
@@ -624,6 +725,7 @@ class VectorizedSubqueryEvaluator:
 
     def __init__(self, storage: StorageManager) -> None:
         self.storage = storage
+        self.symbols = storage.symbols
         self.stats: Dict[str, int] = {"batches": 0, "index": 0, "build": 0}
 
     def evaluate(self, plan: JoinPlan) -> Set[Row]:
@@ -648,12 +750,12 @@ class VectorizedSubqueryEvaluator:
                         block, literal, relation, needed_after[position], self.stats
                     )
             elif isinstance(literal, Comparison):
-                block = batch_comparison(block, literal)
+                block = batch_comparison(block, literal, self.symbols)
             elif isinstance(literal, Assignment):
-                block = batch_assignment(block, literal)
+                block = batch_assignment(block, literal, self.symbols)
             else:  # pragma: no cover - planner emits only the above
                 raise TypeError(f"unsupported literal {literal!r}")
-        return project_block(plan.head_terms, block)
+        return project_block(plan.head_terms, block, self.symbols)
 
     @staticmethod
     def _needed_after(plan: JoinPlan) -> List[FrozenSet[Variable]]:

@@ -150,7 +150,9 @@ class Relation:
         Rows must already be tuples of the right arity — callers own that
         invariant (they read the rows out of another relation).
         """
-        new_rows = set(rows) - self._rows
+        if not isinstance(rows, (set, frozenset)):
+            rows = set(rows)
+        new_rows = rows - self._rows
         if not new_rows:
             return 0
         self._rows |= new_rows

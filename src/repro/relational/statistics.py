@@ -45,6 +45,41 @@ def take_snapshot(storage: StorageManager, iteration: int = 0) -> CardinalitySna
     )
 
 
+class SnapshotCache:
+    """Reuse cardinality maps across snapshots while storage is unchanged.
+
+    ``take_snapshot`` copies every cardinality dict; the JIT asks for a
+    snapshot once per adaptive node per iteration, on storage that only
+    changes at swap/seed boundaries (loop-body inserts write Delta-New,
+    which snapshots do not read).  The cache keys on
+    :meth:`StorageManager.mutation_version`: while the version stands
+    still, the previously built ``derived``/``delta`` maps are shared
+    (snapshots are read-only), so repeat snapshots cost two dict probes
+    instead of two dict copies per relation.
+    """
+
+    __slots__ = ("_version", "_snapshot")
+
+    def __init__(self) -> None:
+        self._version: Optional[int] = None
+        self._snapshot: Optional[CardinalitySnapshot] = None
+
+    def take(self, storage: StorageManager, iteration: int = 0) -> CardinalitySnapshot:
+        version = storage.mutation_version()
+        cached = self._snapshot
+        if cached is not None and self._version == version:
+            if cached.iteration == iteration:
+                return cached
+            cached = CardinalitySnapshot(
+                iteration=iteration, derived=cached.derived, delta=cached.delta
+            )
+        else:
+            cached = take_snapshot(storage, iteration)
+        self._version = version
+        self._snapshot = cached
+        return cached
+
+
 @dataclass
 class SelectivityModel:
     """Carac's deliberately simple selectivity model.
@@ -104,6 +139,11 @@ class StatisticsCollector:
 
     def record(self, storage: StorageManager, iteration: int) -> CardinalitySnapshot:
         snapshot = take_snapshot(storage, iteration)
+        self.history.append(snapshot)
+        return snapshot
+
+    def record_snapshot(self, snapshot: CardinalitySnapshot) -> CardinalitySnapshot:
+        """Append an externally taken (possibly cache-shared) snapshot."""
         self.history.append(snapshot)
         return snapshot
 

@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.program import DatalogProgram
 from repro.relational.relation import Relation, Row
+from repro.relational.symbols import IDENTITY
 
 
 class DatabaseKind(str, enum.Enum):
@@ -32,9 +33,22 @@ class DatabaseKind(str, enum.Enum):
 
 
 class StorageManager:
-    """Owns every relation instance used during one program evaluation."""
+    """Owns every relation instance used during one program evaluation.
 
-    def __init__(self, program: Optional[DatalogProgram] = None) -> None:
+    ``symbols`` is the manager's value codec (:mod:`repro.relational.symbols`):
+    when a real :class:`~repro.relational.symbols.SymbolTable` is supplied
+    (the engine does, under ``EngineConfig(interning=True)``), EDB facts are
+    interned at load time and every relation copy holds dense integer
+    tuples; decoding happens exactly once, at the result boundary.  The
+    default is the identity codec, so direct storage use keeps raw-value
+    semantics.  All mutation APIs other than :meth:`load_program` take rows
+    already in the manager's value domain — callers that accept user rows
+    (the incremental session) encode at their boundary.
+    """
+
+    def __init__(self, program: Optional[DatalogProgram] = None,
+                 symbols=None) -> None:
+        self.symbols = symbols if symbols is not None else IDENTITY
         self._arities: Dict[str, int] = {}
         self._derived: Dict[str, Relation] = {}
         self._delta_known: Dict[str, Relation] = {}
@@ -46,6 +60,10 @@ class StorageManager:
         # relation (the support set delete-and-rederive may retract from).
         self._generations: Dict[str, int] = {}
         self._base_rows: Dict[str, Set[Row]] = {}
+        # Coarse change counter over the copies cardinality snapshots read
+        # (Derived + Delta-Known): lets take_snapshot reuse unchanged maps
+        # instead of re-copying every cardinality dict each round.
+        self._mutation_version = 0
         if program is not None:
             self.load_program(program)
 
@@ -73,17 +91,26 @@ class StorageManager:
 
         Facts are loaded in one batch per relation (arity is already
         enforced by the program's own declarations), so a 10k-row EDB costs
-        set arithmetic, not 10k insert calls.
+        set arithmetic, not 10k insert calls.  This is the interning point:
+        each fact row passes through :attr:`symbols` exactly once, so under
+        dictionary encoding the storage retains int tuples (plus one copy
+        of each distinct constant in the table) while the caller's raw fact
+        objects become garbage.
         """
         for name, declaration in program.relations.items():
             self.declare(name, declaration.arity)
+        symbols = self.symbols
+        intern_row = symbols.intern_row
         by_relation: Dict[str, Set[Row]] = {}
         for fact in program.facts:
-            by_relation.setdefault(fact.relation, set()).add(fact.values)
+            by_relation.setdefault(fact.relation, set()).add(intern_row(fact.values))
+        if not symbols.identity:
+            symbols.rows_encoded += sum(len(rows) for rows in by_relation.values())
         for name, rows in by_relation.items():
             inserted = self._derived[name].absorb_set(rows)
             if inserted:
                 self._generations[name] += 1
+                self._mutation_version += 1
             self._base_rows[name] |= rows
 
     def register_index(self, relation: str, column: int) -> None:
@@ -156,6 +183,22 @@ class StorageManager:
     def tuples(self, name: str, kind: DatabaseKind = DatabaseKind.DERIVED) -> Set[Row]:
         return set(self.relation(name, kind).rows())
 
+    def decoded_tuples(self, name: str,
+                       kind: DatabaseKind = DatabaseKind.DERIVED) -> Set[Row]:
+        """The rows of ``name`` translated back into the raw value domain.
+
+        The legacy-shape result boundary (``ExecutionEngine.run()``, session
+        ``fetch``): one decode pass, no effect under the identity codec.
+        """
+        rows = self.relation(name, kind).rows()
+        if self.symbols.identity:
+            return set(rows)
+        return set(self.symbols.resolve_rows(rows))
+
+    def mutation_version(self) -> int:
+        """Coarse counter over Derived/Delta-Known changes (snapshot reuse)."""
+        return self._mutation_version
+
     # -- mutation --------------------------------------------------------------
 
     def insert_derived(self, name: str, row: Sequence[Any]) -> bool:
@@ -164,6 +207,7 @@ class StorageManager:
         inserted = self._derived[name].insert(row)
         if inserted:
             self._generations[name] += 1
+            self._mutation_version += 1
         return inserted
 
     def insert_base(self, name: str, row: Sequence[Any]) -> bool:
@@ -194,6 +238,7 @@ class StorageManager:
                 f"cannot adopt {relation!r} as {name!r}: arity mismatch"
             )
         self._derived[name] = relation
+        self._mutation_version += 1
 
     def base_rows(self, name: str) -> Set[Row]:
         """The explicitly asserted rows of ``name`` (a copy)."""
@@ -229,6 +274,7 @@ class StorageManager:
             self._delta_new[name].discard(row_tuple)
         if removed:
             self._generations[name] += 1
+        self._mutation_version += 1
         return removed
 
     # -- generation counters (result-cache invalidation) -------------------------
@@ -243,6 +289,32 @@ class StorageManager:
         if names is None:
             return dict(self._generations)
         return {name: self.generation(name) for name in names}
+
+    def insert_new_batch(self, name: str, rows: "Set[Row] | frozenset") -> int:
+        """Trusted :meth:`insert_new_many`: skip re-tupling and arity scans.
+
+        The executor's per-iteration sink: evaluation batches are produced
+        by head projection over validated plans, so every row is already a
+        tuple of the declared arity — re-validating 10⁶ rows per fixpoint
+        was pure overhead (it showed up as ~15-25%% of closure wall time in
+        profiles).  Callers own that invariant; anything else must go
+        through :meth:`insert_new_many`.
+        """
+        fresh = rows - self._derived[name].rows()
+        if not fresh:
+            return 0
+        return self._delta_new[name].absorb_set(fresh)
+
+    def seed_delta_batch(self, name: str, rows: "Set[Row] | frozenset") -> int:
+        """Trusted :meth:`seed_delta` (see :meth:`insert_new_batch`)."""
+        new = rows - self._derived[name].rows()
+        if not new:
+            return 0
+        self._derived[name].absorb_set(new)
+        self._delta_known[name].absorb_set(new)
+        self._generations[name] += 1
+        self._mutation_version += 1
+        return len(new)
 
     def absorb_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert rows into the Derived database, one generation bump.
@@ -259,6 +331,7 @@ class StorageManager:
         )
         if inserted:
             self._generations[name] += 1
+            self._mutation_version += 1
         return inserted
 
     def force_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -270,6 +343,7 @@ class StorageManager:
         the number of rows new to Delta-Known.
         """
         self._require(name)
+        self._mutation_version += 1
         return self._delta_known[name].insert_many(rows)
 
     def _normalise_batch(self, name: str, rows: Iterable[Sequence[Any]]) -> Set[Row]:
@@ -333,6 +407,7 @@ class StorageManager:
         self._derived[name].absorb_set(new)
         self._delta_known[name].absorb_set(new)
         self._generations[name] += 1
+        self._mutation_version += 1
         return len(new)
 
     # -- iteration management (SwapClearOp / DiffOp semantics) ------------------
@@ -348,6 +423,7 @@ class StorageManager:
         paper's IROp program (Fig. 4): executed once per DoWhile iteration.
         """
         promoted = 0
+        self._mutation_version += 1
         for name in names:
             self._require(name)
             new_relation = self._delta_new[name]
@@ -364,6 +440,7 @@ class StorageManager:
         return promoted
 
     def clear_deltas(self, names: Iterable[str]) -> None:
+        self._mutation_version += 1
         for name in names:
             self._require(name)
             self._delta_known[name].clear()
@@ -371,6 +448,7 @@ class StorageManager:
 
     def reset_idb(self, names: Iterable[str]) -> None:
         """Forget all derived facts of ``names`` (used between benchmark runs)."""
+        self._mutation_version += 1
         for name in names:
             self._require(name)
             if len(self._derived[name]):

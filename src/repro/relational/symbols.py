@@ -1,0 +1,274 @@
+"""Global symbol interning: one dense integer id per distinct constant.
+
+Dictionary encoding is the storage trick every production Datalog engine
+(Soufflé and friends) leans on: intern each constant **once** into a dense
+``0..N-1`` integer domain and run the entire fixpoint — hash-join
+build/probe, delta dedup, shard routing, index maintenance — over
+machine-word tuples.  Strings, composite keys and floats are hashed and
+compared exactly once, at interning time; every later touch is an int.
+
+Two codecs implement the same tiny protocol:
+
+* :class:`SymbolTable` — the real thing: an append-only value ↔ id bijection.
+  Ids are allocated densely in first-seen order, so the id space doubles as
+  an index into the value list and decoding is one C-level list subscript.
+  Interning is keyed by the value itself (plain ``dict`` lookup), so the
+  encoding **preserves Python set semantics exactly**: values that compare
+  equal (``1 == 1.0 == True``) share one id, exactly as a raw ``set`` of
+  rows collapses them, so decoded results equal the un-encoded engine's
+  under ``==`` — same rows, same cardinalities, same joins.  The one
+  observable difference is *which representative* of a mixed-type numeric
+  equivalence class survives: the table keeps the globally first-interned
+  value (so ``b(1.0)`` decodes as ``1`` if ``a(1)`` loaded first), where
+  the raw engine keeps the first value inserted into each individual set.
+  Giving such values distinct ids instead would change row *counts*
+  relative to raw sets, a far worse divergence; consumers that dispatch on
+  ``int`` vs ``float`` within one ``==``-equivalence class face the same
+  arbitrariness the raw engine's per-set collapse already has.
+* :data:`IDENTITY` (:class:`IdentitySymbols`) — the null codec used when
+  interning is disabled (``EngineConfig(interning=False)``): every method is
+  the identity, so the storage layer holds raw values exactly as before the
+  encoding rewrite.  It is the differential oracle the encoded engine is
+  tested against.
+
+Shard safety
+------------
+
+The table is **append-only** and safe to share:
+
+* *Threads* — the allocation path takes a lock (with a lock-free fast path
+  for already-interned values, safe under the GIL), so shard workers on the
+  thread pool may intern concurrently.
+* *Forked processes* — children inherit the table at fork time; ids are
+  consistent because allocation is deterministic and the coordinator only
+  forks after loading/encoding.  Plans that can *allocate* mid-fixpoint
+  (assignments, arithmetic head terms) are kept off the fork pool by the
+  parallel evaluator, so a child never invents an id its siblings lack.
+* *Pickling* — a table pickles by its value list (the id map and lock are
+  rebuilt on load), so spawn-style workers can ship the whole table, and
+  :meth:`entries_since` / :meth:`extend` ship incremental deltas: the
+  receiver replays the sender's appended suffix and ends up id-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Row = Tuple[Any, ...]
+
+
+class SymbolTable:
+    """Append-only value ↔ dense-int-id bijection (see module docstring)."""
+
+    #: Identity codecs short-circuit the encode/decode plumbing; the real
+    #: table never does.
+    identity = False
+
+    __slots__ = ("_ids", "_values", "_lock", "rows_encoded", "rows_decoded")
+
+    def __init__(self, values: Optional[Iterable[Any]] = None) -> None:
+        self._ids: dict = {}
+        self._values: List[Any] = []
+        self._lock = threading.Lock()
+        #: Boundary counters surfaced by ``explain()``/the profile: rows
+        #: interned at load/mutation time and rows decoded at the
+        #: QueryResult boundary.  Bulk methods maintain them; single-value
+        #: ``intern``/``resolve`` calls (e.g. one comparison operand) are
+        #: deliberately uncounted to keep the per-touch cost at one dict or
+        #: list operation.
+        self.rows_encoded = 0
+        self.rows_decoded = 0
+        if values is not None:
+            self.extend(values)
+
+    # -- core codec ------------------------------------------------------------
+
+    def intern(self, value: Any) -> int:
+        """The dense id of ``value``, allocating one on first sight."""
+        found = self._ids.get(value)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._ids.get(value)
+            if found is None:
+                found = len(self._values)
+                self._values.append(value)
+                self._ids[value] = found
+        return found
+
+    def lookup(self, value: Any) -> Optional[int]:
+        """The id of ``value`` if it was ever interned, else None (no alloc).
+
+        The retraction path uses this: a value that was never interned
+        cannot occur in any stored row, so the row is simply absent.
+        """
+        return self._ids.get(value)
+
+    def resolve(self, symbol: int) -> Any:
+        """The value behind ``symbol`` (one list subscript)."""
+        try:
+            return self._values[symbol]
+        except (IndexError, TypeError):
+            raise KeyError(f"unknown symbol id {symbol!r}") from None
+
+    # -- row codecs ------------------------------------------------------------
+
+    def intern_row(self, row: Sequence[Any]) -> Row:
+        intern = self.intern
+        return tuple(intern(value) for value in row)
+
+    def resolve_row(self, row: Sequence[int]) -> Row:
+        values = self._values
+        return tuple(values[symbol] for symbol in row)
+
+    def intern_rows(self, rows: Iterable[Sequence[Any]]) -> List[Row]:
+        intern = self.intern
+        out = [tuple(intern(value) for value in row) for row in rows]
+        self.rows_encoded += len(out)
+        return out
+
+    def resolve_rows(self, rows: Iterable[Sequence[int]]) -> List[Row]:
+        values = self._values
+        out = [tuple(values[symbol] for symbol in row) for row in rows]
+        self.rows_decoded += len(out)
+        return out
+
+    def lookup_row(self, row: Sequence[Any]) -> Optional[Row]:
+        """Encode a probe row without allocating; None if any value is unknown."""
+        lookup = self._ids.get
+        out = []
+        for value in row:
+            symbol = lookup(value)
+            if symbol is None:
+                return None
+            out.append(symbol)
+        return tuple(out)
+
+    # -- shard/process plumbing --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def mark(self) -> int:
+        """A replay point for :meth:`entries_since` (the current size)."""
+        return len(self._values)
+
+    def entries_since(self, mark: int) -> List[Any]:
+        """Values appended after ``mark``, in allocation (= id) order."""
+        return self._values[mark:]
+
+    def extend(self, values: Iterable[Any], base: Optional[int] = None) -> int:
+        """Replay another table's appended suffix; returns entries added.
+
+        Receiving side of the cross-process delta protocol: appending the
+        sender's ``entries_since(mark)`` with ``base=mark`` reproduces its
+        allocations exactly, so row ids stay comparable across the
+        boundary.  Raises ``ValueError`` when the replay would assign any
+        value an id different from the sender's — the tables diverged and
+        encoded rows can no longer be exchanged.
+        """
+        added = 0
+        with self._lock:
+            if base is None:
+                base = len(self._values)
+            for offset, value in enumerate(values):
+                expected = base + offset
+                existing = self._ids.get(value)
+                if existing is None:
+                    if len(self._values) != expected:
+                        raise ValueError(
+                            f"symbol table divergence: {value!r} would get id "
+                            f"{len(self._values)}, sender assigned {expected}"
+                        )
+                    self._ids[value] = expected
+                    self._values.append(value)
+                    added += 1
+                elif existing != expected:
+                    raise ValueError(
+                        f"symbol table divergence: {value!r} bound to id "
+                        f"{existing} here, {expected} at the sender"
+                    )
+        return added
+
+    def values(self) -> Iterator[Any]:
+        """Every interned value, in id order."""
+        return iter(self._values)
+
+    # -- pickling (the lock cannot cross process boundaries) ---------------------
+
+    def __getstate__(self):
+        return {
+            "values": self._values,
+            "rows_encoded": self.rows_encoded,
+            "rows_decoded": self.rows_decoded,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._values = list(state["values"])
+        self._ids = {value: i for i, value in enumerate(self._values)}
+        self._lock = threading.Lock()
+        self.rows_encoded = state.get("rows_encoded", 0)
+        self.rows_decoded = state.get("rows_decoded", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SymbolTable(symbols={len(self._values)})"
+
+
+class IdentitySymbols:
+    """The null codec: raw values pass through untouched.
+
+    The default of a bare :class:`~repro.relational.storage.StorageManager`
+    (so direct storage use keeps its historical raw-value semantics) and of
+    ``EngineConfig(interning=False)`` — the differential oracle the encoded
+    engine is held bit-for-bit against.
+    """
+
+    identity = True
+    rows_encoded = 0
+    rows_decoded = 0
+
+    __slots__ = ()
+
+    def intern(self, value: Any) -> Any:
+        return value
+
+    def lookup(self, value: Any) -> Any:
+        return value
+
+    def resolve(self, symbol: Any) -> Any:
+        return symbol
+
+    def intern_row(self, row: Sequence[Any]) -> Row:
+        return tuple(row)
+
+    def resolve_row(self, row: Sequence[Any]) -> Row:
+        return tuple(row)
+
+    def intern_rows(self, rows: Iterable[Sequence[Any]]) -> List[Row]:
+        return [tuple(row) for row in rows]
+
+    def resolve_rows(self, rows: Iterable[Sequence[Any]]) -> List[Row]:
+        return [tuple(row) for row in rows]
+
+    def lookup_row(self, row: Sequence[Any]) -> Row:
+        return tuple(row)
+
+    def __len__(self) -> int:
+        return 0
+
+    def mark(self) -> int:
+        return 0
+
+    def entries_since(self, mark: int) -> List[Any]:
+        return []
+
+    def extend(self, values: Iterable[Any], base: Optional[int] = None) -> int:
+        raise TypeError("the identity codec cannot absorb symbol entries")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "IdentitySymbols()"
+
+
+#: Shared stateless instance of the null codec.
+IDENTITY = IdentitySymbols()

@@ -127,3 +127,111 @@ class TestFormatting:
 
     def test_format_rows_empty(self):
         assert "(no rows)" in format_rows([], title="x")
+
+
+class TestMemoryMeasurement:
+    def test_measure_memory_reports_retained_and_peak(self):
+        from repro.bench.measurement import measure_memory
+
+        def build():
+            return [("x" * 64) + str(i) for i in range(2_000)]
+
+        result, memory = measure_memory(build)
+        assert len(result) == 2_000
+        assert memory.retained_bytes > 100_000          # ~2k strings kept alive
+        assert memory.peak_bytes >= memory.retained_bytes
+        assert memory.retained_mb() == pytest.approx(
+            memory.retained_bytes / (1024 * 1024)
+        )
+
+    def test_transient_allocations_are_not_retained(self):
+        from repro.bench.measurement import measure_memory
+
+        def churn():
+            waste = [("y" * 64) + str(i) for i in range(2_000)]
+            return len(waste)
+
+        _result, memory = measure_memory(churn)
+        assert memory.peak_bytes > 100_000
+        assert memory.retained_bytes < memory.peak_bytes / 4
+
+    def test_nested_measurements_propagate_the_peak(self):
+        from repro.bench.measurement import measure_memory
+
+        def inner():
+            waste = [("z" * 64) + str(i) for i in range(4_000)]
+            return len(waste)
+
+        def outer():
+            # The inner call's reset_peak would otherwise clobber the
+            # enclosing high-water mark; its observed peak must surface
+            # in the outer measurement.
+            _count, inner_memory = measure_memory(inner)
+            assert inner_memory.peak_bytes > 200_000
+            return inner_memory
+
+        inner_memory, outer_memory = measure_memory(outer)
+        assert outer_memory.peak_bytes >= inner_memory.peak_bytes
+
+
+class TestInterningSection:
+    def test_quick_rows_have_expected_shape(self):
+        from repro.bench.interning import INTERNING_COLUMNS, run_interning
+
+        rows = run_interning(
+            workloads=[],
+            memory_scale=(500, 100),
+        )
+        assert all(set(INTERNING_COLUMNS) <= set(row) for row in rows)
+        by_codec = {row["codec"]: row for row in rows}
+        assert by_codec["interned"]["equal"] is True
+        assert by_codec["interned"]["mem_ratio"] > 1.0
+        assert by_codec["raw"]["retained_mb"] > by_codec["interned"]["retained_mb"]
+
+    def test_speed_rows_compare_raw_and_interned(self):
+        from repro.bench.interning import run_interning, tc_workload
+
+        rows = run_interning(
+            workloads=[tc_workload(edge_count=60, nodes=40)],
+            memory_scale=(200, 50),
+        )
+        speed = [row for row in rows if row["seconds"] is not None]
+        assert {row["codec"] for row in speed} == {"raw", "interned"}
+        assert all(row["equal"] for row in speed)
+        assert all(row["seconds"] > 0 for row in speed)
+
+    def test_load_streamed_matches_bulk_load(self):
+        from repro.bench.interning import load_streamed
+        from repro.relational.storage import StorageManager
+        from repro.relational.symbols import SymbolTable
+
+        rows = [((f"k{i % 7}", i % 5), (f"k{i % 3}", i % 4)) for i in range(40)]
+        streamed = StorageManager(symbols=SymbolTable())
+        streamed.declare("edge", 2)
+        load_streamed(streamed, "edge", iter(rows), chunk=8)
+        assert streamed.decoded_tuples("edge") == set(rows)
+
+
+class TestSectionSelection:
+    def test_only_accepts_comma_separated_sections(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--quick", "--only", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+
+    def test_only_rejects_unknown_sections(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", "fig5,nope"])
+
+    def test_only_rejects_an_empty_selection(self):
+        # e.g. --only "$UNSET_VAR" in a CI script: running zero sections
+        # and exiting 0 would let a perf gate pass on no data.
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", ""])
+        with pytest.raises(SystemExit):
+            main(["--only", " , "])

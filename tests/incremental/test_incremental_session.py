@@ -35,6 +35,17 @@ class TestInsertion:
         assert (1, 6) in session.fetch("path")  # 1→...→4→5→6 now closed
         session.self_check()
 
+    def test_repeat_fetch_reuses_the_decoded_result(self):
+        # Decoding is memoised against the cached encoded set: polling an
+        # unchanged relation must not pay an O(n) re-decode per call.
+        session = tc_session()
+        first = session.fetch("path")
+        assert session.fetch("path") is first
+        session.insert_facts("edge", [(4, 5)])
+        changed = session.fetch("path")
+        assert changed is not first
+        assert session.fetch("path") is changed
+
     def test_duplicate_inserts_are_noops(self):
         session = tc_session()
         before = session.fetch("path")
@@ -105,14 +116,24 @@ class TestRetraction:
         assert verify_indexes(session.storage) == []
 
     def test_over_delete_reports_the_cone(self):
+        # over_delete is an internal API: it speaks the session storage's
+        # value domain (encoded under dictionary interning) and expects the
+        # session's pre-encoded delta plans.
         session = tc_session([(1, 2), (2, 3)])
         session.refresh()
+        symbols = session.storage.symbols
         cone = over_delete(
-            session.program, session.storage, {"edge": {(1, 2)}},
+            session.program, session.storage,
+            {"edge": {symbols.lookup_row((1, 2))}},
             SubqueryEvaluator(session.storage),
+            plans_by_delta=session._dred_delta_plans,
         )
-        assert cone.rows("edge") == {(1, 2)}
-        assert cone.rows("path") == {(1, 2), (1, 3)}
+
+        def decoded(rows):
+            return set(symbols.resolve_rows(rows))
+
+        assert decoded(cone.rows("edge")) == {(1, 2)}
+        assert decoded(cone.rows("path")) == {(1, 2), (1, 3)}
 
 
 class TestResultCache:
@@ -225,7 +246,10 @@ class TestFallbackAndFingerprint:
         session = IncrementalSession(build_primes_program(limit=30))
         session.refresh()
         victim = (30,)
-        assert session.storage.is_base_row("num", victim)
+        # Storage introspection speaks the encoded domain.
+        assert session.storage.is_base_row(
+            "num", session.storage.symbols.lookup_row(victim)
+        )
         report = session.retract_facts("num", [victim])
         assert report.strategy == "recompute" and report.retracted == 1
         assert victim not in session.fetch("num")
@@ -235,9 +259,11 @@ class TestFallbackAndFingerprint:
         session = IncrementalSession(build_primes_program(limit=30))
         session.refresh()
         generations = dict(session.storage.generations())
-        # Retract rows never asserted; re-assert an existing base row.
+        # Retract rows never asserted; re-assert an existing base row
+        # (base rows are stored encoded: decode before re-asserting).
+        symbols = session.storage.symbols
         some_base = next(
-            (name, row)
+            (name, symbols.resolve_row(row))
             for name in session.storage.relation_names()
             for row in sorted(session.storage.base_rows(name), key=repr)[:1]
         )

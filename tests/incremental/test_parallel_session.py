@@ -66,7 +66,10 @@ class TestShardedPropagation:
 
     def test_queries_and_cache_work_when_sharded(self, sharded_session):
         before = sharded_session.fetch("path")
-        assert sharded_session.fetch("path") is before  # cache hit
+        # The cache holds the encoded row set; fetch() decodes per call.
+        cached = sharded_session.fetch_encoded("path")
+        assert sharded_session.fetch_encoded("path") is cached  # cache hit
+        assert sharded_session.fetch("path") == before
         sharded_session.insert_facts("edge", [(5, 6)])
         after = sharded_session.fetch("path")
         assert after > before  # strictly more reachability

@@ -207,6 +207,54 @@ class TestPools:
             pool.close()
         pool.close()  # idempotent
 
+    @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+    def test_allocating_stratum_degrades_fork_pool_to_threads(self, monkeypatch):
+        """Symbol-allocating plans keep shard parallelism on the thread pool.
+
+        A forked child interning fresh ids (assignment/arithmetic heads)
+        would diverge from its siblings' inherited tables, so an explicit
+        process pool must substitute threads — not serial — for such
+        strata, and still match the single-shard fixpoint exactly.
+        """
+        import repro.parallel.executor as executor_module
+        from repro.datalog.literals import Assignment, Comparison
+
+        picked = []
+        original = executor_module.make_pool
+
+        def recording(kind, workers):
+            picked.append(kind)
+            return original(kind, workers)
+
+        monkeypatch.setattr(executor_module, "make_pool", recording)
+
+        x, y, z, c, c2 = (Variable(n) for n in ("x", "y", "z", "c", "c2"))
+        program = DatalogProgram("alloc_rec")
+        program.declare_relation("edge", 2)
+        program.declare_relation("path", 3)
+        for i in range(60):
+            program.add_fact("edge", (i, i + 1))
+        program.add_rule(
+            Atom("path", (x, y, c)), [Atom("edge", (x, y)), Assignment(c, x * 0)]
+        )
+        program.add_rule(
+            Atom("path", (x, z, c2)),
+            [
+                Atom("path", (x, y, c)),
+                Atom("edge", (y, z)),
+                Assignment(c2, c + 1),
+                Comparison("<=", c2, 8),
+            ],
+        )
+
+        reference = ExecutionEngine(program, EngineConfig.interpreted()).evaluate()
+        engine = ExecutionEngine(
+            program, EngineConfig.parallel(shards=2, pool="process")
+        )
+        assert engine.evaluate()["path"] == reference["path"]
+        assert "thread" in picked
+        assert "process" not in picked
+
     def test_serial_pool_runs_in_order(self):
         calls = []
 

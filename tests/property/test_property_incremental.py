@@ -78,8 +78,9 @@ def test_andersen_update_sequences_match_scratch(config):
     dataset = get_dataset("slistlib")
     session = IncrementalSession(build_andersen_program(dataset), config)
     rng = random.Random(2024)
+    symbols = session.storage.symbols
     live = {
-        name: set(session.storage.base_rows(name))
+        name: set(symbols.resolve_rows(session.storage.base_rows(name)))
         for name in ("assign", "load", "store", "addressOf")
     }
     for step in range(8):

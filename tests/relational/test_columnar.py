@@ -218,3 +218,52 @@ class TestVectorizedEvaluator:
 
         with pytest.raises(ValueError, match="unknown executor"):
             SubqueryEvaluator(make_storage(), executor="simd")
+
+
+class TestPackedColumns:
+    def test_from_packed_round_trips(self):
+        from array import array
+
+        block = ColumnarBlock.from_packed((x, y), [array("q", [1, 2]), array("q", [3, 4])])
+        assert len(block) == 2
+        assert block.rows() == [(1, 3), (2, 4)]
+        assert list(block.column(x)) == [1, 2]
+        assert isinstance(block.packed_column(0), array)
+
+    def test_from_packed_accepts_plain_int_sequences(self):
+        block = ColumnarBlock.from_packed((x,), [[5, 6, 7]])
+        assert block.rows() == [(5,), (6,), (7,)]
+
+    def test_from_packed_rejects_ragged_and_mismatched(self):
+        from array import array
+
+        with pytest.raises(ValueError):
+            ColumnarBlock.from_packed((x, y), [array("q", [1]), array("q", [1, 2])])
+        with pytest.raises(ValueError):
+            ColumnarBlock.from_packed((x,), [array("q", [1]), array("q", [2])])
+
+    def test_packed_column_rejects_non_ints(self):
+        block = ColumnarBlock.from_rows((x,), [("a",), ("b",)])
+        with pytest.raises(TypeError):
+            block.packed_column(0)
+
+    def test_partition_int_fast_path_matches_stable_hash(self):
+        from repro.parallel.partition import stable_hash
+
+        rows = [(i * 37 % 19, i) for i in range(64)]
+        block = ColumnarBlock.from_rows((x, y), rows)
+        fast = block.partition(0, 4, hash_fn=stable_hash)
+        # Reference: the generic per-value path (hash_fn without the
+        # int_compatible marker never takes the fast path).
+        slow = block.partition(0, 4, hash_fn=lambda v: stable_hash(v))
+        assert fast == slow
+
+    def test_partition_mixed_values_uses_generic_path(self):
+        from repro.parallel.partition import stable_hash
+
+        rows = [("a", 1), ("b", 2), (3, 3)]
+        block = ColumnarBlock.from_rows((x, y), rows)
+        buckets = block.partition(0, 2, hash_fn=stable_hash)
+        assert {row for bucket in buckets for row in bucket} == set(rows)
+        for shard, bucket in enumerate(buckets):
+            assert all(stable_hash(row[0]) % 2 == shard for row in bucket)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.relational.statistics import (
+    SnapshotCache,
     CardinalitySnapshot,
     SelectivityModel,
     StatisticsCollector,
@@ -85,3 +86,27 @@ class TestStatisticsCollector:
         before = CardinalitySnapshot(1, {"a": 0}, {"a": 0})
         after = CardinalitySnapshot(2, {"a": 3}, {"a": 3})
         assert collector.relative_change(before, after) == pytest.approx(3.0)
+
+
+class TestSnapshotCache:
+    def test_reuses_maps_while_storage_is_unchanged(self):
+        storage = make_storage()
+        cache = SnapshotCache()
+        first = cache.take(storage, 1)
+        again = cache.take(storage, 1)
+        assert again is first
+        relabelled = cache.take(storage, 2)
+        assert relabelled is not first
+        assert relabelled.iteration == 2
+        # The cardinality maps themselves are shared, not re-copied.
+        assert relabelled.derived is first.derived
+        assert relabelled.delta is first.delta
+
+    def test_refreshes_after_a_visible_mutation(self):
+        storage = make_storage()
+        cache = SnapshotCache()
+        first = cache.take(storage, 1)
+        storage.insert_derived("a", (99,))
+        second = cache.take(storage, 1)
+        assert second is not first
+        assert second.of("a", DatabaseKind.DERIVED) == first.of("a", DatabaseKind.DERIVED) + 1

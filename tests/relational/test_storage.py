@@ -141,3 +141,43 @@ class TestBatchWriterNormalisation:
         assert ("a", "b") in storage.derived("path")
         storage.insert_new_many("path", {"cd"})
         assert ("c", "d") in storage.new("path")
+
+
+class TestTrustedBatchSinks:
+    """insert_new_batch / seed_delta_batch: the executor's validated sinks."""
+
+    def _storage(self):
+        storage = StorageManager()
+        storage.declare("edge", 2)
+        return storage
+
+    def test_insert_new_batch_matches_insert_new_many(self):
+        a, b = self._storage(), self._storage()
+        a.insert_derived("edge", (1, 2))
+        b.insert_derived("edge", (1, 2))
+        batch = {(1, 2), (3, 4), (5, 6)}
+        assert a.insert_new_batch("edge", batch) == b.insert_new_many("edge", batch) == 2
+        assert a.tuples("edge", DatabaseKind.DELTA_NEW) == b.tuples(
+            "edge", DatabaseKind.DELTA_NEW
+        )
+
+    def test_seed_delta_batch_matches_seed_delta(self):
+        a, b = self._storage(), self._storage()
+        batch = {(1, 2), (3, 4)}
+        assert a.seed_delta_batch("edge", batch) == b.seed_delta("edge", batch) == 2
+        assert a.tuples("edge") == b.tuples("edge")
+        assert a.tuples("edge", DatabaseKind.DELTA_KNOWN) == b.tuples(
+            "edge", DatabaseKind.DELTA_KNOWN
+        )
+
+    def test_mutation_version_moves_with_visible_changes(self):
+        storage = self._storage()
+        before = storage.mutation_version()
+        storage.seed_delta_batch("edge", {(1, 2)})
+        assert storage.mutation_version() > before
+        version = storage.mutation_version()
+        # Delta-New writes are invisible to cardinality snapshots.
+        storage.insert_new_batch("edge", {(7, 8)})
+        assert storage.mutation_version() == version
+        storage.swap_and_clear(["edge"])
+        assert storage.mutation_version() > version

@@ -1,0 +1,151 @@
+"""Unit tests for the global symbol table (dictionary-encoded storage)."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.relational.storage import StorageManager
+from repro.relational.symbols import IDENTITY, IdentitySymbols, SymbolTable
+
+
+class TestRoundTrips:
+    def test_mixed_type_round_trip(self):
+        table = SymbolTable()
+        values = ["alice", 17, 3.25, ("pkg", "sym", 4), b"bytes", None, "alice"]
+        ids = [table.intern(v) for v in values]
+        assert [table.resolve(i) for i in ids] == values
+        # Dense: ids are exactly 0..N-1 in first-seen order.
+        assert sorted(set(ids)) == list(range(len(set(ids))))
+
+    def test_equal_values_share_one_id_like_a_raw_set_would(self):
+        # Interning preserves Python set semantics: 1 == 1.0 == True
+        # collapse to one id, exactly as a raw set of rows collapses them,
+        # so decoded results equal the raw engine's under == (same rows,
+        # same cardinalities).  Distinct ids per type would instead make
+        # encoded relations hold MORE rows than their raw counterparts.
+        table = SymbolTable()
+        assert table.intern(1) == table.intern(1.0) == table.intern(True)
+        assert table.intern("a") != table.intern("b")
+        assert len(table) == 3
+
+    def test_mixed_type_equivalence_classes_decode_to_the_first_seen_value(self):
+        # Deliberate, documented behaviour (see the module docstring): the
+        # table keeps the globally first-interned representative of a
+        # mixed-type numeric ==-class, so a relation loaded later may decode
+        # 1.0 as 1.  The raw engine has the same arbitrariness per set
+        # (first value inserted wins); only the tie-break scope differs.
+        table = SymbolTable()
+        first = table.intern(1)
+        assert table.resolve(table.intern(1.0)) is table.resolve(first)
+        assert type(table.resolve(table.intern(1.0))) is int
+
+    def test_id_stability_under_reinsert(self):
+        table = SymbolTable()
+        first = table.intern("x")
+        for _ in range(3):
+            assert table.intern("x") == first
+        assert table.intern("y") == first + 1
+        assert table.intern("x") == first
+        assert len(table) == 2
+
+    def test_row_codecs(self):
+        table = SymbolTable()
+        rows = [("a", 1), ("b", 2), ("a", 2)]
+        encoded = table.intern_rows(rows)
+        assert all(isinstance(v, int) for row in encoded for v in row)
+        assert table.resolve_rows(encoded) == rows
+        assert table.lookup_row(("a", 2)) == encoded[2]
+        assert table.lookup_row(("a", "never-seen")) is None
+        assert table.rows_encoded == 3 and table.rows_decoded == 3
+
+    def test_resolve_unknown_id_raises(self):
+        table = SymbolTable()
+        table.intern("only")
+        with pytest.raises(KeyError):
+            table.resolve(99)
+
+
+class TestShardPlumbing:
+    def test_pickle_round_trip_preserves_ids(self):
+        # The shard-worker boundary: a pickled table must decode and intern
+        # exactly like the original (the lock is rebuilt on load).
+        table = SymbolTable()
+        ids = [table.intern(v) for v in ("a", ("b", 1), 2.5)]
+        clone = pickle.loads(pickle.dumps(table))
+        assert [clone.resolve(i) for i in ids] == ["a", ("b", 1), 2.5]
+        assert clone.intern(("b", 1)) == ids[1]       # existing id stable
+        assert clone.intern("fresh") == len(table)    # allocation continues
+
+    def test_entries_since_and_extend_replay_identically(self):
+        sender = SymbolTable()
+        receiver = pickle.loads(pickle.dumps(sender))
+        sender.intern_rows([("a", "b"), ("c", "a")])
+        mark = receiver.mark()
+        assert receiver.extend(sender.entries_since(mark), base=mark) == 3
+        assert receiver.lookup("c") == sender.lookup("c")
+        assert len(receiver) == len(sender)
+
+    def test_extend_rejects_divergent_tables(self):
+        a = SymbolTable()
+        b = SymbolTable()
+        a.intern("x")
+        b.intern("y")
+        b.intern("x")  # different id for "x"
+        with pytest.raises(ValueError):
+            a.extend(b.entries_since(0), base=0)
+
+    def test_concurrent_interning_from_a_thread_pool(self):
+        table = SymbolTable()
+        values = [f"sym_{i}" for i in range(200)]
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append([table.intern(v) for v in values])
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every thread observed the same value -> id mapping, the table is
+        # dense, and decode round-trips.
+        assert all(ids == seen[0] for ids in seen)
+        assert len(table) == len(values)
+        assert [table.resolve(i) for i in seen[0]] == values
+
+
+class TestIdentityCodec:
+    def test_identity_passthrough(self):
+        assert IDENTITY.identity is True
+        assert IDENTITY.intern("v") == "v"
+        assert IDENTITY.resolve(("a", 1)) == ("a", 1)
+        assert IDENTITY.intern_row(["a", 1]) == ("a", 1)
+        assert IDENTITY.resolve_rows([("a",)]) == [("a",)]
+        assert IDENTITY.lookup_row(["a"]) == ("a",)
+        assert len(IDENTITY) == 0 and IDENTITY.entries_since(0) == []
+        with pytest.raises(TypeError):
+            IDENTITY.extend(["x"])
+
+    def test_bare_storage_defaults_to_identity(self):
+        storage = StorageManager()
+        assert isinstance(storage.symbols, IdentitySymbols)
+        storage.declare("r", 1)
+        storage.insert_derived("r", ("raw",))
+        assert storage.tuples("r") == {("raw",)}
+        assert storage.decoded_tuples("r") == {("raw",)}
+
+    def test_storage_with_table_interns_program_facts(self):
+        from repro.datalog.program import DatalogProgram
+
+        program = DatalogProgram("p")
+        program.declare_relation("edge", 2)
+        program.add_fact("edge", ("a", "b"))
+        program.add_fact("edge", ("b", "c"))
+        storage = StorageManager(program, symbols=SymbolTable())
+        stored = storage.tuples("edge")
+        assert all(isinstance(v, int) for row in stored for v in row)
+        assert storage.decoded_tuples("edge") == {("a", "b"), ("b", "c")}
+        assert len(storage.symbols) == 3  # "a", "b", "c" interned once each
