@@ -1,0 +1,64 @@
+"""Telemetry overhead: the no-op and traced acceptance gates.
+
+Not a paper figure — this benchmarks the observability layer
+(:mod:`repro.telemetry`) and enforces its headline guarantee: telemetry is
+pay-for-what-you-use.
+
+* ``test_noop_overhead_at_10k_edges`` — with a :class:`TelemetryConfig`
+  present but disabled, the 10k-edge transitive closure must run within
+  2% of the bare (``telemetry=None``) engine.  Every instrumentation site
+  resolves to the shared no-op tracer; this gate pins that the hooks
+  themselves are free.
+* ``test_traced_overhead_at_10k_edges`` — with full tracing into a ring
+  buffer (a span per stratum, iteration and vectorized operator), the same
+  workload must stay within 10% of bare, with bit-for-bit equal results
+  and a non-empty captured trace.
+
+Overheads are measured best-of-5 with interleaved rounds (machine drift
+hits every variant alike), GC disabled during the timed region.  Run via
+``scripts/smoke.sh --full`` or directly with
+``PYTHONPATH=src python -m pytest benchmarks/bench_telemetry.py``.
+"""
+
+from repro.bench.telemetry import measure_variants, tc_workload
+
+#: Rounds per variant; the gates compare best-of to suppress CI jitter.
+REPEAT = 5
+
+NOOP_CEILING = 1.02
+TRACED_CEILING = 1.10
+
+
+def _measured(workload=None):
+    workload = workload or tc_workload()
+    name, build_program, relation = workload
+    best = measure_variants(build_program, relation, repeat=REPEAT)
+    return name, best
+
+
+def test_noop_overhead_at_10k_edges():
+    """Acceptance: a disabled TelemetryConfig costs <= 2% on the 10k-edge TC."""
+    name, best = _measured()
+    base_seconds, base_rows, _ = best["off"]
+    seconds, rows, spans = best["noop"]
+    assert rows == base_rows, "no-op telemetry changed the result set"
+    assert spans == 0, "no-op telemetry captured spans"
+    overhead = seconds / base_seconds
+    assert overhead <= NOOP_CEILING, (
+        f"no-op telemetry overhead {overhead:.3f}x on {name} "
+        f"({seconds:.3f}s vs {base_seconds:.3f}s bare)"
+    )
+
+
+def test_traced_overhead_at_10k_edges():
+    """Acceptance: full tracing costs <= 10% on the 10k-edge TC."""
+    name, best = _measured()
+    base_seconds, base_rows, _ = best["off"]
+    seconds, rows, spans = best["traced"]
+    assert rows == base_rows, "tracing changed the result set"
+    assert spans > 0, "tracing captured no spans"
+    overhead = seconds / base_seconds
+    assert overhead <= TRACED_CEILING, (
+        f"traced overhead {overhead:.3f}x on {name} "
+        f"({seconds:.3f}s vs {base_seconds:.3f}s bare; {spans} spans)"
+    )

@@ -18,12 +18,42 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
-echo "== subsystem smoke benches (perf trajectory -> BENCH_5.json) =="
+echo "== subsystem smoke benches (perf trajectory -> BENCH_6.json) =="
 # One machine-readable dump per CI run: 2-shard parallel, vectorized
-# executor and dictionary-encoded storage at --quick scale.  smoke.yml
-# uploads BENCH_5.json as an artifact so future PRs can diff against a
-# recorded baseline.
-python -m repro.bench --quick --only parallel,vectorized,interning --json BENCH_5.json
+# executor, dictionary-encoded storage and telemetry overhead at --quick
+# scale.  smoke.yml uploads BENCH_6.json as an artifact so future PRs can
+# diff against a recorded baseline.
+python -m repro.bench --quick --only parallel,vectorized,interning,telemetry --json BENCH_6.json
+
+echo
+echo "== sample trace (JSON-lines artifact -> TRACE_SAMPLE.jsonl) =="
+# A small sharded, vectorized, fully traced round-trip; the trace lands in
+# TRACE_SAMPLE.jsonl (one JSON document per completed trace), which
+# smoke.yml uploads so reviewers can eyeball span trees without re-running.
+python - <<'PY'
+from repro import Database, EngineConfig, Program
+from repro.telemetry import tracing
+
+program = Program("smoke_trace")
+edge, path = program.relations("edge", "path", arity=2)
+x, y, z = program.variables("x", "y", "z")
+path(x, y) <= edge(x, y)
+path(x, z) <= path(x, y) & edge(y, z)
+edge.add_facts([(i, i + 1) for i in range(40)])
+
+config = EngineConfig.parallel(shards=4, pool="thread").with_(
+    executor="vectorized",
+    telemetry=tracing(ring=16, jsonl_path="TRACE_SAMPLE.jsonl"),
+)
+with Database(program, config) as db, db.connect() as conn:
+    result = conn.query("path")
+    trace = result.trace()
+    assert trace is not None and len(trace) > 3, "trace capture failed"
+    conn.insert_facts("edge", [(41, 0)])
+    print(f"captured {len(trace)} query spans; metrics: "
+          f"{db.metrics()['rows_derived_total']} rows derived")
+PY
+test -s TRACE_SAMPLE.jsonl
 
 echo
 echo "== public-API drift guard (snapshot + deprecation shims) =="

@@ -37,6 +37,7 @@ so replicas serving the same workload reuse each other's query results.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple, Union, overload
 
 from repro.api.explain import render_explain
@@ -157,15 +158,36 @@ class Connection:
         in declaration order, for any execution mode.
         """
         self._check_open()
-        if relation is None:
-            results = {
-                name: self._snapshot(name)
-                for name in self._session.program.idb_relations()
-            }
-            return ResultSet(results, explain=self._render_explain)
-        return self._snapshot(relation)
+        session = self._session
+        started = time.perf_counter()
+        with session.tracer.span(
+            "query", root=True, relation=relation or "*",
+            program=session.program_fingerprint[:12],
+        ) as span:
+            trace = (lambda: span.trace) if session.tracer.enabled else None
+            if relation is None:
+                results = {
+                    name: self._snapshot(name, trace=trace)
+                    for name in session.program.idb_relations()
+                }
+                out = ResultSet(
+                    results, explain=self._render_explain, trace=trace
+                )
+                if session.tracer.enabled:
+                    span.set(rows=out.total_rows())
+            else:
+                out = self._snapshot(relation, trace=trace)
+                if session.tracer.enabled:
+                    span.set(rows=out.count())
+        if span.trace is not None:
+            session.last_trace = span.trace
+        session.metrics.counter("queries_total").inc()
+        session.metrics.histogram("query_seconds").observe(
+            time.perf_counter() - started
+        )
+        return out
 
-    def _snapshot(self, relation: str) -> QueryResult:
+    def _snapshot(self, relation: str, trace=None) -> QueryResult:
         schema = self.schema(relation)  # raises KeyError on unknown relations
         # Rows stay dictionary-encoded (shared with the session's result
         # cache — one copy of each constant in the symbol table); the
@@ -178,7 +200,7 @@ class Connection:
 
         return QueryResult(
             schema, rows, explain=explain,
-            symbols=self._session.storage.symbols,
+            symbols=self._session.storage.symbols, trace=trace,
         )
 
     def refresh(self) -> None:
@@ -205,6 +227,7 @@ class Connection:
             relation=relation,
             row_count=row_count,
             symbols=session.storage.symbols,
+            trace=session.last_trace,
         )
 
     def self_check(self) -> None:
@@ -260,6 +283,11 @@ class Database:
         #: Shared across every connection; keyed by program fingerprint,
         #: configuration and mutation history, so sharing is always safe.
         self.cache = cache if cache is not None else ResultCache()
+        # One registry per database: connections and one-shot queries all
+        # aggregate into it, so ``metrics()`` sees the whole workload.
+        from repro.telemetry.config import metrics_of
+
+        self._metrics = metrics_of(self.config.telemetry)
         self._connections: List[Connection] = []
         self._closed = False
 
@@ -287,7 +315,8 @@ class Database:
         """Open a :class:`Connection` (its session snapshots the program now)."""
         self._check_open()
         session = IncrementalSession(
-            self.program, config or self.config, cache=self.cache
+            self.program, config or self.config, cache=self.cache,
+            metrics=self._metrics,
         )
         connection = Connection(session, _database=self)
         self._connections.append(connection)
@@ -314,11 +343,55 @@ class Database:
         self._check_open()
         from repro.engine.engine import ExecutionEngine
 
-        engine = ExecutionEngine(self.program.copy(), config or self.config)
-        results = engine.evaluate()
-        if relation is None:
-            return results
-        return engine.result(relation)
+        effective = config or self.config
+        tracer = effective.tracer()
+        started = time.perf_counter()
+        engine = ExecutionEngine(self.program.copy(), effective)
+        with tracer.span(
+            "query", root=True, relation=relation or "*",
+            database=self.program.name,
+        ) as span:
+            engine._trace_source = (
+                (lambda: span.trace) if tracer.enabled else None
+            )
+            results = engine.evaluate()
+            out = results if relation is None else engine.result(relation)
+            if tracer.enabled:
+                rows = (
+                    out.total_rows() if relation is None else out.count()
+                )
+                span.set(rows=rows)
+        # The engine already folded its profile into the TelemetryConfig
+        # registry when they share one; fold manually otherwise so
+        # ``Database.metrics()`` always covers one-shot queries too.
+        if engine.metrics is not self._metrics:
+            self._metrics.absorb_profile(engine.profile)
+        self._metrics.counter("queries_total").inc()
+        self._metrics.histogram("query_seconds").observe(
+            time.perf_counter() - started
+        )
+        return out
+
+    # -- telemetry -------------------------------------------------------------
+
+    @property
+    def metrics_registry(self):
+        """The :class:`~repro.telemetry.MetricsRegistry` aggregating this
+        database's connections and one-shot queries (shared with the
+        configuration's :class:`TelemetryConfig` when one is set)."""
+        return self._metrics
+
+    def metrics(self) -> Dict[str, object]:
+        """A stable snapshot of every counter/gauge/histogram."""
+        return self._metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The metrics in Prometheus text exposition format."""
+        return self._metrics.to_prometheus()
+
+    def metrics_json(self) -> str:
+        """The metrics snapshot as a JSON document."""
+        return self._metrics.to_json()
 
     # -- lifecycle -------------------------------------------------------------
 

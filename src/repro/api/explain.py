@@ -29,6 +29,7 @@ def render_explain(
     relation: Optional[str] = None,
     row_count: Optional[int] = None,
     symbols=None,
+    trace=None,
 ) -> str:
     """A human-readable account of how a result was (or will be) computed."""
     lines: List[str] = [f"-- {title}"]
@@ -112,4 +113,20 @@ def render_explain(
                     break
         else:
             lines.append("adaptive join-order decisions: none recorded")
+        if profile.cache_probes:
+            probes = profile.cache_probes
+            lines.append(
+                f"snapshot cache: {probes.get('hit', 0)} hits, "
+                f"{probes.get('miss', 0)} misses"
+            )
+        if profile.pool_degradations:
+            lines.append(
+                f"pool degradations: {profile.pool_degradations} "
+                "(process pool substituted)"
+            )
+
+    if trace is not None:
+        lines.append("")
+        lines.append("trace (most recent):")
+        lines.extend("  " + line for line in trace.render().splitlines())
     return "\n".join(lines)

@@ -107,10 +107,11 @@ class QueryResult(SetABC):
     """
 
     __slots__ = ("_schema", "_frozen", "_thunk", "_sorted", "_decoded",
-                 "_explain_fn", "_symbols")
+                 "_explain_fn", "_symbols", "_trace_fn")
 
     def __init__(self, schema: ResultSchema, rows: RowSource,
-                 explain: Optional[ExplainFn] = None, symbols=None) -> None:
+                 explain: Optional[ExplainFn] = None, symbols=None,
+                 trace: Optional[Callable[[], Any]] = None) -> None:
         """``symbols`` marks ``rows`` as dictionary-encoded.
 
         When a (non-identity) symbol table is attached, the result holds
@@ -138,6 +139,7 @@ class QueryResult(SetABC):
         self._sorted: Optional[Tuple[Row, ...]] = None
         self._decoded: Optional[Tuple[Row, ...]] = None
         self._explain_fn = explain
+        self._trace_fn = trace
 
     # -- schema ----------------------------------------------------------------
 
@@ -307,6 +309,18 @@ class QueryResult(SetABC):
             )
         return self._explain_fn()
 
+    def trace(self):
+        """The :class:`~repro.telemetry.Trace` of the producing evaluation.
+
+        ``None`` unless the producing database/session ran with tracing
+        enabled (``EngineConfig.with_(telemetry=...)``); resolved lazily so
+        results handed out before the root span closes still see the
+        finished trace.
+        """
+        if self._trace_fn is None:
+            return None
+        return self._trace_fn()
+
     def __repr__(self) -> str:
         preview = ", ".join(repr(row) for row in self.take(3))
         suffix = ", ..." if self.count() > 3 else ""
@@ -325,12 +339,14 @@ class ResultSet(MappingABC):
     and carries one whole-program :meth:`explain`.
     """
 
-    __slots__ = ("_results", "_explain_fn")
+    __slots__ = ("_results", "_explain_fn", "_trace_fn")
 
     def __init__(self, results: Mapping[str, QueryResult],
-                 explain: Optional[ExplainFn] = None) -> None:
+                 explain: Optional[ExplainFn] = None,
+                 trace: Optional[Callable[[], Any]] = None) -> None:
         self._results: Dict[str, QueryResult] = dict(results)
         self._explain_fn = explain
+        self._trace_fn = trace
 
     def __getitem__(self, relation: str) -> QueryResult:
         try:
@@ -361,6 +377,12 @@ class ResultSet(MappingABC):
         if self._explain_fn is None:
             return "-- no execution profile attached"
         return self._explain_fn()
+
+    def trace(self):
+        """The evaluation's :class:`~repro.telemetry.Trace` (None untraced)."""
+        if self._trace_fn is None:
+            return None
+        return self._trace_fn()
 
     def __repr__(self) -> str:
         body = ", ".join(

@@ -32,6 +32,7 @@ from repro.bench.interning import INTERNING_COLUMNS, run_interning
 from repro.bench.parallel import PARALLEL_COLUMNS, run_parallel
 from repro.bench.table1 import TABLE1_COLUMNS, run_table1
 from repro.bench.table2 import TABLE2_COLUMNS, run_table2
+from repro.bench.telemetry import TELEMETRY_COLUMNS, run_telemetry
 from repro.bench.vectorized import VECTORIZED_COLUMNS, run_vectorized
 
 Rows = List[Dict[str, object]]
@@ -117,6 +118,12 @@ SECTIONS: Tuple[BenchSection, ...] = (
         "Dictionary-encoded storage — interned vs raw-object evaluation",
         INTERNING_COLUMNS,
         lambda args: run_interning(repeat=args.repeat, quick=args.quick),
+    ),
+    BenchSection(
+        "telemetry",
+        "Telemetry — traced vs no-op vs bare evaluation overhead",
+        TELEMETRY_COLUMNS,
+        lambda args: run_telemetry(repeat=args.repeat, quick=args.quick),
     ),
 )
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.relational.statistics import SelectivityModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.telemetry.config import TelemetryConfig
 
 
 class ExecutionMode(str, enum.Enum):
@@ -122,7 +125,18 @@ class EngineConfig:
     aot_online: bool = False
     collect_profile: bool = True
     sharding: Optional[ShardingConfig] = None
+    #: Observability wiring (:class:`repro.telemetry.TelemetryConfig`).
+    #: ``None`` (the default) means the zero-overhead no-op tracer and a
+    #: private metrics registry — evaluation semantics never depend on it,
+    #: so it is excluded from session configuration cache keys.
+    telemetry: Optional["TelemetryConfig"] = None
     label: str = ""
+
+    def tracer(self):
+        """The tracer this configuration selects (no-op unless enabled)."""
+        from repro.telemetry.config import tracer_of
+
+        return tracer_of(self.telemetry)
 
     def describe(self) -> str:
         """A short configuration name for result tables.

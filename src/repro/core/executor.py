@@ -65,12 +65,19 @@ class IRExecutor:
     """Executes an IROp tree under one :class:`EngineConfig`."""
 
     def __init__(self, storage: StorageManager, config: EngineConfig,
-                 profile: Optional[RuntimeProfile] = None) -> None:
+                 profile: Optional[RuntimeProfile] = None,
+                 tracer=None, trace_strata: bool = True) -> None:
         self.storage = storage
         self.config = config
         self.profile = profile if profile is not None else RuntimeProfile()
+        #: ``trace_strata=False`` suppresses this executor's own stratum
+        #: spans — used when a parallel coordinator already opened one and
+        #: runs strata through a nested serial executor.
+        self.tracer = tracer if tracer is not None else config.tracer()
+        self.trace_strata = trace_strata
         self.evaluator = SubqueryEvaluator(
-            storage, config.evaluator_style, executor=config.executor
+            storage, config.evaluator_style, executor=config.executor,
+            tracer=self.tracer,
         )
         self.stats = StatisticsCollector()
         self.freshness = FreshnessTest(config.freshness_threshold, self.stats)
@@ -100,9 +107,16 @@ class IRExecutor:
         started = time.perf_counter()
         try:
             for stratum in program.strata:
-                self._execute_stratum(stratum)
+                if self.trace_strata:
+                    with self.tracer.span("stratum", index=stratum.index):
+                        self._execute_stratum(stratum)
+                else:
+                    self._execute_stratum(stratum)
         finally:
             self.profile.absorb_block_stats(self.evaluator.vectorized_stats)
+            self.profile.record_cache_probes(
+                self._snapshots.hits, self._snapshots.misses
+            )
             if self.compilation is not None:
                 self.profile.compile_events = list(self.compilation.events)
                 self.compilation.shutdown()
@@ -131,18 +145,24 @@ class IRExecutor:
             iteration += 1
             self._current_iteration = iteration
             iteration_start = time.perf_counter()
+            span = self.tracer.span(
+                "iteration", stratum=stratum.index, iteration=iteration
+            )
             snapshot = self.stats.record_snapshot(
                 self._snapshots.take(self.storage, iteration)
             )
             promoted = 0
-            for child in loop.body.children:
-                if isinstance(child, SwapClearOp):
-                    promoted = self.storage.swap_and_clear(child.relations)
-                elif isinstance(child, InsertOp):
-                    rows = self._rows_for(child.source, stage="loop")
-                    self.storage.insert_new_batch(child.relation, rows)
-                else:  # pragma: no cover - defensive: builders only emit the above
-                    self._rows_for(child, stage="loop")
+            try:
+                for child in loop.body.children:
+                    if isinstance(child, SwapClearOp):
+                        promoted = self.storage.swap_and_clear(child.relations)
+                    elif isinstance(child, InsertOp):
+                        rows = self._rows_for(child.source, stage="loop")
+                        self.storage.insert_new_batch(child.relation, rows)
+                    else:  # pragma: no cover - defensive: builders only emit the above
+                        self._rows_for(child, stage="loop")
+            finally:
+                span.set(promoted=promoted).finish()
             self.profile.record_iteration(
                 stratum.index, iteration, promoted, snapshot,
                 time.perf_counter() - iteration_start,
@@ -302,6 +322,10 @@ class IRExecutor:
 
         label = getattr(node, "relation", None) or getattr(node, "rule_name", None) or node.kind
         if self.config.async_compilation:
+            self.tracer.event(
+                "compile-async", node=node.node_id, label=str(label),
+                backend=self.config.backend,
+            )
             self.compilation.compile_async(
                 node.node_id, ordered_plans, self.storage, current_snapshot,
                 use_indexes=self.config.use_indexes, mode=self.config.compile_mode,
@@ -309,11 +333,15 @@ class IRExecutor:
             )
             return self._interpret_plans(ordered_plans)
 
-        artifact = self.compilation.compile_now(
-            node.node_id, ordered_plans, self.storage, current_snapshot,
-            use_indexes=self.config.use_indexes, mode=self.config.compile_mode,
-            continuations=continuations, label=str(label),
-        )
+        with self.tracer.span(
+            "compile", node=node.node_id, label=str(label),
+            backend=self.config.backend,
+        ):
+            artifact = self.compilation.compile_now(
+                node.node_id, ordered_plans, self.storage, current_snapshot,
+                use_indexes=self.config.use_indexes, mode=self.config.compile_mode,
+                continuations=continuations, label=str(label),
+            )
         self.profile.record_compiled()
         return artifact(self.storage)
 

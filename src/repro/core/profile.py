@@ -70,6 +70,13 @@ class RuntimeProfile:
     #: load/mutation boundary, rows decoded at the result boundary); empty
     #: when the evaluation ran with ``interning=False``.
     symbol_stats: Dict[str, int] = field(default_factory=dict)
+    #: Cache probe outcomes ("hit"/"miss" counts) observed during the
+    #: evaluation — currently the per-iteration SnapshotCache; folded into
+    #: the telemetry registry as ``snapshot_cache_total``.
+    cache_probes: Dict[str, int] = field(default_factory=dict)
+    #: Times a requested worker pool was substituted for a safer kind
+    #: (e.g. process → thread when compiled plans allocate symbols).
+    pool_degradations: int = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -119,6 +126,13 @@ class RuntimeProfile:
             return
         for key, value in stats.items():
             self.block_joins[key] = self.block_joins.get(key, 0) + value
+
+    def record_cache_probes(self, hits: int, misses: int) -> None:
+        """Fold cache hit/miss counts into the profile."""
+        if hits:
+            self.cache_probes["hit"] = self.cache_probes.get("hit", 0) + hits
+        if misses:
+            self.cache_probes["miss"] = self.cache_probes.get("miss", 0) + misses
 
     # -- summaries -------------------------------------------------------------
 

@@ -117,6 +117,14 @@ class ExecutionEngine:
         self._ran = False
         #: Set by :meth:`run` when the shard-parallel evaluator was used.
         self.parallel_report = None
+        # Telemetry: the registry of the configured TelemetryConfig, else a
+        # private one; the API layer folds the profile in after evaluation.
+        from repro.telemetry.config import metrics_of
+
+        self.metrics = metrics_of(self.config.telemetry)
+        #: Thunk resolving to the trace of this evaluation (set by the API
+        #: layer when it opens a root span around :meth:`evaluate`).
+        self._trace_source = None
 
     # -- execution --------------------------------------------------------------
 
@@ -136,6 +144,7 @@ class ExecutionEngine:
             executor = IRExecutor(self.storage, self.config, self.profile)
             executor.execute(self.tree)
         self._ran = True
+        self.metrics.absorb_profile(self.profile)
 
     def evaluate(self) -> "ResultSet":
         """Evaluate to fixpoint; every IDB relation as a :class:`QueryResult`.
@@ -150,7 +159,9 @@ class ExecutionEngine:
             relation: self.result(relation)
             for relation in self.program.idb_relations()
         }
-        return ResultSet(results, explain=self._render_explain)
+        return ResultSet(
+            results, explain=self._render_explain, trace=self._trace_source
+        )
 
     def result(self, name: str) -> "QueryResult":
         """One relation (IDB or EDB) as a :class:`QueryResult`."""
@@ -168,7 +179,7 @@ class ExecutionEngine:
         # storage (symbol) domain; the result decodes at its boundary.
         return QueryResult(
             schema, lambda: self.storage.tuples(name), explain=explain,
-            symbols=self.storage.symbols,
+            symbols=self.storage.symbols, trace=self._trace_source,
         )
 
     def run(self) -> Dict[str, Set[Row]]:
@@ -211,6 +222,7 @@ class ExecutionEngine:
             relation=relation,
             row_count=row_count,
             symbols=self.storage.symbols,
+            trace=self._trace_source() if self._trace_source is not None else None,
         )
 
     def execution_seconds(self) -> float:

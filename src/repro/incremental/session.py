@@ -152,6 +152,11 @@ class IncrementalSession:
         always safe: sessions share an entry exactly when that cone's
         mutation history is identical.  By default each session gets a
         private cache.
+    metrics:
+        Optional shared :class:`~repro.telemetry.MetricsRegistry`; a
+        :class:`~repro.api.database.Database` passes its own so totals
+        aggregate across every connection.  Defaults to the configured
+        telemetry's registry (or a private one).
     """
 
     def __init__(
@@ -159,10 +164,20 @@ class IncrementalSession:
         program: DatalogProgram,
         config: Optional[EngineConfig] = None,
         cache: Optional[ResultCache] = None,
+        metrics=None,
     ) -> None:
         self.program = program.copy()
         self.config = config or EngineConfig()
         self.profile = RuntimeProfile()
+        from repro.telemetry.config import metrics_of
+
+        self.metrics = metrics if metrics is not None else metrics_of(
+            self.config.telemetry
+        )
+        self.tracer = self.config.tracer()
+        #: The trace of the most recent traced mutation/evaluation (None
+        #: when tracing is off); surfaced through ``Connection.explain()``.
+        self.last_trace = None
 
         setup_start = time.perf_counter()
         self.storage, self.tree = prepare_evaluation(
@@ -279,6 +294,17 @@ class IncrementalSession:
         self.profile.sources.compiled += profile.sources.compiled
         self.profile.sources.vectorized += profile.sources.vectorized
         self.profile.wall_seconds += profile.wall_seconds
+        # Size-like fields: the latest snapshot wins (they describe current
+        # state, not deltas); counter-like cache/pool fields accumulate.
+        self.profile.result_sizes.update(profile.result_sizes)
+        if profile.symbol_stats:
+            self.profile.symbol_stats = dict(profile.symbol_stats)
+        for result, count in profile.cache_probes.items():
+            self.profile.cache_probes[result] = (
+                self.profile.cache_probes.get(result, 0) + count
+            )
+        self.profile.pool_degradations += profile.pool_degradations
+        self.metrics.absorb_profile(profile)
 
     def _ensure_evaluated(self) -> None:
         if not self._evaluated:
@@ -311,18 +337,30 @@ class IncrementalSession:
         when this method returns.
         """
         started = time.perf_counter()
-        self._ensure_evaluated()
-        insert_rows = self._normalise(inserts)
-        retract_rows = self._normalise(retracts, allocate=False)
+        with self.tracer.span(
+            "mutation", root=True, program=self.program_fingerprint[:12]
+        ) as span:
+            self._ensure_evaluated()
+            insert_rows = self._normalise(inserts)
+            retract_rows = self._normalise(retracts, allocate=False)
 
-        if self.incremental_capable:
-            report = self._apply_incremental(insert_rows, retract_rows)
-        else:
-            report = self._apply_recompute(insert_rows, retract_rows)
-
-        report.seconds = time.perf_counter() - started
+            if self.incremental_capable:
+                report = self._apply_incremental(insert_rows, retract_rows)
+            else:
+                report = self._apply_recompute(insert_rows, retract_rows)
+            report.seconds = time.perf_counter() - started
+            span.set(
+                strategy=report.strategy, inserted=report.inserted,
+                retracted=report.retracted, propagated=report.propagated,
+            )
+        if span.trace is not None:
+            self.last_trace = span.trace
         self.updates_applied += 1
         self.last_report = report
+        self.metrics.counter("mutations_total", strategy=report.strategy).inc()
+        self.metrics.counter("rows_inserted_total").inc(report.inserted)
+        self.metrics.counter("rows_retracted_total").inc(report.retracted)
+        self.metrics.histogram("mutation_seconds").observe(report.seconds)
         return report
 
     def _advance_mutation_digests(
@@ -404,13 +442,15 @@ class IncrementalSession:
             report.retracted = sum(len(rows) for rows in eligible.values())
             evaluator = SubqueryEvaluator(
                 self.storage, self.config.evaluator_style,
-                executor=self.config.executor,
+                executor=self.config.executor, tracer=self.tracer,
             )
-            cone = over_delete(
-                self.program, self.storage, eligible, evaluator,
-                plans_by_delta=self._dred_delta_plans,
-            )
-            report.over_deleted = cone.total()
+            with self.tracer.span("dred:over-delete") as dred_span:
+                cone = over_delete(
+                    self.program, self.storage, eligible, evaluator,
+                    plans_by_delta=self._dred_delta_plans,
+                )
+                report.over_deleted = cone.total()
+                dred_span.set(rows=report.over_deleted)
             for name, rows in cone.deleted.items():
                 self.storage.retract_rows(name, rows)
                 if self._shard_state is not None:
@@ -418,13 +458,15 @@ class IncrementalSession:
                     # deletion cone so insert batches after a retraction can
                     # still propagate shard-parallel without a rebuild.
                     self._shard_state.sharded.retract_rows(name, rows)
-            seeds = rederivation_seeds(
-                self.program, self.storage, cone, evaluator,
-                seed_plans=self._dred_seed_plans,
-                symbols=self.storage.symbols,
-            )
-            for name, rows in seeds.items():
-                report.rederived += self.storage.seed_delta(name, rows)
+            with self.tracer.span("dred:rederive") as dred_span:
+                seeds = rederivation_seeds(
+                    self.program, self.storage, cone, evaluator,
+                    seed_plans=self._dred_seed_plans,
+                    symbols=self.storage.symbols,
+                )
+                for name, rows in seeds.items():
+                    report.rederived += self.storage.seed_delta(name, rows)
+                dred_span.set(rows=report.rederived)
             seeded += report.rederived
 
         # -- insertions --------------------------------------------------------
@@ -506,10 +548,13 @@ class IncrementalSession:
             worker.prepare(
                 backend_name, self.config.use_indexes,
                 self.config.evaluator_style, self.config.executor,
+                trace=self.tracer.enabled,
             )
         pool_kind = resolve_pool_kind(sharding, spec.shards)
         if pool_kind == "process":
             pool_kind = "serial"
+            self.profile.pool_degradations += 1
+            self.metrics.counter("pool_degradations_total").inc()
         pool = make_pool(pool_kind, workers)
         return _SessionShardState(
             spec=spec, sharded=sharded, pool=pool,
@@ -526,6 +571,7 @@ class IncrementalSession:
         storage as they appear.  Returns the number of propagated facts —
         the same count the serial update tree would report.
         """
+        from repro.parallel.exchange import QuiescenceTracker
         from repro.parallel.executor import run_replicated_rounds
 
         fresh = self._shard_state is None
@@ -553,18 +599,45 @@ class IncrementalSession:
             for name, rows in accepted.items():
                 self.storage.absorb_rows(name, rows)
 
-        result = run_replicated_rounds(
-            state.pool,
-            state.spec.shards,
-            max_rounds=min(self.config.max_iterations, self.config.sharding.max_rounds),
-            on_accepted=absorb,
-        )
+        # The update tree is one flat stratum; the span mirrors the level a
+        # serial propagation would produce, and worker-recorded spans are
+        # reparented onto it below.
+        tracker = QuiescenceTracker()
+        with self.tracer.span("stratum", index=0, strategy="replicated",
+                              shards=state.spec.shards) as span:
+            result = run_replicated_rounds(
+                state.pool,
+                state.spec.shards,
+                max_rounds=min(
+                    self.config.max_iterations, self.config.sharding.max_rounds
+                ),
+                tracker=tracker,
+                on_accepted=absorb,
+            )
+            if self.tracer.enabled:
+                for records in state.pool.invoke("drain_spans"):
+                    self.tracer.merge_buffer(records, parent=span)
+
+        # Fold this propagation into the lifetime profile exactly like a
+        # serial update execution would: per-round iteration records, the
+        # workers' batch counters, and the post-update relation sizes —
+        # without this, session reuse under sharding under-reported in
+        # ``explain()`` and the metrics registry.
+        rounds_profile = RuntimeProfile()
+        for stats in tracker.rounds:
+            rounds_profile.record_iteration(
+                0, stats.round_index, stats.promoted, None, 0.0
+            )
         if state.vectorized:
             from repro.parallel.executor import drain_pool_vectorized_stats
 
-            drain_pool_vectorized_stats(state.pool, self.profile)
+            drain_pool_vectorized_stats(state.pool, rounds_profile)
         state.sharded.clear_deltas()
         self.storage.clear_deltas(self.storage.relation_names())
+        for name in self.storage.relation_names():
+            rounds_profile.result_sizes[name] = self.storage.cardinality(name)
+        rounds_profile.record_symbol_stats(self.storage.symbols)
+        self._absorb_profile(rounds_profile)
         return result.promoted
 
     def _apply_recompute(
@@ -631,11 +704,24 @@ class IncrementalSession:
         }
         key = (self._cache_fingerprint, self._config_key, relation)
         cached = self.cache.lookup(key, tokens)
+        self._record_cache_probe(relation, hit=cached is not None)
         if cached is not None:
             return cached
         rows = frozenset(self.storage.tuples(relation))
         self.cache.store(key, tokens, rows)
         return rows
+
+    def _record_cache_probe(self, relation: str, hit: bool) -> None:
+        """Count one ResultCache probe and annotate the ambient span."""
+        result = "hit" if hit else "miss"
+        self.metrics.counter("result_cache_total", result=result).inc()
+        if self.tracer.enabled:
+            from repro.telemetry.spans import current_span
+
+            span = current_span()
+            if span is not None and not span.noop:
+                span.set(cache=result)
+                span.event("result-cache", relation=relation, result=result)
 
     def fetch(self, relation: str) -> FrozenSet[Row]:
         """The current (raw-domain) tuples of ``relation``.

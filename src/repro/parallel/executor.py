@@ -70,6 +70,7 @@ from repro.parallel.sharded_storage import ShardedStorage
 from repro.relational.operators import JoinPlan, SubqueryEvaluator
 from repro.relational.relation import Row
 from repro.relational.storage import DatabaseKind, StorageManager
+from repro.telemetry.spans import NOOP_TRACER, SpanBuffer
 
 
 # ---------------------------------------------------------------------------
@@ -295,18 +296,27 @@ class ShardWorker:
         self.router = router
         self._evaluate_group: List[Callable[[], Set[Row]]] = []
         self._evaluators: List[SubqueryEvaluator] = []
+        #: In-shard span recorder (see :class:`SpanBuffer`): populated by
+        #: ``prepare(..., trace=True)``, drained by the coordinator through
+        #: the pool and remapped into the live trace.
+        self.telemetry: Optional[SpanBuffer] = None
+        self._round = 0
 
     def prepare(self, backend_name: Optional[str], use_indexes: bool, style: str,
-                executor: str = "pushdown") -> None:
+                executor: str = "pushdown", trace: bool = False) -> None:
         """Freeze each plan group into its evaluation closure.
 
         Must run before the pool starts (fork children inherit the compiled
         artifacts; threads share them read-only).  ``executor`` selects the
         interpreting closure's physical executor (pushdown recursion or the
-        vectorized batch pipeline); compiled artifacts ignore it.
+        vectorized batch pipeline); compiled artifacts ignore it.  ``trace``
+        attaches a :class:`SpanBuffer` recording per-round worker spans.
         """
         self._evaluate_group = []
         self._evaluators = []
+        self.telemetry = SpanBuffer() if trace else None
+        self._round = 0
+        tracer = self.telemetry if self.telemetry is not None else NOOP_TRACER
         for relation, plans in self.groups:
             if backend_name:
                 artifact = get_backend(backend_name).compile_plans(
@@ -317,7 +327,9 @@ class ShardWorker:
                     (lambda artifact=artifact: artifact(self.storage))
                 )
             else:
-                evaluator = SubqueryEvaluator(self.storage, style, executor=executor)
+                evaluator = SubqueryEvaluator(
+                    self.storage, style, executor=executor, tracer=tracer
+                )
                 self._evaluators.append(evaluator)
                 def interpret(plans=plans, evaluator=evaluator) -> Set[Row]:
                     rows: Set[Row] = set()
@@ -325,6 +337,14 @@ class ShardWorker:
                         rows |= evaluator.evaluate(plan)
                     return rows
                 self._evaluate_group.append(interpret)
+
+    def drain_spans(self) -> List[Dict[str, Any]]:
+        """This shard's recorded span dicts, reset after reading.
+
+        Pulled through the pool (fork children own their buffers) and merged
+        into the coordinator trace via ``Tracer.merge_buffer``.
+        """
+        return self.telemetry.drain() if self.telemetry is not None else []
 
     def drain_vectorized_stats(self) -> Dict[str, int]:
         """This shard's accumulated batch counters, reset after reading.
@@ -354,11 +374,14 @@ class ShardWorker:
         """
         iterations = 0
         promoted_total = 0
+        tracer = self.telemetry if self.telemetry is not None else NOOP_TRACER
         while True:
             iterations += 1
+            span = tracer.span("iteration", shard=self.shard_id, round=iterations)
             for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
                 self.storage.insert_new_batch(relation, evaluate())
             promoted = self.storage.swap_and_clear(self.swap_relations)
+            span.set(promoted=promoted).finish()
             promoted_total += promoted
             if promoted == 0 or iterations >= max_iterations:
                 return iterations, promoted_total
@@ -368,18 +391,24 @@ class ShardWorker:
     def evaluate_round(self) -> Tuple[int, Outboxes]:
         """Evaluate this shard's delta slice; keep owned rows, export the rest."""
         assert self.router is not None
+        self._round += 1
+        tracer = self.telemetry if self.telemetry is not None else NOOP_TRACER
+        span = tracer.span("iteration", shard=self.shard_id, round=self._round)
         accepted_local = 0
         outboxes: Outboxes = {}
-        for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
-            produced = evaluate()
-            if not produced:
-                continue
-            local, routed = self.router.route(relation, produced, self.shard_id)
-            accepted_local += self.storage.insert_new_batch(relation, set(local))
-            for owner, batches in routed.items():
-                box = outboxes.setdefault(owner, {})
-                for name, rows in batches.items():
-                    box.setdefault(name, []).extend(rows)
+        try:
+            for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
+                produced = evaluate()
+                if not produced:
+                    continue
+                local, routed = self.router.route(relation, produced, self.shard_id)
+                accepted_local += self.storage.insert_new_batch(relation, set(local))
+                for owner, batches in routed.items():
+                    box = outboxes.setdefault(owner, {})
+                    for name, rows in batches.items():
+                        box.setdefault(name, []).extend(rows)
+        finally:
+            span.set(accepted=accepted_local).finish()
         return accepted_local, outboxes
 
     def ingest_and_collect(
@@ -580,6 +609,7 @@ class ParallelEvaluator:
         self.storage = storage
         self.tree = tree
         self.profile = profile if profile is not None else RuntimeProfile()
+        self.tracer = config.tracer()
         self.report = ParallelRunReport(shards=self.sharding.shards)
 
     # -- public API --------------------------------------------------------------
@@ -588,7 +618,12 @@ class ParallelEvaluator:
         started = time.perf_counter()
         for stratum in self.tree.strata:
             stratum_started = time.perf_counter()
-            report = self._run_stratum(stratum)
+            with self.tracer.span("stratum", index=stratum.index) as span:
+                report = self._run_stratum(stratum, span)
+                span.set(
+                    strategy=report.strategy, shards=report.shards,
+                    pool=report.pool,
+                )
             report.seconds = time.perf_counter() - stratum_started
             self.report.strata.append(report)
         self.report.seconds = time.perf_counter() - started
@@ -600,7 +635,7 @@ class ParallelEvaluator:
 
     # -- per-stratum driver ------------------------------------------------------
 
-    def _run_stratum(self, stratum: StratumOp) -> StratumRunReport:
+    def _run_stratum(self, stratum: StratumOp, span=None) -> StratumRunReport:
         groups = collect_loop_plans(stratum.loop) if stratum.loop is not None else None
         if stratum.loop is None or groups is None:
             self._execute_serial(stratum)
@@ -658,6 +693,7 @@ class ParallelEvaluator:
             worker.prepare(
                 backend_name, self.config.use_indexes,
                 self.config.evaluator_style, self.config.executor,
+                trace=self.tracer.enabled,
             )
         pool_kind = resolve_pool_kind(self.sharding, spec.shards)
         if (
@@ -673,6 +709,7 @@ class ParallelEvaluator:
             # shard parallelism survives (the report's ``pool`` column
             # shows the substitution).
             pool_kind = "thread"
+            self.profile.pool_degradations += 1
         pool = make_pool(pool_kind, workers)
 
         report = StratumRunReport(
@@ -723,6 +760,11 @@ class ParallelEvaluator:
                     self.storage.absorb_rows(name, rows)
             if backend_name is None and self.config.executor == "vectorized":
                 drain_pool_vectorized_stats(pool, self.profile)
+            if self.tracer.enabled and span is not None:
+                # Reparent worker-recorded spans onto this stratum span
+                # (fork children serialise theirs back over the pipe).
+                for records in pool.invoke("drain_spans"):
+                    self.tracer.merge_buffer(records, parent=span)
         finally:
             pool.close()
 
@@ -733,7 +775,12 @@ class ParallelEvaluator:
     # -- helpers -----------------------------------------------------------------
 
     def _execute_serial(self, stratum: StratumOp) -> None:
-        executor = IRExecutor(self.storage, self.config, self.profile)
+        # trace_strata=False: the coordinator already opened this stratum's
+        # span, so the nested executor's iterations attach to it directly.
+        executor = IRExecutor(
+            self.storage, self.config, self.profile,
+            tracer=self.tracer, trace_strata=False,
+        )
         executor.execute(ProgramOp([stratum], name=self.tree.name))
 
     def _reorder_groups(

@@ -29,6 +29,7 @@ from repro.relational.columnar import (
 from repro.relational.relation import Relation, Row
 from repro.relational.storage import DatabaseKind, StorageManager
 from repro.relational.symbols import IDENTITY
+from repro.telemetry.spans import NOOP_TRACER
 
 Bindings = Dict[Variable, Any]
 
@@ -36,6 +37,15 @@ Bindings = Dict[Variable, Any]
 #: ``"pushdown"`` is the tuple-at-a-time binding recursion (push/pull styles),
 #: ``"vectorized"`` the batch executor over :class:`ColumnarBlock`s.
 EXECUTORS = ("pushdown", "vectorized")
+
+
+def _operator_span_name(literal: Literal) -> str:
+    """The span name of one vectorized body position."""
+    if isinstance(literal, Atom):
+        return "op:negation" if literal.negated else "op:join"
+    if isinstance(literal, Comparison):
+        return "op:filter"
+    return "op:assign"
 
 
 @dataclass(frozen=True)
@@ -723,39 +733,55 @@ class VectorizedSubqueryEvaluator:
     the executor).
     """
 
-    def __init__(self, storage: StorageManager) -> None:
+    def __init__(self, storage: StorageManager, tracer=NOOP_TRACER) -> None:
         self.storage = storage
         self.symbols = storage.symbols
+        self.tracer = tracer
         self.stats: Dict[str, int] = {"batches": 0, "index": 0, "build": 0}
 
     def evaluate(self, plan: JoinPlan) -> Set[Row]:
         self.stats["batches"] += 1
         needed_after = self._needed_after(plan)
         block = ColumnarBlock.unit()
+        tracer = self.tracer
         for position, source in enumerate(plan.sources):
             if not block:
                 return set()
-            literal = source.literal
-            if isinstance(literal, Atom):
-                if literal.negated:
-                    relation = self.storage.relation(
-                        literal.relation, DatabaseKind.DERIVED
-                    )
-                    block = batch_negation(block, literal, relation)
-                else:
-                    relation = self.storage.relation(
-                        literal.relation, source.kind or DatabaseKind.DERIVED
-                    )
-                    block = batch_hash_join(
-                        block, literal, relation, needed_after[position], self.stats
-                    )
-            elif isinstance(literal, Comparison):
-                block = batch_comparison(block, literal, self.symbols)
-            elif isinstance(literal, Assignment):
-                block = batch_assignment(block, literal, self.symbols)
-            else:  # pragma: no cover - planner emits only the above
-                raise TypeError(f"unsupported literal {literal!r}")
+            if tracer.enabled:
+                literal = source.literal
+                span = tracer.span(
+                    _operator_span_name(literal), ambient=False,
+                    rule=plan.rule_name,
+                    relation=getattr(literal, "relation", None),
+                    rows_in=len(block),
+                )
+                try:
+                    block = self._apply(source, block, needed_after[position])
+                finally:
+                    span.set(rows_out=len(block)).finish()
+            else:
+                block = self._apply(source, block, needed_after[position])
         return project_block(plan.head_terms, block, self.symbols)
+
+    def _apply(self, source, block: "ColumnarBlock",
+               needed: FrozenSet[Variable]) -> "ColumnarBlock":
+        """One body position: join/negate/filter/assign over the block."""
+        literal = source.literal
+        if isinstance(literal, Atom):
+            if literal.negated:
+                relation = self.storage.relation(
+                    literal.relation, DatabaseKind.DERIVED
+                )
+                return batch_negation(block, literal, relation)
+            relation = self.storage.relation(
+                literal.relation, source.kind or DatabaseKind.DERIVED
+            )
+            return batch_hash_join(block, literal, relation, needed, self.stats)
+        if isinstance(literal, Comparison):
+            return batch_comparison(block, literal, self.symbols)
+        if isinstance(literal, Assignment):
+            return batch_assignment(block, literal, self.symbols)
+        raise TypeError(f"unsupported literal {literal!r}")  # pragma: no cover
 
     @staticmethod
     def _needed_after(plan: JoinPlan) -> List[FrozenSet[Variable]]:
@@ -782,7 +808,7 @@ class SubqueryEvaluator:
     """
 
     def __init__(self, storage: StorageManager, style: str = "push",
-                 executor: str = "pushdown") -> None:
+                 executor: str = "pushdown", tracer=NOOP_TRACER) -> None:
         if style not in ("push", "pull"):
             raise ValueError(f"unknown evaluator style {style!r}")
         if executor not in EXECUTORS:
@@ -794,7 +820,8 @@ class SubqueryEvaluator:
         self._push = PushSubqueryEvaluator(storage)
         self._pull = PullSubqueryEvaluator(storage)
         self._vectorized: Optional[VectorizedSubqueryEvaluator] = (
-            VectorizedSubqueryEvaluator(storage) if executor == "vectorized" else None
+            VectorizedSubqueryEvaluator(storage, tracer=tracer)
+            if executor == "vectorized" else None
         )
 
     def evaluate(self, plan: JoinPlan) -> Set[Row]:

@@ -58,22 +58,26 @@ class SnapshotCache:
     instead of two dict copies per relation.
     """
 
-    __slots__ = ("_version", "_snapshot")
+    __slots__ = ("_version", "_snapshot", "hits", "misses")
 
     def __init__(self) -> None:
         self._version: Optional[int] = None
         self._snapshot: Optional[CardinalitySnapshot] = None
+        self.hits = 0
+        self.misses = 0
 
     def take(self, storage: StorageManager, iteration: int = 0) -> CardinalitySnapshot:
         version = storage.mutation_version()
         cached = self._snapshot
         if cached is not None and self._version == version:
+            self.hits += 1
             if cached.iteration == iteration:
                 return cached
             cached = CardinalitySnapshot(
                 iteration=iteration, derived=cached.derived, delta=cached.delta
             )
         else:
+            self.misses += 1
             cached = take_snapshot(storage, iteration)
         self._version = version
         self._snapshot = cached

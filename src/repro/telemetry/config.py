@@ -1,0 +1,65 @@
+"""TelemetryConfig: the one knob the engine layers see.
+
+``EngineConfig.with_(telemetry=TelemetryConfig(...))`` (or the
+:func:`repro.telemetry.tracing` convenience constructor) switches a
+database/session from the default zero-overhead :data:`NOOP_TRACER` to a
+live :class:`Tracer` + :class:`MetricsRegistry` pair.
+
+This module deliberately does not import :mod:`repro.telemetry.sinks` —
+sinks are user-facing policy, passed in already constructed, so engine-core
+modules can import this one without dragging sink code in (the CI grep
+guard enforces the same rule on the core packages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NOOP_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Tracing + metrics wiring for one database (or standalone session).
+
+    ``enabled=False`` keeps the metrics registry live but replaces the
+    tracer with the no-op singleton — the configuration benchmarked by the
+    "noop" row of ``bench/telemetry.py``.
+    """
+
+    enabled: bool = True
+    sinks: Tuple[object, ...] = ()
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    slow_query_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.metrics is None:
+            object.__setattr__(self, "metrics", MetricsRegistry())
+        if self.tracer is None:
+            tracer = Tracer(sinks=self.sinks) if self.enabled else NOOP_TRACER
+            object.__setattr__(self, "tracer", tracer)
+
+    @property
+    def ring(self):
+        """The first ring-buffer sink, if any (duck-typed: has ``traces``)."""
+        for sink in self.sinks:
+            if hasattr(sink, "traces"):
+                return sink
+        return None
+
+
+def tracer_of(telemetry: Optional[TelemetryConfig]):
+    """The tracer for a possibly-absent telemetry config (no-op default)."""
+    if telemetry is None or not telemetry.enabled:
+        return NOOP_TRACER
+    return telemetry.tracer
+
+
+def metrics_of(telemetry: Optional[TelemetryConfig]) -> MetricsRegistry:
+    """The registry for a possibly-absent config (fresh private default)."""
+    if telemetry is None or telemetry.metrics is None:
+        return MetricsRegistry()
+    return telemetry.metrics

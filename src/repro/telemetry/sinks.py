@@ -1,0 +1,135 @@
+"""Span sinks: where finished traces go.
+
+A sink receives every assembled :class:`~repro.telemetry.spans.Trace` whose
+root span finished under a tracer it is attached to.  Three implementations:
+
+* :class:`RingBufferSink` — the default; keeps the last N traces in memory
+  so ``QueryResult.trace()`` and post-hoc debugging work with no I/O.
+* :class:`JsonLinesSink` — appends one JSON object per trace to a file
+  (the artifact format uploaded by the smoke workflow).
+* :class:`SlowQueryLog` — writes one structured line per over-threshold
+  query trace to a stream (stderr by default).
+
+Engine-core modules must not import this module (CI grep guard): sinks are
+constructed by user code / the API layer and handed to the tracer through
+:class:`~repro.telemetry.config.TelemetryConfig`.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import deque
+from typing import List, Optional, Sequence, TextIO
+
+from repro.telemetry.spans import Trace
+
+
+class SpanSink:
+    """Interface: receives each finished trace, must never raise."""
+
+    def export(self, trace: Trace) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class RingBufferSink(SpanSink):
+    """Keeps the most recent ``capacity`` traces in memory."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer needs capacity >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=capacity)
+
+    def export(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def traces(self) -> List[Trace]:
+        """Oldest-first copy of the retained traces."""
+        with self._lock:
+            return list(self._traces)
+
+    def latest(self) -> Optional[Trace]:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class JsonLinesSink(SpanSink):
+    """Appends one JSON document per trace to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+
+    def export(self, trace: Trace) -> None:
+        line = trace.to_json()
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+
+def format_slow_query(trace: Trace) -> str:
+    """The single structured slow-query line for ``trace``.
+
+    Fields: trace id, program fingerprint, queried relation, latency,
+    result rows, result-cache status, span count — everything needed to
+    find the query again without parsing the full trace.
+    """
+    root = trace.root
+    attributes = root.attributes if root is not None else {}
+    latency_ms = trace.duration_seconds * 1000.0
+    return (
+        "slow-query"
+        f" trace={trace.trace_id}"
+        f" program={attributes.get('program', '?')}"
+        f" relation={attributes.get('relation', '*')}"
+        f" latency_ms={latency_ms:.3f}"
+        f" rows={attributes.get('rows', '?')}"
+        f" cache={attributes.get('cache', 'none')}"
+        f" spans={len(trace)}"
+    )
+
+
+class SlowQueryLog(SpanSink):
+    """Logs one line per query trace at or over the latency threshold.
+
+    Only traces rooted at one of ``root_names`` are considered — internal
+    traces (mutations, recomputes) have their own spans but are not
+    queries.  A trace exactly at the threshold is logged.
+    """
+
+    def __init__(
+        self,
+        threshold_seconds: float,
+        stream: Optional[TextIO] = None,
+        root_names: Sequence[str] = ("query",),
+    ) -> None:
+        if threshold_seconds < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold_seconds = threshold_seconds
+        self.stream = stream
+        self.root_names = tuple(root_names)
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    def export(self, trace: Trace) -> None:
+        root = trace.root
+        if root is None or root.name not in self.root_names:
+            return
+        if trace.duration_seconds < self.threshold_seconds:
+            return
+        line = format_slow_query(trace)
+        stream = self.stream if self.stream is not None else sys.stderr
+        with self._lock:
+            self.emitted += 1
+            print(line, file=stream)

@@ -1,0 +1,120 @@
+"""Unit tests for the span sinks, including the slow-query log format."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JsonLinesSink,
+    RingBufferSink,
+    SlowQueryLog,
+    Tracer,
+    format_slow_query,
+)
+
+
+def finished_trace(sinks, name="query", duration_ns=5_000_000, **attrs):
+    """One finished single-span trace, its duration pinned after assembly."""
+    tracer = Tracer(sinks=sinks)
+    span = tracer.span(name, root=True, **attrs)
+    span.finish()
+    span.end_ns = span.start_ns + duration_ns
+    return span.trace
+
+
+class TestRingBufferSink:
+    def test_keeps_the_last_n_traces(self):
+        ring = RingBufferSink(capacity=2)
+        traces = [finished_trace([ring]) for _ in range(3)]
+        assert len(ring) == 2
+        assert ring.traces() == traces[1:]
+        assert ring.latest() is traces[-1]
+
+    def test_clear_and_empty(self):
+        ring = RingBufferSink(capacity=4)
+        assert ring.latest() is None
+        finished_trace([ring])
+        ring.clear()
+        assert len(ring) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonLinesSink:
+    def test_appends_one_json_document_per_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonLinesSink(str(path))
+        first = finished_trace([sink], relation="path")
+        second = finished_trace([sink], relation="edge")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[0]["trace_id"] == first.trace_id
+        assert payloads[1]["spans"][0]["attributes"] == {"relation": "edge"}
+
+
+class TestSlowQueryFormat:
+    def test_single_line_with_every_field(self):
+        trace = finished_trace(
+            [], duration_ns=12_345_000,
+            program="abcdef012345", relation="path", rows=99, cache="hit",
+        )
+        line = format_slow_query(trace)
+        assert "\n" not in line
+        assert line == (
+            f"slow-query trace={trace.trace_id} program=abcdef012345 "
+            "relation=path latency_ms=12.345 rows=99 cache=hit spans=1"
+        )
+
+    def test_missing_attributes_get_placeholders(self):
+        trace = finished_trace([], duration_ns=1_000_000)
+        line = format_slow_query(trace)
+        assert " program=? " in line
+        assert " relation=* " in line
+        assert " rows=? " in line
+        assert " cache=none " in line
+
+
+class TestSlowQueryLog:
+    def test_exactly_at_threshold_is_logged(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(0.005, stream=stream)
+        log.export(finished_trace([], duration_ns=5_000_000))
+        assert log.emitted == 1
+        assert stream.getvalue().startswith("slow-query trace=")
+
+    def test_just_below_threshold_is_not_logged(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(0.005, stream=stream)
+        log.export(finished_trace([], duration_ns=4_999_999))
+        assert log.emitted == 0
+        assert stream.getvalue() == ""
+
+    def test_zero_threshold_logs_everything(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(0.0, stream=stream)
+        log.export(finished_trace([], duration_ns=1))
+        assert log.emitted == 1
+
+    def test_non_query_roots_are_ignored(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(0.0, stream=stream)
+        log.export(finished_trace([], name="mutation", duration_ns=10**9))
+        assert log.emitted == 0
+        assert stream.getvalue() == ""
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(-0.001)
+
+    def test_attached_as_a_tracer_sink(self):
+        stream = io.StringIO()
+        log = SlowQueryLog(0.0, stream=stream)
+        tracer = Tracer(sinks=[log])
+        with tracer.span("query", root=True, relation="path", rows=3):
+            pass
+        assert log.emitted == 1
+        assert " relation=path " in stream.getvalue()

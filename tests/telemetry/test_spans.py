@@ -1,0 +1,198 @@
+"""Unit tests for the tracing core: Tracer, Span, Trace, SpanBuffer."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.telemetry import NOOP_TRACER, SpanBuffer, Tracer, current_span
+from repro.telemetry.sinks import RingBufferSink
+
+
+def make_traced():
+    ring = RingBufferSink(capacity=8)
+    return Tracer(sinks=[ring]), ring
+
+
+class TestSpanLifecycle:
+    def test_root_span_assembles_a_trace_on_finish(self):
+        tracer, ring = make_traced()
+        span = tracer.span("query", root=True, relation="path")
+        assert span.trace is None
+        span.finish()
+        assert span.trace is not None
+        assert span.trace.root is span
+        assert ring.latest() is span.trace
+
+    def test_finish_is_idempotent(self):
+        tracer, ring = make_traced()
+        span = tracer.span("query", root=True)
+        span.finish()
+        end = span.end_ns
+        span.finish()
+        assert span.end_ns == end
+        assert len(ring) == 1
+
+    def test_ambient_parenting_nests_without_explicit_handles(self):
+        tracer, ring = make_traced()
+        with tracer.span("query", root=True) as root:
+            assert current_span() is root
+            with tracer.span("stratum", index=0) as stratum:
+                child = tracer.span("iteration")
+                child.finish()
+            assert child.parent_id == stratum.span_id
+            assert stratum.parent_id == root.span_id
+        assert current_span() is None
+        trace = ring.latest()
+        assert [s.name for s in trace] == ["query", "stratum", "iteration"]
+        assert len({s.trace_id for s in trace}) == 1
+
+    def test_non_ambient_span_does_not_become_current(self):
+        tracer, _ = make_traced()
+        with tracer.span("query", root=True) as root:
+            leaf = tracer.span("op:join", ambient=False)
+            assert current_span() is root
+            leaf.finish()
+            assert leaf.parent_id == root.span_id
+            root.finish()
+
+    def test_root_true_starts_a_fresh_trace_under_an_open_span(self):
+        tracer, _ = make_traced()
+        with tracer.span("query", root=True) as outer:
+            inner = tracer.span("mutation", root=True)
+            assert inner.trace_id != outer.trace_id
+            assert inner.parent_id is None
+            inner.finish()
+
+    def test_exception_marks_error_status(self):
+        tracer, ring = make_traced()
+        with pytest.raises(ValueError):
+            with tracer.span("query", root=True):
+                raise ValueError("boom")
+        trace = ring.latest()
+        assert trace.root.status == "error:ValueError"
+
+    def test_set_returns_self_and_events_record(self):
+        tracer, ring = make_traced()
+        span = tracer.span("query", root=True)
+        assert span.set(rows=7) is span
+        span.event("result-cache", result="hit")
+        tracer.event("ambient-event", note=1)  # attaches to current span
+        span.finish()
+        assert span.attributes["rows"] == 7
+        names = [name for name, _, _ in span.events]
+        assert names == ["result-cache", "ambient-event"]
+
+    def test_to_json_round_trips(self):
+        tracer, ring = make_traced()
+        with tracer.span("query", root=True, relation="path"):
+            pass
+        payload = json.loads(ring.latest().to_json())
+        assert payload["spans"][0]["name"] == "query"
+        assert payload["spans"][0]["attributes"] == {"relation": "path"}
+
+
+class TestTraceReading:
+    def test_render_indents_by_depth(self):
+        tracer, ring = make_traced()
+        with tracer.span("query", root=True):
+            with tracer.span("stratum", index=0):
+                tracer.span("iteration", ambient=False).finish()
+        lines = ring.latest().render().splitlines()
+        assert lines[1].startswith("  query")
+        assert lines[2].startswith("    stratum")
+        assert "index=0" in lines[2]
+        assert lines[3].startswith("      iteration")
+
+    def test_find_children_depth(self):
+        tracer, ring = make_traced()
+        with tracer.span("query", root=True):
+            with tracer.span("stratum"):
+                tracer.span("iteration", ambient=False).finish()
+                tracer.span("iteration", ambient=False).finish()
+        trace = ring.latest()
+        (stratum,) = trace.find("stratum")
+        iterations = trace.find("iteration")
+        assert trace.children_of(stratum) == iterations
+        assert trace.depth_of(trace.root) == 0
+        assert {trace.depth_of(s) for s in iterations} == {2}
+
+
+class TestNoopTracer:
+    def test_disabled_and_allocation_free(self):
+        assert NOOP_TRACER.enabled is False
+        span = NOOP_TRACER.span("query", root=True, rows=1)
+        assert span is NOOP_TRACER.span("other")
+        assert span.noop and span.trace is None
+        # The full recording surface is inert.
+        with span as s:
+            assert s.set(x=1) is s
+            s.event("nope")
+            s.finish()
+        assert NOOP_TRACER.merge_buffer([{"span_id": 1}], parent=span) == []
+
+    def test_noop_span_never_becomes_ambient_parent(self):
+        tracer, ring = make_traced()
+        with NOOP_TRACER.span("outer"):
+            span = tracer.span("query")  # must start its own trace
+            assert span.parent_id is None
+            span.finish()
+        assert ring.latest().root is span
+
+
+class TestSpanBufferAndMerge:
+    def drained_worker_records(self):
+        buffer = SpanBuffer()
+        with buffer.span("iteration", shard=0, round=1):
+            buffer.span("op:join", ambient=False, rows_in=3).set(rows_out=5).finish()
+        with buffer.span("iteration", shard=0, round=2) as it2:
+            it2.set(promoted=4)
+        return buffer.drain()
+
+    def test_records_are_picklable_dicts(self):
+        records = self.drained_worker_records()
+        assert pickle.loads(pickle.dumps(records)) == records
+        assert [r["name"] for r in records] == [
+            "iteration", "op:join", "iteration",
+        ]
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        assert records[2]["parent_id"] is None
+        assert records[2]["attributes"]["promoted"] == 4
+
+    def test_drain_resets_the_buffer(self):
+        buffer = SpanBuffer()
+        buffer.span("iteration", ambient=False).finish()
+        assert len(buffer.drain()) == 1
+        assert buffer.drain() == []
+
+    def test_merge_reparents_buffer_roots_and_remaps_ids(self):
+        tracer, ring = make_traced()
+        records = self.drained_worker_records()
+        with tracer.span("query", root=True):
+            with tracer.span("stratum", index=0) as stratum:
+                merged = tracer.merge_buffer(records, parent=stratum)
+        trace = ring.latest()
+        assert len(trace) == 2 + len(records)
+        iterations = trace.find("iteration")
+        assert all(s.parent_id == stratum.span_id for s in iterations)
+        assert all(s.trace_id == trace.trace_id for s in merged)
+        (join,) = trace.find("op:join")
+        assert join.parent_id == iterations[0].span_id
+        # Worker-local ids were remapped into the coordinator's id space.
+        coordinator_ids = {s.span_id for s in trace}
+        assert len(coordinator_ids) == len(trace)
+
+    def test_merge_without_parent_is_dropped(self):
+        tracer, _ = make_traced()
+        assert tracer.merge_buffer(self.drained_worker_records()) == []
+
+    def test_buffered_span_error_status_survives_merge(self):
+        tracer, ring = make_traced()
+        buffer = SpanBuffer()
+        with pytest.raises(RuntimeError):
+            with buffer.span("iteration", shard=1):
+                raise RuntimeError("shard died")
+        with tracer.span("query", root=True) as root:
+            tracer.merge_buffer(buffer.drain(), parent=root)
+        (iteration,) = ring.latest().find("iteration")
+        assert iteration.status == "error:RuntimeError"
