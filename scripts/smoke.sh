@@ -18,12 +18,20 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
-echo "== subsystem smoke benches (perf trajectory -> BENCH_6.json) =="
+echo "== subsystem smoke benches (perf trajectory -> BENCH_7.json) =="
 # One machine-readable dump per CI run: 2-shard parallel, vectorized
 # executor, dictionary-encoded storage and telemetry overhead at --quick
-# scale.  smoke.yml uploads BENCH_6.json as an artifact so future PRs can
-# diff against a recorded baseline.
-python -m repro.bench --quick --only parallel,vectorized,interning,telemetry --json BENCH_6.json
+# scale.  smoke.yml uploads BENCH_7.json as an artifact, and the committed
+# baseline gates it below.
+python -m repro.bench --quick --only parallel,vectorized,interning,telemetry --json BENCH_7.json
+
+echo
+echo "== perf-regression gate (BENCH_7.json vs benchmarks/baseline.json) =="
+# First prove the gate itself still bites (a doctored 2x slowdown must
+# fail), then diff the fresh run against the committed baseline: any
+# section or row more than 25% slower (and past the noise floor) fails CI.
+python scripts/bench_compare.py --self-test benchmarks/baseline.json > /dev/null
+python scripts/bench_compare.py benchmarks/baseline.json BENCH_7.json
 
 echo
 echo "== sample trace (JSON-lines artifact -> TRACE_SAMPLE.jsonl) =="

@@ -46,6 +46,12 @@ from repro.core.config import EngineConfig
 from repro.datalog.program import DatalogProgram
 from repro.incremental.cache import ResultCache
 from repro.incremental.session import IncrementalSession, UpdateReport
+from repro.introspect import (
+    CATALOG_COLUMNS,
+    RESERVED_PREFIX,
+    SystemCatalog,
+    render_analyze,
+)
 from repro.relational.relation import Row
 
 #: Anything a :class:`Database` can be opened over.
@@ -82,6 +88,22 @@ def schema_for(program: DatalogProgram, relation: str) -> ResultSchema:
     )
 
 
+def _shard_rows_provider(session: IncrementalSession):
+    """The ``sys_shards`` row source for one session's shard topology."""
+
+    def provider():
+        from repro.parallel.executor import shard_stat_rows
+
+        state = session._shard_state
+        return shard_stat_rows(
+            session.config,
+            pool=state.pool if state is not None else None,
+            degradations=session.profile.pool_degradations,
+        )
+
+    return provider
+
+
 class Connection:
     """A stateful handle on one evaluated program: mutate facts, read results.
 
@@ -93,9 +115,11 @@ class Connection:
     """
 
     def __init__(self, session: IncrementalSession,
-                 _database: Optional["Database"] = None) -> None:
+                 _database: Optional["Database"] = None,
+                 catalog: Optional[SystemCatalog] = None) -> None:
         self._session = session
         self._database = _database
+        self._catalog = catalog
         self._closed = False
 
     # -- introspection ---------------------------------------------------------
@@ -156,8 +180,19 @@ class Connection:
         With no argument: a :class:`ResultSet` covering every IDB relation
         (the same relations the legacy ``ExecutionEngine.run()`` returned),
         in declaration order, for any execution mode.
+
+        ``sys_``-prefixed names read the system catalog instead of the
+        program (see :mod:`repro.introspect`): an untraced raw-row snapshot
+        of the engine's own state — untraced so observing the engine does
+        not itself add query traces to the ring being observed.
         """
         self._check_open()
+        if (
+            relation is not None
+            and relation.startswith(RESERVED_PREFIX)
+            and self._catalog is not None
+        ):
+            return self._catalog_snapshot(relation)
         session = self._session
         started = time.perf_counter()
         with session.tracer.span(
@@ -203,22 +238,51 @@ class Connection:
             symbols=self._session.storage.symbols, trace=trace,
         )
 
+    def _catalog_snapshot(self, relation: str) -> QueryResult:
+        """One system-catalog relation as a raw-domain :class:`QueryResult`."""
+        rows = frozenset(self._catalog.rows(relation))  # KeyError on unknowns
+        columns = CATALOG_COLUMNS[relation]
+        self._session.metrics.counter(
+            "catalog_queries_total", relation=relation
+        ).inc()
+        return QueryResult(
+            ResultSchema.of(relation, len(columns), columns), rows,
+            explain=lambda: self._render_explain(
+                relation=relation, row_count=len(rows)
+            ),
+        )
+
     def refresh(self) -> None:
         """Force the initial fixpoint computation (otherwise lazy)."""
         self._check_open()
         self._session.refresh()
 
-    def explain(self, relation: Optional[str] = None) -> str:
-        """The session's plan and the adaptive decisions taken so far."""
+    def explain(self, relation: Optional[str] = None,
+                analyze: bool = False) -> str:
+        """The session's plan and the adaptive decisions taken so far.
+
+        ``analyze=True`` appends the EXPLAIN ANALYZE section: the actual
+        per-operator timings and row counts from the most recent trace,
+        lined up with the join-order optimizer's cardinality predictions,
+        flagging misestimated operators (see :mod:`repro.introspect`).
+        Needs telemetry for the trace and ``executor='vectorized'`` for
+        per-operator spans; the section says so when either is missing.
+        """
         self._check_open()
         row_count = None
         if relation is not None:
             row_count = len(self._session.fetch_encoded(relation))
-        return self._render_explain(relation=relation, row_count=row_count)
+        return self._render_explain(
+            relation=relation, row_count=row_count, analyze=analyze
+        )
 
     def _render_explain(self, relation: Optional[str] = None,
-                        row_count: Optional[int] = None) -> str:
+                        row_count: Optional[int] = None,
+                        analyze: bool = False) -> str:
         session = self._session
+        analysis = None
+        if analyze:
+            analysis = render_analyze(session.profile, session.last_trace)
         return render_explain(
             title=f"connection over {session.program.name!r}",
             config=session.config,
@@ -228,6 +292,7 @@ class Connection:
             row_count=row_count,
             symbols=session.storage.symbols,
             trace=session.last_trace,
+            analyze=analysis,
         )
 
     def self_check(self) -> None:
@@ -314,13 +379,24 @@ class Database:
     def connect(self, config: Optional[EngineConfig] = None) -> Connection:
         """Open a :class:`Connection` (its session snapshots the program now)."""
         self._check_open()
+        effective = config or self.config
+        catalog = self._catalog_for(effective)
         session = IncrementalSession(
-            self.program, config or self.config, cache=self.cache,
-            metrics=self._metrics,
+            self.program, effective, cache=self.cache,
+            metrics=self._metrics, catalog=catalog,
         )
-        connection = Connection(session, _database=self)
+        catalog.bind_storage(lambda: session.storage)
+        catalog.bind_shards(_shard_rows_provider(session))
+        connection = Connection(session, _database=self, catalog=catalog)
         self._connections.append(connection)
         return connection
+
+    def _catalog_for(self, config: EngineConfig) -> SystemCatalog:
+        """A fresh per-connection :class:`SystemCatalog` over this database's
+        shared metrics registry and the configuration's telemetry ring."""
+        telemetry = config.telemetry
+        ring = telemetry.ring if telemetry is not None else None
+        return SystemCatalog(metrics=self._metrics, ring=ring)
 
     # -- one-shot queries ------------------------------------------------------
 
@@ -339,14 +415,32 @@ class Database:
         With a relation name: that relation's :class:`QueryResult` (EDB
         relations are allowed).  Without: a :class:`ResultSet` of every IDB
         relation — the same answer in every execution mode.
+
+        ``sys_``-prefixed names read the system catalog: trace- and
+        metrics-backed relations cover this database's whole workload, but
+        the storage-backed ones (``sys_relations``, ``sys_symbols``,
+        ``sys_shards``) are empty here — a one-shot read keeps no session
+        state to observe; open a connection for those.
         """
         self._check_open()
         from repro.engine.engine import ExecutionEngine
 
         effective = config or self.config
+        if relation is not None and relation.startswith(RESERVED_PREFIX):
+            catalog = self._catalog_for(effective)
+            rows = frozenset(catalog.rows(relation))
+            columns = CATALOG_COLUMNS[relation]
+            self._metrics.counter(
+                "catalog_queries_total", relation=relation
+            ).inc()
+            return QueryResult(
+                ResultSchema.of(relation, len(columns), columns), rows
+            )
         tracer = effective.tracer()
         started = time.perf_counter()
-        engine = ExecutionEngine(self.program.copy(), effective)
+        engine = ExecutionEngine(
+            self.program.copy(), effective, catalog=self._catalog_for(effective)
+        )
         with tracer.span(
             "query", root=True, relation=relation or "*",
             database=self.program.name,

@@ -30,8 +30,14 @@ def render_explain(
     row_count: Optional[int] = None,
     symbols=None,
     trace=None,
+    analyze: Optional[str] = None,
 ) -> str:
-    """A human-readable account of how a result was (or will be) computed."""
+    """A human-readable account of how a result was (or will be) computed.
+
+    ``analyze`` is an optional pre-rendered EXPLAIN ANALYZE block (see
+    :func:`repro.introspect.render_analyze`) appended as its own section —
+    rendered by the caller so this module stays introspection-free.
+    """
     lines: List[str] = [f"-- {title}"]
     if relation is not None:
         suffix = "" if row_count is None else f"  ({row_count} rows)"
@@ -129,4 +135,8 @@ def render_explain(
         lines.append("")
         lines.append("trace (most recent):")
         lines.extend("  " + line for line in trace.render().splitlines())
+
+    if analyze is not None:
+        lines.append("")
+        lines.extend(analyze.splitlines())
     return "\n".join(lines)

@@ -120,6 +120,11 @@ class OrderingDecision:
     chosen_order: Tuple[str, ...]
     estimated_cost: float
     changed: bool
+    #: Estimated intermediate-result cardinality *after* each join position
+    #: of ``chosen_order`` (the optimizer's running ``intermediate`` under
+    #: the selectivity model).  EXPLAIN ANALYZE compares these predictions
+    #: against the actual per-operator row counts recorded in trace spans.
+    estimated_rows: Tuple[float, ...] = ()
 
 
 @dataclass
@@ -217,6 +222,33 @@ class JoinOrderOptimizer:
             self._fire_assignments(bound, pending)
         return total
 
+    def _estimated_rows(
+        self,
+        order: Sequence[AtomSource],
+        cardinalities: CardinalityView,
+        indexes: IndexView,
+        assignments: Sequence[Any],
+    ) -> Tuple[float, ...]:
+        """Per-position intermediate cardinalities of ``order`` (the same
+        running estimate :meth:`_cost_of_order` tracks), recorded into the
+        :class:`OrderingDecision` for EXPLAIN ANALYZE."""
+        bound: Set[Variable] = set()
+        pending = list(assignments)
+        self._fire_assignments(bound, pending)
+        intermediate = 1.0
+        estimates: List[float] = []
+        for source in order:
+            atom = source.literal
+            assert isinstance(atom, Atom)
+            cardinality = self._atom_cardinality(source, cardinalities)
+            conditions = self._bound_conditions(atom, bound)
+            produced = self.selectivity.output_cardinality(cardinality, conditions)
+            intermediate = intermediate * max(produced, 0.0)
+            estimates.append(intermediate)
+            bound.update(atom.variables())
+            self._fire_assignments(bound, pending)
+        return tuple(estimates)
+
     def _greedy_order(
         self,
         sources: Sequence[AtomSource],
@@ -305,6 +337,9 @@ class JoinOrderOptimizer:
                 chosen_order=tuple(a.literal.relation for a in positive),  # type: ignore[union-attr]
                 estimated_cost=0.0,
                 changed=False,
+                estimated_rows=self._estimated_rows(
+                    positive, cardinalities, indexes, ()
+                ),
             )
             return plan, decision
 
@@ -330,6 +365,9 @@ class JoinOrderOptimizer:
             chosen_order=chosen,
             estimated_cost=cost,
             changed=[s.literal for s in positive] != [s.literal for s in ordered],
+            estimated_rows=self._estimated_rows(
+                ordered, cardinalities, indexes, assignments
+            ),
         )
         return new_plan, decision
 

@@ -21,6 +21,35 @@ class SafetyError(ValueError):
     """Raised when a rule (or program) fails the safety check."""
 
 
+#: Relations starting with this prefix belong to the engine's system
+#: catalog (``repro.introspect``).  Rules may *read* them — the catalog
+#: materializes their rows as ordinary EDB facts — but user programs can
+#: neither define rules over them nor assert facts into them.  The check is
+#: purely textual (prefix match), so this layer needs no knowledge of the
+#: catalog's actual schema; arity validation against the catalog happens at
+#: evaluation setup, where a catalog is attached.
+RESERVED_RELATION_PREFIX = "sys_"
+
+
+def check_reserved_namespace(program: DatalogProgram) -> None:
+    """Reject rule heads and facts in the reserved ``sys_`` namespace."""
+    for rule in program.rules:
+        if rule.head_relation.startswith(RESERVED_RELATION_PREFIX):
+            raise SafetyError(
+                f"rule {rule.name or rule!r}: relation "
+                f"{rule.head_relation!r} is in the reserved system-catalog "
+                f"namespace ({RESERVED_RELATION_PREFIX!r}); sys_ relations "
+                "may only appear in rule bodies"
+            )
+    for fact in program.facts:
+        if fact.relation.startswith(RESERVED_RELATION_PREFIX):
+            raise SafetyError(
+                f"fact over {fact.relation!r}: the "
+                f"{RESERVED_RELATION_PREFIX!r} namespace is reserved for the "
+                "system catalog; its rows are materialized by the engine"
+            )
+
+
 def _bound_variables(body: Iterable[Literal]) -> Set[Variable]:
     """Compute the set of variables bound by positive atoms and assignments.
 
@@ -100,6 +129,7 @@ def check_rule_safety(rule: Rule) -> None:
 def check_program_safety(program: DatalogProgram) -> List[Rule]:
     """Check every rule in ``program``; returns the list of checked rules."""
     program.validate_arities()
+    check_reserved_namespace(program)
     for rule in program.rules:
         check_rule_safety(rule)
     return list(program.rules)

@@ -30,6 +30,7 @@ def prepare_evaluation(
     program: DatalogProgram,
     config: EngineConfig,
     profile: Optional[RuntimeProfile] = None,
+    catalog=None,
 ) -> Tuple[StorageManager, ProgramOp]:
     """Build the storage and IR tree for one evaluation of ``program``.
 
@@ -41,6 +42,13 @@ def prepare_evaluation(
     the program to IR, rewrites every plan constant into the symbol domain
     (:func:`repro.ir.encoding.encode_tree`) and (in AOT mode) applies the
     ahead-of-time join-order optimization to the tree in place.
+
+    ``catalog`` is an optional system catalog (duck-typed — this layer
+    never imports :mod:`repro.introspect`): when the program references
+    ``sys_`` relations, ``catalog.install(storage, program)`` materializes
+    their current rows as ordinary interned EDB facts, so catalog relations
+    evaluate exactly like user relations.  Without a catalog, referenced
+    ``sys_`` relations stay empty.
     """
     if config.executor not in EXECUTORS:
         raise ValueError(
@@ -51,11 +59,14 @@ def prepare_evaluation(
     if config.use_indexes:
         for relation, column in sorted(select_indexes(program)):
             storage.register_index(relation, column)
-
     if config.mode == ExecutionMode.NAIVE:
         tree = build_naive_ir(program)
     else:
         tree = build_program_ir(program)
+    # After the IR build so safety errors (clearer messages for reserved-
+    # namespace misuse) surface before catalog schema validation.
+    if catalog is not None:
+        catalog.install(storage, program)
     encode_tree(tree, storage.symbols)
 
     apply_aot_if_configured(tree, config, storage, profile)
@@ -106,13 +117,20 @@ class ExecutionEngine:
     unambiguous.
     """
 
-    def __init__(self, program: DatalogProgram, config: Optional[EngineConfig] = None) -> None:
+    def __init__(
+        self,
+        program: DatalogProgram,
+        config: Optional[EngineConfig] = None,
+        catalog=None,
+    ) -> None:
         self.program = program
         self.config = config or EngineConfig()
         self.profile = RuntimeProfile()
 
         setup_start = time.perf_counter()
-        self.storage, self.tree = prepare_evaluation(program, self.config, self.profile)
+        self.storage, self.tree = prepare_evaluation(
+            program, self.config, self.profile, catalog=catalog
+        )
         self.setup_seconds = time.perf_counter() - setup_start
         self._ran = False
         #: Set by :meth:`run` when the shard-parallel evaluator was used.

@@ -157,6 +157,15 @@ class IncrementalSession:
         :class:`~repro.api.database.Database` passes its own so totals
         aggregate across every connection.  Defaults to the configured
         telemetry's registry (or a private one).
+    catalog:
+        Optional system catalog (duck-typed; see :mod:`repro.introspect`).
+        When the program's rules read ``sys_`` relations, the catalog
+        materializes their rows as ordinary base facts at setup and
+        re-snapshots them before each query, so introspection data joins
+        with user relations like any other EDB.  Programs reading the
+        catalog always take the recompute update path — catalog contents
+        change outside the mutation API, so incremental maintenance
+        cannot track them.
     """
 
     def __init__(
@@ -165,6 +174,7 @@ class IncrementalSession:
         config: Optional[EngineConfig] = None,
         cache: Optional[ResultCache] = None,
         metrics=None,
+        catalog=None,
     ) -> None:
         self.program = program.copy()
         self.config = config or EngineConfig()
@@ -179,11 +189,20 @@ class IncrementalSession:
         #: when tracing is off); surfaced through ``Connection.explain()``.
         self.last_trace = None
 
+        self._catalog = catalog
+        self._catalog_names: Tuple[str, ...] = (
+            tuple(catalog.names_in(self.program)) if catalog is not None else ()
+        )
+        self._catalog_frozen = False
+
         setup_start = time.perf_counter()
         self.storage, self.tree = prepare_evaluation(
-            self.program, self.config, self.profile
+            self.program, self.config, self.profile, catalog=catalog
         )
-        self.incremental_capable = not any(
+        # Catalog-reading programs fall back to recompute: sys_ rows change
+        # outside the mutation API (every query/span moves them), so the
+        # delta/DRed machinery cannot maintain them.
+        self.incremental_capable = not self._catalog_names and not any(
             rule.negated_atoms() or rule.has_aggregation()
             for rule in self.program.rules
         )
@@ -228,6 +247,13 @@ class IncrementalSession:
         self._mutation_digests: Dict[str, str] = {
             name: "0" for name in self.program.relation_names()
         }
+        # Catalog relations: the digest of the snapshot materialized at
+        # setup, advanced by _refresh_catalog whenever the snapshot changes
+        # — so cache validity tokens diverge exactly when catalog state does.
+        if self._catalog is not None:
+            self._mutation_digests.update(
+                self._catalog.digests(self._catalog_names)
+            )
         self._config_key = _config_cache_key(self.config)
         self._dependencies = _dependency_closure(self.program)
         self._evaluated = False
@@ -352,6 +378,7 @@ class IncrementalSession:
             span.set(
                 strategy=report.strategy, inserted=report.inserted,
                 retracted=report.retracted, propagated=report.propagated,
+                rederived=report.rederived, over_deleted=report.over_deleted,
             )
         if span.trace is not None:
             self.last_trace = span.trace
@@ -685,6 +712,26 @@ class IncrementalSession:
 
     # -- queries ----------------------------------------------------------------
 
+    def _refresh_catalog(self) -> None:
+        """Re-snapshot the program's ``sys_`` relations before serving a query.
+
+        When a catalog relation's contents changed since the last snapshot,
+        the fresh rows replace the stale base facts, the relation's mutation
+        digest advances (cache entries over the old snapshot stop matching),
+        and — because catalog readers are recompute-strategy sessions — the
+        fixpoint is rebuilt from base so rules over ``sys_`` see the new rows.
+        """
+        if self._catalog is None or not self._catalog_names:
+            return
+        if self._catalog_frozen:
+            return
+        changed = self._catalog.refresh(self.storage, self._catalog_names)
+        if not changed:
+            return
+        self._mutation_digests.update(changed)
+        if self._evaluated:
+            self._rebuild_from_base()
+
     def fetch_encoded(self, relation: str) -> FrozenSet[Row]:
         """Storage-domain tuples of ``relation``, served from cache when valid.
 
@@ -696,6 +743,7 @@ class IncrementalSession:
         cache key + validity-token granularity, so shared entries decode
         identically in every session allowed to hit them.
         """
+        self._refresh_catalog()
         self._ensure_evaluated()
         dependencies = self._dependencies.get(relation, frozenset((relation,)))
         tokens = {
@@ -760,12 +808,21 @@ class IncrementalSession:
     # -- verification helpers ----------------------------------------------------
 
     def snapshot_program(self) -> DatalogProgram:
-        """The program with the session's *current* base facts as its EDB."""
+        """The program with the session's *current* base facts as its EDB.
+
+        Catalog (``sys_``) relations are declared but get no facts — the
+        safety checker rejects user facts in the reserved namespace; their
+        rows are replayed storage-to-storage by :meth:`recompute` instead.
+        """
+        from repro.datalog.safety import RESERVED_RELATION_PREFIX
+
         clone = DatalogProgram(self.program.name)
         for name, decl in self.program.relations.items():
             clone.declare_relation(name, decl.arity)
         symbols = self.storage.symbols
         for name in self.storage.relation_names():
+            if name.startswith(RESERVED_RELATION_PREFIX):
+                continue
             base = self.storage.base_rows(name)
             if not symbols.identity:
                 base = set(symbols.resolve_rows(base))
@@ -776,23 +833,49 @@ class IncrementalSession:
         return clone
 
     def recompute(self, config: Optional[EngineConfig] = None) -> "ResultSet":
-        """From-scratch evaluation of the current base facts (fresh engine)."""
+        """From-scratch evaluation of the current base facts (fresh engine).
+
+        The session's *current* catalog snapshot rides along: ``sys_`` base
+        rows are replayed into the fresh engine's storage (re-interned in
+        its symbol domain) rather than refreshed from live engine state, so
+        :meth:`self_check` compares both evaluations over identical inputs.
+        """
         engine = ExecutionEngine(self.snapshot_program(), config or self.config)
+        symbols = self.storage.symbols
+        for name in self._catalog_names:
+            rows = self.storage.base_rows(name)
+            if not symbols.identity:
+                rows = set(symbols.resolve_rows(rows))
+            for row in engine.storage.symbols.intern_rows(rows):
+                engine.storage.insert_base(name, row)
         return engine.evaluate()
 
     def self_check(self) -> None:
-        """Assert the incremental state equals a from-scratch evaluation."""
+        """Assert the incremental state equals a from-scratch evaluation.
+
+        The catalog is refreshed once up front and then frozen for the
+        duration of the check: :meth:`recompute` replays that snapshot,
+        and the comparison fetches must read the same snapshot — a live
+        ring buffer may well have grown since the last user-visible read
+        (the traced query that produced it lands in the ring *after* the
+        catalog refresh that served it), which is drift, not divergence.
+        """
         self._ensure_evaluated()
+        self._refresh_catalog()
         reference = self.recompute()
-        for name, expected in reference.items():
-            actual = set(self.fetch(name))
-            if actual != set(expected):
-                missing = set(expected) - actual
-                extra = actual - set(expected)
-                raise AssertionError(
-                    f"incremental state diverged on {name!r}: "
-                    f"{len(missing)} missing, {len(extra)} extra"
-                )
+        self._catalog_frozen = True
+        try:
+            for name, expected in reference.items():
+                actual = set(self.fetch(name))
+                if actual != set(expected):
+                    missing = set(expected) - actual
+                    extra = actual - set(expected)
+                    raise AssertionError(
+                        f"incremental state diverged on {name!r}: "
+                        f"{len(missing)} missing, {len(extra)} extra"
+                    )
+        finally:
+            self._catalog_frozen = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         strategy = "incremental" if self.incremental_capable else "recompute"

@@ -265,6 +265,29 @@ def make_pool(kind: str, workers: Sequence["ShardWorker"]) -> WorkerPool:
     return SerialPool(workers)
 
 
+def shard_stat_rows(config: EngineConfig, pool=None, degradations: int = 0):
+    """The ``sys_shards`` catalog rows for one configuration.
+
+    One ``(shard, pool_kind, degradations)`` row per shard.  ``pool`` is a
+    live :class:`WorkerPool` when the session has built its shard state (its
+    ``kind`` is authoritative — it reflects any degradation that already
+    happened); otherwise the kind is what :func:`resolve_pool_kind` would
+    pick right now.  Non-sharded configurations have no shard topology:
+    empty.
+    """
+    from repro.engine.engine import sharding_active
+
+    if not sharding_active(config):
+        return []
+    sharding = config.sharding
+    kind = pool.kind if pool is not None else resolve_pool_kind(
+        sharding, sharding.shards
+    )
+    return [
+        (shard, kind, int(degradations)) for shard in range(sharding.shards)
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Shard workers
 # ---------------------------------------------------------------------------

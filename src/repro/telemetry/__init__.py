@@ -46,6 +46,7 @@ from repro.telemetry.sinks import (
     SlowQueryLog,
     SpanSink,
     format_slow_query,
+    query_summary_rows,
 )
 from repro.telemetry.spans import (
     NOOP_TRACER,
@@ -73,6 +74,7 @@ __all__ = [
     "Tracer",
     "current_span",
     "format_slow_query",
+    "query_summary_rows",
     "tracing",
 ]
 

@@ -130,10 +130,43 @@ class Histogram:
     def sum(self) -> float:
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by linear interpolation over the buckets.
+
+        The standard fixed-bucket estimator (what Prometheus'
+        ``histogram_quantile`` computes server-side): find the bucket the
+        target rank falls into and interpolate linearly between its bounds.
+        Observations beyond the last bound clamp to it (the ``+Inf`` bucket
+        has no width to interpolate over); an empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        count = self._count
+        if count == 0:
+            return 0.0
+        target = q * count
+        if target == 0:
+            return 0.0
+        previous_cumulative = 0
+        lower = 0.0
+        for bound, cumulative in zip(self.buckets, self._counts):
+            if cumulative >= target:
+                in_bucket = cumulative - previous_cumulative
+                if in_bucket <= 0:  # pragma: no cover - defensive
+                    return bound
+                fraction = (target - previous_cumulative) / in_bucket
+                return lower + (bound - lower) * min(1.0, max(0.0, fraction))
+            previous_cumulative = cumulative
+            lower = bound
+        return self.buckets[-1]
+
     def export(self) -> Dict[str, Any]:
         return {
             "count": self._count,
             "sum": self._sum,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {
                 repr(bound): count
                 for bound, count in zip(self.buckets, self._counts)
@@ -247,6 +280,36 @@ class MetricsRegistry:
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, default=str)
 
+    def rows(self) -> List[Tuple[str, str, str, float]]:
+        """One ``(name, labels, kind, value)`` tuple per exported series —
+        the ``sys_metrics`` system-catalog shape.
+
+        Counters and gauges export one row each; histograms expand into
+        ``histogram_count``, ``histogram_sum`` and the derived
+        ``histogram_p50``/``p95``/``p99`` quantile rows.  Labels render as
+        the stable ``k=v,...`` text of :meth:`snapshot` keys.
+        """
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        rows: List[Tuple[str, str, str, float]] = []
+        for (name, labels), instrument in instruments:
+            label_text = ",".join(f"{key}={value}" for key, value in labels)
+            if isinstance(instrument, Histogram):
+                rows.append((name, label_text, "histogram_count",
+                             float(instrument.count)))
+                rows.append((name, label_text, "histogram_sum",
+                             float(instrument.sum)))
+                for quantile_name, q in (("p50", 0.5), ("p95", 0.95),
+                                         ("p99", 0.99)):
+                    rows.append((
+                        name, label_text, f"histogram_{quantile_name}",
+                        float(instrument.quantile(q)),
+                    ))
+            else:
+                rows.append((name, label_text, instrument.kind,
+                             float(instrument.value)))
+        return rows
+
     def to_prometheus(self, prefix: str = "repro_") -> str:
         """Prometheus text exposition format (one ``# TYPE`` line per family)."""
         with self._lock:
@@ -275,6 +338,14 @@ class MetricsRegistry:
                     f'{family}_bucket{{{cumulative_labels}le="+Inf"}}'
                     f" {instrument.count}"
                 )
+                # Derived quantiles, summary-style: pre-interpolated here so
+                # scrapes need no server-side histogram_quantile() step.
+                for q_label, q in (("0.5", 0.5), ("0.95", 0.95),
+                                   ("0.99", 0.99)):
+                    lines.append(
+                        f'{family}{{{cumulative_labels}quantile="{q_label}"}}'
+                        f" {instrument.quantile(q)}"
+                    )
                 suffix = "{" + label_text + "}" if label_text else ""
                 lines.append(f"{family}_sum{suffix} {instrument.sum}")
                 lines.append(f"{family}_count{suffix} {instrument.count}")

@@ -20,9 +20,38 @@ from __future__ import annotations
 import sys
 import threading
 from collections import deque
-from typing import List, Optional, Sequence, TextIO
+from typing import Any, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.telemetry.spans import Trace
+
+
+def query_summary_rows(
+    traces: Iterable[Trace], root_name: str = "query"
+) -> List[Tuple[Any, ...]]:
+    """One ``(trace_id, fingerprint, relation, latency_us, rows, cache)``
+    tuple per ``root_name``-rooted trace — the ``sys_queries``
+    system-catalog shape.
+
+    Latency is the root span's duration in integer microseconds; a missing
+    ``rows`` attribute becomes ``-1`` (keeping the column integer-typed),
+    and a missing cache status is ``"none"`` — the same conventions as
+    :func:`format_slow_query`.
+    """
+    rows: List[Tuple[Any, ...]] = []
+    for trace in traces:
+        root = trace.root
+        if root is None or root.name != root_name:
+            continue
+        attributes = root.attributes
+        rows.append((
+            trace.trace_id,
+            str(attributes.get("program", "?")),
+            str(attributes.get("relation", "*")),
+            root.duration_ns // 1000,
+            int(attributes.get("rows", -1)),
+            str(attributes.get("cache", "none")),
+        ))
+    return rows
 
 
 class SpanSink:
@@ -55,6 +84,10 @@ class RingBufferSink(SpanSink):
         with self._lock:
             return self._traces[-1] if self._traces else None
 
+    def query_rows(self, root_name: str = "query") -> List[Tuple[Any, ...]]:
+        """Retained query traces as ``sys_queries``-shaped summary rows."""
+        return query_summary_rows(self.traces(), root_name=root_name)
+
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()
@@ -84,10 +117,28 @@ def format_slow_query(trace: Trace) -> str:
     Fields: trace id, program fingerprint, queried relation, latency,
     result rows, result-cache status, span count — everything needed to
     find the query again without parsing the full trace.
+
+    Mutation-rooted traces get the mutation shape instead: the update
+    strategy and the DRed phase counts (propagated, rederived,
+    over-deleted) replace the query-only relation/rows/cache fields.
     """
     root = trace.root
     attributes = root.attributes if root is not None else {}
     latency_ms = trace.duration_seconds * 1000.0
+    if root is not None and root.name == "mutation":
+        return (
+            "slow-mutation"
+            f" trace={trace.trace_id}"
+            f" program={attributes.get('program', '?')}"
+            f" strategy={attributes.get('strategy', '?')}"
+            f" inserted={attributes.get('inserted', '?')}"
+            f" retracted={attributes.get('retracted', '?')}"
+            f" propagated={attributes.get('propagated', '?')}"
+            f" rederived={attributes.get('rederived', '?')}"
+            f" over_deleted={attributes.get('over_deleted', '?')}"
+            f" latency_ms={latency_ms:.3f}"
+            f" spans={len(trace)}"
+        )
     return (
         "slow-query"
         f" trace={trace.trace_id}"

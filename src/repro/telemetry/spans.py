@@ -405,6 +405,33 @@ class Trace:
     def to_dicts(self) -> List[Dict[str, Any]]:
         return [span.to_dict() for span in self.spans]
 
+    def span_rows(self) -> List[Tuple[Any, ...]]:
+        """One ``(span_id, parent_id, trace_id, name, start_ns, duration_ns)``
+        tuple per span — the ``sys_spans`` system-catalog shape.  Roots get
+        parent ``-1`` (span ids start at 1, so the sentinel is unambiguous
+        and keeps the column integer-typed for Datalog comparisons)."""
+        return [
+            (
+                span.span_id,
+                -1 if span.parent_id is None else span.parent_id,
+                span.trace_id,
+                span.name,
+                span.start_ns,
+                span.duration_ns,
+            )
+            for span in self.spans
+        ]
+
+    def attr_rows(self) -> List[Tuple[Any, ...]]:
+        """One ``(span_id, key, value)`` tuple per span attribute — the
+        ``sys_span_attrs`` system-catalog shape.  Values are stringified so
+        the column holds one comparable type."""
+        rows: List[Tuple[Any, ...]] = []
+        for span in self.spans:
+            for key in sorted(span.attributes):
+                rows.append((span.span_id, key, str(span.attributes[key])))
+        return rows
+
     def to_json(self) -> str:
         return json.dumps(
             {"trace_id": self.trace_id, "spans": self.to_dicts()},

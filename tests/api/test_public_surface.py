@@ -62,7 +62,7 @@ EXPECTED_SIGNATURES = {
     "Connection.insert_facts": "(self, relation: str, rows) -> UpdateReport",
     "Connection.retract_facts": "(self, relation: str, rows) -> UpdateReport",
     "Connection.apply": "(self, inserts=None, retracts=None) -> UpdateReport",
-    "Connection.explain": "(self, relation: Optional[str] = None) -> str",
+    "Connection.explain": "(self, relation: Optional[str] = None, analyze: bool = False) -> str",
     "Connection.close": "(self) -> None",
     # QueryResult --------------------------------------------------------------
     "QueryResult.rows": "(self, offset: int = 0, limit: Optional[int] = None) -> Iterator[Row]",

@@ -123,3 +123,73 @@ class TestExporters:
         assert "repro_query_seconds_count 1" in lines
         # One TYPE line per family, even with several labelled children.
         assert text.count("# TYPE repro_result_cache_total") == 1
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_interpolate_within_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10.0, 20.0, 30.0))
+        for value in range(1, 21):   # uniform 1..20
+            histogram.observe(float(value))
+        # p50: target rank 10 of 20 lands exactly at the 10.0 bound.
+        assert histogram.quantile(0.5) == pytest.approx(10.0)
+        # p95: rank 19 sits in the (10, 20] bucket, 9/10 of the way through.
+        assert histogram.quantile(0.95) == pytest.approx(19.0)
+        assert histogram.quantile(1.0) == pytest.approx(20.0)
+
+    def test_quantile_beyond_last_bound_clamps(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == pytest.approx(1.0)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h", buckets=(1.0,)).quantile(0.95) == 0.0
+
+    def test_quantile_validates_range(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_export_includes_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        export = histogram.export()
+        assert set(export) >= {"count", "sum", "p50", "p95", "p99"}
+
+    def test_prometheus_emits_summary_quantile_lines(self):
+        registry = MetricsRegistry()
+        registry.histogram("query_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        lines = registry.to_prometheus().splitlines()
+        assert any(
+            line.startswith('repro_query_seconds{quantile="0.5"}')
+            for line in lines
+        )
+        assert any('quantile="0.95"' in line for line in lines)
+        assert any('quantile="0.99"' in line for line in lines)
+
+
+class TestRegistryRows:
+    def test_rows_cover_every_series_with_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        registry.gauge("symbol_table_size").set(7)
+        registry.histogram("query_seconds", buckets=(1.0,)).observe(0.5)
+        rows = registry.rows()
+        as_map = {(name, labels, kind): value
+                  for name, labels, kind, value in rows}
+        assert as_map[("queries_total", "", "counter")] == 3.0
+        assert as_map[("symbol_table_size", "", "gauge")] == 7.0
+        assert as_map[("query_seconds", "", "histogram_count")] == 1.0
+        assert ("query_seconds", "", "histogram_p95") in as_map
+
+    def test_rows_render_labels_like_snapshot_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("c", b="2", a="1").inc()
+        ((name, labels, kind, value),) = registry.rows()
+        assert (name, labels, kind, value) == ("c", "a=1,b=2", "counter", 1.0)

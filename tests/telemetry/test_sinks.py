@@ -118,3 +118,67 @@ class TestSlowQueryLog:
             pass
         assert log.emitted == 1
         assert " relation=path " in stream.getvalue()
+
+
+class TestSlowMutationFormat:
+    def test_mutation_root_gets_the_mutation_shape(self):
+        trace = finished_trace(
+            [], name="mutation", program="fp12", strategy="incremental",
+            inserted=5, retracted=2, propagated=9, rederived=1,
+            over_deleted=3,
+        )
+        line = format_slow_query(trace)
+        assert line.startswith("slow-mutation ")
+        assert "strategy=incremental" in line
+        assert "inserted=5" in line
+        assert "retracted=2" in line
+        assert "propagated=9" in line
+        assert "rederived=1" in line
+        assert "over_deleted=3" in line
+        assert "latency_ms=5.000" in line
+
+    def test_session_mutations_log_strategy_and_dred_counts(self):
+        from repro import Database, EngineConfig
+        from repro.telemetry import TelemetryConfig
+
+        stream = io.StringIO()
+        log = SlowQueryLog(0.0, stream=stream, root_names=("mutation",))
+        config = EngineConfig().with_(
+            telemetry=TelemetryConfig(sinks=(log,))
+        )
+        source = "path(x, y) :- edge(x, y).\nedge(1, 2)."
+        with Database(source, config) as db, db.connect() as conn:
+            conn.insert_facts("edge", [(2, 3)])
+            conn.retract_facts("edge", [(1, 2)])
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("slow-mutation ") for line in lines)
+        assert "strategy=incremental" in lines[0]
+        assert "inserted=1" in lines[0]
+        assert "retracted=1" in lines[1]
+        assert "over_deleted=" in lines[1]
+        assert "rederived=" in lines[1]
+
+
+class TestQuerySummaryRows:
+    def test_one_row_per_query_trace_with_catalog_columns(self):
+        ring = RingBufferSink(capacity=8)
+        trace = finished_trace(
+            [ring], name="query", duration_ns=2_000_000,
+            program="abcdef123456", relation="path", rows=7, cache="miss",
+        )
+        finished_trace([ring], name="mutation", program="abcdef123456")
+        rows = ring.query_rows()
+        assert rows == [(
+            trace.trace_id, "abcdef123456", "path", 2_000, 7, "miss",
+        )]
+
+    def test_missing_attributes_get_typed_placeholders(self):
+        ring = RingBufferSink(capacity=8)
+        trace = finished_trace([ring], name="query")
+        ((trace_id, program, relation, latency, rows, cache),) = (
+            ring.query_rows()
+        )
+        assert (program, relation, rows, cache) == ("?", "*", -1, "none")
+        assert trace_id == trace.trace_id
+        assert latency == 5_000

@@ -196,3 +196,41 @@ class TestSpanBufferAndMerge:
             tracer.merge_buffer(buffer.drain(), parent=root)
         (iteration,) = ring.latest().find("iteration")
         assert iteration.status == "error:RuntimeError"
+
+
+class TestTabularViews:
+    def build_trace(self):
+        ring = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=(ring,))
+        with tracer.span("query", root=True, relation="path") as root:
+            with tracer.span("stratum", index=0):
+                pass
+        return ring.latest()
+
+    def test_span_rows_one_per_span_with_minus_one_root_parent(self):
+        trace = self.build_trace()
+        rows = trace.span_rows()
+        assert len(rows) == len(trace.spans)
+        by_id = {row[0]: row for row in rows}
+        root = trace.root
+        assert by_id[root.span_id][1] == -1
+        child = next(s for s in trace.spans if s.parent_id is not None)
+        assert by_id[child.span_id][1] == root.span_id
+        for span in trace.spans:
+            row = by_id[span.span_id]
+            assert row[2:] == (
+                trace.trace_id, span.name, span.start_ns, span.duration_ns,
+            )
+
+    def test_attr_rows_stringify_values_and_sort_keys(self):
+        trace = self.build_trace()
+        rows = trace.attr_rows()
+        assert (trace.root.span_id, "relation", "path") in rows
+        child = next(s for s in trace.spans if s.parent_id is not None)
+        assert (child.span_id, "index", "0") in rows
+        per_span = {}
+        for span_id, key, value in rows:
+            per_span.setdefault(span_id, []).append(key)
+            assert isinstance(value, str)
+        for keys in per_span.values():
+            assert keys == sorted(keys)
