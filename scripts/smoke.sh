@@ -18,20 +18,48 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
-echo "== subsystem smoke benches (perf trajectory -> BENCH_7.json) =="
+echo "== subsystem smoke benches (perf trajectory -> BENCH_8.json) =="
 # One machine-readable dump per CI run: 2-shard parallel, vectorized
-# executor, dictionary-encoded storage and telemetry overhead at --quick
-# scale.  smoke.yml uploads BENCH_7.json as an artifact, and the committed
-# baseline gates it below.
-python -m repro.bench --quick --only parallel,vectorized,interning,telemetry --json BENCH_7.json
+# executor, dictionary-encoded storage, telemetry overhead and concurrent
+# serving latency at --quick scale.  smoke.yml uploads BENCH_8.json as an
+# artifact, and the committed baseline gates it below.
+python -m repro.bench --quick --only parallel,vectorized,interning,telemetry,serving --json BENCH_8.json
 
 echo
-echo "== perf-regression gate (BENCH_7.json vs benchmarks/baseline.json) =="
+echo "== perf-regression gate (BENCH_8.json vs benchmarks/baseline.json) =="
 # First prove the gate itself still bites (a doctored 2x slowdown must
 # fail), then diff the fresh run against the committed baseline: any
 # section or row more than 25% slower (and past the noise floor) fails CI.
 python scripts/bench_compare.py --self-test benchmarks/baseline.json > /dev/null
-python scripts/bench_compare.py benchmarks/baseline.json BENCH_7.json
+python scripts/bench_compare.py benchmarks/baseline.json BENCH_8.json
+
+echo
+echo "== concurrent query server (boot, mixed load, clean shutdown) =="
+# Boot the asyncio server on a background thread, drive it with the
+# serving load generator (4 clients, 90/10 read/write mix), then check
+# the self-reported counters over the wire before shutting down.
+python - <<'PY'
+from repro.analyses.micro import build_transitive_closure_program
+from repro.api.database import Database
+from repro.bench.serving import run_mixed_load
+from repro.server import BlockingClient, ServerThread
+
+database = Database(
+    build_transitive_closure_program([(i, i + 1) for i in range(50)])
+)
+with ServerThread(database) as server:
+    outcome = run_mixed_load(server.host, server.port, clients=4,
+                             requests_per_client=25, write_ratio=0.1)
+    assert outcome["errors"] == 0, outcome
+    with BlockingClient(server.host, server.port) as client:
+        stats = client.server_stats()
+        assert stats["mutations_applied"] > 0
+        assert stats["snapshot_version"] == stats["mutations_applied"]
+        assert len(client.query("sys_server")) == 1
+    print(f"served {len(outcome['latencies'])} requests over 4 connections; "
+          f"{stats['mutations_applied']} mutation batches committed")
+database.close()
+PY
 
 echo
 echo "== sample trace (JSON-lines artifact -> TRACE_SAMPLE.jsonl) =="

@@ -138,6 +138,17 @@ class Connection:
         return self._session
 
     @property
+    def catalog(self) -> Optional[SystemCatalog]:
+        """This connection's system catalog (None when opened without one).
+
+        The binding point for extra ``sys_`` row providers — the query
+        server binds ``sys_connections``/``sys_server`` here so its own
+        state is queryable through the same Datalog surface as everything
+        else.
+        """
+        return self._catalog
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -250,6 +261,39 @@ class Connection:
             explain=lambda: self._render_explain(
                 relation=relation, row_count=len(rows)
             ),
+        )
+
+    def query_snapshot(self, relation: str) -> QueryResult:
+        """Rows of ``relation`` at the last *committed* MVCC version.
+
+        Requires snapshots on the session (``session.enable_snapshots()``;
+        the query server does this).  Unlike :meth:`query`, this never
+        touches live session state: the rows come from the pinned
+        :class:`~repro.incremental.snapshots.StorageSnapshot`, so it is safe
+        to call from reader threads while a writer repairs the fixpoint —
+        the returned result carries ``snapshot_version`` and holds a pin on
+        that version until it is released or garbage-collected.
+        """
+        self._check_open()
+        session = self._session
+        manager = session.snapshots
+        if manager is None:
+            raise RuntimeError(
+                "snapshots are not enabled on this connection's session; "
+                "call conn.session.enable_snapshots() first"
+            )
+        schema = self.schema(relation)  # raises KeyError before pinning
+        snapshot = manager.acquire()
+        try:
+            rows = snapshot.rows_of(relation)
+        except KeyError:
+            manager.release(snapshot.version)
+            raise
+        session.metrics.counter("snapshot_queries_total").inc()
+        return QueryResult(
+            schema, rows, symbols=snapshot.symbols,
+            version=snapshot.version,
+            on_release=manager.releaser(snapshot.version),
         )
 
     def refresh(self) -> None:

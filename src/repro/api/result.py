@@ -30,6 +30,7 @@ relation name to :class:`QueryResult` — and compares equal to the plain
 from __future__ import annotations
 
 import itertools
+import weakref
 from collections.abc import Mapping as MappingABC
 from collections.abc import Set as SetABC
 from dataclasses import dataclass
@@ -107,11 +108,14 @@ class QueryResult(SetABC):
     """
 
     __slots__ = ("_schema", "_frozen", "_thunk", "_sorted", "_decoded",
-                 "_explain_fn", "_symbols", "_trace_fn")
+                 "_explain_fn", "_symbols", "_trace_fn", "_version",
+                 "_finalizer", "__weakref__")
 
     def __init__(self, schema: ResultSchema, rows: RowSource,
                  explain: Optional[ExplainFn] = None, symbols=None,
-                 trace: Optional[Callable[[], Any]] = None) -> None:
+                 trace: Optional[Callable[[], Any]] = None,
+                 version: Optional[int] = None,
+                 on_release: Optional[Callable[[], None]] = None) -> None:
         """``symbols`` marks ``rows`` as dictionary-encoded.
 
         When a (non-identity) symbol table is attached, the result holds
@@ -121,6 +125,12 @@ class QueryResult(SetABC):
         they are read, full views decode once and are memoised (repeat
         iteration/export reuses the decoded rows), and membership probes
         encode the probe instead of decoding the set.
+
+        ``version``/``on_release`` tie the result to an MVCC snapshot
+        (:mod:`repro.incremental.snapshots`): the result pins the committed
+        version it was computed against, and ``on_release`` — registered as
+        a weakref finalizer — unpins it when the result is released or
+        garbage-collected, whichever comes first.
         """
         self._schema = schema
         self._frozen: Optional[FrozenSet[Row]] = None
@@ -140,6 +150,10 @@ class QueryResult(SetABC):
         self._decoded: Optional[Tuple[Row, ...]] = None
         self._explain_fn = explain
         self._trace_fn = trace
+        self._version = version
+        self._finalizer = (
+            weakref.finalize(self, on_release) if on_release is not None else None
+        )
 
     # -- schema ----------------------------------------------------------------
 
@@ -292,6 +306,27 @@ class QueryResult(SetABC):
         """Row-wise export: one ``{column: value}`` dict per row, in order."""
         columns = self._schema.columns
         return [dict(zip(columns, row)) for row in self._decoded_ordered()]
+
+    # -- snapshot pinning --------------------------------------------------------
+
+    @property
+    def snapshot_version(self) -> Optional[int]:
+        """The committed MVCC version this result was computed against.
+
+        ``None`` for results produced outside a snapshot-serving context
+        (embedded sessions, one-shot evaluations).
+        """
+        return self._version
+
+    def release(self) -> None:
+        """Drop this result's snapshot pin (idempotent; GC does it too).
+
+        The rows stay readable — they are immutable and already held by
+        this object — but the engine may now garbage-collect the pinned
+        storage version if no other reader holds it.
+        """
+        if self._finalizer is not None:
+            self._finalizer()
 
     # -- provenance ------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.bench.formatting import format_rows
 from repro.bench.incremental import INCREMENTAL_COLUMNS, run_incremental
 from repro.bench.interning import INTERNING_COLUMNS, run_interning
 from repro.bench.parallel import PARALLEL_COLUMNS, run_parallel
+from repro.bench.serving import SERVING_COLUMNS, run_serving
 from repro.bench.table1 import TABLE1_COLUMNS, run_table1
 from repro.bench.table2 import TABLE2_COLUMNS, run_table2
 from repro.bench.telemetry import TELEMETRY_COLUMNS, run_telemetry
@@ -124,6 +125,12 @@ SECTIONS: Tuple[BenchSection, ...] = (
         "Telemetry — traced vs no-op vs bare evaluation overhead",
         TELEMETRY_COLUMNS,
         lambda args: run_telemetry(repeat=args.repeat, quick=args.quick),
+    ),
+    BenchSection(
+        "serving",
+        "Concurrent serving — mixed read/write latency under N clients",
+        SERVING_COLUMNS,
+        lambda args: run_serving(repeat=args.repeat, quick=args.quick),
     ),
 )
 

@@ -18,6 +18,7 @@ token and the lookup rejects the entry.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
@@ -60,9 +61,16 @@ class ResultCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: Dict[CacheKey, _Entry] = {}
+        # One Database-level cache is shared across every connection, so the
+        # server probes it from reader threads while the writer stores into
+        # it; lookup's stale-entry delete and store's FIFO eviction both
+        # mutate the dict, so every access goes through this lock (entries
+        # point at immutable frozensets — only bookkeeping is guarded).
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(
         self,
@@ -74,20 +82,21 @@ class ResultCache:
         A stale entry (any dependency's generation moved) is dropped and
         counted as an invalidation plus a miss.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if any(
-            current_generations.get(name) != generation
-            for name, generation in entry.generations.items()
-        ):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return entry.rows
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if any(
+                current_generations.get(name) != generation
+                for name, generation in entry.generations.items()
+            ):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return entry.rows
 
     def store(
         self,
@@ -95,10 +104,11 @@ class ResultCache:
         generations: Mapping[str, object],
         rows: FrozenSet[Row],
     ) -> None:
-        if key not in self._entries and len(self._entries) >= self.max_entries:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[key] = _Entry(dict(generations), rows)
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = _Entry(dict(generations), rows)
 
     def invalidate_relation(self, relation: str) -> int:
         """Explicitly drop every entry whose *queried* relation is ``relation``.
@@ -107,14 +117,16 @@ class ResultCache:
         this hook exists for callers that mutate storage behind the session's
         back and want to be explicit about it.  Returns the number dropped.
         """
-        stale = [key for key in self._entries if key[2] == relation]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[2] == relation]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

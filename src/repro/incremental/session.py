@@ -31,6 +31,7 @@ their frozen plans.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -269,6 +270,12 @@ class IncrementalSession:
         # per-shard replicas and their worker pool are built lazily on the
         # first batch that needs them and then kept in sync across batches.
         self._shard_state = None
+        # MVCC snapshot publication (opt-in; see enable_snapshots).  The
+        # write lock serializes apply() so concurrent callers — the server
+        # funnels all mutations through one worker thread, but embedded
+        # callers may not — never interleave two fixpoint repairs.
+        self._write_lock = threading.Lock()
+        self.snapshots = None  # Optional[SnapshotManager]
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -341,6 +348,32 @@ class IncrementalSession:
         """Force the initial fixpoint computation (otherwise lazy)."""
         self._ensure_evaluated()
 
+    # -- MVCC snapshots (opt-in; the serving layer's read path) -------------------
+
+    def enable_snapshots(self):
+        """Turn on MVCC snapshot publication and publish the initial version.
+
+        Idempotent.  After this, every :meth:`apply` publishes one
+        :class:`~repro.incremental.snapshots.StorageSnapshot` at its commit
+        point, so readers (the query server's connections) serve from the
+        last committed version without ever blocking behind a writer's
+        fixpoint.  Opt-in because publishing costs one frozen-rows probe per
+        relation per batch — embedded single-threaded use shouldn't pay it.
+        """
+        if self.snapshots is None:
+            from repro.incremental.snapshots import SnapshotManager
+
+            self.snapshots = SnapshotManager(self.storage, metrics=self.metrics)
+            self.publish_snapshot()
+        return self.snapshots
+
+    def publish_snapshot(self):
+        """Publish the current fixpoint as the next committed version."""
+        if self.snapshots is None:
+            raise RuntimeError("snapshots not enabled; call enable_snapshots()")
+        self._ensure_evaluated()
+        return self.snapshots.publish()
+
     # -- mutation ---------------------------------------------------------------
 
     def insert_facts(self, relation: str, rows: RowBatch) -> UpdateReport:
@@ -360,10 +393,12 @@ class IncrementalSession:
 
         A row both retracted and inserted in the same batch ends up present.
         Returns an :class:`UpdateReport`; the session is at fixpoint again
-        when this method returns.
+        when this method returns.  Batches are serialized by the session's
+        write lock; with snapshots enabled the repaired fixpoint is
+        published as the next committed version before the lock drops.
         """
         started = time.perf_counter()
-        with self.tracer.span(
+        with self._write_lock, self.tracer.span(
             "mutation", root=True, program=self.program_fingerprint[:12]
         ) as span:
             self._ensure_evaluated()
@@ -374,6 +409,8 @@ class IncrementalSession:
                 report = self._apply_incremental(insert_rows, retract_rows)
             else:
                 report = self._apply_recompute(insert_rows, retract_rows)
+            if self.snapshots is not None:
+                self.snapshots.publish()
             report.seconds = time.perf_counter() - started
             span.set(
                 strategy=report.strategy, inserted=report.inserted,

@@ -47,6 +47,15 @@ CATALOG_COLUMNS: Dict[str, Tuple[str, ...]] = {
     "sys_metrics": ("name", "labels", "kind", "value"),
     "sys_shards": ("shard", "pool", "degradations"),
     "sys_symbols": ("count", "bytes_estimate"),
+    "sys_connections": (
+        "conn", "peer", "state", "mode", "queries", "mutations",
+        "bytes_in", "bytes_out",
+    ),
+    "sys_server": (
+        "uptime_seconds", "connections", "queue_depth", "queue_capacity",
+        "policy", "mutations_applied", "shed_total", "rejected_total",
+        "snapshot_version", "snapshots_live",
+    ),
 }
 
 #: Relation names starting with this prefix belong to the engine: rules may
@@ -101,6 +110,8 @@ class SystemCatalog:
         self.ring = ring
         self._storage_provider: Optional[Callable[[], object]] = None
         self._shard_provider: Optional[Callable[[], List[Row]]] = None
+        self._connection_provider: Optional[Callable[[], List[Row]]] = None
+        self._server_provider: Optional[Callable[[], List[Row]]] = None
         #: Last materialized content digest per relation (per catalog —
         #: catalogs are per-connection, so this is per-storage too).
         self._digests: Dict[str, str] = {}
@@ -116,6 +127,15 @@ class SystemCatalog:
     def bind_shards(self, provider: Callable[[], List[Row]]) -> None:
         """Install the provider of ``sys_shards`` rows."""
         self._shard_provider = provider
+
+    def bind_connections(self, provider: Callable[[], List[Row]]) -> None:
+        """Install the provider of ``sys_connections`` rows (the query
+        server's session registry; empty when not serving)."""
+        self._connection_provider = provider
+
+    def bind_server(self, provider: Callable[[], List[Row]]) -> None:
+        """Install the provider of the single ``sys_server`` row."""
+        self._server_provider = provider
 
     # -- row sources -------------------------------------------------------------
 
@@ -148,6 +168,14 @@ class SystemCatalog:
         if name == "sys_shards":
             return [] if self._shard_provider is None else list(
                 self._shard_provider()
+            )
+        if name == "sys_connections":
+            return [] if self._connection_provider is None else list(
+                self._connection_provider()
+            )
+        if name == "sys_server":
+            return [] if self._server_provider is None else list(
+                self._server_provider()
             )
         return self._symbol_rows(storage)  # sys_symbols
 

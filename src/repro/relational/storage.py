@@ -17,7 +17,8 @@ continues.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import threading
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.program import DatalogProgram
 from repro.relational.relation import Relation, Row
@@ -64,8 +65,32 @@ class StorageManager:
         # (Derived + Delta-Known): lets take_snapshot reuse unchanged maps
         # instead of re-copying every cardinality dict each round.
         self._mutation_version = 0
+        # Counter bumps happen on writer threads while concurrent readers
+        # probe generations for cache-validity tokens and snapshot pinning;
+        # `x += 1` on an attribute is not atomic in CPython (LOAD/ADD/STORE
+        # can interleave), so every bump and every multi-relation read goes
+        # through this lock.  Bumps are per *batch* (or per iteration), not
+        # per row, so contention is negligible next to evaluation work.
+        self._counter_lock = threading.Lock()
+        # Copy-on-write frozen-row cache behind MVCC snapshots: per relation
+        # the (generation, frozenset) of the last freeze, reused while the
+        # generation stands still — so publishing a snapshot after a batch
+        # pays only for the relations the batch actually changed.
+        self._frozen_cache: Dict[str, Tuple[int, FrozenSet[Row]]] = {}
         if program is not None:
             self.load_program(program)
+
+    # -- counter bumps (thread-safe; see _counter_lock above) --------------------
+
+    def _bump_version(self) -> None:
+        with self._counter_lock:
+            self._mutation_version += 1
+
+    def _bump_generation(self, name: str, with_version: bool = True) -> None:
+        with self._counter_lock:
+            self._generations[name] += 1
+            if with_version:
+                self._mutation_version += 1
 
     # -- setup -----------------------------------------------------------------
 
@@ -109,8 +134,7 @@ class StorageManager:
         for name, rows in by_relation.items():
             inserted = self._derived[name].absorb_set(rows)
             if inserted:
-                self._generations[name] += 1
-                self._mutation_version += 1
+                self._bump_generation(name)
             self._base_rows[name] |= rows
 
     def register_index(self, relation: str, column: int) -> None:
@@ -197,7 +221,8 @@ class StorageManager:
 
     def mutation_version(self) -> int:
         """Coarse counter over Derived/Delta-Known changes (snapshot reuse)."""
-        return self._mutation_version
+        with self._counter_lock:
+            return self._mutation_version
 
     # -- mutation --------------------------------------------------------------
 
@@ -206,8 +231,7 @@ class StorageManager:
         self._require(name)
         inserted = self._derived[name].insert(row)
         if inserted:
-            self._generations[name] += 1
-            self._mutation_version += 1
+            self._bump_generation(name)
         return inserted
 
     def insert_base(self, name: str, row: Sequence[Any]) -> bool:
@@ -238,7 +262,10 @@ class StorageManager:
                 f"cannot adopt {relation!r} as {name!r}: arity mismatch"
             )
         self._derived[name] = relation
-        self._mutation_version += 1
+        # The adopted relation's contents may differ from the replaced copy
+        # without a generation bump; drop any frozen view of the old copy.
+        self._frozen_cache.pop(name, None)
+        self._bump_version()
 
     def base_rows(self, name: str) -> Set[Row]:
         """The explicitly asserted rows of ``name`` (a copy)."""
@@ -273,8 +300,8 @@ class StorageManager:
             self._delta_known[name].discard(row_tuple)
             self._delta_new[name].discard(row_tuple)
         if removed:
-            self._generations[name] += 1
-        self._mutation_version += 1
+            self._bump_generation(name, with_version=False)
+        self._bump_version()
         return removed
 
     # -- generation counters (result-cache invalidation) -------------------------
@@ -282,13 +309,40 @@ class StorageManager:
     def generation(self, name: str) -> int:
         """Monotonic counter, bumped whenever Derived ``name`` changes."""
         self._require(name)
-        return self._generations[name]
+        with self._counter_lock:
+            return self._generations[name]
 
     def generations(self, names: Optional[Iterable[str]] = None) -> Dict[str, int]:
-        """Generation snapshot of ``names`` (default: every relation)."""
-        if names is None:
-            return dict(self._generations)
-        return {name: self.generation(name) for name in names}
+        """Generation snapshot of ``names`` (default: every relation).
+
+        Taken under the counter lock so a concurrent writer's bumps never
+        produce a torn multi-relation view.
+        """
+        if names is not None:
+            names = [name for name in names if self._require(name) is None]
+        with self._counter_lock:
+            if names is None:
+                return dict(self._generations)
+            return {name: self._generations[name] for name in names}
+
+    def frozen_rows(self, name: str) -> FrozenSet[Row]:
+        """The Derived rows of ``name`` as a frozenset, memoised per generation.
+
+        The copy-on-write primitive behind MVCC snapshots
+        (:mod:`repro.incremental.snapshots`): while the relation's
+        generation counter stands still the same frozenset object is
+        returned, so consecutive snapshot publishes share row sets for
+        every relation the intervening batches did not touch.  Must be
+        called at a commit point by the thread that owns the storage.
+        """
+        self._require(name)
+        generation = self.generation(name)
+        cached = self._frozen_cache.get(name)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        rows = frozenset(self._derived[name].rows())
+        self._frozen_cache[name] = (generation, rows)
+        return rows
 
     def insert_new_batch(self, name: str, rows: "Set[Row] | frozenset") -> int:
         """Trusted :meth:`insert_new_many`: skip re-tupling and arity scans.
@@ -312,8 +366,7 @@ class StorageManager:
             return 0
         self._derived[name].absorb_set(new)
         self._delta_known[name].absorb_set(new)
-        self._generations[name] += 1
-        self._mutation_version += 1
+        self._bump_generation(name)
         return len(new)
 
     def absorb_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -330,8 +383,7 @@ class StorageManager:
             rows if isinstance(rows, (set, frozenset)) else (tuple(row) for row in rows)
         )
         if inserted:
-            self._generations[name] += 1
-            self._mutation_version += 1
+            self._bump_generation(name)
         return inserted
 
     def force_delta(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -343,7 +395,7 @@ class StorageManager:
         the number of rows new to Delta-Known.
         """
         self._require(name)
-        self._mutation_version += 1
+        self._bump_version()
         return self._delta_known[name].insert_many(rows)
 
     def _normalise_batch(self, name: str, rows: Iterable[Sequence[Any]]) -> Set[Row]:
@@ -406,8 +458,7 @@ class StorageManager:
             return 0
         self._derived[name].absorb_set(new)
         self._delta_known[name].absorb_set(new)
-        self._generations[name] += 1
-        self._mutation_version += 1
+        self._bump_generation(name)
         return len(new)
 
     # -- iteration management (SwapClearOp / DiffOp semantics) ------------------
@@ -423,13 +474,13 @@ class StorageManager:
         paper's IROp program (Fig. 4): executed once per DoWhile iteration.
         """
         promoted = 0
-        self._mutation_version += 1
+        self._bump_version()
         for name in names:
             self._require(name)
             new_relation = self._delta_new[name]
             absorbed = self._derived[name].absorb(new_relation)
             if absorbed:
-                self._generations[name] += 1
+                self._bump_generation(name, with_version=False)
             promoted += absorbed
             # Rotate: new becomes known; old known becomes the next new buffer.
             self._delta_known[name], self._delta_new[name] = (
@@ -440,7 +491,7 @@ class StorageManager:
         return promoted
 
     def clear_deltas(self, names: Iterable[str]) -> None:
-        self._mutation_version += 1
+        self._bump_version()
         for name in names:
             self._require(name)
             self._delta_known[name].clear()
@@ -448,11 +499,11 @@ class StorageManager:
 
     def reset_idb(self, names: Iterable[str]) -> None:
         """Forget all derived facts of ``names`` (used between benchmark runs)."""
-        self._mutation_version += 1
+        self._bump_version()
         for name in names:
             self._require(name)
             if len(self._derived[name]):
-                self._generations[name] += 1
+                self._bump_generation(name, with_version=False)
             self._derived[name].clear()
             self._delta_known[name].clear()
             self._delta_new[name].clear()

@@ -1,0 +1,81 @@
+"""Standalone server process: ``python -m repro.server --program rules.dl``.
+
+Reads a Datalog program from a file (or stdin with ``-``), boots a
+:class:`~repro.server.server.QueryServer` and serves until interrupted.
+Debug with ``nc``: the server auto-detects newline-delimited JSON, so
+
+::
+
+    $ echo '{"op": "query", "relation": "path"}' | nc localhost 7777
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.api.database import Database
+from repro.core.config import EngineConfig
+from repro.server.backpressure import POLICIES, BackpressureConfig
+from repro.server.server import QueryServer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve one Datalog program over TCP.",
+    )
+    parser.add_argument(
+        "--program", required=True,
+        help="path to a Datalog source file, or '-' for stdin",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7777)
+    parser.add_argument(
+        "--policy", choices=POLICIES, default="block",
+        help="backpressure policy for the mutation queue",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=64,
+        help="mutation queue bound",
+    )
+    parser.add_argument(
+        "--executor", default=None, choices=["pushdown", "vectorized"],
+        help="engine executor override",
+    )
+    args = parser.parse_args(argv)
+
+    if args.program == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            source = handle.read()
+
+    config = EngineConfig()
+    if args.executor:
+        config = config.with_(executor=args.executor)
+    database = Database(source, config)
+    server = QueryServer(
+        database, host=args.host, port=args.port,
+        backpressure=BackpressureConfig(
+            policy=args.policy, max_pending=args.max_pending
+        ),
+    )
+
+    print(
+        f"serving {args.program!r} on {args.host}:{args.port} "
+        f"(policy={args.policy}, max_pending={args.max_pending})",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        database.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Admission control for the single-writer mutation queue.
+
+Every mutation a client sends is enqueued for the server's one writer; the
+queue is bounded, and what happens when it is full is the backpressure
+policy:
+
+* ``block`` — the submitting client waits for space (optionally up to
+  ``block_timeout`` seconds, then a ``timeout`` error).  Natural flow
+  control: a flood of writers slows to the writer's pace.
+* ``reject`` — the submit fails immediately with a structured
+  ``backpressure`` error on the wire; the client decides whether to retry.
+* ``shed`` — the *oldest pending* mutation is evicted (its client gets a
+  ``shed`` error) and the new one is admitted.  Favors freshness: under
+  overload the server works on the most recent requests.
+
+All three surface as :class:`BackpressureError`, which the server maps to
+``{"ok": false, "error": {"code": ..., "policy": ..., ...}}`` responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, Tuple
+
+POLICIES = ("block", "reject", "shed")
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """How the mutation queue admits work when full."""
+
+    policy: str = "block"
+    max_pending: int = 64
+    #: Only meaningful under ``block``: None waits forever.
+    block_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {self.policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be positive")
+
+
+class BackpressureError(Exception):
+    """A mutation was refused (or evicted) by admission control."""
+
+    def __init__(self, code: str, message: str, policy: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.policy = policy
+
+    def to_wire(self) -> dict:
+        """The structured error object sent on the wire."""
+        return {"code": self.code, "message": str(self), "policy": self.policy}
+
+
+class MutationQueue:
+    """The bounded queue between client handlers and the writer loop.
+
+    Items are ``(payload, future)`` pairs: the handler awaits the future,
+    the writer loop resolves it with the mutation's report (or an error).
+    Single event loop only — all coordination is via one asyncio.Condition,
+    so no thread-safety is needed (the writer's *work* runs in a worker
+    thread, but enqueue/dequeue happen on the loop).
+    """
+
+    def __init__(self, config: Optional[BackpressureConfig] = None) -> None:
+        self.config = config if config is not None else BackpressureConfig()
+        self._items: Deque[Tuple[Any, "asyncio.Future"]] = deque()
+        self._not_empty = asyncio.Event()
+        self._space = asyncio.Condition()
+        #: Lifetime counters, surfaced through ``sys_server``.
+        self.submitted = 0
+        self.rejected = 0
+        self.shed = 0
+
+    def depth(self) -> int:
+        return len(self._items)
+
+    async def put(self, payload: Any) -> "asyncio.Future":
+        """Admit one mutation per the configured policy.
+
+        Returns the future the caller should await for the writer's report.
+        Raises :class:`BackpressureError` when the policy refuses admission
+        (``reject`` when full, ``block`` on timeout).
+        """
+        config = self.config
+        if len(self._items) >= config.max_pending:
+            if config.policy == "reject":
+                self.rejected += 1
+                raise BackpressureError(
+                    "backpressure",
+                    f"mutation queue full ({config.max_pending} pending)",
+                    config.policy,
+                )
+            if config.policy == "shed":
+                stale_payload, stale_future = self._items.popleft()
+                self.shed += 1
+                if not stale_future.done():
+                    stale_future.set_exception(BackpressureError(
+                        "shed",
+                        "mutation evicted by a newer request under overload",
+                        config.policy,
+                    ))
+            else:  # block
+                try:
+                    await asyncio.wait_for(
+                        self._wait_for_space(), config.block_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.rejected += 1
+                    raise BackpressureError(
+                        "timeout",
+                        f"queue stayed full for {config.block_timeout}s",
+                        config.policy,
+                    ) from None
+        future = asyncio.get_running_loop().create_future()
+        self._items.append((payload, future))
+        self.submitted += 1
+        self._not_empty.set()
+        return future
+
+    async def _wait_for_space(self) -> None:
+        async with self._space:
+            await self._space.wait_for(
+                lambda: len(self._items) < self.config.max_pending
+            )
+
+    async def get(self) -> Tuple[Any, "asyncio.Future"]:
+        """Dequeue the next mutation (the writer loop's sole caller)."""
+        while not self._items:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        item = self._items.popleft()
+        async with self._space:
+            self._space.notify(1)
+        return item
+
+    def drain(self) -> int:
+        """Fail every pending item (server shutdown); returns the count."""
+        drained = 0
+        while self._items:
+            _, future = self._items.popleft()
+            if not future.done():
+                future.set_exception(BackpressureError(
+                    "shutdown", "server is shutting down", self.config.policy,
+                ))
+            drained += 1
+        return drained

@@ -1,0 +1,214 @@
+"""Wire clients: a blocking socket client and an asyncio client.
+
+Both speak the framed protocol by default (``framed=False`` switches a
+:class:`BlockingClient` to line mode — the same bytes a human would type
+into ``nc``).  Rows travel as JSON arrays; the clients convert them back
+to tuples so results round-trip into set comparisons against local engine
+results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.server.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    encode_line,
+)
+
+
+class ServerError(Exception):
+    """A structured ``{"ok": false}`` response, raised client-side."""
+
+    def __init__(self, error: Dict[str, Any]) -> None:
+        super().__init__(error.get("message", "server error"))
+        self.code = error.get("code", "error")
+        self.error = error
+
+
+def rows_to_tuples(rows: Iterable[List[Any]]) -> List[Tuple[Any, ...]]:
+    return [tuple(row) for row in rows]
+
+
+def _check(response: dict) -> dict:
+    if not response.get("ok", False):
+        raise ServerError(response.get("error", {}))
+    return response
+
+
+class BlockingClient:
+    """A synchronous client over one TCP connection.
+
+    ::
+
+        with BlockingClient(host, port) as client:
+            client.insert("edge", [(1, 2)])
+            rows = client.query("path")
+    """
+
+    def __init__(self, host: str, port: int, framed: bool = True,
+                 timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._framed = framed
+        self._buffer = b""
+        self._next_id = 0
+
+    # -- transport ---------------------------------------------------------------
+
+    def request(self, message: dict) -> dict:
+        """One request/response round trip (raises :class:`ServerError`)."""
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        data = (
+            encode_frame(message) if self._framed else encode_line(message)
+        )
+        self._sock.sendall(data)
+        response = self._read_response()
+        if response.get("id") != self._next_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        return _check(response)
+
+    def _recv(self) -> bytes:
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            raise ProtocolError("server closed the connection")
+        return chunk
+
+    def _read_response(self) -> dict:
+        if self._framed:
+            while len(self._buffer) < 4:
+                self._buffer += self._recv()
+            length = int.from_bytes(self._buffer[:4], "big")
+            if length > MAX_FRAME:
+                raise ProtocolError(f"oversized response frame ({length})")
+            while len(self._buffer) < 4 + length:
+                self._buffer += self._recv()
+            payload = self._buffer[4:4 + length]
+            self._buffer = self._buffer[4 + length:]
+            return decode_payload(payload)
+        while b"\n" not in self._buffer:
+            self._buffer += self._recv()
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode_payload(line)
+
+    # -- ops ---------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("pong", False)
+
+    def query(self, relation: str, offset: int = 0,
+              limit: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        response = self.request({
+            "op": "query", "relation": relation,
+            "offset": offset, "limit": limit,
+        })
+        return rows_to_tuples(response["rows"])
+
+    def query_response(self, relation: str) -> dict:
+        """The raw query response (rows + count + snapshot_version)."""
+        return self.request({"op": "query", "relation": relation})
+
+    def insert(self, relation: str, rows: Iterable[Iterable[Any]]) -> dict:
+        return self.request({
+            "op": "insert", "relation": relation,
+            "rows": [list(row) for row in rows],
+        })
+
+    def retract(self, relation: str, rows: Iterable[Iterable[Any]]) -> dict:
+        return self.request({
+            "op": "retract", "relation": relation,
+            "rows": [list(row) for row in rows],
+        })
+
+    def apply(self, inserts: Optional[Dict[str, list]] = None,
+              retracts: Optional[Dict[str, list]] = None) -> dict:
+        return self.request({
+            "op": "apply", "inserts": inserts or {}, "retracts": retracts or {},
+        })
+
+    def explain(self, relation: Optional[str] = None) -> str:
+        return self.request({"op": "explain", "relation": relation})["explain"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request({"op": "metrics"})["metrics"]
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self.request({"op": "server_stats"})["stats"]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self.request({"op": "close"})
+        except (OSError, ProtocolError, ServerError):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "BlockingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncClient:
+    """An asyncio client (the load generator's building block)."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port
+        )
+        return client
+
+    async def request(self, message: dict) -> dict:
+        assert self._reader is not None and self._writer is not None
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        prefix = await self._reader.readexactly(4)
+        length = int.from_bytes(prefix, "big")
+        if length > MAX_FRAME:
+            raise ProtocolError(f"oversized response frame ({length})")
+        payload = await self._reader.readexactly(length)
+        return _check(decode_payload(payload))
+
+    async def query(self, relation: str) -> List[Tuple[Any, ...]]:
+        response = await self.request({"op": "query", "relation": relation})
+        return rows_to_tuples(response["rows"])
+
+    async def insert(self, relation: str, rows: Iterable[Iterable[Any]]) -> dict:
+        return await self.request({
+            "op": "insert", "relation": relation,
+            "rows": [list(row) for row in rows],
+        })
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            await self.request({"op": "close"})
+        except (OSError, ProtocolError, ServerError, asyncio.IncompleteReadError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,136 @@
+"""The wire protocol: length-prefixed JSON frames, with an ``nc`` line mode.
+
+Framed mode (the default, what the clients speak)
+-------------------------------------------------
+
+Each message is a 4-byte big-endian length prefix followed by exactly that
+many bytes of UTF-8 JSON.  :data:`MAX_FRAME` caps a frame below 2**24
+bytes, so the first prefix byte of a well-formed frame is always ``0x00``
+— which is how the server tells the two modes apart from the very first
+byte a connection sends (no printable text starts with a NUL).
+
+Line mode (debugging)
+---------------------
+
+One JSON document per ``\n``-terminated line, so a human can drive the
+server with ``nc localhost 7777`` and a text editor.  Responses come back
+as single lines too.  A connection's mode is fixed by its first byte.
+
+Values crossing the wire are JSON: ints, floats, strings, booleans, None
+pass through; anything else (rows may hold arbitrary Python values in
+identity-codec storage) is sent as its ``repr`` string.  Row tuples become
+JSON arrays and come back as lists — clients that need tuples convert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Iterable, List, Optional, Tuple
+
+#: Largest frame either side may send: just under 2**24 keeps the first
+#: length byte 0x00 (the framed/line mode discriminator) and bounds the
+#: buffering a hostile peer can force.
+MAX_FRAME = (1 << 24) - 1
+
+_PREFIX_LEN = 4
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized message; the server closes the connection."""
+
+
+def jsonify_value(value: Any) -> Any:
+    """``value`` as a JSON-representable value (repr fallback)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def jsonify_rows(rows: Iterable[Tuple[Any, ...]]) -> List[List[Any]]:
+    """Rows as JSON arrays, each column made JSON-safe."""
+    return [[jsonify_value(value) for value in row] for row in rows]
+
+
+def encode_payload(message: dict) -> bytes:
+    """The message as compact UTF-8 JSON (no prefix, no newline)."""
+    return json.dumps(
+        message, separators=(",", ":"), default=repr
+    ).encode("utf-8")
+
+
+def encode_frame(message: dict) -> bytes:
+    """The message as one length-prefixed frame."""
+    payload = encode_payload(message)
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return len(payload).to_bytes(_PREFIX_LEN, "big") + payload
+
+
+def encode_line(message: dict) -> bytes:
+    """The message as one newline-terminated JSON line."""
+    return encode_payload(message) + b"\n"
+
+
+def decode_frame(data: bytes) -> dict:
+    """Parse one frame's payload bytes (without the prefix)."""
+    return decode_payload(data)
+
+
+def decode_payload(data: bytes) -> dict:
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, first_byte: bytes = b""
+) -> Optional[Tuple[dict, int]]:
+    """Read one framed message; None on clean EOF at a frame boundary.
+
+    ``first_byte`` is the already-consumed mode-detection byte of the
+    length prefix (the connection's first frame only).  Returns the parsed
+    message and the total bytes consumed (prefix included).
+    """
+    try:
+        prefix = first_byte + await reader.readexactly(
+            _PREFIX_LEN - len(first_byte)
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial and not first_byte:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    length = int.from_bytes(prefix, "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_payload(payload), _PREFIX_LEN + length
+
+
+async def read_line(
+    reader: asyncio.StreamReader, first_byte: bytes = b""
+) -> Optional[Tuple[dict, int]]:
+    """Read one line-mode message; None on clean EOF."""
+    line = await reader.readline()
+    if not line and not first_byte:
+        return None
+    raw = first_byte + line
+    data = raw.strip()
+    if not data:
+        return {}, len(raw)
+    if len(data) > MAX_FRAME:
+        raise ProtocolError("line exceeds MAX_FRAME")
+    return decode_payload(data), len(raw)

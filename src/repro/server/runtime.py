@@ -1,0 +1,98 @@
+"""Run a :class:`QueryServer` on a background thread.
+
+The embedding shape tests, benches and demos use::
+
+    with ServerThread(Database(source)) as server:
+        with BlockingClient(server.host, server.port) as client:
+            client.query("path")
+
+The thread owns a private event loop; ``start()`` returns once the socket
+is bound (so ``server.port`` is real even for ``port=0``), and ``stop()``
+shuts the server down cleanly and joins the thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.api.database import Database
+from repro.core.config import EngineConfig
+from repro.server.backpressure import BackpressureConfig
+from repro.server.server import QueryServer
+
+
+class ServerThread:
+    """Own one :class:`QueryServer` on a daemon thread with its own loop."""
+
+    def __init__(
+        self,
+        database: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backpressure: Optional[BackpressureConfig] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.server = QueryServer(
+            database, host=host, port=port,
+            backpressure=backpressure, config=config,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        """Boot the loop thread; blocks until the socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+            # stop() ran: finish the server's teardown on this loop.
+            loop.run_until_complete(self.server.stop())
+        finally:
+            loop.close()
+            asyncio.set_event_loop(None)
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread (idempotent)."""
+        thread, loop = self._thread, self._loop
+        if thread is None or loop is None or not thread.is_alive():
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

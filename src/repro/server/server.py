@@ -1,0 +1,499 @@
+"""The asyncio query server: many clients, one database, one writer.
+
+Concurrency model
+-----------------
+
+* **One event loop** accepts connections and serves every read.  Queries
+  never touch live session state: they are answered from the last
+  committed MVCC snapshot (:meth:`Connection.query_snapshot`), so a read
+  is pure CPU over immutable frozensets — no locks, no waiting on the
+  writer.
+* **One writer thread** (a single-thread executor) applies mutation
+  batches through the shared session, which publishes a new snapshot at
+  each commit point.  Clients' mutations funnel through a bounded
+  :class:`~repro.server.backpressure.MutationQueue`; admission is governed
+  by the configured policy (block / reject / shed).
+* ``sys_`` reads go through the connection's system catalog, which this
+  server extends with ``sys_connections`` and ``sys_server`` rows.
+
+Wire surface (see :mod:`repro.server.protocol` for framing): requests are
+JSON objects with an ``op`` — ``ping``, ``query``, ``insert``, ``retract``,
+``apply``, ``explain``, ``metrics``, ``server_stats``, ``close`` — plus an
+optional client-chosen ``id`` echoed back on the response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.api.database import Database
+from repro.core.config import EngineConfig
+from repro.server.backpressure import (
+    BackpressureConfig,
+    BackpressureError,
+    MutationQueue,
+)
+from repro.server.protocol import (
+    ProtocolError,
+    encode_frame,
+    encode_line,
+    jsonify_rows,
+    jsonify_value,
+    read_frame,
+    read_line,
+)
+from repro.server.sessions import ConnectionState, SessionRegistry
+
+#: Ops that mutate; everything else is served without touching the writer.
+_MUTATION_OPS = frozenset({"insert", "retract", "apply"})
+
+
+def _error(code: str, message: str, **extra: Any) -> dict:
+    body = {"code": code, "message": message}
+    body.update(extra)
+    return {"ok": False, "error": body}
+
+
+class QueryServer:
+    """Serve one :class:`~repro.api.database.Database` over TCP.
+
+    ::
+
+        db = Database(source, config)
+        server = QueryServer(db, port=7777)
+        asyncio.run(server.serve_forever())
+
+    or drive the lifecycle yourself: ``await server.start()`` … ``await
+    server.stop()`` inside a running loop (what
+    :class:`~repro.server.runtime.ServerThread` does).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backpressure: Optional[BackpressureConfig] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.db = database
+        self.host = host
+        self.port = port
+        self.backpressure = (
+            backpressure if backpressure is not None else BackpressureConfig()
+        )
+        # The one shared connection: its session owns the storage, the
+        # writer thread owns its mutations, snapshots serve the readers.
+        self.conn = database.connect(config)
+        self.session = self.conn.session
+        self.snapshots = self.session.enable_snapshots()
+        self.metrics = self.session.metrics
+        self.tracer = self.session.tracer
+        self.registry = SessionRegistry()
+        catalog = self.conn.catalog
+        if catalog is not None:
+            catalog.bind_connections(self.registry.rows)
+            catalog.bind_server(lambda: [self.server_row()])
+        self.mutations_applied = 0
+        # One QueryResult per (relation, version), shared by every read
+        # against that version: snapshot results are immutable, so the
+        # deterministic-order/decode memo inside the result amortizes
+        # across requests — a bounded page read costs O(page), not a
+        # fresh O(n log n) sort per request.  The cache owns the snapshot
+        # pins; superseded versions are evicted (unpinned) lazily.  Only
+        # the event-loop thread touches it.
+        self._result_cache: Dict[Tuple[str, int], Any] = {}
+        self._writer_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-writer"
+        )
+        self._queue: Optional[MutationQueue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writer_task: Optional["asyncio.Task"] = None
+        self._handlers: Set["asyncio.Task"] = set()
+        self._started_at: Optional[float] = None
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the writer loop."""
+        loop = asyncio.get_running_loop()
+        # Built here, not in __init__: asyncio primitives bind to the
+        # running loop on creation under Python 3.9.
+        self._queue = MutationQueue(self.backpressure)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._writer_task = loop.create_task(self._writer_loop())
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Stop accepting, fail pending work, drain the writer (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        if self._queue is not None:
+            self._queue.drain()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        # Waits for any in-flight mutation to finish its commit.
+        self._writer_pool.shutdown(wait=True)
+        while self._result_cache:
+            self._result_cache.popitem()[1].release()
+        self.conn.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- the writer loop ---------------------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        assert queue is not None
+        while True:
+            payload, future = await queue.get()
+            self.metrics.gauge("server_queue_depth").set(queue.depth())
+            if future.done():  # shed or shutdown raced the dequeue
+                continue
+            try:
+                report = await loop.run_in_executor(
+                    self._writer_pool, self._apply_mutation, payload
+                )
+            except Exception as exc:  # surface to the submitting client
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if not future.done():
+                    future.set_result(report)
+
+    def _apply_mutation(self, payload: Dict[str, Any]):
+        """Runs on the writer thread; the session publishes the snapshot."""
+        report = self.session.apply(
+            payload.get("inserts"), payload.get("retracts")
+        )
+        self.mutations_applied += 1
+        return report
+
+    # -- observability -----------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def server_row(self) -> Tuple[Any, ...]:
+        """The single ``sys_server`` catalog row."""
+        queue = self._queue
+        stats = self.snapshots.stats()
+        latest = self.snapshots.latest_version()
+        return (
+            round(self.uptime_seconds(), 3),
+            len(self.registry),
+            queue.depth() if queue is not None else 0,
+            self.backpressure.max_pending,
+            self.backpressure.policy,
+            self.mutations_applied,
+            queue.shed if queue is not None else 0,
+            queue.rejected if queue is not None else 0,
+            -1 if latest is None else latest,
+            stats["live"],
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``server_stats`` op's payload (a superset of ``sys_server``)."""
+        queue = self._queue
+        return {
+            "uptime_seconds": self.uptime_seconds(),
+            "connections": len(self.registry),
+            "accepted_total": self.registry.accepted,
+            "queue_depth": queue.depth() if queue is not None else 0,
+            "queue_capacity": self.backpressure.max_pending,
+            "policy": self.backpressure.policy,
+            "mutations_applied": self.mutations_applied,
+            "shed_total": queue.shed if queue is not None else 0,
+            "rejected_total": queue.rejected if queue is not None else 0,
+            "snapshot_version": self.snapshots.latest_version(),
+            "snapshots": self.snapshots.stats(),
+        }
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        peer = writer.get_extra_info("peername")
+        peer_str = (
+            f"{peer[0]}:{peer[1]}"
+            if isinstance(peer, tuple) and len(peer) >= 2 else str(peer)
+        )
+        state = self.registry.open(peer_str)
+        self.metrics.counter("server_connections_total").inc()
+        conn_span = self.tracer.span(
+            "connection", root=True, ambient=False,
+            conn=state.conn_id, peer=peer_str,
+        )
+        try:
+            await self._serve_connection(reader, writer, state, conn_span)
+        except (
+            ProtocolError, ConnectionResetError, BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            conn_span.set(
+                queries=state.queries, mutations=state.mutations,
+                bytes_in=state.bytes_in, bytes_out=state.bytes_out,
+            )
+            conn_span.finish()
+            self.registry.close(state)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # CancelledError: stop() cancelled this handler; swallowing
+                # it here is safe — the transport is already closed and the
+                # task is about to finish anyway.
+                pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        state: ConnectionState,
+        conn_span,
+    ) -> None:
+        # Mode detection: a well-formed frame's first length byte is 0x00
+        # (MAX_FRAME < 2**24); anything else is a human typing JSON lines.
+        first = await reader.read(1)
+        if not first:
+            return
+        framed = first == b"\x00"
+        state.mode = "framed" if framed else "line"
+        pending_first = first
+        while True:
+            received = await (
+                read_frame(reader, pending_first) if framed
+                else read_line(reader, pending_first)
+            )
+            pending_first = b""
+            if received is None:
+                return
+            message, nbytes = received
+            state.bytes_in += nbytes
+            if not message:  # blank line in line mode
+                continue
+            try:
+                response = await self._dispatch(message, state, conn_span)
+            except ProtocolError as exc:
+                response = _error("protocol", str(exc))
+            if "id" in message:
+                response["id"] = message["id"]
+            data = encode_frame(response) if framed else encode_line(response)
+            writer.write(data)
+            await writer.drain()
+            state.bytes_out += len(data)
+            if message.get("op") == "close":
+                return
+
+    # -- request dispatch --------------------------------------------------------
+
+    async def _dispatch(
+        self, message: dict, state: ConnectionState, conn_span
+    ) -> dict:
+        op = message.get("op")
+        if not isinstance(op, str):
+            return _error("bad_request", "missing or non-string 'op'")
+        self.metrics.counter("server_requests_total", op=op).inc()
+        started = time.perf_counter()
+        with self.tracer.span(
+            "request", parent=conn_span, ambient=False,
+            op=op, conn=state.conn_id,
+        ) as span:
+            response = await self._dispatch_op(op, message, state)
+            span.set(ok=response.get("ok", False))
+        self.metrics.histogram("server_request_seconds").observe(
+            time.perf_counter() - started
+        )
+        return response
+
+    async def _dispatch_op(
+        self, op: str, message: dict, state: ConnectionState
+    ) -> dict:
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "query":
+            return self._op_query(message, state)
+        if op in _MUTATION_OPS:
+            return await self._op_mutate(op, message, state)
+        if op == "explain":
+            return await self._op_explain(message)
+        if op == "metrics":
+            snapshot = self.db.metrics()
+            return {"ok": True, "metrics": {
+                key: jsonify_value(value) for key, value in snapshot.items()
+            }}
+        if op == "server_stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "close":
+            return {"ok": True, "closing": True}
+        return _error("unknown_op", f"unknown op {op!r}")
+
+    def _op_query(self, message: dict, state: ConnectionState) -> dict:
+        relation = message.get("relation")
+        if not isinstance(relation, str):
+            return _error("bad_request", "'query' needs a string 'relation'")
+        offset = message.get("offset", 0)
+        limit = message.get("limit")
+        state.queries += 1
+        try:
+            if relation.startswith("sys_"):
+                # Catalog reads are live observability snapshots, not MVCC
+                # reads: they run on the loop against the catalog providers.
+                result = self.conn.query(relation)
+                version = None
+            else:
+                result = self._snapshot_result(relation)
+                version = result.snapshot_version
+        except KeyError as exc:
+            return _error("unknown_relation", str(exc))
+        except (ValueError, RuntimeError) as exc:
+            return _error("bad_request", str(exc))
+        try:
+            rows = jsonify_rows(result.rows(offset=offset, limit=limit))
+        except ValueError as exc:
+            return _error("bad_request", str(exc))
+        response = {
+            "ok": True, "relation": relation,
+            "rows": rows, "count": result.count(),
+        }
+        if version is not None:
+            response["snapshot_version"] = version
+        return response
+
+    def _snapshot_result(self, relation: str):
+        """The shared snapshot result for ``relation`` at the latest version.
+
+        Raises the same errors as :meth:`Connection.query_snapshot`.  The
+        returned result is cached (and stays pinned) until a read at a
+        newer version evicts it; callers must not :meth:`release` it.
+        """
+        latest = self.snapshots.latest_version()
+        cached = self._result_cache.get((relation, latest))
+        if cached is not None:
+            return cached
+        result = self.conn.query_snapshot(relation)
+        version = result.snapshot_version
+        stale = [key for key in self._result_cache if key[1] < version]
+        for key in stale:
+            # In-flight pages over an evicted result stay valid: the rows
+            # are immutable and held by the result object itself — only
+            # the storage version becomes collectable.
+            self._result_cache.pop(key).release()
+        self._result_cache[(relation, version)] = result
+        return result
+
+    async def _op_mutate(
+        self, op: str, message: dict, state: ConnectionState
+    ) -> dict:
+        payload = self._mutation_payload(op, message)
+        if "error" in payload:
+            return payload["error"]
+        assert self._queue is not None
+        try:
+            future = await self._queue.put(payload)
+        except BackpressureError as exc:
+            self.metrics.counter(
+                "server_backpressure_total", code=exc.code
+            ).inc()
+            return {"ok": False, "error": exc.to_wire()}
+        self.metrics.gauge("server_queue_depth").set(self._queue.depth())
+        try:
+            report = await future
+        except BackpressureError as exc:
+            self.metrics.counter(
+                "server_backpressure_total", code=exc.code
+            ).inc()
+            return {"ok": False, "error": exc.to_wire()}
+        except (KeyError, ValueError) as exc:
+            return _error("mutation_failed", str(exc))
+        state.mutations += 1
+        return {
+            "ok": True,
+            "report": {
+                "strategy": report.strategy,
+                "inserted": report.inserted,
+                "retracted": report.retracted,
+                "propagated": report.propagated,
+                "seconds": report.seconds,
+            },
+            "snapshot_version": self.snapshots.latest_version(),
+        }
+
+    def _mutation_payload(self, op: str, message: dict) -> Dict[str, Any]:
+        if op == "apply":
+            inserts = message.get("inserts") or {}
+            retracts = message.get("retracts") or {}
+            if not isinstance(inserts, dict) or not isinstance(retracts, dict):
+                return {"error": _error(
+                    "bad_request", "'apply' needs dict 'inserts'/'retracts'"
+                )}
+            return {"inserts": inserts, "retracts": retracts}
+        relation = message.get("relation")
+        rows = message.get("rows")
+        if not isinstance(relation, str) or not isinstance(rows, list):
+            return {"error": _error(
+                "bad_request", f"'{op}' needs a 'relation' and a 'rows' list"
+            )}
+        batch = {relation: rows}
+        if op == "insert":
+            return {"inserts": batch, "retracts": None}
+        return {"inserts": None, "retracts": batch}
+
+    async def _op_explain(self, message: dict) -> dict:
+        relation = message.get("relation")
+        if relation is not None and not isinstance(relation, str):
+            return _error("bad_request", "'relation' must be a string")
+        loop = asyncio.get_running_loop()
+        try:
+            # explain reads live session state (plans, profile), so it runs
+            # on the writer thread — serialized against mutations.
+            text = await loop.run_in_executor(
+                self._writer_pool, self.conn.explain, relation
+            )
+        except KeyError as exc:
+            return _error("unknown_relation", str(exc))
+        return {"ok": True, "explain": text}

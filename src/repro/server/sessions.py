@@ -1,0 +1,81 @@
+"""Per-connection bookkeeping behind ``sys_connections``.
+
+One :class:`ConnectionState` per live client connection, collected in a
+:class:`SessionRegistry` the server binds into the system catalog — so the
+serving layer is queryable through the same Datalog surface as everything
+else (``busy(C) :- sys_connections(C, P, S, M, Q, W, BI, BO), Q > 100.``).
+
+The registry is read from whatever thread runs a catalog refresh while
+handlers mutate states on the event loop, so listing takes a lock; the
+per-connection counters are only ever written by that connection's own
+handler task.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Tuple
+
+
+class ConnectionState:
+    """Counters and identity of one client connection."""
+
+    __slots__ = (
+        "conn_id", "peer", "state", "mode", "queries", "mutations",
+        "bytes_in", "bytes_out", "connected_at",
+    )
+
+    def __init__(self, conn_id: int, peer: str) -> None:
+        self.conn_id = conn_id
+        self.peer = peer
+        self.state = "open"
+        self.mode = "-"          # "framed" | "line" once detected
+        self.queries = 0
+        self.mutations = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.connected_at = time.monotonic()
+
+    def row(self) -> Tuple[Any, ...]:
+        """The ``sys_connections`` row (column order of CATALOG_COLUMNS)."""
+        return (
+            self.conn_id, self.peer, self.state, self.mode,
+            self.queries, self.mutations, self.bytes_in, self.bytes_out,
+        )
+
+
+class SessionRegistry:
+    """Every live connection's state, listable as catalog rows."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._connections: Dict[int, ConnectionState] = {}
+        self._ids = itertools.count(1)
+        #: Lifetime total, including closed connections.
+        self.accepted = 0
+
+    def open(self, peer: str) -> ConnectionState:
+        state = ConnectionState(next(self._ids), peer)
+        with self._lock:
+            self._connections[state.conn_id] = state
+            self.accepted += 1
+        return state
+
+    def close(self, state: ConnectionState) -> None:
+        state.state = "closed"
+        with self._lock:
+            self._connections.pop(state.conn_id, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    def states(self) -> List[ConnectionState]:
+        with self._lock:
+            return list(self._connections.values())
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """The ``sys_connections`` rows of every live connection."""
+        return [state.row() for state in self.states()]

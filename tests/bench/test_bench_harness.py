@@ -116,6 +116,30 @@ class TestDrivers:
         assert row["JIT-lambda"] > 0
 
 
+class TestServingDriver:
+    def test_serving_rows_have_every_column(self):
+        from repro.bench.serving import SERVING_COLUMNS, run_serving
+
+        rows = run_serving(quick=True, client_counts=(2,),
+                           requests_per_client=5)
+        assert len(rows) == 2  # one per mix
+        for row in rows:
+            assert set(row) == set(SERVING_COLUMNS)
+            assert row["errors"] == 0
+            assert row["requests"] == 10
+            assert row["ops_per_sec"] > 0
+            assert row["p50_ms"] <= row["p99_ms"]
+
+    def test_percentile_nearest_rank(self):
+        from repro.bench.serving import percentile
+
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 0.99) == 5.0
+        assert percentile([], 0.5) == 0.0
+
+
 class TestFormatting:
     def test_format_rows_alignment_and_title(self):
         rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": 7.0}]

@@ -1,0 +1,196 @@
+"""Unit tests for MVCC storage snapshots: publish, pin, COW sharing, GC."""
+
+import gc
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.api.database import Database
+from repro.core.config import EngineConfig
+from repro.incremental import IncrementalSession
+from repro.incremental.snapshots import SnapshotManager
+
+EDGES = [(1, 2), (2, 3), (3, 4)]
+
+
+def tc_session(edges=EDGES, config=None):
+    session = IncrementalSession(
+        build_transitive_closure_program(edges),
+        config or EngineConfig.interpreted(),
+    )
+    session.enable_snapshots()
+    return session
+
+
+class TestPublication:
+    def test_enable_publishes_the_initial_fixpoint_as_version_zero(self):
+        session = tc_session()
+        snapshot = session.snapshots.latest()
+        assert snapshot.version == 0
+        assert snapshot.decoded_rows("path") == frozenset(
+            session.fetch("path")
+        )
+
+    def test_enable_is_idempotent(self):
+        session = tc_session()
+        manager = session.snapshots
+        assert session.enable_snapshots() is manager
+        assert manager.latest_version() == 0
+
+    def test_each_mutation_batch_publishes_one_version(self):
+        session = tc_session()
+        session.insert_facts("edge", [(4, 5)])
+        session.retract_facts("edge", [(1, 2)])
+        assert session.snapshots.latest_version() == 2
+        assert session.snapshots.published == 3
+
+    def test_old_versions_stay_readable_while_pinned(self):
+        session = tc_session()
+        before = session.snapshots.acquire()
+        session.insert_facts("edge", [(4, 5)])
+        after = session.snapshots.latest()
+        assert (1, 5) not in before.decoded_rows("path")
+        assert (1, 5) in after.decoded_rows("path")
+        session.snapshots.release(before.version)
+
+    def test_unknown_relation_raises_with_candidates(self):
+        session = tc_session()
+        with pytest.raises(KeyError, match="path"):
+            session.snapshots.latest().rows_of("nope")
+
+
+class TestCopyOnWrite:
+    def test_untouched_relations_share_the_same_frozenset_object(self):
+        session = tc_session()
+        v0 = session.snapshots.acquire()
+        session.insert_facts("path", [(9, 10)])  # touches path, not edge
+        v1 = session.snapshots.latest()
+        assert v1.rows_of("edge") is v0.rows_of("edge")
+        assert v1.rows_of("path") is not v0.rows_of("path")
+        session.snapshots.release(v0.version)
+
+    def test_generations_record_what_each_version_saw(self):
+        session = tc_session()
+        v0 = session.snapshots.acquire()
+        session.insert_facts("edge", [(4, 5)])
+        v1 = session.snapshots.latest()
+        assert v1.generations["edge"] > v0.generations["edge"]
+        assert v1.mutation_version > v0.mutation_version
+        session.snapshots.release(v0.version)
+
+
+class TestPinningAndGC:
+    def test_unpinned_superseded_versions_are_collected(self):
+        session = tc_session()
+        session.insert_facts("edge", [(4, 5)])
+        session.insert_facts("edge", [(5, 6)])
+        assert session.snapshots.live_versions() == (2,)
+        assert session.snapshots.collected == 2
+
+    def test_pinned_versions_survive_until_released(self):
+        session = tc_session()
+        manager = session.snapshots
+        pinned = manager.acquire()
+        session.insert_facts("edge", [(4, 5)])
+        assert manager.live_versions() == (0, 1)
+        manager.release(pinned.version)
+        assert manager.live_versions() == (1,)
+
+    def test_release_is_refcounted(self):
+        session = tc_session()
+        manager = session.snapshots
+        manager.acquire()
+        manager.acquire()
+        session.insert_facts("edge", [(4, 5)])
+        manager.release(0)
+        assert manager.live_versions() == (0, 1)
+        manager.release(0)
+        assert manager.live_versions() == (1,)
+
+    def test_release_of_unpinned_version_is_a_noop(self):
+        session = tc_session()
+        session.snapshots.release(0)
+        assert session.snapshots.live_versions() == (0,)
+
+    def test_stats_shape(self):
+        session = tc_session()
+        session.snapshots.acquire()
+        stats = session.snapshots.stats()
+        assert stats == {
+            "live": 1, "pinned": 1, "published": 1, "collected": 0,
+        }
+
+
+class TestManagerDirectly:
+    def test_acquire_before_any_publish_raises(self):
+        session = IncrementalSession(
+            build_transitive_closure_program(EDGES), EngineConfig.interpreted()
+        )
+        manager = SnapshotManager(session.storage)
+        assert manager.latest_version() is None
+        with pytest.raises(RuntimeError):
+            manager.acquire()
+        with pytest.raises(RuntimeError):
+            manager.latest()
+
+    def test_publish_before_snapshots_enabled_raises_on_session(self):
+        session = IncrementalSession(
+            build_transitive_closure_program(EDGES), EngineConfig.interpreted()
+        )
+        with pytest.raises(RuntimeError):
+            session.publish_snapshot()
+
+
+class TestQueryResultPinning:
+    def test_query_snapshot_pins_and_release_unpins(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        conn = database.connect()
+        manager = conn.session.enable_snapshots()
+        result = conn.query_snapshot("path")
+        assert result.snapshot_version == 0
+        assert manager.pin_count(0) == 1
+        result.release()
+        assert manager.pin_count(0) == 0
+        result.release()  # idempotent
+        assert manager.pin_count(0) == 0
+        database.close()
+
+    def test_dropping_the_result_releases_through_the_finalizer(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        conn = database.connect()
+        manager = conn.session.enable_snapshots()
+        result = conn.query_snapshot("path")
+        assert manager.pin_count(0) == 1
+        del result
+        gc.collect()
+        assert manager.pin_count(0) == 0
+        database.close()
+
+    def test_pinned_result_reads_its_version_after_newer_commits(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        conn = database.connect()
+        conn.session.enable_snapshots()
+        old = conn.query_snapshot("path")
+        conn.apply(inserts={"edge": [(4, 5)]})
+        fresh = conn.query_snapshot("path")
+        assert (1, 5) not in old
+        assert (1, 5) in fresh
+        assert old.snapshot_version == 0
+        assert fresh.snapshot_version == 1
+        database.close()
+
+    def test_query_snapshot_requires_enabled_snapshots(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        conn = database.connect()
+        with pytest.raises(RuntimeError):
+            conn.query_snapshot("path")
+        database.close()
+
+    def test_query_snapshot_of_unknown_relation_leaves_no_pin(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        conn = database.connect()
+        manager = conn.session.enable_snapshots()
+        with pytest.raises(KeyError):
+            conn.query_snapshot("nope")
+        assert manager.pin_count() == 0
+        database.close()

@@ -1,0 +1,127 @@
+"""Unit tests for mutation-queue admission control (block / reject / shed)."""
+
+import asyncio
+
+import pytest
+
+from repro.server.backpressure import (
+    POLICIES,
+    BackpressureConfig,
+    BackpressureError,
+    MutationQueue,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = BackpressureConfig()
+        assert config.policy == "block"
+        assert config.max_pending == 64
+        assert config.block_timeout is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BackpressureConfig(policy="drop")
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BackpressureConfig(max_pending=0)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_every_policy_constructs(self, policy):
+        assert BackpressureConfig(policy=policy).policy == policy
+
+
+class TestRejectPolicy:
+    def test_put_beyond_capacity_raises_backpressure(self):
+        async def scenario():
+            queue = MutationQueue(BackpressureConfig(
+                policy="reject", max_pending=2,
+            ))
+            await queue.put({"n": 1})
+            await queue.put({"n": 2})
+            with pytest.raises(BackpressureError) as excinfo:
+                await queue.put({"n": 3})
+            assert excinfo.value.code == "backpressure"
+            assert excinfo.value.policy == "reject"
+            wire = excinfo.value.to_wire()
+            assert wire["code"] == "backpressure"
+            assert queue.rejected == 1
+            assert queue.submitted == 2
+            assert queue.depth() == 2
+
+        asyncio.run(scenario())
+
+
+class TestShedPolicy:
+    def test_oldest_pending_is_evicted_with_shed_error(self):
+        async def scenario():
+            queue = MutationQueue(BackpressureConfig(
+                policy="shed", max_pending=2,
+            ))
+            first = await queue.put({"n": 1})
+            await queue.put({"n": 2})
+            third = await queue.put({"n": 3})
+            # The oldest future failed; the newest was admitted.
+            assert first.done()
+            with pytest.raises(BackpressureError) as excinfo:
+                first.result()
+            assert excinfo.value.code == "shed"
+            assert not third.done()
+            assert queue.shed == 1
+            assert queue.depth() == 2
+            payload, _ = await queue.get()
+            assert payload == {"n": 2}  # n=1 was the one shed
+
+        asyncio.run(scenario())
+
+
+class TestBlockPolicy:
+    def test_put_waits_until_the_writer_frees_a_slot(self):
+        async def scenario():
+            queue = MutationQueue(BackpressureConfig(
+                policy="block", max_pending=1,
+            ))
+            await queue.put({"n": 1})
+
+            blocked = asyncio.get_running_loop().create_task(
+                queue.put({"n": 2})
+            )
+            await asyncio.sleep(0.01)
+            assert not blocked.done()  # genuinely waiting for space
+
+            payload, _ = await queue.get()
+            assert payload == {"n": 1}
+            future = await asyncio.wait_for(blocked, timeout=5)
+            assert not future.done()
+            assert queue.depth() == 1
+
+        asyncio.run(scenario())
+
+    def test_block_timeout_surfaces_as_timeout_error(self):
+        async def scenario():
+            queue = MutationQueue(BackpressureConfig(
+                policy="block", max_pending=1, block_timeout=0.02,
+            ))
+            await queue.put({"n": 1})
+            with pytest.raises(BackpressureError) as excinfo:
+                await queue.put({"n": 2})
+            assert excinfo.value.code == "timeout"
+            assert queue.rejected == 1
+
+        asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_fails_every_pending_future(self):
+        async def scenario():
+            queue = MutationQueue(BackpressureConfig(max_pending=8))
+            futures = [await queue.put({"n": n}) for n in range(3)]
+            assert queue.drain() == 3
+            assert queue.depth() == 0
+            for future in futures:
+                with pytest.raises(BackpressureError) as excinfo:
+                    future.result()
+                assert excinfo.value.code == "shutdown"
+
+        asyncio.run(scenario())

@@ -1,0 +1,143 @@
+"""Unit tests for the wire protocol: framing, line mode, JSON safety."""
+
+import asyncio
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_line,
+    encode_payload,
+    jsonify_rows,
+    jsonify_value,
+    read_frame,
+    read_line,
+)
+
+
+def fed_reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        message = {"op": "query", "relation": "path", "id": 7}
+        frame = encode_frame(message)
+        assert frame[:4] == len(frame[4:]).to_bytes(4, "big")
+        assert decode_frame(frame[4:]) == message
+
+    def test_first_prefix_byte_is_always_nul(self):
+        # The mode discriminator: MAX_FRAME < 2**24 keeps byte 0 at 0x00.
+        assert MAX_FRAME < 1 << 24
+        assert encode_frame({"op": "ping"})[0] == 0
+
+    def test_oversized_frame_is_rejected_at_encode_time(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_read_frame_returns_message_and_bytes_consumed(self):
+        message = {"op": "ping", "id": 1}
+        frame = encode_frame(message)
+
+        async def scenario():
+            return await read_frame(fed_reader(frame))
+
+        decoded, consumed = asyncio.run(scenario())
+        assert decoded == message
+        assert consumed == len(frame)
+
+    def test_read_frame_with_preconsumed_mode_byte(self):
+        frame = encode_frame({"op": "ping"})
+
+        async def scenario():
+            return await read_frame(fed_reader(frame[1:]), first_byte=frame[:1])
+
+        decoded, consumed = asyncio.run(scenario())
+        assert decoded == {"op": "ping"}
+        assert consumed == len(frame)
+
+    def test_read_frame_clean_eof_is_none(self):
+        async def scenario():
+            return await read_frame(fed_reader(b""))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_read_frame_mid_frame_eof_raises(self):
+        frame = encode_frame({"op": "ping"})
+
+        async def scenario():
+            return await read_frame(fed_reader(frame[:-2]))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+    def test_read_frame_oversized_declared_length_raises(self):
+        prefix = (MAX_FRAME + 1).to_bytes(4, "big")
+
+        async def scenario():
+            return await read_frame(fed_reader(prefix + b"x" * 8))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+
+class TestLineMode:
+    def test_line_round_trip(self):
+        message = {"op": "query", "relation": "path"}
+        line = encode_line(message)
+        assert line.endswith(b"\n")
+
+        async def scenario():
+            return await read_line(fed_reader(line))
+
+        decoded, consumed = asyncio.run(scenario())
+        assert decoded == message
+        assert consumed == len(line)
+
+    def test_blank_line_decodes_to_empty_message(self):
+        async def scenario():
+            return await read_line(fed_reader(b"\n"))
+
+        decoded, consumed = asyncio.run(scenario())
+        assert decoded == {}
+        assert consumed == 1
+
+    def test_clean_eof_is_none(self):
+        async def scenario():
+            return await read_line(fed_reader(b""))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_malformed_json_raises(self):
+        async def scenario():
+            return await read_line(fed_reader(b"{not json}\n"))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+
+class TestPayloads:
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_payload_is_compact_json(self):
+        assert encode_payload({"a": 1, "b": [2, 3]}) == b'{"a":1,"b":[2,3]}'
+
+    def test_jsonify_passes_scalars_and_reprs_the_rest(self):
+        assert jsonify_value(3) == 3
+        assert jsonify_value("x") == "x"
+        assert jsonify_value(None) is None
+        assert jsonify_value(True) is True
+        assert jsonify_value((1, 2)) == "(1, 2)"
+
+    def test_jsonify_rows_makes_json_arrays(self):
+        rows = [(1, "a"), (frozenset({2}), None)]
+        assert jsonify_rows(rows) == [[1, "a"], ["frozenset({2})", None]]

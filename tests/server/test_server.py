@@ -1,0 +1,229 @@
+"""End-to-end tests for the query server over real TCP connections."""
+
+import json
+import socket
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.api.database import Database
+from repro.server import (
+    BackpressureConfig,
+    BlockingClient,
+    ServerThread,
+)
+from repro.server.client import ServerError
+
+EDGES = [(1, 2), (2, 3), (3, 4)]
+CLOSURE = {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+
+@pytest.fixture()
+def served():
+    database = Database(build_transitive_closure_program(EDGES))
+    with ServerThread(database) as thread:
+        with BlockingClient(thread.host, thread.port) as client:
+            yield thread, client
+    database.close()
+
+
+class TestQueries:
+    def test_ping(self, served):
+        _, client = served
+        assert client.ping() is True
+
+    def test_query_returns_the_closure(self, served):
+        _, client = served
+        assert set(client.query("path")) == CLOSURE
+
+    def test_query_response_carries_count_and_snapshot_version(self, served):
+        _, client = served
+        response = client.query_response("path")
+        assert response["count"] == len(CLOSURE)
+        assert response["snapshot_version"] == 0
+
+    def test_pagination_is_deterministic(self, served):
+        _, client = served
+        everything = client.query("path")
+        assert client.query("path", offset=2, limit=3) == everything[2:5]
+        assert client.query("path", limit=0) == []
+
+    def test_unknown_relation_is_a_structured_error(self, served):
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.query("nope")
+        assert excinfo.value.code == "unknown_relation"
+
+    def test_unknown_op_is_a_structured_error(self, served):
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.request({"op": "sudo"})
+        assert excinfo.value.code == "unknown_op"
+
+    def test_query_without_relation_is_a_bad_request(self, served):
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.request({"op": "query"})
+        assert excinfo.value.code == "bad_request"
+
+
+class TestMutations:
+    def test_insert_propagates_and_advances_the_snapshot(self, served):
+        _, client = served
+        response = client.insert("edge", [(4, 5)])
+        assert response["report"]["strategy"] == "incremental"
+        assert response["report"]["inserted"] == 1
+        assert response["snapshot_version"] == 1
+        paths = set(client.query("path"))
+        assert (1, 5) in paths  # 1→2→3→4→5 closed through the new edge
+        assert client.query_response("path")["snapshot_version"] == 1
+
+    def test_retract_removes_downstream_derivations(self, served):
+        _, client = served
+        client.retract("edge", [(2, 3)])
+        paths = set(client.query("path"))
+        assert (1, 3) not in paths and (1, 4) not in paths
+        assert (3, 4) in paths
+
+    def test_apply_combines_inserts_and_retracts(self, served):
+        _, client = served
+        response = client.apply(
+            inserts={"edge": [[4, 5]]}, retracts={"edge": [[1, 2]]},
+        )
+        assert response["ok"] is True
+        paths = set(client.query("path"))
+        assert (4, 5) in paths and (1, 2) not in paths
+
+    def test_mutating_an_unknown_relation_fails_cleanly(self, served):
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.insert("nope", [(1, 2)])
+        assert excinfo.value.code == "mutation_failed"
+        assert client.ping()  # connection survives the failure
+
+    def test_insert_without_rows_is_a_bad_request(self, served):
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.request({"op": "insert", "relation": "edge"})
+        assert excinfo.value.code == "bad_request"
+
+
+class TestSnapshotResultCache:
+    def test_reads_at_one_version_share_one_pinned_result(self, served):
+        thread, client = served
+        client.query("path")
+        client.query("path")
+        cache = thread.server._result_cache
+        assert list(cache) == [("path", 0)]
+        assert thread.server.snapshots.pin_count(0) == 1
+
+    def test_superseded_versions_are_evicted_on_the_next_read(self, served):
+        thread, client = served
+        client.query("path")
+        client.insert("edge", [(4, 5)])
+        client.query("path")
+        cache = thread.server._result_cache
+        assert list(cache) == [("path", 1)]
+        assert thread.server.snapshots.pin_count(0) == 0
+        assert thread.server.snapshots.live_versions() == (1,)
+
+
+class TestObservability:
+    def test_sys_connections_lists_this_connection(self, served):
+        _, client = served
+        client.ping()
+        rows = client.query("sys_connections")
+        assert len(rows) == 1
+        conn, peer, state, mode, queries, mutations, _, _ = rows[0]
+        assert state == "open"
+        assert mode == "framed"
+        assert queries >= 1
+
+    def test_sys_query_responses_have_no_snapshot_version(self, served):
+        _, client = served
+        assert "snapshot_version" not in client.query_response("sys_server")
+
+    def test_sys_server_row_reflects_the_configuration(self, served):
+        _, client = served
+        rows = client.query("sys_server")
+        assert len(rows) == 1
+        (uptime, connections, depth, capacity, policy,
+         applied, shed, rejected, version, live) = rows[0]
+        assert uptime >= 0
+        assert connections == 1
+        assert capacity == 64 and policy == "block"
+        assert applied == 0 and shed == 0 and rejected == 0
+        assert version == 0 and live >= 1
+
+    def test_explain_mentions_the_relation(self, served):
+        _, client = served
+        assert "path" in client.explain("path")
+
+    def test_metrics_include_server_counters(self, served):
+        _, client = served
+        client.query("path")
+        metrics = client.metrics()
+        assert any("server_requests_total" in key for key in metrics)
+
+    def test_server_stats_superset_of_sys_server(self, served):
+        _, client = served
+        stats = client.server_stats()
+        assert stats["policy"] == "block"
+        assert stats["snapshot_version"] == 0
+        assert stats["snapshots"]["live"] >= 1
+
+
+class TestWireModes:
+    def test_line_mode_speaks_newline_json(self, served):
+        thread, _ = served
+        with socket.create_connection(
+            (thread.host, thread.port), timeout=10
+        ) as sock:
+            sock.sendall(b'{"op": "ping", "id": 1}\n')
+            buffer = b""
+            while b"\n" not in buffer:
+                buffer += sock.recv(65536)
+            response = json.loads(buffer.split(b"\n", 1)[0])
+            assert response == {"ok": True, "pong": True, "id": 1}
+            sock.sendall(b'{"op": "close"}\n')
+
+    def test_line_mode_client(self, served):
+        thread, _ = served
+        with BlockingClient(thread.host, thread.port, framed=False) as client:
+            assert client.ping() is True
+            assert set(client.query("path")) == CLOSURE
+
+
+class TestBackpressureOverTheWire:
+    def test_reject_policy_surfaces_structured_errors(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        backpressure = BackpressureConfig(policy="reject", max_pending=1)
+        with ServerThread(database, backpressure=backpressure) as thread:
+            with BlockingClient(thread.host, thread.port) as client:
+                stats = client.server_stats()
+                assert stats["policy"] == "reject"
+                assert stats["queue_capacity"] == 1
+                # Whether a given insert is rejected depends on writer
+                # timing; the policy plumbing is what's under test here.
+                client.insert("edge", [(4, 5)])
+                assert (1, 5) in set(client.query("path"))
+        database.close()
+
+
+class TestLifecycle:
+    def test_two_clients_are_isolated_and_counted(self, served):
+        thread, first = served
+        with BlockingClient(thread.host, thread.port) as second:
+            assert second.ping()
+            rows = first.query("sys_connections")
+            assert len(rows) == 2
+        assert thread.server.registry.accepted >= 2
+
+    def test_stop_is_idempotent(self):
+        database = Database(build_transitive_closure_program(EDGES))
+        thread = ServerThread(database).start()
+        with BlockingClient(thread.host, thread.port) as client:
+            assert client.ping()
+        thread.stop()
+        thread.stop()
+        database.close()
