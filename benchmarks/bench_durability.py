@@ -1,0 +1,97 @@
+"""Durability: warm restart vs. cold re-evaluation, and the WAL tax.
+
+Not a paper figure — this benchmarks the repository's durability subsystem
+(:mod:`repro.durability`) and enforces its headline guarantee:
+``test_warm_restart_speedup_at_10k_edges`` requires that reopening a
+cleanly-closed durability directory (checkpoint install, zero replay) on
+the 10k-edge transitive closure reaches its first ``path`` query at least
+**10× faster** than evaluating the same program cold.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_durability.py
+"""
+
+import os
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.api.database import Database
+from repro.bench.durability import run_durability
+from repro.durability import DurabilityConfig
+from repro.workloads.graphs import random_edges
+
+NODES_10K = 12_000
+EDGES_10K = 10_000
+
+
+def test_wal_append_latency(benchmark, tmp_path):
+    """Per-batch durable apply latency under the server's default policy."""
+    edges = random_edges(NODES_10K, EDGES_10K, seed=2024)
+    database = Database(
+        build_transitive_closure_program(edges),
+        durability=DurabilityConfig(dir=str(tmp_path / "dur"), fsync="batch"),
+    )
+    conn = database.connect()
+    conn.query("path").count()
+    fresh = iter([(50_000_000 + i, 50_000_001 + i) for i in range(10_000)])
+
+    def one_batch():
+        conn.apply(inserts={"edge": [next(fresh) for _ in range(10)]})
+
+    benchmark.pedantic(one_batch, rounds=3, iterations=1)
+    database.close()
+
+
+def test_checkpoint_write_latency(benchmark, tmp_path):
+    """One explicit full-state checkpoint of the 10k-edge closure."""
+    edges = random_edges(NODES_10K, EDGES_10K, seed=2024)
+    database = Database(
+        build_transitive_closure_program(edges),
+        durability=DurabilityConfig(dir=str(tmp_path / "dur"), fsync="batch"),
+    )
+    conn = database.connect()
+    conn.query("path").count()
+
+    benchmark.pedantic(conn.checkpoint, rounds=3, iterations=1)
+    database.close()
+
+
+def test_warm_restart_speedup_at_10k_edges():
+    """Acceptance: restart-to-first-query ≥ 10× faster than cold."""
+    rows = run_durability(repeat=2, policies=("batch",))
+    row = rows[0]
+    assert row["workload"] == "tc_10k"
+    assert row["restart_speedup"] >= 10.0, (
+        f"warm restart only {row['restart_speedup']:.1f}x faster than cold "
+        f"({row['warm_seconds']:.4f}s vs {row['cold_seconds']:.4f}s)"
+    )
+
+
+def test_recovery_replays_only_the_wal_tail(tmp_path):
+    """A dirty restart (no clean close) replays exactly the un-checkpointed
+    records — recovery work is proportional to the tail, not the history."""
+    directory = str(tmp_path / "dur")
+    edges = random_edges(NODES_10K, EDGES_10K, seed=2024)
+    program_edges = list(edges)
+
+    database = Database(
+        build_transitive_closure_program(program_edges),
+        durability=DurabilityConfig(dir=directory, checkpoint_on_close=False),
+    )
+    conn = database.connect()
+    conn.query("path").count()
+    conn.checkpoint()  # cover the initial fixpoint
+    for index in range(5):
+        conn.apply(inserts={"edge": [(60_000_000 + index, 60_000_001 + index)]})
+    database.close()  # checkpoint_on_close=False: the 5 records stay WAL-only
+
+    database = Database(
+        build_transitive_closure_program(program_edges),
+        durability=DurabilityConfig(dir=directory),
+    )
+    conn = database.connect()
+    report = conn.durability.last_recovery
+    assert report.warm
+    assert report.replayed_records == 5
+    assert (60_000_004, 60_000_005) in conn.query("edge")
+    database.close()

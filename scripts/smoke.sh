@@ -18,20 +18,21 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
-echo "== subsystem smoke benches (perf trajectory -> BENCH_8.json) =="
+echo "== subsystem smoke benches (perf trajectory -> BENCH_9.json) =="
 # One machine-readable dump per CI run: 2-shard parallel, vectorized
-# executor, dictionary-encoded storage, telemetry overhead and concurrent
-# serving latency at --quick scale.  smoke.yml uploads BENCH_8.json as an
-# artifact, and the committed baseline gates it below.
-python -m repro.bench --quick --only parallel,vectorized,interning,telemetry,serving --json BENCH_8.json
+# executor, dictionary-encoded storage, telemetry overhead, concurrent
+# serving latency and durable warm restart at --quick scale.  smoke.yml
+# uploads BENCH_9.json as an artifact, and the committed baseline gates
+# it below.
+python -m repro.bench --quick --only parallel,vectorized,interning,telemetry,serving,durability --json BENCH_9.json
 
 echo
-echo "== perf-regression gate (BENCH_8.json vs benchmarks/baseline.json) =="
+echo "== perf-regression gate (BENCH_9.json vs benchmarks/baseline.json) =="
 # First prove the gate itself still bites (a doctored 2x slowdown must
 # fail), then diff the fresh run against the committed baseline: any
 # section or row more than 25% slower (and past the noise floor) fails CI.
 python scripts/bench_compare.py --self-test benchmarks/baseline.json > /dev/null
-python scripts/bench_compare.py benchmarks/baseline.json BENCH_8.json
+python scripts/bench_compare.py benchmarks/baseline.json BENCH_9.json
 
 echo
 echo "== concurrent query server (boot, mixed load, clean shutdown) =="
@@ -59,6 +60,63 @@ with ServerThread(database) as server:
     print(f"served {len(outcome['latencies'])} requests over 4 connections; "
           f"{stats['mutations_applied']} mutation batches committed")
 database.close()
+PY
+
+echo
+echo "== kill -9 then recover (WAL survives an unclean server death) =="
+# Boot the server CLI on a durability directory, commit a mutation over
+# the wire, SIGKILL the process (no drain, no checkpoint-on-close), then
+# restart from the same directory and verify the committed rows come
+# back over the wire.
+python - <<'PY'
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro.server import BlockingClient
+
+workdir = tempfile.mkdtemp(prefix="repro-smoke-durability-")
+program = os.path.join(workdir, "tc.dl")
+durdir = os.path.join(workdir, "dur")
+with open(program, "w", encoding="utf-8") as handle:
+    handle.write(
+        "edge(1, 2).\n"
+        "edge(2, 3).\n"
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Z) :- path(X, Y), edge(Y, Z).\n"
+    )
+
+def boot():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--program", program,
+         "--port", "0", "--durability", durdir],
+        stderr=subprocess.PIPE, text=True,
+    )
+    while True:
+        line = proc.stderr.readline()
+        assert line, "server exited before listening"
+        if "listening on" in line:
+            return proc, int(line.rsplit(":", 1)[1])
+
+proc, port = boot()
+with BlockingClient("127.0.0.1", port) as client:
+    client.insert("edge", [[3, 4]])
+    before = len(client.query("path"))
+proc.kill()  # SIGKILL: the WAL is all that survives
+proc.wait()
+
+proc, port = boot()
+try:
+    with BlockingClient("127.0.0.1", port) as client:
+        paths = client.query("path")
+        assert len(paths) == before, (len(paths), before)
+        assert (1, 4) in paths, "replayed mutation lost its derived rows"
+finally:
+    proc.send_signal(signal.SIGINT)
+    proc.wait()
+print(f"recovered {before} path rows across a kill -9 restart")
 PY
 
 echo

@@ -42,6 +42,7 @@ from repro.core.config import (
     ShardingConfig,
 )
 from repro.datalog.dsl import Program, RelationHandle
+from repro.durability import DurabilityConfig
 from repro.datalog.literals import compare, let
 from repro.datalog.parser import parse_program
 from repro.datalog.terms import Variable
@@ -55,6 +56,7 @@ __all__ = [
     "CompilationGranularity",
     "Connection",
     "Database",
+    "DurabilityConfig",
     "EngineConfig",
     "ExecutionEngine",
     "ExecutionMode",

@@ -120,6 +120,7 @@ class Connection:
         self._session = session
         self._database = _database
         self._catalog = catalog
+        self._durability = None  # set by Database.connect for the durable writer
         self._closed = False
 
     # -- introspection ---------------------------------------------------------
@@ -147,6 +148,29 @@ class Connection:
         else.
         """
         return self._catalog
+
+    @property
+    def durability(self):
+        """This connection's :class:`~repro.durability.DurabilityManager`,
+        or None — only the durable writer (the first connection a durable
+        database opens) has one.  ``conn.durability.last_recovery`` is the
+        warm-restart report of this open."""
+        return self._durability
+
+    def checkpoint(self) -> int:
+        """Write a durable checkpoint now; returns bytes written.
+
+        Collapses the WAL into a full-state snapshot so the next open
+        restarts warm with nothing to replay.  Raises when this connection
+        is not the durable writer.
+        """
+        self._check_open()
+        if self._durability is None:
+            raise RuntimeError(
+                "this connection is not a durable writer; open the database "
+                "with Database(durability=DurabilityConfig(dir=...))"
+            )
+        return self._durability.checkpoint()
 
     @property
     def closed(self) -> bool:
@@ -347,8 +371,16 @@ class Connection:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release session resources (idempotent)."""
+        """Release session resources (idempotent).
+
+        The durable writer checkpoints on clean close (per its
+        configuration) and releases the durability directory, so the next
+        ``connect()`` — this process or the next — can claim it.
+        """
         if not self._closed:
+            if self._durability is not None:
+                self._durability.close()
+                self._durability = None
             self._session.close()
             self._closed = True
             if self._database is not None:
@@ -386,9 +418,16 @@ class Database:
     def __init__(self, program: ProgramLike,
                  config: Optional[EngineConfig] = None,
                  cache: Optional[ResultCache] = None,
-                 name: str = "database") -> None:
+                 name: str = "database",
+                 durability=None) -> None:
         self.program = coerce_program(program, name=name)
         self.config = config or EngineConfig()
+        #: Optional :class:`~repro.durability.DurabilityConfig`.  When set,
+        #: the first connection becomes the durable writer: it recovers
+        #: from the directory on open (checkpoint install + WAL replay),
+        #: logs every mutation batch, and checkpoints per the thresholds.
+        self.durability = durability
+        self._durability_owner: Optional["Connection"] = None
         #: Shared across every connection; keyed by program fingerprint,
         #: configuration and mutation history, so sharing is always safe.
         self.cache = cache if cache is not None else ResultCache()
@@ -432,6 +471,14 @@ class Database:
         catalog.bind_storage(lambda: session.storage)
         catalog.bind_shards(_shard_rows_provider(session))
         connection = Connection(session, _database=self, catalog=catalog)
+        if self.durability is not None and self._durability_owner is None:
+            from repro.durability import DurabilityManager
+
+            manager = DurabilityManager(self.durability, session)
+            manager.open()  # recovery runs here, before any query/mutation
+            catalog.bind_durability(lambda: [manager.stat_row()])
+            connection._durability = manager
+            self._durability_owner = connection
         self._connections.append(connection)
         return connection
 
@@ -541,6 +588,8 @@ class Database:
         self._closed = True
 
     def _forget(self, connection: Connection) -> None:
+        if self._durability_owner is connection:
+            self._durability_owner = None
         try:
             self._connections.remove(connection)
         except ValueError:  # pragma: no cover - double-close race

@@ -26,6 +26,7 @@ from repro.bench.fig10 import FIG10_COLUMNS, run_fig10
 from repro.bench.fig5 import FIG5_COLUMNS, run_fig5
 from repro.bench.fig67 import FIG67_COLUMNS, run_fig6, run_fig7
 from repro.bench.fig89 import FIG89_COLUMNS, run_fig8, run_fig9
+from repro.bench.durability import DURABILITY_COLUMNS, run_durability
 from repro.bench.formatting import format_rows
 from repro.bench.incremental import INCREMENTAL_COLUMNS, run_incremental
 from repro.bench.interning import INTERNING_COLUMNS, run_interning
@@ -131,6 +132,12 @@ SECTIONS: Tuple[BenchSection, ...] = (
         "Concurrent serving — mixed read/write latency under N clients",
         SERVING_COLUMNS,
         lambda args: run_serving(repeat=args.repeat, quick=args.quick),
+    ),
+    BenchSection(
+        "durability",
+        "Durability — WAL append cost and warm-restart speedup",
+        DURABILITY_COLUMNS,
+        lambda args: run_durability(repeat=args.repeat, quick=args.quick),
     ),
 )
 

@@ -98,12 +98,26 @@ class DatalogProgram:
         return fact
 
     def add_facts(self, relation: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk-add facts; returns the number added."""
-        count = 0
-        for row in rows:
-            self.add_fact(relation, row)
-            count += 1
-        return count
+        """Bulk-add facts; returns the number added.
+
+        One declaration lookup for the whole batch (not one per row);
+        per-row arity validation stays, with the same error
+        :meth:`declare_relation` raises on a redeclaration.
+        """
+        facts = [Fact(relation, tuple(row)) for row in rows]
+        if not facts:
+            return 0
+        declaration = self.declare_relation(relation, facts[0].arity)
+        arity = declaration.arity
+        for fact in facts:
+            if len(fact.values) != arity:
+                raise ValueError(
+                    f"relation {relation!r} redeclared with arity "
+                    f"{len(fact.values)}, previously {arity}"
+                )
+        self.facts.extend(facts)
+        declaration.fact_count += len(facts)
+        return len(facts)
 
     def add_rule(self, head: Atom, body: Sequence[Literal], name: str = "") -> Rule:
         """Add a rule, declaring the head and body relations on first use."""

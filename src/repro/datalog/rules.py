@@ -17,7 +17,8 @@ class Fact:
     values: Tuple[Any, ...]
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "values", tuple(self.values))
+        if type(self.values) is not tuple:
+            object.__setattr__(self, "values", tuple(self.values))
 
     @property
     def arity(self) -> int:

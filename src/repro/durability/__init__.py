@@ -1,0 +1,51 @@
+"""Durable storage: write-ahead logging, checkpoints and warm restart.
+
+The serving layer (PR 8) made the engine a long-lived process; this package
+makes its state survive that process.  Three cooperating pieces:
+
+* :mod:`repro.durability.wal` — an append-only log of encoded mutation
+  batches.  Each record is length-prefixed and CRC-checksummed (the same
+  framing discipline as the server's wire protocol) and carries the
+  :class:`~repro.relational.symbols.SymbolTable` delta the batch allocated,
+  so replay reproduces the exact id assignment of the original process.
+* :mod:`repro.durability.checkpoint` — atomic full-state snapshots: the
+  per-relation row sets dumped as packed ``array('q')`` machine-word
+  columns (near-zero serialization cost under dictionary encoding) plus
+  the symbol value list, written temp-then-rename so a crash can never
+  expose a half-written checkpoint.
+* :mod:`repro.durability.recover` — warm restart: install the latest valid
+  checkpoint, replay the WAL tail through the ordinary incremental-session
+  mutation path, and tolerate a torn final record (truncate at the first
+  checksum/length failure, never past it).
+
+Wired through ``Database(durability=DurabilityConfig(dir=...))``: the first
+connection becomes the durable writer — it recovers on open, logs every
+mutation batch before the batch's snapshot is published, and checkpoints
+when the WAL crosses the configured thresholds (and on clean close, so the
+next open restarts warm).
+"""
+
+from repro.durability.config import DurabilityConfig
+from repro.durability.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.durability.manager import DurabilityManager
+from repro.durability.recover import RecoveryError, RecoveryReport, recover
+from repro.durability.wal import WalError, WalRecord, WriteAheadLog, read_wal
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "RecoveryError",
+    "RecoveryReport",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal",
+    "recover",
+]

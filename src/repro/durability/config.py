@@ -1,0 +1,77 @@
+"""Durability configuration: where state lives and how hard it is synced."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+#: Valid ``fsync`` policies, weakest to strongest guarantee.
+FSYNC_POLICIES = ("off", "batch", "always")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How one :class:`~repro.api.database.Database` persists its state.
+
+    Parameters
+    ----------
+    dir:
+        The durability directory.  Holds one WAL (``wal.log``) and the
+        rotating checkpoints (``checkpoint-<n>.ckpt``); created on first
+        use.  One directory belongs to one program — recovery refuses a
+        checkpoint written by a different program fingerprint.
+    fsync:
+        When WAL appends reach stable storage:
+
+        * ``"always"`` — fsync after every record; a batch's mutation
+          future resolves only once its record survives power loss.
+        * ``"batch"`` — records are flushed to the OS per append but
+          fsynced at group-commit points (the server's writer syncs once
+          per drained queue batch) and on checkpoint/close.  The default:
+          bounded loss window, near-``off`` throughput.
+        * ``"off"`` — never fsync; durability against process crash only.
+    checkpoint_every_bytes / checkpoint_every_records:
+        Write a checkpoint (and rotate the WAL) when the live WAL tail
+        crosses either threshold.  ``0`` disables that trigger.
+    checkpoint_on_close:
+        Checkpoint on clean close, so the next open restarts warm without
+        replaying the tail.
+    mmap_checkpoints:
+        Load checkpoint column data through ``mmap`` so large checkpoints
+        page lazily instead of being read through userspace buffers.
+    keep_checkpoints:
+        How many most-recent checkpoints to retain (older ones are pruned
+        after a successful write).
+    """
+
+    dir: str
+    fsync: str = "batch"
+    checkpoint_every_bytes: int = 16 * 1024 * 1024
+    checkpoint_every_records: int = 1024
+    checkpoint_on_close: bool = True
+    mmap_checkpoints: bool = True
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be at least 1")
+
+    def with_(self, **changes) -> "DurabilityConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.dir, "wal.log")
+
+    def describe(self) -> str:
+        return (
+            f"durability(dir={self.dir!r}, fsync={self.fsync}, "
+            f"checkpoint@{self.checkpoint_every_records}rec/"
+            f"{self.checkpoint_every_bytes}B)"
+        )

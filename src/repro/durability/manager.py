@@ -1,0 +1,243 @@
+"""The durability manager: one session's WAL + checkpoint lifecycle.
+
+One :class:`DurabilityManager` owns one durability directory on behalf of
+one :class:`~repro.incremental.session.IncrementalSession` — the durable
+*writer* (the API layer attaches it to the first connection a durable
+database opens; the server funnels every mutation through that one
+connection anyway).  Lifecycle::
+
+    manager = DurabilityManager(config, session)
+    manager.open()       # recover, truncate any torn tail, start appending
+    ...                  # session.apply() now logs each batch via
+    ...                  # record_batch() before its snapshot publishes
+    manager.sync()       # group-commit point under fsync="batch"
+    manager.checkpoint() # explicit checkpoint + WAL rotation
+    manager.close()      # final checkpoint (configurable) and shutdown
+
+``record_batch`` runs inside the session's write lock (it is called from
+``apply`` itself), so records land in the log in exactly commit order and
+the symbol suffix each record carries is contiguous with the previous
+record's — :attr:`_symbols_logged` tracks the high-water mark, so even
+entries allocated *outside* a batch (the initial fixpoint of a fresh
+directory) ride along in the next record's delta.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.durability.checkpoint import Checkpoint, CheckpointStore
+from repro.durability.config import DurabilityConfig
+from repro.durability.recover import RecoveryReport, recover
+from repro.durability.wal import WalRecord, WriteAheadLog
+
+
+class DurabilityManager:
+    """WAL + checkpoint orchestration for one durable session."""
+
+    def __init__(self, config: DurabilityConfig, session) -> None:
+        self.config = config
+        self.session = session
+        os.makedirs(config.dir, exist_ok=True)
+        self.store = CheckpointStore(
+            config.dir, keep=config.keep_checkpoints,
+            use_mmap=config.mmap_checkpoints,
+        )
+        self.wal: Optional[WriteAheadLog] = None
+        self.last_recovery: Optional[RecoveryReport] = None
+        self.checkpoints_written = 0
+        self.records_appended = 0
+        self._symbols_logged = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def open(self) -> RecoveryReport:
+        """Recover from the directory, then attach to the session."""
+        report, scan = recover(self.session, self.config.wal_path, self.store)
+        self.last_recovery = report
+        if scan is None:
+            self.wal = WriteAheadLog(self.config.wal_path, fsync=self.config.fsync)
+        else:
+            self.wal = WriteAheadLog.resume(
+                self.config.wal_path, scan, fsync=self.config.fsync
+            )
+        symbols = self.session.storage.symbols
+        self._symbols_logged = 0 if symbols.identity else len(symbols)
+        self.session.attach_durability(self)
+        return report
+
+    def close(self) -> None:
+        """Detach, optionally checkpoint the tail away, and close the log.
+
+        Idempotent.  With ``checkpoint_on_close`` (the default) a clean
+        shutdown collapses the whole WAL into a checkpoint, so the next
+        open is a pure warm start with nothing to replay.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.session.detach_durability(self)
+        if self.wal is not None:
+            if (
+                self.config.checkpoint_on_close
+                and self.wal.record_count > 0
+                and self.session._evaluated
+            ):
+                with self.session._write_lock:
+                    self._checkpoint_locked()
+            self.wal.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- the write path (called from session.apply, under its write lock) --------
+
+    def record_batch(self, inserts, retracts) -> int:
+        """Log one just-committed mutation batch; returns its sequence number.
+
+        The record carries the symbol suffix allocated since the last
+        record (normalisation *and* fixpoint allocations), so replay can
+        reproduce this process's id assignment exactly.  Durable per the
+        fsync policy when this returns — the caller publishes the batch's
+        snapshot (and resolves client futures) only afterwards.
+        """
+        symbols = self.session.storage.symbols
+        if symbols.identity:
+            base, entries = 0, []
+        else:
+            base = self._symbols_logged
+            entries = symbols.entries_since(base)
+        record = WalRecord(
+            seq=self.wal.next_seq, sym_base=base, sym_entries=entries,
+            inserts=inserts, retracts=retracts,
+        )
+        started = time.perf_counter()
+        with self.session.tracer.span("wal:append") as span:
+            written = self.wal.append(record)
+            span.set(seq=record.seq, bytes=written,
+                     symbols=len(entries), fsync=self.wal.fsync)
+        self._symbols_logged = base + len(entries)
+        self.records_appended += 1
+        metrics = self.session.metrics
+        metrics.counter("wal_records_total").inc()
+        metrics.counter("wal_bytes_total").inc(written)
+        metrics.histogram("wal_append_seconds").observe(
+            time.perf_counter() - started
+        )
+        if self._checkpoint_due():
+            self._checkpoint_locked()
+        return record.seq
+
+    def _checkpoint_due(self) -> bool:
+        bytes_limit = self.config.checkpoint_every_bytes
+        records_limit = self.config.checkpoint_every_records
+        return bool(
+            (bytes_limit and self.wal.size >= bytes_limit)
+            or (records_limit and self.wal.record_count >= records_limit)
+        )
+
+    # -- group commit ------------------------------------------------------------
+
+    def sync(self) -> int:
+        """Make every appended record durable (fsync per policy).
+
+        The server's writer loop calls this once per drained queue batch
+        under ``fsync="batch"``: one fsync amortized over the whole group,
+        after which all the group's futures resolve.
+        """
+        if self.wal is None:
+            return 0
+        synced = self.wal.sync()
+        if synced:
+            self.session.metrics.counter("wal_syncs_total").inc()
+        return synced
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a checkpoint of the current fixpoint; returns bytes written.
+
+        Takes the session's write lock (mutations and checkpoints are
+        serialized) and forces the initial evaluation if it has not run.
+        """
+        with self.session._write_lock:
+            self.session._ensure_evaluated()
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
+        """Checkpoint + WAL rotation; caller holds the session write lock."""
+        session = self.session
+        storage = session.storage
+        symbols = storage.symbols
+        started = time.perf_counter()
+        with session.tracer.span("checkpoint:write") as span:
+            names = storage.relation_names()
+            checkpoint = Checkpoint(
+                program=session.program_fingerprint,
+                wal_records=self.wal.next_seq,
+                symbols=None if symbols.identity else list(symbols.values()),
+                relations={
+                    name: (storage.tuples(name), storage.base_rows(name))
+                    for name in names
+                },
+                arities={name: storage.arity_of(name) for name in names},
+            )
+            written = self.store.write(checkpoint)
+            # The checkpoint file is durable (fsync + rename + dir fsync)
+            # and covers every record, so the log can restart empty.
+            self.wal.rotate(checkpoint.wal_records)
+            span.set(bytes=written, rows=checkpoint.row_count(),
+                     wal_records=checkpoint.wal_records)
+        self.checkpoints_written += 1
+        metrics = session.metrics
+        metrics.counter("checkpoints_total").inc()
+        metrics.counter("checkpoint_bytes_total").inc(written)
+        metrics.histogram("checkpoint_seconds").observe(
+            time.perf_counter() - started
+        )
+        return written
+
+    # -- introspection -----------------------------------------------------------
+
+    def stat_row(self) -> tuple:
+        """The single ``sys_durability`` catalog row."""
+        recovery = self.last_recovery
+        return (
+            self.config.dir,
+            self.config.fsync,
+            self.wal.next_seq if self.wal is not None else 0,
+            self.wal.size if self.wal is not None else 0,
+            self.checkpoints_written,
+            recovery.replayed_records if recovery is not None else 0,
+            recovery.checkpoint_rows if recovery is not None else 0,
+            round(recovery.seconds, 6) if recovery is not None else 0.0,
+        )
+
+    def stats(self) -> dict:
+        """WAL/checkpoint state for the server's ``stats`` surface."""
+        recovery = self.last_recovery
+        return {
+            "dir": self.config.dir,
+            "fsync": self.config.fsync,
+            "wal_records": self.wal.next_seq if self.wal is not None else 0,
+            "wal_bytes": self.wal.size if self.wal is not None else 0,
+            "checkpoints_written": self.checkpoints_written,
+            "recovered_records": (
+                recovery.replayed_records if recovery is not None else 0
+            ),
+            "recovered_rows": (
+                recovery.checkpoint_rows if recovery is not None else 0
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"DurabilityManager({self.config.dir!r}, "
+            f"records={self.records_appended}, "
+            f"checkpoints={self.checkpoints_written}, {state})"
+        )

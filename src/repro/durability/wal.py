@@ -1,0 +1,294 @@
+"""The write-ahead log: length-prefixed, checksummed mutation records.
+
+File layout
+-----------
+
+::
+
+    +----------------------+      header: 8-byte magic + 8-byte big-endian
+    | REPROWAL1  base_seq  |      base sequence number (records committed
+    +----------------------+      in earlier, checkpoint-covered epochs)
+    | len | crc | payload  |      one record per committed mutation batch:
+    +----------------------+      4-byte BE payload length, 4-byte BE
+    | len | crc | payload  |      CRC-32 of the payload, pickled payload
+    +----------------------+
+
+The record framing follows the server's wire protocol (a big-endian length
+prefix guarding a bounded payload) with a CRC-32 added, because unlike a
+socket the filesystem *can* hand back a torn suffix after a crash.  The
+payload is a pickle, not JSON: rows may hold arbitrary Python values under
+the identity codec, and the checkpoint/WAL pair never crosses a trust
+boundary — it lives in the database's own durability directory.
+
+Each record carries the :class:`~repro.relational.symbols.SymbolTable`
+delta its batch allocated (``sym_base``/``sym_entries``, the table's
+``mark``/``entries_since``/``extend`` protocol).  Symbol allocation order
+is *not* deterministic across processes — ``PYTHONHASHSEED`` perturbs the
+set-iteration order inside the session's normalisation and fixpoint — so
+replay must :meth:`~repro.relational.symbols.SymbolTable.extend` the delta
+before re-applying the batch; interning then finds every id already
+assigned and the recovered store is id-identical to the crashed one.
+
+Torn tails: :func:`read_wal` scans from the header and stops at the first
+record whose length prefix is implausible, whose payload is short, or
+whose CRC fails — returning everything before the failure and the byte
+offset of the last valid record boundary, never anything past it.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+MAGIC = b"REPROWAL"
+_HEADER_LEN = len(MAGIC) + 8          # magic + 8-byte BE base sequence
+_PREFIX_LEN = 8                       # 4-byte BE length + 4-byte BE crc32
+
+#: Largest record payload the log will write or believe while scanning.
+#: Generous (a mutation batch is bounded by the server's 16 MiB frame cap
+#: well before this), but small enough that a corrupt length prefix cannot
+#: make the scanner swallow gigabytes of garbage as one "record".
+MAX_RECORD = (1 << 30) - 1
+
+
+class WalError(Exception):
+    """A WAL file that cannot be written or is structurally invalid."""
+
+
+@dataclass
+class WalRecord:
+    """One committed mutation batch, as logged and as replayed."""
+
+    seq: int
+    #: Symbol delta: the table suffix this batch allocated, starting at id
+    #: ``sym_base``.  Empty under the identity codec.
+    sym_base: int = 0
+    sym_entries: List[Any] = field(default_factory=list)
+    #: Raw-domain row batches, exactly as the session's ``apply`` saw them.
+    inserts: Dict[str, List[Tuple[Any, ...]]] = field(default_factory=dict)
+    retracts: Dict[str, List[Tuple[Any, ...]]] = field(default_factory=dict)
+
+    def payload(self) -> bytes:
+        return pickle.dumps(
+            {
+                "seq": self.seq,
+                "sym_base": self.sym_base,
+                "sym_entries": self.sym_entries,
+                "inserts": self.inserts,
+                "retracts": self.retracts,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_payload(cls, data: bytes) -> "WalRecord":
+        fields = pickle.loads(data)
+        return cls(
+            seq=fields["seq"],
+            sym_base=fields["sym_base"],
+            sym_entries=fields["sym_entries"],
+            inserts=fields["inserts"],
+            retracts=fields["retracts"],
+        )
+
+
+def _encode_header(base_seq: int) -> bytes:
+    return MAGIC + base_seq.to_bytes(8, "big")
+
+
+def _decode_header(data: bytes) -> int:
+    """The base sequence number, or raise on a foreign/corrupt header."""
+    if len(data) < _HEADER_LEN or data[: len(MAGIC)] != MAGIC:
+        raise WalError("not a repro WAL file (bad magic)")
+    return int.from_bytes(data[len(MAGIC):_HEADER_LEN], "big")
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One record as bytes: length prefix, CRC-32, payload."""
+    if len(payload) > MAX_RECORD:
+        raise WalError(
+            f"record of {len(payload)} bytes exceeds MAX_RECORD ({MAX_RECORD})"
+        )
+    return (
+        len(payload).to_bytes(4, "big")
+        + zlib.crc32(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+@dataclass
+class WalScan:
+    """What :func:`read_wal` found in one log file."""
+
+    base_seq: int                 #: records committed before this file
+    records: List[WalRecord]      #: every intact record, in commit order
+    valid_length: int             #: byte offset of the last intact boundary
+    torn: bool = False            #: a torn/corrupt tail was truncated away
+    file_length: int = 0
+
+
+def read_wal(path: str) -> WalScan:
+    """Scan a WAL file, tolerating (and reporting) a torn tail.
+
+    Stops at the first length/checksum failure and **never** reads past
+    it: a record after a torn one was never acknowledged in commit order,
+    so replaying it would resurrect a batch the crashed process itself
+    would not have recovered.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    base_seq = _decode_header(data)        # raises WalError on bad magic
+    records: List[WalRecord] = []
+    offset = _HEADER_LEN
+    torn = False
+    while offset < len(data):
+        header = data[offset:offset + _PREFIX_LEN]
+        if len(header) < _PREFIX_LEN:
+            torn = True
+            break
+        length = int.from_bytes(header[:4], "big")
+        crc = int.from_bytes(header[4:], "big")
+        if length == 0 or length > MAX_RECORD:
+            torn = True
+            break
+        payload = data[offset + _PREFIX_LEN:offset + _PREFIX_LEN + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            torn = True
+            break
+        try:
+            records.append(WalRecord.from_payload(payload))
+        except Exception:
+            # The CRC held but the pickle did not decode — treat it like
+            # any other torn record: truncate here, keep the prefix.
+            torn = True
+            break
+        offset += _PREFIX_LEN + length
+    return WalScan(
+        base_seq=base_seq,
+        records=records,
+        valid_length=offset,
+        torn=torn,
+        file_length=len(data),
+    )
+
+
+class WriteAheadLog:
+    """Appender over one WAL file (see the module docstring for layout).
+
+    ``fsync`` is the policy from :class:`~repro.durability.config.
+    DurabilityConfig`: ``"always"`` syncs per append, ``"batch"`` leaves
+    syncing to explicit :meth:`sync` calls at group-commit points, and
+    ``"off"`` never syncs.  Every append is flushed to the OS regardless,
+    so under ``"batch"``/``"off"`` only machine (not process) failure can
+    lose acknowledged records.
+    """
+
+    def __init__(self, path: str, fsync: str = "batch",
+                 truncate_at: Optional[int] = None) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._file: Optional[io.BufferedWriter] = None
+        self._unsynced = 0
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                self.base_seq = _decode_header(handle.read(_HEADER_LEN))
+            if truncate_at is not None:
+                if truncate_at < _HEADER_LEN:
+                    raise WalError("cannot truncate into the WAL header")
+                with open(path, "r+b") as handle:
+                    handle.truncate(truncate_at)
+            self._file = open(path, "ab")
+        else:
+            self.base_seq = 0
+            self._file = open(path, "wb")
+            self._file.write(_encode_header(0))
+            self._file.flush()
+        self.size = self._file.tell()
+        #: Records in *this* file (the live epoch); the next record gets
+        #: sequence number ``base_seq + record_count``.
+        self.record_count = 0
+
+    @classmethod
+    def resume(cls, path: str, scan: WalScan, fsync: str) -> "WriteAheadLog":
+        """Open for append after recovery, truncating the torn tail."""
+        wal = cls(path, fsync=fsync,
+                  truncate_at=scan.valid_length if scan.torn else None)
+        wal.size = scan.valid_length
+        wal.record_count = len(scan.records)
+        return wal
+
+    @property
+    def next_seq(self) -> int:
+        return self.base_seq + self.record_count
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record; returns the bytes written.
+
+        When this returns, the record is durable per the configured fsync
+        policy — callers resolving client futures do so only afterwards.
+        """
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        frame = frame_record(record.payload())
+        self._file.write(frame)
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+        else:
+            self._unsynced += 1
+        self.size += len(frame)
+        self.record_count += 1
+        return len(frame)
+
+    def sync(self) -> int:
+        """Force appended records to stable storage (group-commit point).
+
+        Returns how many appends this call made durable.  A no-op under
+        ``fsync="off"`` (flushes reach the OS on every append already).
+        """
+        if self._file is None or self.fsync == "off":
+            drained, self._unsynced = self._unsynced, 0
+            return drained
+        os.fsync(self._file.fileno())
+        drained, self._unsynced = self._unsynced, 0
+        return drained
+
+    def rotate(self, base_seq: int) -> None:
+        """Start a fresh epoch: truncate to an empty log at ``base_seq``.
+
+        Called right after a checkpoint covering every record so far; the
+        checkpoint *must* be durable first — rotation destroys the only
+        other copy of those records.  Crash-safe on either side: before
+        the rotation the checkpoint simply skips the still-present
+        records, after it the header's ``base_seq`` says they are gone.
+        """
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        self._file.close()
+        with open(self.path, "wb") as handle:
+            handle.write(_encode_header(base_seq))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file = open(self.path, "ab")
+        self.base_seq = base_seq
+        self.size = _HEADER_LEN
+        self.record_count = 0
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self.fsync != "off":
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WriteAheadLog({self.path!r}, records={self.record_count}, "
+            f"bytes={self.size}, fsync={self.fsync})"
+        )

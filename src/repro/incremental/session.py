@@ -235,10 +235,15 @@ class IncrementalSession:
         self.program_fingerprint = fingerprint_program(self.program)
         # Cache keys embed the *initial* facts too: two sessions whose
         # programs differ only in their EDB could otherwise collide on key
-        # and generation vector alike.
-        self._cache_fingerprint = fingerprint_program(
-            self.program, include_facts=True
-        )
+        # and generation vector alike.  The ResultCache is in-process, so
+        # an order-independent builtin hash of the fact set is enough (and
+        # ~10x cheaper than canonicalising a 10k-fact EDB to text); the
+        # canonical-text digest remains the fallback for unhashable facts.
+        try:
+            edb_token: object = hash(frozenset(self.program.facts))
+        except TypeError:
+            edb_token = fingerprint_program(self.program, include_facts=True)
+        self._cache_fingerprint = (self.program_fingerprint, edb_token)
         # Per-relation rolling digests of the mutations applied to each
         # relation.  Generation counters alone cannot distinguish *diverged*
         # sessions sharing a cache (different mutations advance them
@@ -276,6 +281,10 @@ class IncrementalSession:
         # callers may not — never interleave two fixpoint repairs.
         self._write_lock = threading.Lock()
         self.snapshots = None  # Optional[SnapshotManager]
+        # Durable-writer hook (see repro.durability): when a manager is
+        # attached, every apply() logs its batch to the WAL before the
+        # batch's snapshot publishes.  None for non-durable sessions.
+        self._durability = None  # Optional[DurabilityManager]
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -374,6 +383,42 @@ class IncrementalSession:
         self._ensure_evaluated()
         return self.snapshots.publish()
 
+    # -- durability (opt-in; see repro.durability) --------------------------------
+
+    def attach_durability(self, manager) -> None:
+        """Make this session the durable writer behind ``manager``.
+
+        Called by :meth:`~repro.durability.manager.DurabilityManager.open`
+        *after* recovery — replayed batches are already in the log and
+        must not be re-appended.  One manager at a time.
+        """
+        if self._durability is not None and self._durability is not manager:
+            raise RuntimeError("a durability manager is already attached")
+        self._durability = manager
+
+    def detach_durability(self, manager) -> None:
+        """Stop logging mutations (idempotent; manager identity checked)."""
+        if self._durability is manager:
+            self._durability = None
+
+    def restore_fixpoint(
+        self, states: Mapping[str, Tuple[Set[Row], Set[Row]]]
+    ) -> None:
+        """Install recovered ``{name: (derived, base)}`` rows as the fixpoint.
+
+        The warm-restart entry point: rows come from a checkpoint already
+        aligned to this session's symbol domain, so no evaluation runs —
+        the session behaves exactly as if it had computed this fixpoint
+        itself.  Publishes a snapshot when MVCC is enabled.
+        """
+        with self._write_lock:
+            for name, (derived, base) in states.items():
+                self.storage.restore_state(name, derived, base)
+            self._decoded_results.clear()
+            self._evaluated = True
+            if self.snapshots is not None:
+                self.snapshots.publish()
+
     # -- mutation ---------------------------------------------------------------
 
     def insert_facts(self, relation: str, rows: RowBatch) -> UpdateReport:
@@ -402,6 +447,20 @@ class IncrementalSession:
             "mutation", root=True, program=self.program_fingerprint[:12]
         ) as span:
             self._ensure_evaluated()
+            durability = self._durability
+            if durability is not None:
+                # Materialize the raw batches up front: _normalise consumes
+                # them (they may be generators), and the WAL logs exactly
+                # what the caller handed in — raw-domain rows, replayable
+                # through this same method.
+                inserts = {
+                    name: [tuple(row) for row in rows]
+                    for name, rows in (inserts or {}).items()
+                }
+                retracts = {
+                    name: [tuple(row) for row in rows]
+                    for name, rows in (retracts or {}).items()
+                }
             insert_rows = self._normalise(inserts)
             retract_rows = self._normalise(retracts, allocate=False)
 
@@ -409,6 +468,10 @@ class IncrementalSession:
                 report = self._apply_incremental(insert_rows, retract_rows)
             else:
                 report = self._apply_recompute(insert_rows, retract_rows)
+            if durability is not None:
+                # Log before the snapshot publishes: a version readers can
+                # see must already be recoverable (per the fsync policy).
+                durability.record_batch(inserts, retracts)
             if self.snapshots is not None:
                 self.snapshots.publish()
             report.seconds = time.perf_counter() - started

@@ -176,11 +176,26 @@ class SnapshotManager:
             return latest
 
     def release(self, version: int) -> None:
-        """Drop one pin on ``version``; collects unpinned old versions."""
+        """Drop one pin on ``version``; collects unpinned old versions.
+
+        Raises :class:`ValueError` when ``version`` has no outstanding pin
+        — a double release or a never-acquired version.  Silently ignoring
+        it was worse than the error: with *other* readers still pinning
+        the version, a stray release decrements their refcount and lets GC
+        collect a snapshot someone is actively reading from.  Callbacks
+        handed out by :meth:`releaser` are fire-once, so well-behaved
+        callers never see this raise.
+        """
         with self._lock:
             count = self._pins.get(version)
             if count is None:
-                return
+                if self._metrics is not None:
+                    self._metrics.counter("snapshot_release_errors_total").inc()
+                raise ValueError(
+                    f"release of snapshot version {version} with no "
+                    "outstanding pins (double release, or a version that "
+                    "was never acquired)"
+                )
             if count <= 1:
                 del self._pins[version]
             else:
@@ -188,8 +203,25 @@ class SnapshotManager:
             self._collect_locked()
 
     def releaser(self, version: int) -> Callable[[], None]:
-        """A zero-argument release callback (the QueryResult finalizer)."""
-        return lambda: self.release(version)
+        """A zero-argument, fire-once release callback (the QueryResult
+        finalizer).  Invocations after the first no-op (counted in the
+        ``snapshot_double_release_total`` metric) instead of stealing a
+        concurrent reader's pin on the same version."""
+        guard = threading.Lock()
+        state = {"fired": False}
+
+        def _release() -> None:
+            with guard:
+                if state["fired"]:
+                    if self._metrics is not None:
+                        self._metrics.counter(
+                            "snapshot_double_release_total"
+                        ).inc()
+                    return
+                state["fired"] = True
+            self.release(version)
+
+        return _release
 
     # -- garbage collection ------------------------------------------------------
 

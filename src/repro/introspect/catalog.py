@@ -56,6 +56,10 @@ CATALOG_COLUMNS: Dict[str, Tuple[str, ...]] = {
         "policy", "mutations_applied", "shed_total", "rejected_total",
         "snapshot_version", "snapshots_live",
     ),
+    "sys_durability": (
+        "dir", "fsync", "wal_records", "wal_bytes", "checkpoints_written",
+        "recovered_records", "recovered_rows", "recovery_seconds",
+    ),
 }
 
 #: Relation names starting with this prefix belong to the engine: rules may
@@ -112,6 +116,7 @@ class SystemCatalog:
         self._shard_provider: Optional[Callable[[], List[Row]]] = None
         self._connection_provider: Optional[Callable[[], List[Row]]] = None
         self._server_provider: Optional[Callable[[], List[Row]]] = None
+        self._durability_provider: Optional[Callable[[], List[Row]]] = None
         #: Last materialized content digest per relation (per catalog —
         #: catalogs are per-connection, so this is per-storage too).
         self._digests: Dict[str, str] = {}
@@ -136,6 +141,11 @@ class SystemCatalog:
     def bind_server(self, provider: Callable[[], List[Row]]) -> None:
         """Install the provider of the single ``sys_server`` row."""
         self._server_provider = provider
+
+    def bind_durability(self, provider: Callable[[], List[Row]]) -> None:
+        """Install the provider of the single ``sys_durability`` row (the
+        durable writer's WAL/checkpoint/recovery state; empty elsewhere)."""
+        self._durability_provider = provider
 
     # -- row sources -------------------------------------------------------------
 
@@ -176,6 +186,10 @@ class SystemCatalog:
         if name == "sys_server":
             return [] if self._server_provider is None else list(
                 self._server_provider()
+            )
+        if name == "sys_durability":
+            return [] if self._durability_provider is None else list(
+                self._durability_provider()
             )
         return self._symbol_rows(storage)  # sys_symbols
 

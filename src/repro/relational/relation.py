@@ -160,6 +160,22 @@ class Relation:
             index.insert_many(new_rows)
         return len(new_rows)
 
+    def replace_rows(self, rows: Set[Row]) -> None:
+        """Install ``rows`` as the entire contents, **taking ownership**.
+
+        The checkpoint-install fast path: the caller hands over a freshly
+        built set (recovery discards its copy), so replacement is one
+        reference assignment instead of absorb_set's diff + union over
+        tens of thousands of rows.  Non-lazy indexes are rebuilt; lazy
+        ones are demoted exactly as :meth:`clear` does.
+        """
+        self._rows = rows
+        for column in [c for c in self._indexes if c in self._lazy_columns]:
+            del self._indexes[column]
+        for index in self._indexes.values():
+            index.clear()
+            index.insert_many(rows)
+
     def discard(self, row: Sequence[Any]) -> bool:
         """Remove a row, maintaining every index; returns True if present."""
         row_tuple = tuple(row)

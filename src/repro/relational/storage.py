@@ -125,11 +125,30 @@ class StorageManager:
         for name, declaration in program.relations.items():
             self.declare(name, declaration.arity)
         symbols = self.symbols
-        intern_row = symbols.intern_row
         by_relation: Dict[str, Set[Row]] = {}
-        for fact in program.facts:
-            by_relation.setdefault(fact.relation, set()).add(intern_row(fact.values))
-        if not symbols.identity:
+        if symbols.identity:
+            for fact in program.facts:
+                by_relation.setdefault(fact.relation, set()).add(tuple(fact.values))
+        else:
+            # Intern in strict fact order first — id allocation must match
+            # the value-at-a-time walk exactly (the durability checkpoint
+            # guard compares this deterministic prefix) — then encode.
+            ids = symbols.intern_many(
+                value for fact in program.facts for value in fact.values
+            )
+            values_by_relation: Dict[str, List[Tuple[Any, ...]]] = {}
+            for fact in program.facts:
+                values_by_relation.setdefault(fact.relation, []).append(fact.values)
+            for name, rows in values_by_relation.items():
+                # Encode per relation with direct id-map subscripts; the
+                # binary case (edges — by far the dominant EDB shape) gets
+                # an unpacking comprehension instead of a per-row genexpr.
+                if self._arities[name] == 2:
+                    by_relation[name] = {(ids[a], ids[b]) for a, b in rows}
+                else:
+                    by_relation[name] = {
+                        tuple(ids[value] for value in row) for row in rows
+                    }
             symbols.rows_encoded += sum(len(rows) for rows in by_relation.values())
         for name, rows in by_relation.items():
             inserted = self._derived[name].absorb_set(rows)
@@ -460,6 +479,33 @@ class StorageManager:
         self._delta_known[name].absorb_set(new)
         self._bump_generation(name)
         return len(new)
+
+    def restore_state(self, name: str, derived_rows: Iterable[Row],
+                      base_rows: Iterable[Row]) -> None:
+        """Install recovered state: replace Derived and the base ledger wholesale.
+
+        The checkpoint-install primitive of the durability subsystem: rows
+        arrive already in this manager's value domain (the recovery path
+        aligns the symbol table first), deltas are cleared — a checkpoint
+        is always taken at a fixpoint — and the generation bump invalidates
+        any cached results over the replaced contents.
+        """
+        self._require(name)
+        self._delta_known[name].clear()
+        self._delta_new[name].clear()
+        # A plain set argument is adopted wholesale (checkpoint loading
+        # builds fresh sets and discards its reference); anything else is
+        # copied first.  Either way the relation swaps one reference in
+        # instead of diffing tens of thousands of recovered rows.
+        rows = derived_rows if type(derived_rows) is set else {
+            tuple(row) for row in derived_rows
+        }
+        self._derived[name].replace_rows(rows)
+        self._base_rows[name] = (
+            base_rows if type(base_rows) is set else set(base_rows)
+        )
+        self._frozen_cache.pop(name, None)
+        self._bump_generation(name)
 
     # -- iteration management (SwapClearOp / DiffOp semantics) ------------------
 

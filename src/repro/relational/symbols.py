@@ -128,6 +128,28 @@ class SymbolTable:
         self.rows_encoded += len(out)
         return out
 
+    def intern_many(self, values: Iterable[Any]) -> dict:
+        """Intern every value in first-seen order; returns the live id map.
+
+        The bulk-loading path: ``dict.fromkeys`` deduplicates at C speed
+        while preserving first-seen order — the same allocation order a
+        value-at-a-time :meth:`intern` walk would produce — so a 10k-fact
+        EDB costs one pass plus one dict insert per *distinct* value
+        instead of one Python call per value occurrence.  Callers may use
+        the returned map for direct ``map[value]`` encoding but must not
+        mutate it.
+        """
+        ids = self._ids
+        missing = [value for value in dict.fromkeys(values) if value not in ids]
+        if missing:
+            with self._lock:
+                values_list = self._values
+                for value in missing:
+                    if value not in ids:
+                        ids[value] = len(values_list)
+                        values_list.append(value)
+        return ids
+
     def resolve_rows(self, rows: Iterable[Sequence[int]]) -> List[Row]:
         values = self._values
         out = [tuple(values[symbol] for symbol in row) for row in rows]
@@ -166,30 +188,54 @@ class SymbolTable:
         allocations exactly, so row ids stay comparable across the
         boundary.  Raises ``ValueError`` when the replay would assign any
         value an id different from the sender's — the tables diverged and
-        encoded rows can no longer be exchanged.
+        encoded rows can no longer be exchanged.  A batch whose values
+        *match* the receiver's existing allocations (a duplicated replay)
+        dedupe-merges: matching entries are skipped, only the genuinely new
+        tail appends.
+
+        The whole batch is validated before anything is applied: a failing
+        ``extend`` leaves the table exactly as it was.  Partial application
+        would be far worse than the error it reports — the durability WAL
+        replays symbol deltas through this method, and a half-absorbed
+        corrupt delta would silently remap every fact interned afterwards.
         """
-        added = 0
         with self._lock:
             if base is None:
                 base = len(self._values)
+            elif base > len(self._values):
+                raise ValueError(
+                    f"symbol table divergence: replay base {base} is beyond "
+                    f"this table's size {len(self._values)} (missing entries)"
+                )
+            # Phase 1 — validate every entry against both the table and the
+            # batch's own pending appends, mutating nothing.
+            pending: dict = {}
+            to_append: List[Any] = []
+            size = len(self._values)
             for offset, value in enumerate(values):
                 expected = base + offset
                 existing = self._ids.get(value)
                 if existing is None:
-                    if len(self._values) != expected:
+                    existing = pending.get(value)
+                if existing is None:
+                    if size != expected:
                         raise ValueError(
                             f"symbol table divergence: {value!r} would get id "
-                            f"{len(self._values)}, sender assigned {expected}"
+                            f"{size}, sender assigned {expected}"
                         )
-                    self._ids[value] = expected
-                    self._values.append(value)
-                    added += 1
+                    pending[value] = expected
+                    to_append.append(value)
+                    size += 1
                 elif existing != expected:
                     raise ValueError(
                         f"symbol table divergence: {value!r} bound to id "
                         f"{existing} here, {expected} at the sender"
                     )
-        return added
+            # Phase 2 — the batch is consistent; apply it.
+            for value in to_append:
+                self._ids[value] = len(self._values)
+                self._values.append(value)
+        return len(to_append)
 
     def values(self) -> Iterator[Any]:
         """Every interned value, in id order."""

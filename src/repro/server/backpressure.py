@@ -46,6 +46,11 @@ class BackpressureConfig:
             raise ValueError("max_pending must be positive")
 
 
+class QueueClosed(Exception):
+    """Raised by :meth:`MutationQueue.get` once the queue is closed and empty
+    — the writer loop's signal to finish its current batch and exit."""
+
+
 class BackpressureError(Exception):
     """A mutation was refused (or evicted) by admission control."""
 
@@ -74,6 +79,7 @@ class MutationQueue:
         self._items: Deque[Tuple[Any, "asyncio.Future"]] = deque()
         self._not_empty = asyncio.Event()
         self._space = asyncio.Condition()
+        self._closed = False
         #: Lifetime counters, surfaced through ``sys_server``.
         self.submitted = 0
         self.rejected = 0
@@ -90,6 +96,11 @@ class MutationQueue:
         (``reject`` when full, ``block`` on timeout).
         """
         config = self.config
+        if self._closed:
+            self.rejected += 1
+            raise BackpressureError(
+                "shutdown", "server is shutting down", config.policy,
+            )
         if len(self._items) >= config.max_pending:
             if config.policy == "reject":
                 self.rejected += 1
@@ -132,14 +143,41 @@ class MutationQueue:
             )
 
     async def get(self) -> Tuple[Any, "asyncio.Future"]:
-        """Dequeue the next mutation (the writer loop's sole caller)."""
+        """Dequeue the next mutation (the writer loop's sole caller).
+
+        Raises :class:`QueueClosed` once :meth:`close` has been called and
+        every queued item is gone.
+        """
         while not self._items:
+            if self._closed:
+                raise QueueClosed()
             self._not_empty.clear()
             await self._not_empty.wait()
         item = self._items.popleft()
         async with self._space:
             self._space.notify(1)
         return item
+
+    def get_nowait(self) -> Optional[Tuple[Any, "asyncio.Future"]]:
+        """The next queued mutation, or None when the queue is empty.
+
+        The writer loop uses this to drain everything already admitted
+        into one group commit after :meth:`get` hands it the first item.
+        """
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    async def notify_space(self) -> None:
+        """Wake blocked ``put`` callers after a :meth:`get_nowait` drain
+        (which cannot notify the condition from sync code itself)."""
+        async with self._space:
+            self._space.notify_all()
+
+    def close(self) -> None:
+        """Refuse further admissions and wake the writer so it can exit."""
+        self._closed = True
+        self._not_empty.set()
 
     def drain(self) -> int:
         """Fail every pending item (server shutdown); returns the count."""

@@ -35,6 +35,7 @@ from repro.server.backpressure import (
     BackpressureConfig,
     BackpressureError,
     MutationQueue,
+    QueueClosed,
 )
 from repro.server.protocol import (
     ProtocolError,
@@ -89,6 +90,9 @@ class QueryServer:
         # writer thread owns its mutations, snapshots serve the readers.
         self.conn = database.connect(config)
         self.session = self.conn.session
+        # The durability manager when the database is durable and this
+        # connection is its writer; group commit syncs through it.
+        self.durability = self.conn.durability
         self.snapshots = self.session.enable_snapshots()
         self.metrics = self.session.metrics
         self.tracer = self.session.tracer
@@ -132,27 +136,39 @@ class QueryServer:
         self._started_at = time.monotonic()
 
     async def stop(self) -> None:
-        """Stop accepting, fail pending work, drain the writer (idempotent)."""
+        """Graceful, ordered shutdown (idempotent).
+
+        Order matters: stop accepting, let the writer *finish the batch it
+        already dequeued* (its clients get real reports, durably synced),
+        fail every still-queued mutation with a structured ``shutdown``
+        error (its client gets a response, not a dead socket), flush the
+        WAL — and only then close client connections.  The old behavior
+        cancelled the writer task mid-``run_in_executor``, orphaning the
+        in-flight client future.
+        """
         if self._stopped:
             return
         self._stopped = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._queue is not None:
+            self._queue.drain()
+            self._queue.close()
+        if self._writer_task is not None:
+            # Not cancelled: the loop exits via QueueClosed after the
+            # in-flight group commit completes and its futures resolve.
+            await self._writer_task
+        self._writer_pool.shutdown(wait=True)
+        if self.durability is not None:
+            self.durability.sync()
+        # One scheduling round so handlers woken by the failed futures can
+        # write their shutdown responses before the transports close.
+        await asyncio.sleep(0)
         for task in list(self._handlers):
             task.cancel()
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
-        if self._queue is not None:
-            self._queue.drain()
-        if self._writer_task is not None:
-            self._writer_task.cancel()
-            try:
-                await self._writer_task
-            except asyncio.CancelledError:
-                pass
-        # Waits for any in-flight mutation to finish its commit.
-        self._writer_pool.shutdown(wait=True)
         while self._result_cache:
             self._result_cache.popitem()[1].release()
         self.conn.close()
@@ -174,24 +190,62 @@ class QueryServer:
     # -- the writer loop ---------------------------------------------------------
 
     async def _writer_loop(self) -> None:
+        """Group commit: drain every already-queued mutation into one batch,
+        apply them on the writer thread, fsync the WAL **once**, then
+        resolve all of the batch's futures.  Under a write burst the fsync
+        cost amortizes across the burst instead of gating every client on
+        its own disk flush."""
         loop = asyncio.get_running_loop()
         queue = self._queue
         assert queue is not None
         while True:
-            payload, future = await queue.get()
-            self.metrics.gauge("server_queue_depth").set(queue.depth())
-            if future.done():  # shed or shutdown raced the dequeue
-                continue
             try:
-                report = await loop.run_in_executor(
-                    self._writer_pool, self._apply_mutation, payload
-                )
-            except Exception as exc:  # surface to the submitting client
-                if not future.done():
-                    future.set_exception(exc)
-            else:
-                if not future.done():
+                batch = [await queue.get()]
+            except QueueClosed:
+                return
+            while True:
+                item = queue.get_nowait()
+                if item is None:
+                    break
+                batch.append(item)
+            await queue.notify_space()
+            self.metrics.gauge("server_queue_depth").set(queue.depth())
+            live = [
+                (payload, future) for payload, future in batch
+                if not future.done()  # shed or shutdown raced the dequeue
+            ]
+            if not live:
+                continue
+            outcomes = await loop.run_in_executor(
+                self._writer_pool, self._apply_batch,
+                [payload for payload, _ in live],
+            )
+            for (_, future), (report, error) in zip(live, outcomes):
+                if future.done():
+                    continue
+                if error is not None:
+                    future.set_exception(error)
+                else:
                     future.set_result(report)
+
+    def _apply_batch(self, payloads):
+        """Runs on the writer thread: apply each payload (the session
+        publishes a snapshot per commit), then one ``sync()`` makes the
+        whole group durable before any future resolves."""
+        outcomes = []
+        for payload in payloads:
+            try:
+                outcomes.append((self._apply_mutation(payload), None))
+            except Exception as exc:  # surfaced to the submitting client
+                outcomes.append((None, exc))
+        if self.durability is not None:
+            self.durability.sync()
+        self.metrics.histogram("server_group_commit_size").observe(
+            len(payloads)
+        )
+        if len(payloads) > 1:
+            self.metrics.counter("server_group_commits_total").inc()
+        return outcomes
 
     def _apply_mutation(self, payload: Dict[str, Any]):
         """Runs on the writer thread; the session publishes the snapshot."""
@@ -241,6 +295,9 @@ class QueryServer:
             "rejected_total": queue.rejected if queue is not None else 0,
             "snapshot_version": self.snapshots.latest_version(),
             "snapshots": self.snapshots.stats(),
+            "durability": (
+                None if self.durability is None else self.durability.stats()
+            ),
         }
 
     # -- connection handling -----------------------------------------------------

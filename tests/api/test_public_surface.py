@@ -26,6 +26,7 @@ EXPECTED_ALL = [
     "CompilationGranularity",
     "Connection",
     "Database",
+    "DurabilityConfig",
     "EngineConfig",
     "ExecutionEngine",
     "ExecutionMode",
@@ -52,7 +53,8 @@ def sig(owner, name: str) -> str:
 
 EXPECTED_SIGNATURES = {
     # Database -----------------------------------------------------------------
-    "Database.__init__": "(self, program: ProgramLike, config: Optional[EngineConfig] = None, cache: Optional[ResultCache] = None, name: str = database) -> None",
+    "Database.__init__": "(self, program: ProgramLike, config: Optional[EngineConfig] = None, cache: Optional[ResultCache] = None, name: str = database, durability=None) -> None",
+    "Connection.checkpoint": "(self) -> int",
     "Database.connect": "(self, config: Optional[EngineConfig] = None) -> Connection",
     "Database.query": "(self, relation: Optional[str] = None, config: Optional[EngineConfig] = None)",
     "Database.schema": "(self, relation: str) -> ResultSchema",

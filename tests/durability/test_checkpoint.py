@@ -1,0 +1,161 @@
+"""Unit tests for checkpoints: packed columns, atomicity, store rotation."""
+
+import os
+import pickle
+import zlib
+
+import pytest
+
+from repro.durability.checkpoint import (
+    MAGIC,
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+    load_checkpoint,
+    write_checkpoint,
+)
+
+
+def sample_checkpoint(**overrides):
+    fields = dict(
+        program="fingerprint",
+        wal_records=3,
+        symbols=["alpha", "beta", ("a", "tuple")],
+        relations={
+            "edge": ({(1, 2), (2, 3)}, {(1, 2), (2, 3)}),
+            "path": ({(1, 2), (2, 3), (1, 3)}, set()),
+        },
+        arities={"edge": 2, "path": 2},
+    )
+    fields.update(overrides)
+    return Checkpoint(**fields)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("use_mmap", [True, False], ids=["mmap", "read"])
+    def test_packed_int_rows_roundtrip(self, tmp_path, use_mmap):
+        path = str(tmp_path / "checkpoint-000000000003.ckpt")
+        original = sample_checkpoint()
+        write_checkpoint(path, original)
+        loaded = load_checkpoint(path, use_mmap=use_mmap)
+        assert loaded.relations == original.relations
+        assert loaded.arities == original.arities
+        assert loaded.symbols == original.symbols
+        assert loaded.wal_records == 3
+        assert loaded.row_count() == 5
+
+    def test_non_int_rows_fall_back_to_pickle(self, tmp_path):
+        """Identity-codec storage holds arbitrary values; those relations
+        checkpoint through the pickle fallback while packable ones in the
+        same file still use packed columns."""
+        path = str(tmp_path / "checkpoint-000000000001.ckpt")
+        original = sample_checkpoint(
+            symbols=None,
+            relations={
+                "edge": ({("a", "b")}, {("a", "b")}),
+                "dist": ({(1, 2, 3)}, set()),
+            },
+            arities={"edge": 2, "dist": 3},
+        )
+        write_checkpoint(path, original)
+        loaded = load_checkpoint(path)
+        assert loaded.relations == original.relations
+        assert loaded.symbols is None
+
+    def test_huge_ints_overflow_into_the_fallback(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000001.ckpt")
+        original = sample_checkpoint(
+            relations={"big": ({(1 << 80, 1)}, set())},
+            arities={"big": 2}, symbols=None,
+        )
+        write_checkpoint(path, original)
+        assert load_checkpoint(path).relations == original.relations
+
+    def test_empty_relations_roundtrip(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000000.ckpt")
+        original = sample_checkpoint(
+            relations={"edge": (set(), set())}, arities={"edge": 2},
+        )
+        write_checkpoint(path, original)
+        assert load_checkpoint(path).relations == {"edge": (set(), set())}
+
+
+class TestValidation:
+    def test_bad_magic_is_a_checkpoint_error(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000001.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"not a checkpoint at all............")
+        with pytest.raises(CheckpointError, match="bad magic"):
+            load_checkpoint(path)
+
+    def test_truncated_packed_section_is_detected(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000003.ckpt")
+        write_checkpoint(path, sample_checkpoint())
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.truncate(handle.tell() - 4)
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_bit_rot_in_the_packed_section_fails_the_crc(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000003.ckpt")
+        write_checkpoint(path, sample_checkpoint())
+        with open(path, "r+b") as handle:
+            handle.seek(-3, os.SEEK_END)
+            original = handle.read(1)
+            handle.seek(-3, os.SEEK_END)
+            handle.write(bytes([original[0] ^ 0xFF]))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(path)
+
+    def test_unsupported_format_version_is_refused(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000001.ckpt")
+        header = pickle.dumps({"format": 99})
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(len(header).to_bytes(8, "big"))
+            handle.write(header)
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(path)
+
+    def test_write_is_atomic_no_tmp_file_survives(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000003.ckpt")
+        write_checkpoint(path, sample_checkpoint())
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestStore:
+    def fill(self, store, generations):
+        for wal_records in generations:
+            store.write(sample_checkpoint(wal_records=wal_records))
+
+    def test_list_is_newest_first(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=10)
+        self.fill(store, [1, 5, 3])
+        assert [records for records, _ in store.list()] == [5, 3, 1]
+
+    def test_write_prunes_beyond_keep(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=2)
+        self.fill(store, [1, 2, 3, 4])
+        assert [records for records, _ in store.list()] == [4, 3]
+
+    def test_latest_falls_back_past_a_corrupt_newest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=10)
+        self.fill(store, [1, 2])
+        newest = store.list()[0][1]
+        with open(newest, "r+b") as handle:
+            handle.seek(-2, os.SEEK_END)
+            handle.write(b"\xff\xff")
+        survivor = store.latest()
+        assert survivor is not None and survivor.wal_records == 1
+
+    def test_latest_of_an_empty_directory_is_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path / "missing")).latest() is None
+
+    def test_prune_removes_tmp_strays(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=2)
+        stray = tmp_path / "checkpoint-000000000009.ckpt.tmp"
+        stray.write_bytes(b"half-written")
+        store.prune()
+        assert not stray.exists()

@@ -1,0 +1,126 @@
+"""Recovery refusal paths: every way a durability directory can disagree
+with the session opening it must be a loud :class:`RecoveryError`, never a
+silently wrong database."""
+
+import os
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.api.database import Database
+from repro.core.config import EngineConfig
+from repro.durability import DurabilityConfig, RecoveryError
+from repro.durability.checkpoint import load_checkpoint, write_checkpoint
+
+EDGES = [("n1", "n2"), ("n2", "n3"), ("n3", "n4")]
+
+
+def populate(directory, program=None, config=None, batches=2):
+    """Run a durable database and close it cleanly (close checkpoints)."""
+    database = Database(
+        program if program is not None
+        else build_transitive_closure_program(EDGES),
+        config, durability=DurabilityConfig(dir=directory),
+    )
+    with database.connect() as conn:
+        for index in range(batches):
+            conn.apply(inserts={"edge": [(f"x{index}", f"y{index}")]})
+    database.close()
+
+
+def reopen(directory, program=None, config=None):
+    database = Database(
+        program if program is not None
+        else build_transitive_closure_program(EDGES),
+        config, durability=DurabilityConfig(dir=directory),
+    )
+    return database, database.connect()
+
+
+class TestRefusals:
+    def test_checkpoint_of_a_different_program_is_refused(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        populate(directory)
+        # Same relations, different rules => different fingerprint.
+        other = "edge(1, 2).\npath(X, Y) :- edge(X, Y).\n"
+        with pytest.raises(RecoveryError, match="different program"):
+            reopen(directory, program=other)
+
+    def test_same_rules_different_facts_hit_the_symbol_guard(self, tmp_path):
+        """The fingerprint covers the rules; a fact change slips past it
+        but diverges the deterministic symbol prefix — the second guard."""
+        directory = str(tmp_path / "dur")
+        populate(directory)
+        other = build_transitive_closure_program([("a", "b"), ("b", "c")])
+        with pytest.raises(RecoveryError, match="symbol table divergence"):
+            reopen(directory, program=other)
+
+    def test_interning_flip_is_refused(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        populate(directory)  # default config interns
+        with pytest.raises(RecoveryError, match="dictionary encoding"):
+            reopen(
+                directory,
+                config=EngineConfig.interpreted().with_(interning=False),
+            )
+
+    def test_doctored_symbol_table_is_refused(self, tmp_path):
+        """A checkpoint whose symbol list diverges from the session's
+        deterministic prefix would remap every encoded row; recovery must
+        reject it rather than decode garbage."""
+        directory = str(tmp_path / "dur")
+        populate(directory)
+        names = [
+            entry for entry in os.listdir(directory)
+            if entry.endswith(".ckpt")
+        ]
+        path = os.path.join(directory, sorted(names)[-1])
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.symbols  # interned workload
+        checkpoint.symbols[0] = "not-what-the-program-allocates"
+        write_checkpoint(path, checkpoint)
+        with pytest.raises(RecoveryError, match="symbol table divergence"):
+            reopen(directory)
+
+    def test_missing_checkpoint_with_rotated_wal_is_refused(self, tmp_path):
+        """A WAL whose base_seq exceeds the best checkpoint means committed
+        records were destroyed (a checkpoint deleted out from under the
+        rotated log): refuse rather than resurrect a partial history."""
+        directory = str(tmp_path / "dur")
+        populate(directory)  # clean close: checkpoint + rotated (empty) WAL
+        for entry in os.listdir(directory):
+            if entry.endswith(".ckpt"):
+                os.remove(os.path.join(directory, entry))
+        with pytest.raises(RecoveryError, match="missing"):
+            reopen(directory)
+
+
+class TestCleanPaths:
+    def test_clean_close_then_reopen_is_warm_with_no_replay(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        populate(directory, batches=3)
+        database, conn = reopen(directory)
+        report = conn.durability.last_recovery
+        assert report.warm
+        assert report.replayed_records == 0  # close collapsed the WAL
+        assert ("x2", "y2") in conn.query("edge")
+        database.close()
+
+    def test_fresh_directory_recovers_nothing(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        database, conn = reopen(directory)
+        report = conn.durability.last_recovery
+        assert not report.warm and report.replayed_records == 0
+        database.close()
+
+    def test_recovered_database_keeps_accepting_mutations(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        populate(directory)
+        database, conn = reopen(directory)
+        conn.apply(inserts={"edge": [("n4", "n5")]})
+        assert ("n1", "n5") in conn.query("path")
+        database.close()
+        # ... and those post-recovery mutations are themselves durable.
+        database, conn = reopen(directory)
+        assert ("n1", "n5") in conn.query("path")
+        database.close()

@@ -1,0 +1,181 @@
+"""Unit tests for the WAL: framing, torn-tail scanning, rotation, fsync."""
+
+import os
+import zlib
+
+import pytest
+
+from repro.durability.wal import (
+    MAGIC,
+    MAX_RECORD,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    frame_record,
+    read_wal,
+)
+
+_HEADER_LEN = len(MAGIC) + 8
+
+
+def record(seq, **kwargs):
+    return WalRecord(
+        seq=seq,
+        inserts=kwargs.get("inserts", {"edge": [(seq, seq + 1)]}),
+        retracts=kwargs.get("retracts", {}),
+        sym_base=kwargs.get("sym_base", 0),
+        sym_entries=kwargs.get("sym_entries", []),
+    )
+
+
+def write_log(path, count, fsync="off"):
+    wal = WriteAheadLog(path, fsync=fsync)
+    for seq in range(count):
+        wal.append(record(seq))
+    wal.close()
+
+
+class TestFraming:
+    def test_record_roundtrips_through_its_payload(self):
+        original = record(
+            7, sym_base=3, sym_entries=["a", ("b", 1)],
+            retracts={"edge": [(1, 2)]},
+        )
+        rebuilt = WalRecord.from_payload(original.payload())
+        assert rebuilt == original
+
+    def test_oversized_record_is_refused_at_write_time(self):
+        with pytest.raises(WalError, match="MAX_RECORD"):
+            frame_record(b"\x00" * (MAX_RECORD + 1))
+
+
+class TestScan:
+    def test_empty_log_scans_clean(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        write_log(path, 0)
+        scan = read_wal(path)
+        assert scan.records == [] and not scan.torn
+        assert scan.valid_length == _HEADER_LEN
+
+    def test_scan_returns_records_in_commit_order(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        write_log(path, 5)
+        scan = read_wal(path)
+        assert [r.seq for r in scan.records] == [0, 1, 2, 3, 4]
+        assert not scan.torn
+        assert scan.valid_length == scan.file_length
+
+    def test_foreign_file_is_a_wal_error(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a wal file, sorry")
+        with pytest.raises(WalError, match="bad magic"):
+            read_wal(path)
+
+    def test_torn_tail_is_truncated_never_read_past(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        write_log(path, 3)
+        intact = read_wal(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(intact.file_length - 5)
+        scan = read_wal(path)
+        assert scan.torn
+        assert [r.seq for r in scan.records] == [0, 1]
+
+    def test_corrupt_middle_record_hides_the_intact_suffix(self, tmp_path):
+        """A record after a corrupt one was never acknowledged in commit
+        order: replaying it would resurrect a batch the crashed process
+        itself would not recover.  The scan must stop at the corruption
+        even though bytes after it still parse."""
+        path = str(tmp_path / "wal.log")
+        write_log(path, 3)
+        boundary = _HEADER_LEN
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            first_len = int.from_bytes(
+                data[boundary:boundary + 4], "big"
+            )
+            handle.seek(boundary + 8 + first_len + 10)  # inside record 1
+            handle.write(b"\xff")
+        scan = read_wal(path)
+        assert scan.torn
+        assert [r.seq for r in scan.records] == [0]
+
+    def test_valid_crc_but_unpicklable_payload_counts_as_torn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        write_log(path, 1)
+        garbage = b"\x00garbage-not-a-pickle"
+        frame = (
+            len(garbage).to_bytes(4, "big")
+            + zlib.crc32(garbage).to_bytes(4, "big")
+            + garbage
+        )
+        with open(path, "ab") as handle:
+            handle.write(frame)
+        scan = read_wal(path)
+        assert scan.torn
+        assert len(scan.records) == 1
+
+
+class TestAppendAndResume:
+    def test_resume_truncates_the_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        write_log(path, 3)
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.truncate(size - 3)
+        scan = read_wal(path)
+        wal = WriteAheadLog.resume(path, scan, fsync="off")
+        assert wal.next_seq == 2
+        wal.append(record(2))
+        wal.close()
+        healed = read_wal(path)
+        assert not healed.torn
+        assert [r.seq for r in healed.records] == [0, 1, 2]
+
+    def test_append_after_close_raises(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync="off")
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append(record(0))
+
+    def test_batch_policy_counts_unsynced_appends(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"), fsync="batch")
+        wal.append(record(0))
+        wal.append(record(1))
+        assert wal.sync() == 2
+        assert wal.sync() == 0  # group-commit point drained the backlog
+        wal.close()
+
+    def test_always_policy_leaves_nothing_for_sync(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"), fsync="always")
+        wal.append(record(0))
+        assert wal.sync() == 0
+        wal.close()
+
+
+class TestRotation:
+    def test_rotate_starts_an_empty_epoch_at_base_seq(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync="off")
+        for seq in range(4):
+            wal.append(record(seq))
+        wal.rotate(4)
+        assert wal.record_count == 0 and wal.next_seq == 4
+        wal.append(record(4))
+        wal.close()
+        scan = read_wal(path)
+        assert scan.base_seq == 4
+        assert [r.seq for r in scan.records] == [4]
+
+    def test_reopen_after_rotation_sees_the_new_epoch(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync="off")
+        wal.append(record(0))
+        wal.rotate(1)
+        wal.close()
+        reopened = WriteAheadLog(path, fsync="off")
+        assert reopened.base_seq == 1 and reopened.next_seq == 1
+        reopened.close()

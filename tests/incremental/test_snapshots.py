@@ -107,10 +107,38 @@ class TestPinningAndGC:
         manager.release(0)
         assert manager.live_versions() == (1,)
 
-    def test_release_of_unpinned_version_is_a_noop(self):
+    def test_release_of_unpinned_version_raises(self):
+        # A stray release used to silently return; with another reader
+        # still holding the version it would instead decrement *their*
+        # refcount and let GC collect a snapshot under active use.
         session = tc_session()
-        session.snapshots.release(0)
+        with pytest.raises(ValueError, match="no outstanding pins"):
+            session.snapshots.release(0)
         assert session.snapshots.live_versions() == (0,)
+
+    def test_release_past_zero_pins_raises(self):
+        session = tc_session()
+        manager = session.snapshots
+        manager.acquire()
+        manager.release(0)
+        with pytest.raises(ValueError, match="double release"):
+            manager.release(0)
+        assert session.metrics.counter(
+            "snapshot_release_errors_total"
+        ).value == 1
+
+    def test_releaser_callback_fires_exactly_once(self):
+        session = tc_session()
+        manager = session.snapshots
+        manager.acquire()
+        manager.acquire()
+        callback = manager.releaser(0)
+        callback()
+        callback()  # extra invocations no-op instead of raising/stealing
+        assert manager.pin_count(0) == 1
+        assert (
+            session.metrics.counter("snapshot_double_release_total").value == 1
+        )
 
     def test_stats_shape(self):
         session = tc_session()

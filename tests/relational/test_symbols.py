@@ -95,6 +95,52 @@ class TestShardPlumbing:
         with pytest.raises(ValueError):
             a.extend(b.entries_since(0), base=0)
 
+    def test_extend_rejects_base_beyond_the_table_size(self):
+        # A delta whose base disagrees with the receiver's current size
+        # means entries are missing in between: replaying it would hand the
+        # batch ids the sender never assigned.  It must raise — a silent
+        # misalignment would remap every fact interned afterwards.
+        table = SymbolTable(["a", "b"])
+        with pytest.raises(ValueError, match="beyond this table's size"):
+            table.extend(["c", "d"], base=5)
+        assert list(table.values()) == ["a", "b"]
+
+    def test_extend_rejects_stale_base_with_new_values(self):
+        table = SymbolTable(["a", "b", "c"])
+        with pytest.raises(ValueError, match="divergence"):
+            table.extend(["x"], base=1)  # id 1 is already "b"
+        assert list(table.values()) == ["a", "b", "c"]
+
+    def test_duplicated_delta_replay_dedupe_merges(self):
+        # Replaying the same WAL symbol delta twice (crash between append
+        # and ack, record rewritten) must be idempotent: matching entries
+        # are skipped, nothing new is allocated.
+        table = SymbolTable(["a"])
+        assert table.extend(["b", "c"], base=1) == 2
+        assert table.extend(["b", "c"], base=1) == 0
+        assert list(table.values()) == ["a", "b", "c"]
+        # A partially overlapping replay extends only the genuine tail.
+        assert table.extend(["c", "d"], base=2) == 1
+        assert table.lookup("d") == 3
+
+    def test_failed_extend_is_atomic(self):
+        # The second entry diverges; the first must NOT survive — a
+        # partially absorbed delta silently shifts every later allocation.
+        table = SymbolTable(["a"])
+        with pytest.raises(ValueError):
+            table.extend(["b", "a"], base=1)  # "a" is bound to 0, not 2
+        assert list(table.values()) == ["a"]
+        assert table.lookup("b") is None
+
+    def test_extend_rejects_in_batch_duplicates(self):
+        # A sender's appended suffix can never repeat a value (interning is
+        # a bijection), so a duplicate marks a corrupt delta — and must not
+        # half-apply.
+        table = SymbolTable()
+        with pytest.raises(ValueError):
+            table.extend(["x", "x"], base=0)
+        assert len(table) == 0
+
     def test_concurrent_interning_from_a_thread_pool(self):
         table = SymbolTable()
         values = [f"sym_{i}" for i in range(200)]

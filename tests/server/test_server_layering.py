@@ -12,8 +12,9 @@ import re
 
 #: Every package below repro.server in the layering diagram.
 NON_SERVER_PACKAGES = (
-    "analyses", "api", "core", "datalog", "engine", "incremental",
-    "introspect", "ir", "parallel", "relational", "telemetry", "workloads",
+    "analyses", "api", "core", "datalog", "durability", "engine",
+    "incremental", "introspect", "ir", "parallel", "relational",
+    "telemetry", "workloads",
 )
 
 IMPORT_PATTERN = re.compile(
@@ -42,9 +43,12 @@ def test_top_level_package_does_not_import_the_server():
 
 def test_server_package_only_imports_api_and_below():
     """The server speaks to the engine through the public Database API
-    (plus core config and telemetry types) — never engine internals."""
+    (plus core config, telemetry types and the durability config it
+    forwards to Database) — never engine internals."""
     src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
-    allowed = re.compile(r"\s*from repro\.(server|api|core|telemetry)[.\s]")
+    allowed = re.compile(
+        r"\s*from repro\.(server|api|core|telemetry|durability)[.\s]"
+    )
     any_repro = re.compile(r"\s*from repro\.\w+")
     offenders = []
     for path in (src / "server").rglob("*.py"):

@@ -1,0 +1,217 @@
+"""Graceful-shutdown semantics: in-flight commits finish, queued work fails
+with a structured ``shutdown`` error, the WAL is durable before sockets
+close, and the CLI honors SIGINT the same way."""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.analyses.micro import build_transitive_closure_program
+from repro.api.database import Database
+from repro.durability import DurabilityConfig
+from repro.server.backpressure import (
+    BackpressureConfig,
+    BackpressureError,
+    MutationQueue,
+    QueueClosed,
+)
+from repro.server.server import QueryServer
+
+EDGES = [(1, 2), (2, 3), (3, 4)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestQueueClose:
+    def test_get_raises_queue_closed_once_empty(self):
+        async def scenario():
+            queue = MutationQueue()
+            future = await queue.put({"n": 1})
+            queue.close()
+            payload, got = await queue.get()  # queued item still served
+            assert payload == {"n": 1} and got is future
+            with pytest.raises(QueueClosed):
+                await queue.get()
+        run(scenario())
+
+    def test_put_after_close_fails_with_shutdown_code(self):
+        async def scenario():
+            queue = MutationQueue()
+            queue.close()
+            with pytest.raises(BackpressureError) as excinfo:
+                await queue.put({"n": 1})
+            assert excinfo.value.code == "shutdown"
+        run(scenario())
+
+    def test_drain_fails_pending_with_shutdown_code(self):
+        async def scenario():
+            queue = MutationQueue()
+            future = await queue.put({"n": 1})
+            assert queue.drain() == 1
+            assert isinstance(future.exception(), BackpressureError)
+            assert future.exception().code == "shutdown"
+        run(scenario())
+
+    def test_close_wakes_a_blocked_get(self):
+        async def scenario():
+            queue = MutationQueue()
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0.01)  # getter parks on the empty queue
+            queue.close()
+            with pytest.raises(QueueClosed):
+                await asyncio.wait_for(getter, timeout=1)
+        run(scenario())
+
+
+class TestServerStop:
+    def test_stop_finishes_inflight_and_fails_queued(self):
+        """The writer's dequeued batch commits and resolves; mutations
+        still in the queue at stop() fail with the ``shutdown`` code.
+        The old stop() cancelled the writer mid-executor, orphaning the
+        in-flight future forever."""
+        async def scenario():
+            database = Database(build_transitive_closure_program(EDGES))
+            server = QueryServer(database)
+            await server.start()
+            # Stall the single writer-thread worker so the first batch is
+            # dequeued but stuck "applying" while more work queues behind.
+            gate = threading.Event()
+            server._writer_pool.submit(gate.wait)
+            inflight = await server._queue.put(
+                {"inserts": {"edge": [(4, 5)]}, "retracts": None}
+            )
+            await asyncio.sleep(0.05)  # writer dequeues, blocks on the gate
+            queued = await server._queue.put(
+                {"inserts": {"edge": [(5, 6)]}, "retracts": None}
+            )
+            stopper = asyncio.ensure_future(server.stop())
+            await asyncio.sleep(0.05)
+            gate.set()  # release the writer; stop() must wait for it
+            await asyncio.wait_for(stopper, timeout=10)
+            assert inflight.result().inserted > 0
+            assert isinstance(queued.exception(), BackpressureError)
+            assert queued.exception().code == "shutdown"
+            database.close()
+        run(scenario())
+
+    def test_stop_flushes_the_wal_of_the_inflight_commit(self, tmp_path):
+        """A mutation committed during shutdown is recoverable: stop()
+        syncs the WAL (and close checkpoints) before releasing the dir."""
+        directory = str(tmp_path / "dur")
+        program = build_transitive_closure_program(EDGES)
+
+        async def scenario():
+            database = Database(
+                program, durability=DurabilityConfig(dir=directory)
+            )
+            server = QueryServer(database)
+            await server.start()
+            gate = threading.Event()
+            server._writer_pool.submit(gate.wait)
+            inflight = await server._queue.put(
+                {"inserts": {"edge": [(4, 5)]}, "retracts": None}
+            )
+            await asyncio.sleep(0.05)
+            stopper = asyncio.ensure_future(server.stop())
+            await asyncio.sleep(0.05)
+            gate.set()
+            await asyncio.wait_for(stopper, timeout=10)
+            assert inflight.result().inserted > 0
+            database.close()
+
+        run(scenario())
+        reopened = Database(
+            build_transitive_closure_program(EDGES),
+            durability=DurabilityConfig(dir=directory),
+        )
+        with reopened.connect() as conn:
+            assert (4, 5) in conn.query("edge")
+            assert (1, 5) in conn.query("path")
+        reopened.close()
+
+    def test_group_commit_batches_a_burst_into_one_sync(self):
+        """Mutations queued while the writer is busy all commit in one
+        executor round with a single durable sync."""
+        async def scenario():
+            database = Database(build_transitive_closure_program(EDGES))
+            server = QueryServer(database)
+            await server.start()
+            gate = threading.Event()
+            server._writer_pool.submit(gate.wait)
+            futures = []
+            for edge in [(4, 5), (5, 6), (6, 7)]:
+                futures.append(await server._queue.put(
+                    {"inserts": {"edge": [edge]}, "retracts": None}
+                ))
+            await asyncio.sleep(0.05)  # all three drain into one batch
+            gate.set()
+            for future in futures:
+                assert (await future).inserted > 0
+            group_commits = server.metrics.counter(
+                "server_group_commits_total"
+            )
+            assert group_commits.value >= 1
+            await server.stop()
+            database.close()
+        run(scenario())
+
+
+class TestCliSigint:
+    def test_sigint_shuts_down_cleanly_and_state_recovers(self, tmp_path):
+        """``python -m repro.server`` under SIGINT drains and flushes
+        before exiting 0; a fresh open of the durability dir sees the
+        checkpointed state."""
+        program_path = tmp_path / "tc.dl"
+        source = (
+            "edge(1, 2).\nedge(2, 3).\n"
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Z) :- path(X, Y), edge(Y, Z).\n"
+        )
+        program_path.write_text(source)
+        directory = str(tmp_path / "dur")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH", "")]
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server",
+                "--program", str(program_path), "--port", "0",
+                "--durability", directory,
+            ],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.time() + 30
+            lines = []
+            while time.time() < deadline:
+                line = process.stderr.readline()
+                lines.append(line)
+                if "listening on" in line:
+                    break
+            else:  # pragma: no cover - diagnostic path
+                raise AssertionError(f"server never came up: {lines}")
+            process.send_signal(signal.SIGINT)
+            stderr = process.communicate(timeout=30)[1]
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert "shutting down" in stderr
+        # Same source text => same program fingerprint as the server's.
+        reopened = Database(
+            source, durability=DurabilityConfig(dir=directory)
+        )
+        with reopened.connect() as conn:
+            assert conn.durability is not None
+            assert (1, 3) in conn.query("path")
+        reopened.close()
