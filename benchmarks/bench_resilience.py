@@ -1,0 +1,41 @@
+"""Governance overhead: the resilience layer's acceptance gate.
+
+Not a paper figure — this benchmarks the resilience layer
+(:mod:`repro.resilience`) and enforces its headline guarantee: lifecycle
+governance is pay-for-what-you-use.
+
+* ``test_governed_overhead_at_10k_edges`` — with a :class:`QueryLimits`
+  whose every bound is set (but generous enough never to trip), the
+  10k-edge transitive closure must run within 2% of the bare
+  (``limits=None``) engine.  A real :class:`QueryGovernor` runs its
+  deadline/row/round checks at every stratum and iteration boundary; this
+  gate pins that enforcing limits is effectively free — so governance can
+  default-on in a server without a performance conversation.
+
+The gate compares the *median of per-round ratios*: each round times the
+two variants back-to-back (GC disabled), so slow machine drift cancels
+inside each ratio instead of biasing whichever variant ran later.  Run via
+``scripts/smoke.sh --full`` or directly with
+``PYTHONPATH=src python -m pytest benchmarks/bench_resilience.py``.
+"""
+
+import statistics
+
+from repro.bench.resilience import overhead_samples, tc_workload
+
+#: Paired rounds; the gate takes the median ratio to suppress CI jitter.
+ROUNDS = 7
+
+GOVERNED_CEILING = 1.02
+
+
+def test_governed_overhead_at_10k_edges():
+    """Acceptance: an armed-but-untripped governor costs <= 2% on 10k-edge TC."""
+    name, build_program, relation = tc_workload()
+    ratios, equal = overhead_samples(build_program, relation, rounds=ROUNDS)
+    assert equal, "governance changed the result set"
+    overhead = statistics.median(ratios)
+    assert overhead <= GOVERNED_CEILING, (
+        f"governance overhead {overhead:.3f}x (median of "
+        f"{[f'{r:.3f}' for r in ratios]}) on {name}"
+    )

@@ -18,21 +18,21 @@ echo "== incremental acceptance benchmark (10k-edge graph) =="
 python -m pytest -x -q benchmarks/bench_incremental.py::test_single_batch_speedup_at_10k_edges
 
 echo
-echo "== subsystem smoke benches (perf trajectory -> BENCH_9.json) =="
+echo "== subsystem smoke benches (perf trajectory -> BENCH_10.json) =="
 # One machine-readable dump per CI run: 2-shard parallel, vectorized
-# executor, dictionary-encoded storage, telemetry overhead, concurrent
-# serving latency and durable warm restart at --quick scale.  smoke.yml
-# uploads BENCH_9.json as an artifact, and the committed baseline gates
-# it below.
-python -m repro.bench --quick --only parallel,vectorized,interning,telemetry,serving,durability --json BENCH_9.json
+# executor, dictionary-encoded storage, telemetry overhead, governance
+# overhead, concurrent serving latency and durable warm restart at
+# --quick scale.  smoke.yml uploads BENCH_10.json as an artifact, and the
+# committed baseline gates it below.
+python -m repro.bench --quick --only parallel,vectorized,interning,telemetry,resilience,serving,durability --json BENCH_10.json
 
 echo
-echo "== perf-regression gate (BENCH_9.json vs benchmarks/baseline.json) =="
+echo "== perf-regression gate (BENCH_10.json vs benchmarks/baseline.json) =="
 # First prove the gate itself still bites (a doctored 2x slowdown must
 # fail), then diff the fresh run against the committed baseline: any
 # section or row more than 25% slower (and past the noise floor) fails CI.
 python scripts/bench_compare.py --self-test benchmarks/baseline.json > /dev/null
-python scripts/bench_compare.py benchmarks/baseline.json BENCH_9.json
+python scripts/bench_compare.py benchmarks/baseline.json BENCH_10.json
 
 echo
 echo "== concurrent query server (boot, mixed load, clean shutdown) =="
@@ -117,6 +117,74 @@ finally:
     proc.send_signal(signal.SIGINT)
     proc.wait()
 print(f"recovered {before} path rows across a kill -9 restart")
+PY
+
+echo
+echo "== fault-injected server boot (typed error over the wire, then recovery) =="
+# Boot the server CLI with REPRO_FAULTS arming the WAL fsync point to fail
+# exactly once.  The first committed mutation must surface as a *typed*
+# durability_error on the wire (never a stack trace or a hung client); the
+# schedule then recovers, so the retried mutation commits and survives a
+# restart of the same directory.
+python - <<'PY'
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro.server import BlockingClient
+from repro.server.client import ServerError
+
+workdir = tempfile.mkdtemp(prefix="repro-smoke-faults-")
+program = os.path.join(workdir, "tc.dl")
+durdir = os.path.join(workdir, "dur")
+with open(program, "w", encoding="utf-8") as handle:
+    handle.write(
+        "edge(1, 2).\n"
+        "edge(2, 3).\n"
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Z) :- path(X, Y), edge(Y, Z).\n"
+    )
+
+def boot(faults=None):
+    env = dict(os.environ)
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--program", program,
+         "--port", "0", "--durability", durdir, "--fsync", "always"],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    while True:
+        line = proc.stderr.readline()
+        assert line, "server exited before listening"
+        if "listening on" in line:
+            return proc, int(line.rsplit(":", 1)[1])
+
+proc, port = boot(faults="wal.fsync:fail_nth=1")
+try:
+    with BlockingClient("127.0.0.1", port) as client:
+        try:
+            client.insert("edge", [[3, 4]])
+        except ServerError as error:
+            assert error.code == "durability_error", error.code
+        else:
+            raise AssertionError("injected fsync fault never surfaced")
+        client.insert("edge", [[3, 4]])  # the schedule recovered
+        assert (1, 4) in client.query("path")
+finally:
+    proc.send_signal(signal.SIGINT)
+    proc.wait()
+
+proc, port = boot()  # clean boot: the committed write replayed from WAL
+try:
+    with BlockingClient("127.0.0.1", port) as client:
+        assert (1, 4) in client.query("path"), "post-fault commit not durable"
+finally:
+    proc.send_signal(signal.SIGINT)
+    proc.wait()
+print("typed durability_error over the wire; post-fault commit durable")
 PY
 
 echo

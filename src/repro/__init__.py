@@ -48,26 +48,44 @@ from repro.datalog.parser import parse_program
 from repro.datalog.terms import Variable
 from repro.engine.engine import ExecutionEngine
 from repro.incremental.session import IncrementalSession
+from repro.resilience import (
+    Cancelled,
+    CancellationToken,
+    DeadlineExceeded,
+    DurabilityError,
+    QueryLimits,
+    ResilienceError,
+    ResourceExhausted,
+    WorkerFailed,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
     "AOTSortMode",
+    "CancellationToken",
+    "Cancelled",
     "CompilationGranularity",
     "Connection",
     "Database",
+    "DeadlineExceeded",
     "DurabilityConfig",
+    "DurabilityError",
     "EngineConfig",
     "ExecutionEngine",
     "ExecutionMode",
     "IncrementalSession",
     "Program",
+    "QueryLimits",
     "QueryResult",
     "RelationHandle",
+    "ResilienceError",
+    "ResourceExhausted",
     "ResultSchema",
     "ResultSet",
     "ShardingConfig",
     "Variable",
+    "WorkerFailed",
     "compare",
     "let",
     "parse_program",

@@ -204,12 +204,13 @@ class Connection:
     # -- queries ---------------------------------------------------------------
 
     @overload
-    def query(self, relation: str) -> QueryResult: ...
+    def query(self, relation: str, limits=None, token=None) -> QueryResult: ...
 
     @overload
-    def query(self, relation: None = None) -> ResultSet: ...
+    def query(self, relation: None = None, limits=None,
+              token=None) -> ResultSet: ...
 
-    def query(self, relation: Optional[str] = None):
+    def query(self, relation: Optional[str] = None, limits=None, token=None):
         """Rows of ``relation`` as a :class:`QueryResult` snapshot.
 
         With no argument: a :class:`ResultSet` covering every IDB relation
@@ -220,6 +221,15 @@ class Connection:
         program (see :mod:`repro.introspect`): an untraced raw-row snapshot
         of the engine's own state — untraced so observing the engine does
         not itself add query traces to the ring being observed.
+
+        ``limits`` (:class:`~repro.resilience.limits.QueryLimits`) bounds
+        any fixpoint this read triggers — deadline, rounds, rows derived,
+        result bytes; ``token``
+        (:class:`~repro.resilience.cancel.CancellationToken`) allows
+        cooperative cancellation from another thread.  A violated bound
+        aborts the read with the matching typed
+        :class:`~repro.resilience.errors.ResilienceError`; the session
+        resets to ground state and the next read recomputes.
         """
         self._check_open()
         if (
@@ -237,7 +247,8 @@ class Connection:
             trace = (lambda: span.trace) if session.tracer.enabled else None
             if relation is None:
                 results = {
-                    name: self._snapshot(name, trace=trace)
+                    name: self._snapshot(name, trace=trace, limits=limits,
+                                         token=token)
                     for name in session.program.idb_relations()
                 }
                 out = ResultSet(
@@ -246,7 +257,8 @@ class Connection:
                 if session.tracer.enabled:
                     span.set(rows=out.total_rows())
             else:
-                out = self._snapshot(relation, trace=trace)
+                out = self._snapshot(relation, trace=trace, limits=limits,
+                                     token=token)
                 if session.tracer.enabled:
                     span.set(rows=out.count())
         if span.trace is not None:
@@ -257,12 +269,13 @@ class Connection:
         )
         return out
 
-    def _snapshot(self, relation: str, trace=None) -> QueryResult:
+    def _snapshot(self, relation: str, trace=None, limits=None,
+                  token=None) -> QueryResult:
         schema = self.schema(relation)  # raises KeyError on unknown relations
         # Rows stay dictionary-encoded (shared with the session's result
         # cache — one copy of each constant in the symbol table); the
         # QueryResult decodes lazily, per accessed page.
-        rows = self._session.fetch_encoded(relation)
+        rows = self._session.fetch_encoded(relation, limits, token)
         count = len(rows)
 
         def explain() -> str:
@@ -470,6 +483,7 @@ class Database:
         )
         catalog.bind_storage(lambda: session.storage)
         catalog.bind_shards(_shard_rows_provider(session))
+        catalog.bind_resilience(session.resilience_stats)
         connection = Connection(session, _database=self, catalog=catalog)
         if self.durability is not None and self._durability_owner is None:
             from repro.durability import DurabilityManager

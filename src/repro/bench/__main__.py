@@ -31,6 +31,7 @@ from repro.bench.formatting import format_rows
 from repro.bench.incremental import INCREMENTAL_COLUMNS, run_incremental
 from repro.bench.interning import INTERNING_COLUMNS, run_interning
 from repro.bench.parallel import PARALLEL_COLUMNS, run_parallel
+from repro.bench.resilience import RESILIENCE_COLUMNS, run_resilience
 from repro.bench.serving import SERVING_COLUMNS, run_serving
 from repro.bench.table1 import TABLE1_COLUMNS, run_table1
 from repro.bench.table2 import TABLE2_COLUMNS, run_table2
@@ -126,6 +127,12 @@ SECTIONS: Tuple[BenchSection, ...] = (
         "Telemetry — traced vs no-op vs bare evaluation overhead",
         TELEMETRY_COLUMNS,
         lambda args: run_telemetry(repeat=args.repeat, quick=args.quick),
+    ),
+    BenchSection(
+        "resilience",
+        "Resilience — governed vs ungoverned evaluation overhead",
+        RESILIENCE_COLUMNS,
+        lambda args: run_resilience(repeat=args.repeat, quick=args.quick),
     ),
     BenchSection(
         "serving",

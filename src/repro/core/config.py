@@ -16,6 +16,8 @@ from typing import TYPE_CHECKING, Optional
 from repro.relational.statistics import SelectivityModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.resilience.faults import FaultRegistry
+    from repro.resilience.limits import QueryLimits
     from repro.telemetry.config import TelemetryConfig
 
 
@@ -130,6 +132,19 @@ class EngineConfig:
     #: private metrics registry — evaluation semantics never depend on it,
     #: so it is excluded from session configuration cache keys.
     telemetry: Optional["TelemetryConfig"] = None
+    #: Session-wide default query bounds (:class:`repro.resilience.
+    #: QueryLimits`); per-query limits passed to ``query(...)`` override.
+    #: ``None`` means unbounded — the executors hold the zero-overhead
+    #: ``NOOP_GOVERNOR``.  Like telemetry, limits never change what a
+    #: successful evaluation computes, so they are excluded from session
+    #: configuration cache keys.
+    limits: Optional["QueryLimits"] = None
+    #: Fault-injection schedule (:class:`repro.resilience.FaultRegistry` or
+    #: an iterable of ``FaultSpec``/spec strings), installed process-wide
+    #: when an evaluation is prepared.  ``None`` (the default) keeps every
+    #: fault point on the free no-op path.  Test/chaos-only; excluded from
+    #: cache keys for the same reason as telemetry.
+    faults: Optional["FaultRegistry"] = None
     label: str = ""
 
     def tracer(self):
@@ -137,6 +152,14 @@ class EngineConfig:
         from repro.telemetry.config import tracer_of
 
         return tracer_of(self.telemetry)
+
+    def governor(self, limits: Optional["QueryLimits"] = None, token=None):
+        """A per-evaluation governor for ``limits`` (or this config's
+        default limits), or the shared no-op when nothing is bounded."""
+        from repro.resilience.limits import governor_of
+
+        return governor_of(limits if limits is not None else self.limits,
+                           token)
 
     def describe(self) -> str:
         """A short configuration name for result tables.

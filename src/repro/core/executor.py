@@ -56,6 +56,7 @@ from repro.ir.ops import (
     UnionOp,
 )
 from repro.relational.operators import JoinPlan, SubqueryEvaluator, evaluate_raw_term
+from repro.resilience.limits import NOOP_GOVERNOR
 from repro.relational.relation import Row
 from repro.relational.statistics import SnapshotCache, StatisticsCollector
 from repro.relational.storage import DatabaseKind, StorageManager
@@ -66,7 +67,8 @@ class IRExecutor:
 
     def __init__(self, storage: StorageManager, config: EngineConfig,
                  profile: Optional[RuntimeProfile] = None,
-                 tracer=None, trace_strata: bool = True) -> None:
+                 tracer=None, trace_strata: bool = True,
+                 governor=None) -> None:
         self.storage = storage
         self.config = config
         self.profile = profile if profile is not None else RuntimeProfile()
@@ -75,9 +77,13 @@ class IRExecutor:
         #: runs strata through a nested serial executor.
         self.tracer = tracer if tracer is not None else config.tracer()
         self.trace_strata = trace_strata
+        #: Query-lifecycle governance: deadline / row / round limits plus
+        #: cooperative cancellation, checked at iteration boundaries (and
+        #: per sub-query plan inside the evaluator).  NOOP when unbounded.
+        self.governor = governor if governor is not None else config.governor()
         self.evaluator = SubqueryEvaluator(
             storage, config.evaluator_style, executor=config.executor,
-            tracer=self.tracer,
+            tracer=self.tracer, governor=self.governor,
         )
         self.stats = StatisticsCollector()
         self.freshness = FreshnessTest(config.freshness_threshold, self.stats)
@@ -130,6 +136,8 @@ class IRExecutor:
 
     def _execute_stratum(self, stratum: StratumOp) -> None:
         self._current_iteration = 0
+        if self.governor.active:
+            self.governor.check()
         for insert in stratum.seed.children:
             assert isinstance(insert, InsertOp)
             rows = self._rows_for(insert.source, stage="seed")
@@ -169,6 +177,8 @@ class IRExecutor:
             )
             if promoted == 0 or iteration >= max_iterations:
                 break
+            if self.governor.active:
+                self.governor.on_round(promoted)
 
     # -- node dispatch ------------------------------------------------------------
 

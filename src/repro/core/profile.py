@@ -77,6 +77,9 @@ class RuntimeProfile:
     #: Times a requested worker pool was substituted for a safer kind
     #: (e.g. process → thread when compiled plans allocate symbols).
     pool_degradations: int = 0
+    #: Shard workers that died mid-stratum (each one also counts a pool
+    #: degradation: the stratum re-ran on the next-safer pool kind).
+    worker_failures: int = 0
 
     # -- recording -------------------------------------------------------------
 

@@ -38,6 +38,9 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.resilience import faults
+from repro.resilience.errors import DurabilityError
+
 try:  # optional: ~2x faster column decode on the warm-restart path
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy-less interpreter
@@ -155,6 +158,7 @@ def write_checkpoint(path: str, checkpoint: Checkpoint) -> int:
         handle.flush()
         os.fsync(handle.fileno())
         written = handle.tell()
+    faults.fire("checkpoint.rename", DurabilityError)
     os.replace(tmp_path, path)
     _fsync_directory(os.path.dirname(path) or ".")
     return written

@@ -44,6 +44,9 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.resilience import faults
+from repro.resilience.errors import DurabilityError
+
 MAGIC = b"REPROWAL"
 _HEADER_LEN = len(MAGIC) + 8          # magic + 8-byte BE base sequence
 _PREFIX_LEN = 8                       # 4-byte BE length + 4-byte BE crc32
@@ -233,10 +236,12 @@ class WriteAheadLog:
         """
         if self._file is None:
             raise WalError("write-ahead log is closed")
+        faults.fire("wal.append", DurabilityError)
         frame = frame_record(record.payload())
         self._file.write(frame)
         self._file.flush()
         if self.fsync == "always":
+            faults.fire("wal.fsync", DurabilityError)
             os.fsync(self._file.fileno())
         else:
             self._unsynced += 1
@@ -253,6 +258,7 @@ class WriteAheadLog:
         if self._file is None or self.fsync == "off":
             drained, self._unsynced = self._unsynced, 0
             return drained
+        faults.fire("wal.fsync", DurabilityError)
         os.fsync(self._file.fileno())
         drained, self._unsynced = self._unsynced, 0
         return drained

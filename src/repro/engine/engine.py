@@ -54,6 +54,12 @@ def prepare_evaluation(
         raise ValueError(
             f"unknown executor {config.executor!r}; expected one of {EXECUTORS}"
         )
+    if config.faults is not None:
+        # Fault points are physical, process-wide sites, so activating a
+        # configured schedule installs it process-wide (last install wins).
+        from repro.resilience import faults as fault_registry
+
+        fault_registry.install(config.faults)
     symbols = SymbolTable() if config.interning else None
     storage = StorageManager(program, symbols=symbols)
     if config.use_indexes:

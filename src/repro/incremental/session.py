@@ -65,6 +65,7 @@ from repro.ir.ops import ProgramOp
 from repro.relational.columnar import ColumnarBlock
 from repro.relational.operators import SubqueryEvaluator
 from repro.relational.relation import Row
+from repro.resilience.errors import ResilienceError, WorkerFailed
 
 RowBatch = Iterable[Sequence[object]]
 
@@ -285,6 +286,10 @@ class IncrementalSession:
         # attached, every apply() logs its batch to the WAL before the
         # batch's snapshot publishes.  None for non-durable sessions.
         self._durability = None  # Optional[DurabilityManager]
+        # Resilience accounting surfaced through ``sys_resilience``:
+        # taxonomy-code -> count of queries aborted by governance, plus
+        # shard-propagation rebuild events.
+        self.resilience_events: Dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -302,7 +307,7 @@ class IncrementalSession:
 
     # -- evaluation -------------------------------------------------------------
 
-    def _execute(self, tree: ProgramOp) -> RuntimeProfile:
+    def _execute(self, tree: ProgramOp, governor=None) -> RuntimeProfile:
         profile = RuntimeProfile()
         from repro.engine.engine import sharding_active
 
@@ -312,10 +317,13 @@ class IncrementalSession:
             from repro.parallel.executor import ParallelEvaluator
 
             ParallelEvaluator(
-                self.program, self.config, self.storage, tree, profile
+                self.program, self.config, self.storage, tree, profile,
+                governor=governor,
             ).run()
         else:
-            executor = IRExecutor(self.storage, self.config, profile)
+            executor = IRExecutor(
+                self.storage, self.config, profile, governor=governor
+            )
             executor.execute(tree)
         self._absorb_profile(profile)
         return profile
@@ -346,12 +354,29 @@ class IncrementalSession:
                 self.profile.cache_probes.get(result, 0) + count
             )
         self.profile.pool_degradations += profile.pool_degradations
+        self.profile.worker_failures += profile.worker_failures
         self.metrics.absorb_profile(profile)
 
-    def _ensure_evaluated(self) -> None:
-        if not self._evaluated:
-            self._execute(self.tree)
-            self._evaluated = True
+    def _ensure_evaluated(self, governor=None) -> None:
+        if self._evaluated:
+            return
+        try:
+            self._execute(self.tree, governor)
+        except ResilienceError as error:
+            # An aborted fixpoint leaves storage mid-derivation; re-running
+            # from that state could silently MISS derivations (delta seeding
+            # dedupes against already-derived rows).  Reset to ground state
+            # so the next query recomputes from scratch.
+            self._record_resilience_abort(error)
+            self._reset_to_base()
+            raise
+        self._evaluated = True
+
+    def _record_resilience_abort(self, error: ResilienceError) -> None:
+        self.resilience_events[error.code] = (
+            self.resilience_events.get(error.code, 0) + 1
+        )
+        self.metrics.counter("resilience_aborts_total", code=error.code).inc()
 
     def refresh(self) -> None:
         """Force the initial fixpoint computation (otherwise lazy)."""
@@ -709,41 +734,59 @@ class IncrementalSession:
             profile = self._execute(self._update_tree)
             return sum(it.promoted for it in profile.iterations)
 
-        for name in self.storage.relation_names():
-            delta = self.storage.relation(name, DatabaseKind.DELTA_KNOWN)
-            if not len(delta):
-                continue
-            # Move the seeded delta around in block form: one columnar batch
-            # per relation feeds both replica maintenance and the owner
-            # split, which hashes the partition column column-wise.
-            block = ColumnarBlock.from_relation(delta)
-            if not fresh:
-                # Replicas built earlier have not seen this batch's seeds.
-                state.sharded.broadcast_derived(name, block)
-            state.sharded.scatter_delta(name, block)
-
         def absorb(accepted: Mapping[str, Sequence[Sequence[object]]]) -> None:
             for name, rows in accepted.items():
                 self.storage.absorb_rows(name, rows)
 
-        # The update tree is one flat stratum; the span mirrors the level a
-        # serial propagation would produce, and worker-recorded spans are
-        # reparented onto it below.
-        tracker = QuiescenceTracker()
-        with self.tracer.span("stratum", index=0, strategy="replicated",
-                              shards=state.spec.shards) as span:
-            result = run_replicated_rounds(
-                state.pool,
-                state.spec.shards,
-                max_rounds=min(
-                    self.config.max_iterations, self.config.sharding.max_rounds
-                ),
-                tracker=tracker,
-                on_accepted=absorb,
+        try:
+            for name in self.storage.relation_names():
+                delta = self.storage.relation(name, DatabaseKind.DELTA_KNOWN)
+                if not len(delta):
+                    continue
+                # Move the seeded delta around in block form: one columnar
+                # batch per relation feeds both replica maintenance and the
+                # owner split, which hashes the partition column column-wise.
+                block = ColumnarBlock.from_relation(delta)
+                if not fresh:
+                    # Replicas built earlier have not seen this batch's seeds.
+                    state.sharded.broadcast_derived(name, block)
+                state.sharded.scatter_delta(name, block)
+
+            # The update tree is one flat stratum; the span mirrors the
+            # level a serial propagation would produce, and worker-recorded
+            # spans are reparented onto it below.
+            tracker = QuiescenceTracker()
+            with self.tracer.span("stratum", index=0, strategy="replicated",
+                                  shards=state.spec.shards) as span:
+                result = run_replicated_rounds(
+                    state.pool,
+                    state.spec.shards,
+                    max_rounds=min(
+                        self.config.max_iterations, self.config.sharding.max_rounds
+                    ),
+                    tracker=tracker,
+                    on_accepted=absorb,
+                )
+                if self.tracer.enabled:
+                    for records in state.pool.invoke("drain_spans"):
+                        self.tracer.merge_buffer(records, parent=span)
+        except WorkerFailed:
+            # A shard died (or was fault-injected) mid-propagation.  The
+            # global storage may hold a partially-absorbed round — and delta
+            # seeding dedupes against derived rows, so re-driving the update
+            # tree from that state could MISS derivations.  The one always-
+            # correct recovery is a full recompute from base facts.
+            state.pool.close()
+            self._shard_state = None
+            self.profile.worker_failures += 1
+            self.metrics.counter("worker_failures_total").inc()
+            self.resilience_events["propagation_rebuilds"] = (
+                self.resilience_events.get("propagation_rebuilds", 0) + 1
             )
-            if self.tracer.enabled:
-                for records in state.pool.invoke("drain_spans"):
-                    self.tracer.merge_buffer(records, parent=span)
+            self._reset_to_base()
+            profile = self._execute(self.tree)
+            self._evaluated = True
+            return sum(it.promoted for it in profile.iterations)
 
         # Fold this propagation into the lifetime profile exactly like a
         # serial update execution would: per-round iteration records, the
@@ -799,14 +842,26 @@ class IncrementalSession:
         self._advance_mutation_digests(effective_inserts, effective_retracts)
         return report
 
-    def _rebuild_from_base(self) -> None:
-        """Clear every database, re-load base rows, re-run the main tree."""
+    def _reset_to_base(self) -> None:
+        """Discard every derived row, keeping base facts.
+
+        After an aborted or failed fixpoint this restores the one state
+        evaluation is always correct from: ground facts only, no deltas,
+        no partial derivations.  The session is marked unevaluated so the
+        next read recomputes.
+        """
         names = self.storage.relation_names()
         base = {name: self.storage.base_rows(name) for name in names}
         self.storage.reset_idb(names)
         for name, rows in base.items():
             for row in rows:
                 self.storage.insert_base(name, row)
+        self._decoded_results.clear()
+        self._evaluated = False
+
+    def _rebuild_from_base(self) -> None:
+        """Clear every database, re-load base rows, re-run the main tree."""
+        self._reset_to_base()
         self._execute(self.tree)
         self._evaluated = True
 
@@ -832,7 +887,8 @@ class IncrementalSession:
         if self._evaluated:
             self._rebuild_from_base()
 
-    def fetch_encoded(self, relation: str) -> FrozenSet[Row]:
+    def fetch_encoded(self, relation: str, limits=None,
+                      token=None) -> FrozenSet[Row]:
         """Storage-domain tuples of ``relation``, served from cache when valid.
 
         The cache holds *encoded* rows — under dictionary encoding a cached
@@ -843,8 +899,9 @@ class IncrementalSession:
         cache key + validity-token granularity, so shared entries decode
         identically in every session allowed to hit them.
         """
+        governor = self.config.governor(limits, token)
         self._refresh_catalog()
-        self._ensure_evaluated()
+        self._ensure_evaluated(governor)
         dependencies = self._dependencies.get(relation, frozenset((relation,)))
         tokens = {
             name: f"{generation}:{self._mutation_digests[name]}"
@@ -854,9 +911,20 @@ class IncrementalSession:
         cached = self.cache.lookup(key, tokens)
         self._record_cache_probe(relation, hit=cached is not None)
         if cached is not None:
-            return cached
-        rows = frozenset(self.storage.tuples(relation))
-        self.cache.store(key, tokens, rows)
+            rows = cached
+        else:
+            rows = frozenset(self.storage.tuples(relation))
+            self.cache.store(key, tokens, rows)
+        if governor.active and rows:
+            # Conservative machine-word estimate (8 bytes per column);
+            # the result stays cached — the limit bounds this query's
+            # response, not the fixpoint.
+            arity = len(next(iter(rows)))
+            try:
+                governor.check_result_bytes(len(rows) * arity * 8)
+            except ResilienceError as error:
+                self._record_resilience_abort(error)
+                raise
         return rows
 
     def _record_cache_probe(self, relation: str, hit: bool) -> None:
@@ -871,14 +939,21 @@ class IncrementalSession:
                 span.set(cache=result)
                 span.event("result-cache", relation=relation, result=result)
 
-    def fetch(self, relation: str) -> FrozenSet[Row]:
+    def fetch(self, relation: str, limits=None, token=None) -> FrozenSet[Row]:
         """The current (raw-domain) tuples of ``relation``.
 
         Decoding is memoised per cached encoded set, so repeat fetches of
         an unchanged relation return the same frozenset object instead of
         re-resolving every row through the symbol table.
+
+        ``limits`` (a :class:`~repro.resilience.limits.QueryLimits`) and
+        ``token`` (a :class:`~repro.resilience.cancel.CancellationToken`)
+        govern any fixpoint this read has to run: the evaluation aborts
+        with a typed :class:`~repro.resilience.errors.ResilienceError`
+        when a bound is hit, leaving the session consistent (ground state;
+        the next read recomputes).
         """
-        rows = self.fetch_encoded(relation)
+        rows = self.fetch_encoded(relation, limits, token)
         symbols = self.storage.symbols
         if symbols.identity:
             return rows
@@ -904,6 +979,24 @@ class IncrementalSession:
     def results(self) -> Dict[str, FrozenSet[Row]]:
         """Every IDB relation's tuples (cached individually)."""
         return {name: self.fetch(name) for name in self.program.idb_relations()}
+
+    def resilience_stats(self):
+        """``sys_resilience`` rows: ``(kind, name, value)`` counters.
+
+        Covers governance aborts by taxonomy code, shard degradations and
+        worker failures from the lifetime profile, and — when a fault
+        registry is installed — per-point hit/injection counts.
+        """
+        from repro.resilience import faults as fault_registry
+
+        rows = [
+            ("profile", "worker_failures", self.profile.worker_failures),
+            ("profile", "pool_degradations", self.profile.pool_degradations),
+        ]
+        for name in sorted(self.resilience_events):
+            rows.append(("event", name, self.resilience_events[name]))
+        rows.extend(fault_registry.active().stat_rows())
+        return rows
 
     # -- verification helpers ----------------------------------------------------
 

@@ -60,6 +60,7 @@ CATALOG_COLUMNS: Dict[str, Tuple[str, ...]] = {
         "dir", "fsync", "wal_records", "wal_bytes", "checkpoints_written",
         "recovered_records", "recovered_rows", "recovery_seconds",
     ),
+    "sys_resilience": ("kind", "name", "value"),
 }
 
 #: Relation names starting with this prefix belong to the engine: rules may
@@ -117,6 +118,7 @@ class SystemCatalog:
         self._connection_provider: Optional[Callable[[], List[Row]]] = None
         self._server_provider: Optional[Callable[[], List[Row]]] = None
         self._durability_provider: Optional[Callable[[], List[Row]]] = None
+        self._resilience_provider: Optional[Callable[[], List[Row]]] = None
         #: Last materialized content digest per relation (per catalog —
         #: catalogs are per-connection, so this is per-storage too).
         self._digests: Dict[str, str] = {}
@@ -146,6 +148,11 @@ class SystemCatalog:
         """Install the provider of the single ``sys_durability`` row (the
         durable writer's WAL/checkpoint/recovery state; empty elsewhere)."""
         self._durability_provider = provider
+
+    def bind_resilience(self, provider: Callable[[], List[Row]]) -> None:
+        """Install the provider of ``sys_resilience`` rows (governance
+        aborts, degradations, worker failures and fault-injection counts)."""
+        self._resilience_provider = provider
 
     # -- row sources -------------------------------------------------------------
 
@@ -190,6 +197,10 @@ class SystemCatalog:
         if name == "sys_durability":
             return [] if self._durability_provider is None else list(
                 self._durability_provider()
+            )
+        if name == "sys_resilience":
+            return [] if self._resilience_provider is None else list(
+                self._resilience_provider()
             )
         return self._symbol_rows(storage)  # sys_symbols
 

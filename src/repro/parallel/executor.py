@@ -70,6 +70,10 @@ from repro.parallel.sharded_storage import ShardedStorage
 from repro.relational.operators import JoinPlan, SubqueryEvaluator
 from repro.relational.relation import Row
 from repro.relational.storage import DatabaseKind, StorageManager
+from repro.resilience import faults
+from repro.resilience.cancel import NOOP_TOKEN, CancellationToken
+from repro.resilience.errors import ResilienceError, WorkerFailed, error_from_code
+from repro.resilience.limits import NOOP_GOVERNOR
 from repro.telemetry.spans import NOOP_TRACER, SpanBuffer
 
 
@@ -105,6 +109,7 @@ class SerialPool(WorkerPool):
     kind = "serial"
 
     def invoke(self, method, args_per_worker=None):
+        faults.fire("pool.invoke", WorkerFailed)
         args_per_worker = args_per_worker or [()] * len(self.workers)
         return [
             getattr(worker, method)(*args)
@@ -124,6 +129,7 @@ class ThreadWorkerPool(WorkerPool):
         )
 
     def invoke(self, method, args_per_worker=None):
+        faults.fire("pool.invoke", WorkerFailed)
         args_per_worker = args_per_worker or [()] * len(self.workers)
         futures = [
             self._executor.submit(getattr(worker, method), *args)
@@ -144,6 +150,11 @@ def _fork_worker_main(connection, worker: "ShardWorker") -> None:
                 break
             try:
                 connection.send(("ok", getattr(worker, method)(*args)))
+            except ResilienceError as error:
+                # Ship the taxonomy code so the coordinator re-raises the
+                # same class (a worker hitting its deadline must surface as
+                # DeadlineExceeded, not as a generic worker failure).
+                connection.send(("resilience", (error.code, str(error))))
             except Exception as error:  # surface, don't kill the pipe
                 connection.send(("error", f"{type(error).__name__}: {error}"))
     finally:
@@ -162,11 +173,13 @@ class ForkWorkerPool(WorkerPool):
 
     kind = "process"
 
-    def __init__(self, workers: Sequence["ShardWorker"]) -> None:
+    def __init__(self, workers: Sequence["ShardWorker"],
+                 join_timeout: float = 5.0) -> None:
         super().__init__(workers)
         import multiprocessing
 
         context = multiprocessing.get_context("fork")
+        self.join_timeout = join_timeout
         self._connections = []
         self._processes = []
         for worker in self.workers:
@@ -181,16 +194,50 @@ class ForkWorkerPool(WorkerPool):
         self._closed = False
 
     def invoke(self, method, args_per_worker=None):
+        faults.fire("pool.invoke", WorkerFailed)
         args_per_worker = args_per_worker or [()] * len(self.workers)
-        for connection, args in zip(self._connections, args_per_worker):
-            connection.send((method, args))
+        for shard, (connection, args) in enumerate(
+            zip(self._connections, args_per_worker)
+        ):
+            try:
+                connection.send((method, args))
+            except (BrokenPipeError, OSError):
+                self._reap(shard)
+                raise WorkerFailed(
+                    f"shard {shard} worker died (pipe closed before send)",
+                    shard=shard, method=method,
+                ) from None
         results = []
         for shard, connection in enumerate(self._connections):
-            status, payload = connection.recv()
+            try:
+                status, payload = connection.recv()
+            except (EOFError, ConnectionResetError, OSError) as error:
+                # The child vanished mid-call (SIGKILL, OOM, segfault).
+                # Reap the corpse now so no zombie outlives the pool, then
+                # let the caller degrade and re-run the stratum.
+                self._reap(shard)
+                raise WorkerFailed(
+                    f"shard {shard} worker died mid-invoke "
+                    f"({type(error).__name__})",
+                    shard=shard, method=method,
+                ) from None
+            if status == "resilience":
+                code, message = payload
+                raise error_from_code(code, message, shard=shard)
             if status != "ok":
                 raise RuntimeError(f"shard {shard} worker failed: {payload}")
             results.append(payload)
         return results
+
+    def _reap(self, shard: int) -> None:
+        """Collect one dead (or dying) child so it cannot linger as a zombie."""
+        process = self._processes[shard]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=self.join_timeout)
+        if process.is_alive():  # pragma: no cover - SIGTERM-immune child
+            process.kill()
+            process.join()
 
     def close(self):
         if self._closed:
@@ -202,9 +249,16 @@ class ForkWorkerPool(WorkerPool):
             except (BrokenPipeError, OSError):  # child already gone
                 pass
         for process in self._processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive
+            process.join(timeout=self.join_timeout)
+            if process.is_alive():
+                # The child ignored __stop__ (wedged or mid-task): escalate
+                # SIGTERM -> SIGKILL and always reap — join(timeout) alone
+                # used to give up silently and leak the process.
                 process.terminate()
+                process.join(timeout=self.join_timeout)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
         for connection in self._connections:
             connection.close()
 
@@ -388,17 +442,27 @@ class ShardWorker:
 
     # -- aligned strategy --------------------------------------------------------
 
-    def run_local_fixpoint(self, max_iterations: int) -> Tuple[int, int]:
+    def run_local_fixpoint(self, max_iterations: int,
+                           deadline: Optional[float] = None) -> Tuple[int, int]:
         """Run the shard's semi-naive loop to local fixpoint.
 
         Used by the aligned strategy, where pivot alignment guarantees every
         derivable row is locally owned — so the whole loop is one pool task.
-        Returns ``(iterations, promoted_total)``.
+        ``deadline`` is an absolute monotonic instant (CLOCK_MONOTONIC is
+        system-wide, so the coordinator's deadline is meaningful inside a
+        forked child); the loop checks it cooperatively each iteration and
+        raises :class:`~repro.resilience.errors.DeadlineExceeded`, which the
+        fork pool ships back as a typed error.  Returns ``(iterations,
+        promoted_total)``.
         """
         iterations = 0
         promoted_total = 0
         tracer = self.telemetry if self.telemetry is not None else NOOP_TRACER
+        token = (CancellationToken(deadline=deadline) if deadline is not None
+                 else NOOP_TOKEN)
         while True:
+            if token.active:
+                token.check()
             iterations += 1
             span = tracer.span("iteration", shard=self.shard_id, round=iterations)
             for (relation, _plans), evaluate in zip(self.groups, self._evaluate_group):
@@ -504,12 +568,16 @@ def run_replicated_rounds(
     max_rounds: int,
     tracker: Optional[QuiescenceTracker] = None,
     on_accepted: Optional[Callable[[Dict[str, List[Row]]], None]] = None,
+    governor=NOOP_GOVERNOR,
 ) -> RoundDriverResult:
     """Drive exchange rounds until the two-phase quiescence check passes.
 
     ``on_accepted`` receives every round's accepted rows (relation → rows),
     which is how the incremental session folds shard-parallel propagation
-    results into its global storage as they appear.
+    results into its global storage as they appear.  ``governor`` (a
+    :class:`~repro.resilience.limits.QueryGovernor`) is polled at every
+    round boundary — one exchange round is the replicated strategy's
+    cancellation granularity.
     """
     tracker = tracker if tracker is not None else QuiescenceTracker()
     result = RoundDriverResult()
@@ -550,6 +618,8 @@ def run_replicated_rounds(
         result.promoted += stats.promoted
         if tracker.global_fixpoint(stats):
             break
+        if governor.active:
+            governor.on_round(stats.promoted)
     return result
 
 
@@ -623,6 +693,7 @@ class ParallelEvaluator:
         storage: StorageManager,
         tree: ProgramOp,
         profile: Optional[RuntimeProfile] = None,
+        governor=None,
     ) -> None:
         if config.sharding is None or config.sharding.shards < 2:
             raise ValueError("ParallelEvaluator requires a sharding config with shards >= 2")
@@ -633,6 +704,7 @@ class ParallelEvaluator:
         self.tree = tree
         self.profile = profile if profile is not None else RuntimeProfile()
         self.tracer = config.tracer()
+        self.governor = governor if governor is not None else config.governor()
         self.report = ParallelRunReport(shards=self.sharding.shards)
 
     # -- public API --------------------------------------------------------------
@@ -685,6 +757,68 @@ class ParallelEvaluator:
         if self.config.mode == ExecutionMode.JIT:
             groups = self._reorder_groups(groups)
 
+        pool_kind = resolve_pool_kind(self.sharding, spec.shards)
+        if (
+            pool_kind == "process"
+            and not self.storage.symbols.identity
+            and any(plan_allocates(plan) for plan in plans)
+        ):
+            # Plans that compute fresh values (assignments, arithmetic
+            # heads) can intern new symbols mid-fixpoint.  A forked child
+            # allocating ids would diverge from its siblings' inherited
+            # tables, so such strata stay in-process — on the thread pool,
+            # where every worker interns through the one locked table and
+            # shard parallelism survives (the report's ``pool`` column
+            # shows the substitution).
+            pool_kind = "thread"
+            self.profile.pool_degradations += 1
+
+        max_rounds = min(
+            stratum.loop.max_iterations,
+            self.config.max_iterations,
+            self.sharding.max_rounds,
+        )
+        # Scatter/drive/merge runs under worker-failure degradation: the
+        # global storage is only read until the merge, so when a shard
+        # worker dies mid-stratum (detected and reaped by the pool) the
+        # whole stage can be rebuilt from the still-pristine global state
+        # and re-driven on the next-safer pool kind — a crashed worker
+        # costs latency, never the answer.
+        while True:
+            report = StratumRunReport(
+                index=stratum.index,
+                strategy="aligned" if spec.aligned else "replicated",
+                shards=spec.shards,
+                pool=pool_kind,
+                partition_reasons=dict(partitioning.reasons),
+            )
+            try:
+                self._drive_stratum(
+                    stratum, spec, groups, pool_kind, max_rounds, span, report
+                )
+                break
+            except WorkerFailed:
+                if pool_kind == "serial":
+                    raise
+                self.profile.worker_failures += 1
+                self.profile.pool_degradations += 1
+                pool_kind = "thread" if pool_kind == "process" else "serial"
+
+        # Leave the global deltas the way a completed serial loop would.
+        self.storage.clear_deltas(stratum.relations)
+        return report
+
+    def _drive_stratum(
+        self,
+        stratum: StratumOp,
+        spec: PartitionSpec,
+        groups: Sequence[Tuple[str, Sequence[JoinPlan]]],
+        pool_kind: str,
+        max_rounds: int,
+        span,
+        report: StratumRunReport,
+    ) -> None:
+        """One scatter → drive → merge attempt of a recursive stratum."""
         # 3. Scatter the seeded state.
         sharded = ShardedStorage(
             spec, self.storage, relations=set(spec.columns) | set(spec.replicated)
@@ -718,47 +852,27 @@ class ParallelEvaluator:
                 self.config.evaluator_style, self.config.executor,
                 trace=self.tracer.enabled,
             )
-        pool_kind = resolve_pool_kind(self.sharding, spec.shards)
-        if (
-            pool_kind == "process"
-            and not self.storage.symbols.identity
-            and any(plan_allocates(plan) for plan in plans)
-        ):
-            # Plans that compute fresh values (assignments, arithmetic
-            # heads) can intern new symbols mid-fixpoint.  A forked child
-            # allocating ids would diverge from its siblings' inherited
-            # tables, so such strata stay in-process — on the thread pool,
-            # where every worker interns through the one locked table and
-            # shard parallelism survives (the report's ``pool`` column
-            # shows the substitution).
-            pool_kind = "thread"
-            self.profile.pool_degradations += 1
         pool = make_pool(pool_kind, workers)
+        governor = self.governor
 
-        report = StratumRunReport(
-            index=stratum.index,
-            strategy="aligned" if spec.aligned else "replicated",
-            shards=spec.shards,
-            pool=pool_kind,
-            partition_reasons=dict(partitioning.reasons),
-        )
-        max_rounds = min(
-            stratum.loop.max_iterations,
-            self.config.max_iterations,
-            self.sharding.max_rounds,
-        )
         try:
             if spec.aligned:
-                results = pool.invoke("run_local_fixpoint", [(max_rounds,)] * spec.shards)
+                results = pool.invoke(
+                    "run_local_fixpoint",
+                    [(max_rounds, governor.deadline)] * spec.shards,
+                )
                 report.rounds = max(iterations for iterations, _ in results)
                 report.promoted = sum(promoted for _, promoted in results)
                 self.profile.record_iteration(
                     stratum.index, report.rounds, report.promoted, None, 0.0
                 )
+                if governor.active:
+                    governor.on_round(report.promoted)
             else:
                 tracker = QuiescenceTracker()
                 outcome = run_replicated_rounds(
-                    pool, spec.shards, max_rounds, tracker=tracker
+                    pool, spec.shards, max_rounds, tracker=tracker,
+                    governor=governor,
                 )
                 report.rounds = outcome.rounds
                 report.exchanged = outcome.exchanged
@@ -790,10 +904,6 @@ class ParallelEvaluator:
                     self.tracer.merge_buffer(records, parent=span)
         finally:
             pool.close()
-
-        # Leave the global deltas the way a completed serial loop would.
-        self.storage.clear_deltas(stratum.relations)
-        return report
 
     # -- helpers -----------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.relational.columnar import (
 from repro.relational.relation import Relation, Row
 from repro.relational.storage import DatabaseKind, StorageManager
 from repro.relational.symbols import IDENTITY
+from repro.resilience.limits import NOOP_GOVERNOR
 from repro.telemetry.spans import NOOP_TRACER
 
 Bindings = Dict[Variable, Any]
@@ -808,7 +809,8 @@ class SubqueryEvaluator:
     """
 
     def __init__(self, storage: StorageManager, style: str = "push",
-                 executor: str = "pushdown", tracer=NOOP_TRACER) -> None:
+                 executor: str = "pushdown", tracer=NOOP_TRACER,
+                 governor=NOOP_GOVERNOR) -> None:
         if style not in ("push", "pull"):
             raise ValueError(f"unknown evaluator style {style!r}")
         if executor not in EXECUTORS:
@@ -817,6 +819,10 @@ class SubqueryEvaluator:
             )
         self.style = style
         self.executor = executor
+        #: Cooperative cancellation: checked once per sub-query plan, the
+        #: finest granularity at which storage is consistent (a plan either
+        #: fully evaluates or contributes nothing).
+        self.governor = governor
         self._push = PushSubqueryEvaluator(storage)
         self._pull = PullSubqueryEvaluator(storage)
         self._vectorized: Optional[VectorizedSubqueryEvaluator] = (
@@ -825,6 +831,8 @@ class SubqueryEvaluator:
         )
 
     def evaluate(self, plan: JoinPlan) -> Set[Row]:
+        if self.governor.active:
+            self.governor.check()
         if self._vectorized is not None:
             return self._vectorized.evaluate(plan)
         if self.style == "push":

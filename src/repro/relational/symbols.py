@@ -55,6 +55,9 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.resilience import faults
+from repro.resilience.errors import DurabilityError
+
 Row = Tuple[Any, ...]
 
 
@@ -199,6 +202,7 @@ class SymbolTable:
         replays symbol deltas through this method, and a half-absorbed
         corrupt delta would silently remap every fact interned afterwards.
         """
+        faults.fire("symbols.extend", DurabilityError)
         with self._lock:
             if base is None:
                 base = len(self._values)

@@ -30,6 +30,7 @@ from repro.api.database import Database
 from repro.core.config import EngineConfig
 from repro.durability import DurabilityConfig
 from repro.durability.config import FSYNC_POLICIES
+from repro.resilience.faults import ENV_VAR, install_from_env
 from repro.server.backpressure import POLICIES, BackpressureConfig
 from repro.server.server import QueryServer
 
@@ -102,6 +103,18 @@ def main(argv=None) -> int:
     else:
         with open(args.program, "r", encoding="utf-8") as handle:
             source = handle.read()
+
+    # Fault injection for chaos / smoke runs: REPRO_FAULTS="wal.fsync:
+    # fail_nth=1" makes the first fsync fail with a typed durability error
+    # on the wire, after which the server recovers on its own.
+    registry = install_from_env()
+    if registry is not None:
+        specs = ", ".join(
+            f"{spec.point}(fail_nth={spec.fail_nth}, "
+            f"fail_rate={spec.fail_rate}, delay={spec.delay})"
+            for spec in registry.specs()
+        )
+        print(f"fault injection active via {ENV_VAR}: {specs}", file=sys.stderr)
 
     config = EngineConfig()
     if args.executor:

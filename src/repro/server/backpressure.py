@@ -10,11 +10,17 @@ policy:
 * ``reject`` — the submit fails immediately with a structured
   ``backpressure`` error on the wire; the client decides whether to retry.
 * ``shed`` — the *oldest pending* mutation is evicted (its client gets a
-  ``shed`` error) and the new one is admitted.  Favors freshness: under
-  overload the server works on the most recent requests.
+  ``cancelled``/``shed`` error) and the new one is admitted.  Favors
+  freshness: under overload the server works on the most recent requests.
 
-All three surface as :class:`BackpressureError`, which the server maps to
-``{"ok": false, "error": {"code": ..., "policy": ..., ...}}`` responses.
+All three surface as resilience-taxonomy errors
+(:mod:`repro.resilience.errors`) with stable wire codes — a full queue is
+``resource_exhausted``/``queue_full``, a block timeout is
+``deadline_exceeded``/``queue_timeout``, eviction and shutdown are
+``cancelled`` with reasons ``shed``/``shutdown`` — each carrying the active
+``policy`` as a detail.  :data:`BackpressureError` is kept as an alias of
+the taxonomy base class so existing ``except BackpressureError`` sites
+catch every admission failure unchanged.
 """
 
 from __future__ import annotations
@@ -24,7 +30,19 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Optional, Tuple
 
+from repro.resilience import faults
+from repro.resilience.errors import (
+    Cancelled,
+    DeadlineExceeded,
+    ResilienceError,
+    ResourceExhausted,
+)
+
 POLICIES = ("block", "reject", "shed")
+
+#: Compatibility alias: admission failures are taxonomy errors now; the
+#: name survives for callers that catch (or introspect) it.
+BackpressureError = ResilienceError
 
 
 @dataclass(frozen=True)
@@ -49,19 +67,6 @@ class BackpressureConfig:
 class QueueClosed(Exception):
     """Raised by :meth:`MutationQueue.get` once the queue is closed and empty
     — the writer loop's signal to finish its current batch and exit."""
-
-
-class BackpressureError(Exception):
-    """A mutation was refused (or evicted) by admission control."""
-
-    def __init__(self, code: str, message: str, policy: str) -> None:
-        super().__init__(message)
-        self.code = code
-        self.policy = policy
-
-    def to_wire(self) -> dict:
-        """The structured error object sent on the wire."""
-        return {"code": self.code, "message": str(self), "policy": self.policy}
 
 
 class MutationQueue:
@@ -96,27 +101,27 @@ class MutationQueue:
         (``reject`` when full, ``block`` on timeout).
         """
         config = self.config
+        faults.fire("queue.enqueue", ResourceExhausted)
         if self._closed:
             self.rejected += 1
-            raise BackpressureError(
-                "shutdown", "server is shutting down", config.policy,
+            raise Cancelled(
+                "server is shutting down",
+                reason="shutdown", policy=config.policy,
             )
         if len(self._items) >= config.max_pending:
             if config.policy == "reject":
                 self.rejected += 1
-                raise BackpressureError(
-                    "backpressure",
+                raise ResourceExhausted(
                     f"mutation queue full ({config.max_pending} pending)",
-                    config.policy,
+                    reason="queue_full", policy=config.policy,
                 )
             if config.policy == "shed":
                 stale_payload, stale_future = self._items.popleft()
                 self.shed += 1
                 if not stale_future.done():
-                    stale_future.set_exception(BackpressureError(
-                        "shed",
+                    stale_future.set_exception(Cancelled(
                         "mutation evicted by a newer request under overload",
-                        config.policy,
+                        reason="shed", policy=config.policy,
                     ))
             else:  # block
                 try:
@@ -125,10 +130,9 @@ class MutationQueue:
                     )
                 except asyncio.TimeoutError:
                     self.rejected += 1
-                    raise BackpressureError(
-                        "timeout",
+                    raise DeadlineExceeded(
                         f"queue stayed full for {config.block_timeout}s",
-                        config.policy,
+                        reason="queue_timeout", policy=config.policy,
                     ) from None
         future = asyncio.get_running_loop().create_future()
         self._items.append((payload, future))
@@ -185,8 +189,9 @@ class MutationQueue:
         while self._items:
             _, future = self._items.popleft()
             if not future.done():
-                future.set_exception(BackpressureError(
-                    "shutdown", "server is shutting down", self.config.policy,
+                future.set_exception(Cancelled(
+                    "server is shutting down",
+                    reason="shutdown", policy=self.config.policy,
                 ))
             drained += 1
         return drained

@@ -5,14 +5,28 @@ Both speak the framed protocol by default (``framed=False`` switches a
 into ``nc``).  Rows travel as JSON arrays; the clients convert them back
 to tuples so results round-trip into set comparisons against local engine
 results.
+
+Retries
+-------
+
+Both clients take an optional :class:`RetryPolicy`: bounded attempts with
+exponential backoff and seeded jitter, applied to connection establishment
+and to *transient* failures (a ``resource_exhausted`` response, a dropped
+connection).  Mutations are special-cased for exactly-once safety: they are
+retried only when the server's structured error says ``enqueued: false`` —
+once a write has been admitted to the mutation queue, a blind resend could
+double-apply, so the client surfaces the error instead.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.server.protocol import (
     MAX_FRAME,
@@ -22,14 +36,74 @@ from repro.server.protocol import (
     encode_line,
 )
 
+#: Ops whose retry must be gated on the server's ``enqueued`` flag.
+_MUTATION_OPS = frozenset({"insert", "retract", "apply"})
+
+#: Taxonomy codes safe to retry after backoff (for mutations: only when
+#: the response also reports the write was never enqueued).
+_TRANSIENT_CODES = frozenset({"resource_exhausted"})
+
 
 class ServerError(Exception):
     """A structured ``{"ok": false}`` response, raised client-side."""
 
-    def __init__(self, error: Dict[str, Any]) -> None:
+    def __init__(self, error: Dict[str, Any],
+                 enqueued: Optional[bool] = None) -> None:
         super().__init__(error.get("message", "server error"))
         self.code = error.get("code", "error")
         self.error = error
+        #: The server's admission report for mutations: False means the
+        #: write never entered the queue (safe to retry), True means it
+        #: was admitted (a retry risks double-apply), None for non-mutation
+        #: ops and pre-flag servers.
+        self.enqueued = enqueued
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    ``attempts`` counts total tries (1 disables retries); the delay before
+    try *n+1* is ``min(max_delay, base_delay * 2**(n-1))``, shrunk by up to
+    ``jitter`` (a fraction in [0, 1]) via the seeded RNG so synchronized
+    clients do not retry in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry (``attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.attempts - 1):
+            delay = min(self.max_delay, self.base_delay * (2 ** attempt))
+            yield delay * (1.0 - self.jitter * rng.random())
+
+    def should_retry(self, op: Optional[str], error: Exception) -> bool:
+        """Whether ``error`` on ``op`` is safe and useful to retry."""
+        mutating = op in _MUTATION_OPS
+        if isinstance(error, ServerError):
+            if error.code not in _TRANSIENT_CODES:
+                return False
+            # Mutations: only the server's explicit "never enqueued" makes
+            # a resend exactly-once-safe.
+            return error.enqueued is False if mutating else True
+        if isinstance(error, (ConnectionError, OSError, ProtocolError)):
+            # The connection died with the request in flight: a mutation
+            # may or may not have been applied — never resend blindly.
+            return not mutating
+        return False
 
 
 def rows_to_tuples(rows: Iterable[List[Any]]) -> List[Tuple[Any, ...]]:
@@ -38,7 +112,9 @@ def rows_to_tuples(rows: Iterable[List[Any]]) -> List[Tuple[Any, ...]]:
 
 def _check(response: dict) -> dict:
     if not response.get("ok", False):
-        raise ServerError(response.get("error", {}))
+        raise ServerError(
+            response.get("error", {}), enqueued=response.get("enqueued")
+        )
     return response
 
 
@@ -53,16 +129,64 @@ class BlockingClient:
     """
 
     def __init__(self, host: str, port: int, framed: bool = True,
-                 timeout: Optional[float] = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 timeout: Optional[float] = 30.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._framed = framed
+        self._retry = retry
         self._buffer = b""
         self._next_id = 0
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        """Establish the connection, retried per the policy."""
+        delays = self._retry.delays() if self._retry is not None else iter(())
+        while True:
+            try:
+                return socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+            except OSError:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                time.sleep(delay)
+
+    def _reconnect(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        self._buffer = b""
+        self._sock = self._connect()
 
     # -- transport ---------------------------------------------------------------
 
     def request(self, message: dict) -> dict:
-        """One request/response round trip (raises :class:`ServerError`)."""
+        """One request/response round trip (raises :class:`ServerError`).
+
+        With a :class:`RetryPolicy`, transient failures back off and retry;
+        mutations are only ever resent when the server reported the write
+        was never enqueued (no double-apply).
+        """
+        if self._retry is None:
+            return self._request_once(message)
+        op = message.get("op")
+        delays = self._retry.delays()
+        while True:
+            try:
+                return self._request_once(message)
+            except Exception as error:
+                delay = next(delays, None)
+                if delay is None or not self._retry.should_retry(op, error):
+                    raise
+                time.sleep(delay)
+                if not isinstance(error, ServerError):
+                    self._reconnect()  # the transport died; rebuild it
+
+    def _request_once(self, message: dict) -> dict:
         self._next_id += 1
         message = dict(message, id=self._next_id)
         data = (
@@ -168,16 +292,63 @@ class AsyncClient:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._next_id = 0
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._retry: Optional[RetryPolicy] = None
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncClient":
+    async def connect(cls, host: str, port: int,
+                      retry: Optional[RetryPolicy] = None) -> "AsyncClient":
         client = cls()
-        client._reader, client._writer = await asyncio.open_connection(
-            host, port
-        )
+        client._host, client._port, client._retry = host, port, retry
+        await client._open()
         return client
 
+    async def _open(self) -> None:
+        assert self._host is not None and self._port is not None
+        delays = self._retry.delays() if self._retry is not None else iter(())
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self._host, self._port
+                )
+                return
+            except OSError:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
+
+    async def _reopen(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        await self._open()
+
     async def request(self, message: dict) -> dict:
+        """One round trip, retried per the policy (mutations only when the
+        server reported ``enqueued: false`` — see :class:`RetryPolicy`)."""
+        if self._retry is None:
+            return await self._request_once(message)
+        op = message.get("op")
+        delays = self._retry.delays()
+        while True:
+            try:
+                return await self._request_once(message)
+            except asyncio.IncompleteReadError as error:
+                delay = next(delays, None)
+                if delay is None or op in _MUTATION_OPS:
+                    raise
+                await asyncio.sleep(delay)
+                await self._reopen()
+            except Exception as error:
+                delay = next(delays, None)
+                if delay is None or not self._retry.should_retry(op, error):
+                    raise
+                await asyncio.sleep(delay)
+                if not isinstance(error, ServerError):
+                    await self._reopen()
+
+    async def _request_once(self, message: dict) -> dict:
         assert self._reader is not None and self._writer is not None
         self._next_id += 1
         message = dict(message, id=self._next_id)

@@ -28,6 +28,8 @@ import asyncio
 import json
 from typing import Any, Iterable, List, Optional, Tuple
 
+from repro.resilience.errors import ResilienceError, ResourceExhausted
+
 #: Largest frame either side may send: just under 2**24 keeps the first
 #: length byte 0x00 (the framed/line mode discriminator) and bounds the
 #: buffering a hostile peer can force.
@@ -36,8 +38,17 @@ MAX_FRAME = (1 << 24) - 1
 _PREFIX_LEN = 4
 
 
-class ProtocolError(Exception):
-    """A malformed or oversized message; the server closes the connection."""
+class ProtocolError(ResilienceError):
+    """A malformed or truncated message; the server closes the connection.
+
+    Part of the resilience taxonomy (wire code ``protocol``) so framing
+    failures serialize like every other structured error.  Oversized
+    frames raise :class:`~repro.resilience.errors.ResourceExhausted` with
+    ``reason="oversize"`` instead — the message is well-formed, it just
+    exceeds a bounded resource.
+    """
+
+    code = "protocol"
 
 
 def jsonify_value(value: Any) -> Any:
@@ -63,8 +74,9 @@ def encode_frame(message: dict) -> bytes:
     """The message as one length-prefixed frame."""
     payload = encode_payload(message)
     if len(payload) > MAX_FRAME:
-        raise ProtocolError(
-            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        raise ResourceExhausted(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            reason="oversize", limit=MAX_FRAME,
         )
     return len(payload).to_bytes(_PREFIX_LEN, "big") + payload
 
@@ -110,8 +122,9 @@ async def read_frame(
         raise ProtocolError("connection closed mid-frame") from None
     length = int.from_bytes(prefix, "big")
     if length > MAX_FRAME:
-        raise ProtocolError(
-            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        raise ResourceExhausted(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})",
+            reason="oversize", limit=MAX_FRAME,
         )
     try:
         payload = await reader.readexactly(length)
@@ -132,5 +145,7 @@ async def read_line(
     if not data:
         return {}, len(raw)
     if len(data) > MAX_FRAME:
-        raise ProtocolError("line exceeds MAX_FRAME")
+        raise ResourceExhausted(
+            "line exceeds MAX_FRAME", reason="oversize", limit=MAX_FRAME,
+        )
     return decode_payload(data), len(raw)

@@ -25,12 +25,20 @@ optional client-chosen ``id`` echoed back on the response.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.api.database import Database
 from repro.core.config import EngineConfig
+from repro.resilience import faults
+from repro.resilience.cancel import CancellationToken
+from repro.resilience.errors import (
+    Cancelled,
+    DurabilityError,
+    ResilienceError,
+)
 from repro.server.backpressure import (
     BackpressureConfig,
     BackpressureError,
@@ -50,6 +58,10 @@ from repro.server.sessions import ConnectionState, SessionRegistry
 
 #: Ops that mutate; everything else is served without touching the writer.
 _MUTATION_OPS = frozenset({"insert", "retract", "apply"})
+
+#: Structured one-line operational log (slow queries, cancellations,
+#: degraded writes); key=value formatted so it greps and parses trivially.
+logger = logging.getLogger("repro.server")
 
 
 def _error(code: str, message: str, **extra: Any) -> dict:
@@ -113,6 +125,12 @@ class QueryServer:
         self._writer_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-writer"
         )
+        # Governed (deadline-carrying) reads run here instead of on the
+        # event loop, so the loop stays free to notice a disconnecting
+        # peer and cancel the read's token.
+        self._reader_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-reader"
+        )
         self._queue: Optional[MutationQueue] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writer_task: Optional["asyncio.Task"] = None
@@ -169,6 +187,10 @@ class QueryServer:
             task.cancel()
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
+        # After the handlers: their cancellation cancels any governed
+        # read's token, so the reader threads abort at their next check
+        # instead of holding this shutdown open.
+        self._reader_pool.shutdown(wait=True)
         while self._result_cache:
             self._result_cache.popitem()[1].release()
         self.conn.close()
@@ -239,7 +261,26 @@ class QueryServer:
             except Exception as exc:  # surfaced to the submitting client
                 outcomes.append((None, exc))
         if self.durability is not None:
-            self.durability.sync()
+            try:
+                self.durability.sync()
+            except Exception as exc:
+                # The group's writes applied in memory but are NOT durable:
+                # fail every future that was about to succeed, so no client
+                # mistakes a lost-on-crash write for a committed one.  The
+                # writer loop survives — the next batch syncs again.
+                error = (
+                    exc if isinstance(exc, ResilienceError)
+                    else DurabilityError(str(exc), reason="sync_failed")
+                )
+                logger.error(
+                    "event=group-commit-sync-failed batch=%d code=%s error=%s",
+                    len(payloads), getattr(error, "code", "?"), error,
+                )
+                self.metrics.counter("server_sync_failures_total").inc()
+                outcomes = [
+                    (report, failure if failure is not None else error)
+                    for report, failure in outcomes
+                ]
         self.metrics.histogram("server_group_commit_size").observe(
             len(payloads)
         )
@@ -323,11 +364,20 @@ class QueryServer:
         try:
             await self._serve_connection(reader, writer, state, conn_span)
         except (
-            ProtocolError, ConnectionResetError, BrokenPipeError,
+            ResilienceError, ConnectionResetError, BrokenPipeError,
             asyncio.CancelledError,
         ):
             pass
         finally:
+            if state.cancel_active("client disconnected"):
+                # A governed read was in flight when the socket died: the
+                # cooperative token aborts it at the next check instead of
+                # computing for a peer that will never read the answer.
+                self.metrics.counter("server_disconnect_cancels_total").inc()
+                logger.info(
+                    "event=disconnect-cancel conn=%d peer=%s",
+                    state.conn_id, state.peer,
+                )
             conn_span.set(
                 queries=state.queries, mutations=state.mutations,
                 bytes_in=state.bytes_in, bytes_out=state.bytes_out,
@@ -362,10 +412,18 @@ class QueryServer:
         state.mode = "framed" if framed else "line"
         pending_first = first
         while True:
-            received = await (
-                read_frame(reader, pending_first) if framed
-                else read_line(reader, pending_first)
-            )
+            try:
+                received = await (
+                    read_frame(reader, pending_first) if framed
+                    else read_line(reader, pending_first)
+                )
+            except ResilienceError as exc:
+                # Framing is (or may be) desynced: tell the peer why with
+                # one best-effort typed error, then close the connection.
+                await self._send_best_effort(
+                    writer, framed, {"ok": False, "error": exc.to_wire()}
+                )
+                return
             pending_first = b""
             if received is None:
                 return
@@ -374,11 +432,18 @@ class QueryServer:
             if not message:  # blank line in line mode
                 continue
             try:
-                response = await self._dispatch(message, state, conn_span)
-            except ProtocolError as exc:
-                response = _error("protocol", str(exc))
+                response = await self._dispatch(
+                    message, state, conn_span, reader
+                )
+            except ResilienceError as exc:
+                # ProtocolError and any taxonomy error escaping an op
+                # handler become one structured response (stable code).
+                response = {"ok": False, "error": exc.to_wire()}
             if "id" in message:
                 response["id"] = message["id"]
+            # An injected send fault behaves exactly like a client that
+            # vanished mid-response: the handler tears the connection down.
+            faults.fire("server.send", Cancelled)
             data = encode_frame(response) if framed else encode_line(response)
             writer.write(data)
             await writer.drain()
@@ -386,10 +451,27 @@ class QueryServer:
             if message.get("op") == "close":
                 return
 
+    async def _send_best_effort(
+        self, writer: asyncio.StreamWriter, framed: bool, response: dict
+    ) -> None:
+        """Write one response, swallowing a peer that is already gone."""
+        try:
+            data = (
+                encode_frame(response) if framed else encode_line(response)
+            )
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
     # -- request dispatch --------------------------------------------------------
 
     async def _dispatch(
-        self, message: dict, state: ConnectionState, conn_span
+        self,
+        message: dict,
+        state: ConnectionState,
+        conn_span,
+        reader: asyncio.StreamReader,
     ) -> dict:
         op = message.get("op")
         if not isinstance(op, str):
@@ -400,7 +482,7 @@ class QueryServer:
             "request", parent=conn_span, ambient=False,
             op=op, conn=state.conn_id,
         ) as span:
-            response = await self._dispatch_op(op, message, state)
+            response = await self._dispatch_op(op, message, state, reader)
             span.set(ok=response.get("ok", False))
         self.metrics.histogram("server_request_seconds").observe(
             time.perf_counter() - started
@@ -408,12 +490,16 @@ class QueryServer:
         return response
 
     async def _dispatch_op(
-        self, op: str, message: dict, state: ConnectionState
+        self,
+        op: str,
+        message: dict,
+        state: ConnectionState,
+        reader: asyncio.StreamReader,
     ) -> dict:
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "query":
-            return self._op_query(message, state)
+            return await self._op_query(message, state, reader)
         if op in _MUTATION_OPS:
             return await self._op_mutate(op, message, state)
         if op == "explain":
@@ -429,29 +515,113 @@ class QueryServer:
             return {"ok": True, "closing": True}
         return _error("unknown_op", f"unknown op {op!r}")
 
-    def _op_query(self, message: dict, state: ConnectionState) -> dict:
+    async def _op_query(
+        self,
+        message: dict,
+        state: ConnectionState,
+        reader: asyncio.StreamReader,
+    ) -> dict:
         relation = message.get("relation")
         if not isinstance(relation, str):
             return _error("bad_request", "'query' needs a string 'relation'")
         offset = message.get("offset", 0)
         limit = message.get("limit")
+        deadline_ms = message.get("deadline_ms")
+        token = None
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                return _error(
+                    "bad_request", "'deadline_ms' must be a positive number"
+                )
+            # The per-request deadline rides a CancellationToken: the read
+            # path checks it cooperatively, and a watcher cancels it if the
+            # client disconnects before the answer is ready.
+            token = CancellationToken.with_timeout(deadline_ms / 1000.0)
         state.queries += 1
-        try:
-            if relation.startswith("sys_"):
-                # Catalog reads are live observability snapshots, not MVCC
-                # reads: they run on the loop against the catalog providers.
-                result = self.conn.query(relation)
-                version = None
-            else:
+        started = time.perf_counter()
+        result = version = None
+        if not relation.startswith("sys_"):
+            # Resolve the shared snapshot result on the loop: the result
+            # cache is event-loop-only state.  The result itself is an
+            # immutable pinned snapshot, safe to page from any thread.
+            try:
                 result = self._snapshot_result(relation)
                 version = result.snapshot_version
+            except ResilienceError as exc:
+                return self._query_abort(exc, relation, state, started)
+            except KeyError as exc:
+                return _error("unknown_relation", str(exc))
+            except (ValueError, RuntimeError) as exc:
+                return _error("bad_request", str(exc))
+        if token is None:
+            return self._query_body(
+                relation, result, version, offset, limit, None, state, started
+            )
+        # Governed read: run it off-loop so the event loop stays free to
+        # notice the peer vanishing — the watcher cancels the token, and the
+        # cooperative checks abort the read instead of computing an answer
+        # for a dead socket.
+        state.active_token = token
+        loop = asyncio.get_running_loop()
+        watcher = loop.create_task(self._cancel_on_disconnect(reader, state))
+        try:
+            return await loop.run_in_executor(
+                self._reader_pool, self._query_body,
+                relation, result, version, offset, limit, token, state,
+                started,
+            )
+        except asyncio.CancelledError:
+            # Handler torn down (shutdown): abort the orphaned read so the
+            # reader thread does not keep computing for a closed server.
+            token.cancel("connection closed")
+            raise
+        finally:
+            watcher.cancel()
+            state.active_token = None
+
+    async def _cancel_on_disconnect(
+        self, reader: asyncio.StreamReader, state: ConnectionState
+    ) -> None:
+        """Cancel the in-flight governed read if the transport dies.
+
+        The loop never has a read pending while a request is in flight, but
+        asyncio still feeds EOF/errors to the stream on FIN/RST — polling
+        ``at_eof``/``exception`` observes the disconnect without consuming
+        anything from the protocol.
+        """
+        token = state.active_token
+        while token is not None and not token.cancelled:
+            if reader.at_eof() or reader.exception() is not None:
+                if state.cancel_active("client disconnected"):
+                    self.metrics.counter(
+                        "server_disconnect_cancels_total"
+                    ).inc()
+                    logger.info(
+                        "event=disconnect-cancel conn=%d peer=%s",
+                        state.conn_id, state.peer,
+                    )
+                return
+            await asyncio.sleep(0.01)
+
+    def _query_body(
+        self, relation, result, version, offset, limit, token, state, started
+    ) -> dict:
+        """The read itself — on the loop (ungoverned) or a reader thread."""
+        try:
+            if result is None:
+                # Catalog reads are live observability snapshots, not MVCC
+                # reads: they run against the catalog providers.
+                result = self.conn.query(relation, token=token)
+            if token is not None:
+                token.check()
+            rows = jsonify_rows(result.rows(offset=offset, limit=limit))
+            if token is not None:
+                token.check()
+        except ResilienceError as exc:
+            return self._query_abort(exc, relation, state, started)
         except KeyError as exc:
             return _error("unknown_relation", str(exc))
         except (ValueError, RuntimeError) as exc:
-            return _error("bad_request", str(exc))
-        try:
-            rows = jsonify_rows(result.rows(offset=offset, limit=limit))
-        except ValueError as exc:
             return _error("bad_request", str(exc))
         response = {
             "ok": True, "relation": relation,
@@ -460,6 +630,21 @@ class QueryServer:
         if version is not None:
             response["snapshot_version"] = version
         return response
+
+    def _query_abort(
+        self, exc: ResilienceError, relation: str, state: ConnectionState,
+        started: float,
+    ) -> dict:
+        self.metrics.counter(
+            "server_query_aborts_total", code=exc.code
+        ).inc()
+        logger.warning(
+            "event=query-abort conn=%d relation=%s code=%s reason=%s "
+            "elapsed_ms=%.1f",
+            state.conn_id, relation, exc.code, exc.reason,
+            (time.perf_counter() - started) * 1000.0,
+        )
+        return {"ok": False, "error": exc.to_wire()}
 
     def _snapshot_result(self, relation: str):
         """The shared snapshot result for ``relation`` at the latest version.
@@ -496,7 +681,10 @@ class QueryServer:
             self.metrics.counter(
                 "server_backpressure_total", code=exc.code
             ).inc()
-            return {"ok": False, "error": exc.to_wire()}
+            # ``enqueued: false`` — admission refused, nothing queued, so a
+            # retry can never double-apply.  Clients key their retry policy
+            # on exactly this flag.
+            return {"ok": False, "error": exc.to_wire(), "enqueued": False}
         self.metrics.gauge("server_queue_depth").set(self._queue.depth())
         try:
             report = await future
@@ -504,9 +692,14 @@ class QueryServer:
             self.metrics.counter(
                 "server_backpressure_total", code=exc.code
             ).inc()
-            return {"ok": False, "error": exc.to_wire()}
+            # The mutation *was* admitted (then shed / failed / lost to
+            # shutdown): a blind retry risks double-applying, so the flag
+            # says enqueued and clients must reconcile before retrying.
+            return {"ok": False, "error": exc.to_wire(), "enqueued": True}
         except (KeyError, ValueError) as exc:
-            return _error("mutation_failed", str(exc))
+            response = _error("mutation_failed", str(exc))
+            response["enqueued"] = True
+            return response
         state.mutations += 1
         return {
             "ok": True,

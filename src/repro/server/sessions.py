@@ -24,7 +24,7 @@ class ConnectionState:
 
     __slots__ = (
         "conn_id", "peer", "state", "mode", "queries", "mutations",
-        "bytes_in", "bytes_out", "connected_at",
+        "bytes_in", "bytes_out", "connected_at", "active_token",
     )
 
     def __init__(self, conn_id: int, peer: str) -> None:
@@ -37,6 +37,18 @@ class ConnectionState:
         self.bytes_in = 0
         self.bytes_out = 0
         self.connected_at = time.monotonic()
+        #: The in-flight request's CancellationToken, when it carries one.
+        #: The handler cancels it on client disconnect / server shutdown so
+        #: a governed read aborts instead of running for a dead socket.
+        self.active_token = None
+
+    def cancel_active(self, reason: str) -> bool:
+        """Cancel the in-flight request's token, if any; True when it was."""
+        token = self.active_token
+        if token is not None and not token.cancelled:
+            token.cancel(reason)
+            return True
+        return False
 
     def row(self) -> Tuple[Any, ...]:
         """The ``sys_connections`` row (column order of CATALOG_COLUMNS)."""

@@ -265,6 +265,9 @@ class MetricsRegistry:
         degradations = getattr(profile, "pool_degradations", 0)
         if degradations:
             self.counter("pool_degradations_total").inc(degradations)
+        worker_failures = getattr(profile, "worker_failures", 0)
+        if worker_failures:
+            self.counter("worker_failures_total").inc(worker_failures)
 
     # -- exporters ---------------------------------------------------------------
 

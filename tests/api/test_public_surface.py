@@ -23,21 +23,29 @@ from repro.incremental import IncrementalSession
 
 EXPECTED_ALL = [
     "AOTSortMode",
+    "CancellationToken",
+    "Cancelled",
     "CompilationGranularity",
     "Connection",
     "Database",
+    "DeadlineExceeded",
     "DurabilityConfig",
+    "DurabilityError",
     "EngineConfig",
     "ExecutionEngine",
     "ExecutionMode",
     "IncrementalSession",
     "Program",
+    "QueryLimits",
     "QueryResult",
     "RelationHandle",
+    "ResilienceError",
+    "ResourceExhausted",
     "ResultSchema",
     "ResultSet",
     "ShardingConfig",
     "Variable",
+    "WorkerFailed",
     "compare",
     "let",
     "parse_program",
@@ -60,7 +68,7 @@ EXPECTED_SIGNATURES = {
     "Database.schema": "(self, relation: str) -> ResultSchema",
     "Database.close": "(self) -> None",
     # Connection ---------------------------------------------------------------
-    "Connection.query": "(self, relation: Optional[str] = None)",
+    "Connection.query": "(self, relation: Optional[str] = None, limits=None, token=None)",
     "Connection.insert_facts": "(self, relation: str, rows) -> UpdateReport",
     "Connection.retract_facts": "(self, relation: str, rows) -> UpdateReport",
     "Connection.apply": "(self, inserts=None, retracts=None) -> UpdateReport",
@@ -87,7 +95,7 @@ EXPECTED_SIGNATURES = {
     "ExecutionEngine.result": "(self, name: str) -> QueryResult",
     "ExecutionEngine.run": "(self) -> Dict[str, Set[Row]]",
     # IncrementalSession -------------------------------------------------------
-    "IncrementalSession.fetch": "(self, relation: str) -> FrozenSet[Row]",
+    "IncrementalSession.fetch": "(self, relation: str, limits=None, token=None) -> FrozenSet[Row]",
     "IncrementalSession.query": "(self, relation: str) -> FrozenSet[Row]",
     "IncrementalSession.insert_facts": "(self, relation: str, rows: RowBatch) -> UpdateReport",
     "IncrementalSession.retract_facts": "(self, relation: str, rows: RowBatch) -> UpdateReport",

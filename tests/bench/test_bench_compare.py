@@ -153,6 +153,6 @@ class TestSelfTestAndCli:
         out = io.StringIO()
         assert bench_compare.self_test(baseline, out=out) == 0
         assert set(baseline["sections"]) == {
-            "parallel", "vectorized", "interning", "telemetry", "serving",
-            "durability",
+            "parallel", "vectorized", "interning", "telemetry", "resilience",
+            "serving", "durability",
         }

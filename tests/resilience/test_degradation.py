@@ -1,0 +1,181 @@
+"""Graceful degradation: dead shard workers cost latency, never the answer.
+
+Three layers of the same guarantee:
+
+* :class:`ForkWorkerPool` detects a SIGKILL'd child, reaps it (no zombies,
+  no leaked processes — even against a SIGTERM-ignoring child) and raises a
+  typed :class:`WorkerFailed`;
+* the :class:`ParallelEvaluator` catches that error, rebuilds the stratum
+  from the still-pristine global storage and re-drives it on the next-safer
+  pool kind (process -> thread -> serial);
+* the incremental session recovers a failed shard propagation with a full
+  recompute from base facts (a partial absorb could MISS derivations).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.analyses.micro import build_transitive_closure_program
+from repro.engine.engine import ExecutionEngine
+from repro.parallel.executor import ForkWorkerPool, fork_available
+from repro.resilience.errors import WorkerFailed
+from repro.resilience.faults import fault_scope
+
+EDGES = [(1, 2), (2, 3), (3, 4), (4, 5), (2, 5), (5, 6)]
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    engine = ExecutionEngine(
+        build_transitive_closure_program(EDGES), EngineConfig.interpreted()
+    )
+    return engine.evaluate()["path"]
+
+
+class _Echo:
+    def echo(self, value):
+        return value
+
+
+class _Wedger:
+    def wedge(self):
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(60)
+
+
+@needs_fork
+class TestForkPoolReaping:
+    def test_sigkilled_child_surfaces_as_worker_failed_and_is_reaped(self):
+        pool = ForkWorkerPool([_Echo(), _Echo()])
+        try:
+            assert pool.invoke("echo", [(1,), (2,)]) == [1, 2]
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            with pytest.raises(WorkerFailed) as excinfo:
+                pool.invoke("echo", [(3,), (4,)])
+            assert excinfo.value.details["shard"] == 0
+            assert excinfo.value.code == "worker_failed"
+            # The corpse was collected inside invoke — no zombie waits for
+            # close().
+            assert not pool._processes[0].is_alive()
+        finally:
+            pool.close()
+        assert all(not process.is_alive() for process in pool._processes)
+
+    def test_close_reaps_a_sigterm_ignoring_wedged_child(self):
+        # Pin for a real leak: close() used to stop at join(timeout) and
+        # silently leave the child running.  A child that is both wedged
+        # (never reads __stop__) and SIGTERM-immune must still die via the
+        # terminate -> kill escalation, bounded by join_timeout.
+        pool = ForkWorkerPool([_Wedger()], join_timeout=0.2)
+        pool._connections[0].send(("wedge", ()))
+        time.sleep(0.3)  # let the child enter wedge() and swap its handler
+        started = time.monotonic()
+        pool.close()
+        assert time.monotonic() - started < 3.0
+        assert not pool._processes[0].is_alive()
+
+    def test_close_is_idempotent_after_a_failure(self):
+        pool = ForkWorkerPool([_Echo()])
+        os.kill(pool._processes[0].pid, signal.SIGKILL)
+        with pytest.raises(WorkerFailed):
+            pool.invoke("echo", [(1,)])
+        pool.close()
+        pool.close()
+        assert not pool._processes[0].is_alive()
+
+
+class TestStratumDegradation:
+    @needs_fork
+    def test_sigkilled_shard_worker_degrades_stratum_with_correct_answer(
+        self, monkeypatch, reference
+    ):
+        import repro.parallel.executor as parallel_executor
+
+        real_make_pool = parallel_executor.make_pool
+        killed = []
+
+        def killing_make_pool(kind, workers):
+            pool = real_make_pool(kind, workers)
+            if kind == "process" and not killed:
+                # Murder shard 0 right after the fork: the first invoke
+                # finds a dead pipe and must degrade, not wedge or crash.
+                os.kill(pool._processes[0].pid, signal.SIGKILL)
+                killed.append(pool)
+            return pool
+
+        monkeypatch.setattr(parallel_executor, "make_pool", killing_make_pool)
+        engine = ExecutionEngine(
+            build_transitive_closure_program(EDGES),
+            EngineConfig.parallel(shards=2, pool="process"),
+        )
+        assert engine.evaluate()["path"] == reference
+        assert killed, "the process pool was never built"
+        assert engine.profile.worker_failures == 1
+        assert engine.profile.pool_degradations >= 1
+        # The killed pool left no zombie behind.
+        assert all(not p.is_alive() for p in killed[0]._processes)
+
+    @needs_fork
+    def test_injected_pool_fault_degrades_process_to_thread(self, reference):
+        engine = ExecutionEngine(
+            build_transitive_closure_program(EDGES),
+            EngineConfig.parallel(shards=2, pool="process"),
+        )
+        with fault_scope("pool.invoke:fail_nth=1"):
+            assert engine.evaluate()["path"] == reference
+        assert engine.profile.worker_failures == 1
+        assert engine.profile.pool_degradations >= 1
+
+    def test_serial_pool_cannot_degrade_further_and_raises(self):
+        engine = ExecutionEngine(
+            build_transitive_closure_program(EDGES),
+            EngineConfig.parallel(shards=2, pool="serial"),
+        )
+        with fault_scope("pool.invoke:fail_nth=1"):
+            with pytest.raises(WorkerFailed):
+                engine.evaluate()
+
+
+class TestSessionPropagationRecovery:
+    def test_failed_propagation_rebuilds_from_base_facts(self, reference):
+        database = Database(
+            build_transitive_closure_program(EDGES[:-1]),
+            EngineConfig.parallel(shards=2),
+        )
+        try:
+            with database.connect() as conn:
+                conn.query("path")  # build the persistent shard state
+                with fault_scope("pool.invoke:fail_nth=1"):
+                    conn.insert_facts("edge", [EDGES[-1]])
+                assert set(conn.query("path").rows()) == reference
+                rows = set(conn.query("sys_resilience").rows())
+                assert ("event", "propagation_rebuilds", 1) in rows
+                assert ("profile", "worker_failures", 1) in rows
+        finally:
+            database.close()
+
+    def test_recovered_session_keeps_propagating_incrementally(self, reference):
+        database = Database(
+            build_transitive_closure_program(EDGES[:-1]),
+            EngineConfig.parallel(shards=2),
+        )
+        try:
+            with database.connect() as conn:
+                conn.query("path")
+                with fault_scope("pool.invoke:fail_nth=1"):
+                    conn.insert_facts("edge", [EDGES[-1]])
+                # Post-recovery mutations run the normal propagation path
+                # again (the shard state is lazily rebuilt) and stay exact.
+                conn.insert_facts("edge", [(6, 7)])
+                conn.retract_facts("edge", [(6, 7)])
+                assert set(conn.query("path").rows()) == reference
+        finally:
+            database.close()

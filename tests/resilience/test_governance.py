@@ -1,0 +1,193 @@
+"""Query lifecycle governance through the engine: deadlines, caps, cancel.
+
+The acceptance bar for the resilience layer: a deadline-governed query over
+an unbounded-growth program must come back as a typed
+:class:`DeadlineExceeded` within 2x the deadline on *every* executor x shard
+configuration — and the session must stay fully usable afterwards.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Cancelled,
+    CancellationToken,
+    Database,
+    DeadlineExceeded,
+    EngineConfig,
+    QueryLimits,
+    ResourceExhausted,
+)
+from repro.analyses.micro import build_transitive_closure_program
+
+#: A cycle: the closure is all n^2 pairs, far more work than any deadline
+#: below grants — evaluation is effectively unbounded growth.
+SLOW_EDGES = [(i, i + 1) for i in range(600)] + [(600, 0)]
+
+#: Small enough to finish instantly — the post-abort usability probe.
+FAST_EDGES = [(1, 2), (2, 3), (3, 4)]
+FAST_CLOSURE = {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+DEADLINE = 0.05
+
+CONFIG_GRID = [
+    pytest.param(executor, shards, id=f"{executor}-shards{shards}")
+    for executor in ("pushdown", "vectorized")
+    for shards in (1, 4)
+]
+
+
+def make_config(executor: str, shards: int) -> EngineConfig:
+    config = EngineConfig(executor=executor)
+    if shards > 1:
+        config = EngineConfig.parallel(shards=shards, base=config)
+    return config
+
+
+class TestDeadline:
+    @pytest.mark.parametrize("executor,shards", CONFIG_GRID)
+    def test_deadline_bounds_latency_on_every_configuration(
+        self, executor, shards
+    ):
+        database = Database(build_transitive_closure_program(SLOW_EDGES),
+                            make_config(executor, shards))
+        try:
+            with database.connect() as conn:
+                started = time.perf_counter()
+                with pytest.raises(DeadlineExceeded):
+                    conn.query(
+                        "path", limits=QueryLimits(deadline_seconds=DEADLINE)
+                    )
+                elapsed = time.perf_counter() - started
+                assert elapsed < 2 * DEADLINE, (
+                    f"abort took {elapsed * 1000:.1f}ms against a "
+                    f"{DEADLINE * 1000:.0f}ms deadline"
+                )
+        finally:
+            database.close()
+
+    @pytest.mark.parametrize("executor,shards", CONFIG_GRID)
+    def test_session_recovers_to_ground_state_after_a_deadline(
+        self, executor, shards
+    ):
+        database = Database(build_transitive_closure_program(FAST_EDGES),
+                            make_config(executor, shards))
+        try:
+            with database.connect() as conn:
+                # An impossible deadline aborts even this tiny program ...
+                with pytest.raises(DeadlineExceeded):
+                    conn.query(
+                        "path", limits=QueryLimits(deadline_seconds=1e-9)
+                    )
+                # ... and the very next un-governed query is correct.
+                assert set(conn.query("path").rows()) == FAST_CLOSURE
+        finally:
+            database.close()
+
+
+class TestResourceCaps:
+    def test_max_rounds_aborts_unbounded_growth(self):
+        database = Database(build_transitive_closure_program(SLOW_EDGES))
+        try:
+            with database.connect() as conn:
+                with pytest.raises(ResourceExhausted) as excinfo:
+                    conn.query("path", limits=QueryLimits(max_rounds=3))
+                assert excinfo.value.reason == "max_rounds"
+        finally:
+            database.close()
+
+    def test_max_rows_aborts_oversized_derivations(self):
+        database = Database(build_transitive_closure_program(SLOW_EDGES))
+        try:
+            with database.connect() as conn:
+                with pytest.raises(ResourceExhausted) as excinfo:
+                    conn.query("path", limits=QueryLimits(max_rows=1000))
+                assert excinfo.value.reason == "max_rows"
+        finally:
+            database.close()
+
+    def test_max_result_bytes_guards_the_fetch_not_the_fixpoint(self):
+        database = Database(build_transitive_closure_program(FAST_EDGES))
+        try:
+            with database.connect() as conn:
+                with pytest.raises(ResourceExhausted) as excinfo:
+                    # 6 rows x 2 cols x 8 bytes = 96 bytes estimated.
+                    conn.query("path", limits=QueryLimits(max_result_bytes=64))
+                assert excinfo.value.reason == "max_result_bytes"
+                # The fixpoint itself survived: a roomier fetch succeeds
+                # without re-evaluating.
+                result = conn.query(
+                    "path", limits=QueryLimits(max_result_bytes=10_000)
+                )
+                assert set(result.rows()) == FAST_CLOSURE
+        finally:
+            database.close()
+
+    def test_config_level_limits_govern_every_query_automatically(self):
+        config = EngineConfig().with_(limits=QueryLimits(max_rounds=3))
+        database = Database(build_transitive_closure_program(SLOW_EDGES), config)
+        try:
+            with pytest.raises(ResourceExhausted):
+                database.query("path")
+        finally:
+            database.close()
+
+    def test_per_query_limits_override_config_limits(self):
+        config = EngineConfig().with_(limits=QueryLimits(max_rounds=1))
+        database = Database(build_transitive_closure_program(FAST_EDGES), config)
+        try:
+            with database.connect() as conn:
+                result = conn.query(
+                    "path", limits=QueryLimits(max_rounds=1000)
+                )
+                assert set(result.rows()) == FAST_CLOSURE
+        finally:
+            database.close()
+
+
+class TestCancellation:
+    def test_pre_cancelled_token_aborts_immediately(self):
+        database = Database(build_transitive_closure_program(FAST_EDGES))
+        try:
+            token = CancellationToken()
+            token.cancel("caller gave up")
+            with database.connect() as conn:
+                with pytest.raises(Cancelled) as excinfo:
+                    conn.query("path", token=token)
+                assert excinfo.value.reason == "caller gave up"
+        finally:
+            database.close()
+
+    def test_cancel_from_another_thread_interrupts_evaluation(self):
+        database = Database(build_transitive_closure_program(SLOW_EDGES))
+        try:
+            token = CancellationToken()
+            timer = threading.Timer(0.03, token.cancel, args=("timer fired",))
+            timer.start()
+            try:
+                with database.connect() as conn:
+                    started = time.perf_counter()
+                    with pytest.raises(Cancelled):
+                        conn.query("path", token=token)
+                    # Cooperative checks run every iteration: the abort
+                    # lands promptly, not at the end of the fixpoint.
+                    assert time.perf_counter() - started < 2.0
+            finally:
+                timer.cancel()
+        finally:
+            database.close()
+
+
+class TestObservability:
+    def test_aborts_are_counted_in_sys_resilience(self):
+        database = Database(build_transitive_closure_program(SLOW_EDGES))
+        try:
+            with database.connect() as conn:
+                with pytest.raises(ResourceExhausted):
+                    conn.query("path", limits=QueryLimits(max_rounds=2))
+                rows = set(conn.query("sys_resilience").rows())
+                assert ("event", "resource_exhausted", 1) in rows
+        finally:
+            database.close()

@@ -1,0 +1,134 @@
+"""QueryLimits, CancellationToken and the governor's enforcement rules."""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.cancel import NOOP_TOKEN, CancellationToken
+from repro.resilience.errors import Cancelled, DeadlineExceeded, ResourceExhausted
+from repro.resilience.limits import (
+    NOOP_GOVERNOR,
+    QueryGovernor,
+    QueryLimits,
+    governor_of,
+)
+
+
+class TestQueryLimits:
+    def test_defaults_are_unbounded(self):
+        assert QueryLimits().unbounded
+
+    def test_any_bound_makes_it_bounded(self):
+        assert not QueryLimits(deadline_seconds=1.0).unbounded
+        assert not QueryLimits(max_rows=1).unbounded
+        assert not QueryLimits(max_rounds=1).unbounded
+        assert not QueryLimits(max_result_bytes=1).unbounded
+
+    @pytest.mark.parametrize("field", [
+        "deadline_seconds", "max_rows", "max_rounds", "max_result_bytes",
+    ])
+    def test_non_positive_bounds_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            QueryLimits(**{field: 0})
+
+
+class TestCancellationToken:
+    def test_fresh_token_passes_checks(self):
+        token = CancellationToken()
+        token.check()
+        assert not token.cancelled and not token.expired()
+
+    def test_cancel_raises_with_the_reason(self):
+        token = CancellationToken()
+        token.cancel("client disconnected")
+        with pytest.raises(Cancelled) as excinfo:
+            token.check()
+        assert excinfo.value.reason == "client disconnected"
+
+    def test_cancel_is_visible_across_threads(self):
+        token = CancellationToken()
+        thread = threading.Thread(target=token.cancel, args=("other thread",))
+        thread.start()
+        thread.join()
+        with pytest.raises(Cancelled):
+            token.check()
+
+    def test_deadline_in_the_past_raises_deadline_exceeded(self):
+        token = CancellationToken(deadline=time.monotonic() - 0.001)
+        assert token.expired()
+        with pytest.raises(DeadlineExceeded):
+            token.check()
+
+    def test_with_timeout_sets_a_future_deadline(self):
+        token = CancellationToken.with_timeout(60.0)
+        remaining = token.remaining()
+        assert remaining is not None and 59.0 < remaining <= 60.0
+
+    def test_noop_token_never_trips(self):
+        NOOP_TOKEN.check()
+        NOOP_TOKEN.cancel("ignored")
+        NOOP_TOKEN.check()
+        assert not NOOP_TOKEN.active
+
+
+class TestGovernorOf:
+    def test_unbounded_everything_is_the_shared_noop(self):
+        assert governor_of() is NOOP_GOVERNOR
+        assert governor_of(QueryLimits()) is NOOP_GOVERNOR
+        assert governor_of(None, NOOP_TOKEN) is NOOP_GOVERNOR
+
+    def test_any_bound_or_live_token_gets_a_real_governor(self):
+        assert isinstance(governor_of(QueryLimits(max_rows=5)), QueryGovernor)
+        assert isinstance(governor_of(None, CancellationToken()), QueryGovernor)
+
+    def test_noop_governor_is_free_everywhere(self):
+        assert not NOOP_GOVERNOR.active
+        NOOP_GOVERNOR.check()
+        NOOP_GOVERNOR.on_round(10**9)
+        NOOP_GOVERNOR.check_result_bytes(10**12)
+
+
+class TestGovernorEnforcement:
+    def test_max_rounds_trips_on_the_crossing_round(self):
+        governor = QueryGovernor(QueryLimits(max_rounds=2))
+        governor.on_round(1)
+        governor.on_round(1)
+        with pytest.raises(ResourceExhausted) as excinfo:
+            governor.on_round(1)
+        assert excinfo.value.reason == "max_rounds"
+
+    def test_max_rows_counts_promoted_rows_across_rounds(self):
+        governor = QueryGovernor(QueryLimits(max_rows=100))
+        governor.on_round(60)
+        with pytest.raises(ResourceExhausted) as excinfo:
+            governor.on_round(60)
+        assert excinfo.value.reason == "max_rows"
+        assert governor.rows_derived == 120
+
+    def test_deadline_limit_trips_check(self):
+        governor = QueryGovernor(QueryLimits(deadline_seconds=0.005))
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceeded):
+            governor.check()
+
+    def test_callers_token_stays_authoritative_for_cancellation(self):
+        token = CancellationToken()
+        governor = QueryGovernor(QueryLimits(deadline_seconds=60.0), token)
+        token.cancel("caller gave up")
+        with pytest.raises(Cancelled):
+            governor.check()
+
+    def test_effective_deadline_is_the_tighter_of_token_and_limits(self):
+        token = CancellationToken.with_timeout(60.0)
+        tighter = QueryGovernor(QueryLimits(deadline_seconds=1.0), token)
+        assert tighter.deadline < token.deadline
+        looser = QueryGovernor(QueryLimits(deadline_seconds=120.0), token)
+        assert looser.deadline == token.deadline
+
+    def test_result_bytes_guard(self):
+        governor = QueryGovernor(QueryLimits(max_result_bytes=1024))
+        governor.check_result_bytes(1024)
+        with pytest.raises(ResourceExhausted) as excinfo:
+            governor.check_result_bytes(1025)
+        assert excinfo.value.reason == "max_result_bytes"

@@ -42,10 +42,11 @@ class TestRejectPolicy:
             await queue.put({"n": 2})
             with pytest.raises(BackpressureError) as excinfo:
                 await queue.put({"n": 3})
-            assert excinfo.value.code == "backpressure"
-            assert excinfo.value.policy == "reject"
+            assert excinfo.value.code == "resource_exhausted"
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.details["policy"] == "reject"
             wire = excinfo.value.to_wire()
-            assert wire["code"] == "backpressure"
+            assert wire["code"] == "resource_exhausted"
             assert queue.rejected == 1
             assert queue.submitted == 2
             assert queue.depth() == 2
@@ -66,7 +67,8 @@ class TestShedPolicy:
             assert first.done()
             with pytest.raises(BackpressureError) as excinfo:
                 first.result()
-            assert excinfo.value.code == "shed"
+            assert excinfo.value.code == "cancelled"
+            assert excinfo.value.reason == "shed"
             assert not third.done()
             assert queue.shed == 1
             assert queue.depth() == 2
@@ -106,7 +108,8 @@ class TestBlockPolicy:
             await queue.put({"n": 1})
             with pytest.raises(BackpressureError) as excinfo:
                 await queue.put({"n": 2})
-            assert excinfo.value.code == "timeout"
+            assert excinfo.value.code == "deadline_exceeded"
+            assert excinfo.value.reason == "queue_timeout"
             assert queue.rejected == 1
 
         asyncio.run(scenario())
@@ -122,6 +125,7 @@ class TestDrain:
             for future in futures:
                 with pytest.raises(BackpressureError) as excinfo:
                     future.result()
-                assert excinfo.value.code == "shutdown"
+                assert excinfo.value.code == "cancelled"
+                assert excinfo.value.reason == "shutdown"
 
         asyncio.run(scenario())

@@ -1,0 +1,83 @@
+"""RetryPolicy unit tests: backoff math and the safe-to-resend matrix."""
+
+import pytest
+
+from repro.server.client import ProtocolError, RetryPolicy, ServerError
+
+
+def _server_error(code, enqueued=None):
+    return ServerError({"code": code, "message": code}, enqueued=enqueued)
+
+
+class TestBackoff:
+    def test_delay_count_is_attempts_minus_one(self):
+        assert len(list(RetryPolicy(attempts=1).delays())) == 0
+        assert len(list(RetryPolicy(attempts=4).delays())) == 3
+
+    def test_delays_grow_exponentially_and_cap_at_max(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_only_shrinks_within_its_fraction(self):
+        policy = RetryPolicy(
+            attempts=50, base_delay=1.0, max_delay=1.0, jitter=0.25, seed=7
+        )
+        delays = list(policy.delays())
+        assert all(0.75 <= delay <= 1.0 for delay in delays)
+        assert len(set(delays)) > 1  # actually jittered, not constant
+
+    def test_seeded_jitter_is_reproducible(self):
+        one = list(RetryPolicy(attempts=5, seed=42).delays())
+        two = list(RetryPolicy(attempts=5, seed=42).delays())
+        other = list(RetryPolicy(attempts=5, seed=43).delays())
+        assert one == two
+        assert one != other
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"attempts": 0}, "attempts"),
+        ({"base_delay": -0.1}, "delays"),
+        ({"max_delay": -1.0}, "delays"),
+        ({"jitter": 1.5}, "jitter"),
+        ({"jitter": -0.1}, "jitter"),
+    ])
+    def test_invalid_policies_are_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+
+class TestShouldRetry:
+    def test_transient_server_errors_retry_reads(self):
+        policy = RetryPolicy()
+        assert policy.should_retry("query", _server_error("resource_exhausted"))
+
+    def test_non_transient_codes_never_retry(self):
+        policy = RetryPolicy()
+        for code in ("bad_request", "unknown_relation", "deadline_exceeded",
+                     "cancelled", "worker_failed", "durability_error"):
+            assert not policy.should_retry("query", _server_error(code))
+            assert not policy.should_retry("insert", _server_error(code))
+
+    def test_mutations_retry_only_when_provably_not_enqueued(self):
+        policy = RetryPolicy()
+        refused = _server_error("resource_exhausted", enqueued=False)
+        admitted = _server_error("resource_exhausted", enqueued=True)
+        unknown = _server_error("resource_exhausted", enqueued=None)
+        for op in ("insert", "retract", "apply"):
+            assert policy.should_retry(op, refused)
+            # Admitted or ambiguous: a resend risks double-apply.
+            assert not policy.should_retry(op, admitted)
+            assert not policy.should_retry(op, unknown)
+
+    def test_dead_transport_retries_reads_but_never_mutations(self):
+        policy = RetryPolicy()
+        for error in (ConnectionResetError(), BrokenPipeError(),
+                      OSError("boom"), ProtocolError("closed")):
+            assert policy.should_retry("query", error)
+            assert policy.should_retry("ping", error)
+            assert not policy.should_retry("insert", error)
+            assert not policy.should_retry("apply", error)
+
+    def test_unrelated_exceptions_never_retry(self):
+        assert not RetryPolicy().should_retry("query", ValueError("nope"))

@@ -4,6 +4,7 @@ import asyncio
 
 import pytest
 
+from repro.resilience.errors import ResourceExhausted
 from repro.server.protocol import (
     MAX_FRAME,
     ProtocolError,
@@ -39,8 +40,9 @@ class TestFraming:
         assert encode_frame({"op": "ping"})[0] == 0
 
     def test_oversized_frame_is_rejected_at_encode_time(self):
-        with pytest.raises(ProtocolError):
+        with pytest.raises(ResourceExhausted) as excinfo:
             encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+        assert excinfo.value.reason == "oversize"
 
     def test_read_frame_returns_message_and_bytes_consumed(self):
         message = {"op": "ping", "id": 1}
@@ -84,8 +86,9 @@ class TestFraming:
         async def scenario():
             return await read_frame(fed_reader(prefix + b"x" * 8))
 
-        with pytest.raises(ProtocolError):
+        with pytest.raises(ResourceExhausted) as excinfo:
             asyncio.run(scenario())
+        assert excinfo.value.reason == "oversize"
 
 
 class TestLineMode:

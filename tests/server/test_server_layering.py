@@ -43,11 +43,12 @@ def test_top_level_package_does_not_import_the_server():
 
 def test_server_package_only_imports_api_and_below():
     """The server speaks to the engine through the public Database API
-    (plus core config, telemetry types and the durability config it
-    forwards to Database) — never engine internals."""
+    (plus core config, telemetry types, the resilience taxonomy/faults it
+    reports through, and the durability config it forwards to Database) —
+    never engine internals."""
     src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
     allowed = re.compile(
-        r"\s*from repro\.(server|api|core|telemetry|durability)[.\s]"
+        r"\s*from repro\.(server|api|core|telemetry|durability|resilience)[.\s]"
     )
     any_repro = re.compile(r"\s*from repro\.\w+")
     offenders = []

@@ -48,7 +48,8 @@ class TestQueueClose:
             queue.close()
             with pytest.raises(BackpressureError) as excinfo:
                 await queue.put({"n": 1})
-            assert excinfo.value.code == "shutdown"
+            assert excinfo.value.code == "cancelled"
+            assert excinfo.value.reason == "shutdown"
         run(scenario())
 
     def test_drain_fails_pending_with_shutdown_code(self):
@@ -57,7 +58,8 @@ class TestQueueClose:
             future = await queue.put({"n": 1})
             assert queue.drain() == 1
             assert isinstance(future.exception(), BackpressureError)
-            assert future.exception().code == "shutdown"
+            assert future.exception().code == "cancelled"
+            assert future.exception().reason == "shutdown"
         run(scenario())
 
     def test_close_wakes_a_blocked_get(self):
@@ -98,7 +100,8 @@ class TestServerStop:
             await asyncio.wait_for(stopper, timeout=10)
             assert inflight.result().inserted > 0
             assert isinstance(queued.exception(), BackpressureError)
-            assert queued.exception().code == "shutdown"
+            assert queued.exception().code == "cancelled"
+            assert queued.exception().reason == "shutdown"
             database.close()
         run(scenario())
 
