@@ -66,6 +66,7 @@ from repro.relational.columnar import ColumnarBlock
 from repro.relational.operators import SubqueryEvaluator
 from repro.relational.relation import Row
 from repro.resilience.errors import ResilienceError, WorkerFailed
+from repro.resilience.limits import NOOP_GOVERNOR
 
 RowBatch = Iterable[Sequence[object]]
 
@@ -471,7 +472,10 @@ class IncrementalSession:
         with self._write_lock, self.tracer.span(
             "mutation", root=True, program=self.program_fingerprint[:12]
         ) as span:
-            self._ensure_evaluated()
+            # The whole mutation path runs ungoverned — session-wide
+            # ``config.limits`` are *query* governance, and a write must
+            # never be bounced (or half-applied) by a read deadline.
+            self._ensure_evaluated(NOOP_GOVERNOR)
             durability = self._durability
             if durability is not None:
                 # Materialize the raw batches up front: _normalise consumes
@@ -636,12 +640,18 @@ class IncrementalSession:
 
         # One semi-naive propagation covers both phases: rederivation
         # survivors and fresh insertions are all just delta seeds by now.
+        # Propagation runs ungoverned even when session-wide limits are
+        # configured: QueryLimits bound *queries*, and a mid-propagation
+        # abort would leave base rows inserted, deltas half-consumed and
+        # ``_evaluated`` still True — later reads would silently serve an
+        # incomplete fixpoint, and the WAL (written after apply) would
+        # diverge from in-memory state.
         if seeded:
             if self._sharded_propagation():
                 report.propagated = self._propagate_parallel()
                 report.strategy = "incremental-sharded"
             else:
-                profile = self._execute(self._update_tree)
+                profile = self._execute(self._update_tree, NOOP_GOVERNOR)
                 report.propagated = sum(it.promoted for it in profile.iterations)
         self._advance_mutation_digests(effective_inserts, eligible)
         return report
@@ -731,7 +741,7 @@ class IncrementalSession:
             self._shard_state = self._build_shard_state()
         state = self._shard_state
         if state is None:  # pragma: no cover - defensive fallback
-            profile = self._execute(self._update_tree)
+            profile = self._execute(self._update_tree, NOOP_GOVERNOR)
             return sum(it.promoted for it in profile.iterations)
 
         def absorb(accepted: Mapping[str, Sequence[Sequence[object]]]) -> None:
@@ -784,7 +794,10 @@ class IncrementalSession:
                 self.resilience_events.get("propagation_rebuilds", 0) + 1
             )
             self._reset_to_base()
-            profile = self._execute(self.tree)
+            # Ungoverned like every mutation-path execution: a governed
+            # recovery aborting mid-recompute would strand storage between
+            # base and fixpoint with the abort already swallowed here.
+            profile = self._execute(self.tree, NOOP_GOVERNOR)
             self._evaluated = True
             return sum(it.promoted for it in profile.iterations)
 
@@ -860,9 +873,14 @@ class IncrementalSession:
         self._evaluated = False
 
     def _rebuild_from_base(self) -> None:
-        """Clear every database, re-load base rows, re-run the main tree."""
+        """Clear every database, re-load base rows, re-run the main tree.
+
+        Ungoverned: rebuilds run on the mutation/maintenance path (recompute
+        strategy, catalog refresh), where an abort would strand storage
+        between base and fixpoint — see :meth:`_apply_incremental`.
+        """
         self._reset_to_base()
-        self._execute(self.tree)
+        self._execute(self.tree, NOOP_GOVERNOR)
         self._evaluated = True
 
     # -- queries ----------------------------------------------------------------
@@ -1032,8 +1050,17 @@ class IncrementalSession:
         rows are replayed into the fresh engine's storage (re-interned in
         its symbol domain) rather than refreshed from live engine state, so
         :meth:`self_check` compares both evaluations over identical inputs.
+
+        The reference evaluation is diagnostic maintenance, not a query:
+        session-wide ``config.limits`` are stripped (an explicit ``config``
+        argument is honoured as given), so :meth:`self_check` works on
+        governed sessions instead of bouncing off their query bounds.
         """
-        engine = ExecutionEngine(self.snapshot_program(), config or self.config)
+        if config is None:
+            config = self.config
+            if config.limits is not None:
+                config = config.with_(limits=None)
+        engine = ExecutionEngine(self.snapshot_program(), config)
         symbols = self.storage.symbols
         for name in self._catalog_names:
             rows = self.storage.base_rows(name)

@@ -189,8 +189,12 @@ class QueryServer:
             await asyncio.gather(*self._handlers, return_exceptions=True)
         # After the handlers: their cancellation cancels any governed
         # read's token, so the reader threads abort at their next check
-        # instead of holding this shutdown open.
-        self._reader_pool.shutdown(wait=True)
+        # instead of holding this shutdown open.  Joined off-loop: a read
+        # between cooperative checks (e.g. serializing a large page) must
+        # not block the event loop for that stretch.
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self._reader_pool.shutdown(wait=True)
+        )
         while self._result_cache:
             self._result_cache.popitem()[1].release()
         self.conn.close()

@@ -134,6 +134,22 @@ class TestResourceCaps:
         finally:
             database.close()
 
+    def test_config_level_limits_never_govern_mutations(self):
+        # max_rounds=1 aborts any governed multi-round fixpoint — but
+        # limits are query governance: a mutation (and its incremental
+        # propagation) must complete, or base rows and derived state
+        # diverge with ``_evaluated`` left True.
+        config = EngineConfig().with_(limits=QueryLimits(max_rounds=1))
+        database = Database(build_transitive_closure_program([(1, 2)]), config)
+        try:
+            with database.connect() as conn:
+                conn.insert_facts("edge", [(2, 3), (3, 4)])
+                # The repaired fixpoint is complete and already
+                # materialized, so even the governed read serves it.
+                assert set(conn.query("path").rows()) == FAST_CLOSURE
+        finally:
+            database.close()
+
     def test_per_query_limits_override_config_limits(self):
         config = EngineConfig().with_(limits=QueryLimits(max_rounds=1))
         database = Database(build_transitive_closure_program(FAST_EDGES), config)
